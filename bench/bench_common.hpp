@@ -1,0 +1,73 @@
+#pragma once
+// Shared scaffolding for the experiment benches.
+//
+// Every bench binary regenerates one experiment row-set from DESIGN.md's
+// index (E1-E13). Wall-clock time is not the measurement — the paper's
+// claims are about *simulated network steps* — so each benchmark iteration
+// runs one seeded trial and publishes step counts, normalized ratios and
+// queue maxima through benchmark counters, while a paper-style summary
+// table accumulates rows that main() prints after the google-benchmark
+// report.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/table.hpp"
+
+namespace levnet::bench {
+
+/// Singleton collection of summary tables printed at exit.
+class Report {
+ public:
+  static Report& instance() {
+    static Report report;
+    return report;
+  }
+
+  support::Table& table(const std::string& title,
+                        std::vector<std::string> header) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& entry : tables_) {
+      if (entry.title == title) return *entry.table;
+    }
+    tables_.push_back(
+        {title, std::make_unique<support::Table>(std::move(header))});
+    return *tables_.back().table;
+  }
+
+  void print(std::ostream& os) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& entry : tables_) {
+      os << "\n=== " << entry.title << " ===\n";
+      entry.table->print(os);
+    }
+    os.flush();
+  }
+
+ private:
+  struct Entry {
+    std::string title;
+    std::unique_ptr<support::Table> table;
+  };
+  mutable std::mutex mutex_;
+  std::vector<Entry> tables_;
+};
+
+}  // namespace levnet::bench
+
+/// Standard main: run benchmarks, then print the accumulated paper tables.
+#define LEVNET_BENCH_MAIN()                                   \
+  int main(int argc, char** argv) {                           \
+    ::benchmark::Initialize(&argc, argv);                     \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                    \
+    ::benchmark::Shutdown();                                  \
+    ::levnet::bench::Report::instance().print(std::cout);     \
+    return 0;                                                 \
+  }

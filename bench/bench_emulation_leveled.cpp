@@ -1,0 +1,181 @@
+// E6 (Theorem 2.5, Corollaries 2.3-2.4) + E7 (Theorem 2.6, Corollaries
+// 2.5-2.6): PRAM emulation on sub-logarithmic-diameter leveled networks.
+//
+// Claims measured:
+//  * one EREW PRAM step (a permutation of read requests) is emulated in
+//    O~(diameter) network steps on the star graph and the n-way shuffle —
+//    steps/diameter stays a small constant while N explodes (E6);
+//  * CRCW steps (all processors reading or writing one cell) cost about the
+//    same *with combining*; without it the module serializes (E7).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "emulation/emulator.hpp"
+#include "emulation/fabric.hpp"
+#include "pram/algorithms/access_patterns.hpp"
+#include "routing/shuffle_router.hpp"
+#include "routing/star_router.hpp"
+#include "routing/two_phase.hpp"
+#include "topology/shuffle.hpp"
+#include "topology/star.hpp"
+
+namespace {
+
+using namespace levnet;
+
+constexpr std::uint32_t kPramSteps = 4;
+
+struct EmulationRow {
+  std::string network;
+  std::uint64_t processors;
+  std::uint32_t diameter;
+  emulation::EmulationReport report;
+};
+
+void record_erew_row(const EmulationRow& row, benchmark::State& state) {
+  state.counters["net_steps_per_pram_step"] = row.report.mean_step_network;
+  state.counters["per_diameter"] =
+      row.report.mean_step_network / row.diameter;
+  auto& table = bench::Report::instance().table(
+      "E6 / Theorem 2.5 + Cor 2.3-2.4: EREW emulation cost per PRAM step",
+      {"network", "procs", "diam", "steps/pram-step", "worst step",
+       "per diam", "linkQ", "rehash"});
+  table.row()
+      .cell(row.network)
+      .cell(row.processors)
+      .cell(std::uint64_t{row.diameter})
+      .cell(row.report.mean_step_network, 1)
+      .cell(std::uint64_t{row.report.max_step_network})
+      .cell(row.report.mean_step_network / row.diameter, 2)
+      .cell(std::uint64_t{row.report.max_link_queue})
+      .cell(std::uint64_t{row.report.rehashes});
+}
+
+void BM_ErewEmulationStar(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const topology::StarGraph star(n);
+  const routing::StarTwoPhaseRouter router(star);
+  const emulation::EmulationFabric fabric(star.graph(), router,
+                                          star.diameter(), star.name());
+  emulation::EmulationReport report;
+  for (auto _ : state) {
+    pram::PermutationTraffic program(star.node_count(), kPramSteps, 11);
+    emulation::NetworkEmulator emulator(fabric, {});
+    pram::SharedMemory memory;
+    report = emulator.run(program, memory);
+    benchmark::DoNotOptimize(report.network_steps);
+  }
+  record_erew_row({star.name(), star.node_count(), star.diameter(), report},
+                  state);
+}
+
+void BM_ErewEmulationShuffle(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const topology::DWayShuffle net = topology::DWayShuffle::n_way(n);
+  const routing::ShuffleTwoPhaseRouter router(net);
+  const emulation::EmulationFabric fabric(net.graph(), router,
+                                          net.route_length(), net.name());
+  emulation::EmulationReport report;
+  for (auto _ : state) {
+    pram::PermutationTraffic program(net.node_count(), kPramSteps, 13);
+    emulation::NetworkEmulator emulator(fabric, {});
+    pram::SharedMemory memory;
+    report = emulator.run(program, memory);
+    benchmark::DoNotOptimize(report.network_steps);
+  }
+  record_erew_row({net.name(), net.node_count(), net.route_length(), report},
+                  state);
+}
+
+void BM_ErewEmulationButterfly(benchmark::State& state) {
+  const auto levels = static_cast<std::uint32_t>(state.range(0));
+  const topology::WrappedButterfly bf(2, levels);
+  const routing::TwoPhaseButterflyRouter router(bf);
+  const emulation::EmulationFabric fabric(bf, router);
+  emulation::EmulationReport report;
+  for (auto _ : state) {
+    pram::PermutationTraffic program(bf.row_count(), kPramSteps, 17);
+    emulation::NetworkEmulator emulator(fabric, {});
+    pram::SharedMemory memory;
+    report = emulator.run(program, memory);
+    benchmark::DoNotOptimize(report.network_steps);
+  }
+  record_erew_row({bf.name(), bf.row_count(), bf.levels(), report}, state);
+}
+
+void crcw_hotspot_case(benchmark::State& state, std::uint32_t n, bool write,
+                       bool combining) {
+  const topology::StarGraph star(n);
+  const routing::StarTwoPhaseRouter router(star);
+  const emulation::EmulationFabric fabric(star.graph(), router,
+                                          star.diameter(), star.name());
+  emulation::EmulatorConfig config;
+  config.combining = combining;
+  emulation::EmulationReport report;
+  for (auto _ : state) {
+    emulation::NetworkEmulator emulator(fabric, config);
+    pram::SharedMemory memory;
+    if (write) {
+      pram::HotSpotWriteTraffic program(star.node_count(), kPramSteps);
+      report = emulator.run(program, memory);
+    } else {
+      pram::HotSpotReadTraffic program(star.node_count(), kPramSteps, 99);
+      report = emulator.run(program, memory);
+    }
+    benchmark::DoNotOptimize(report.network_steps);
+  }
+  state.counters["net_steps_per_pram_step"] = report.mean_step_network;
+  state.counters["combined"] =
+      static_cast<double>(report.combined_requests);
+
+  auto& table = bench::Report::instance().table(
+      "E7 / Theorem 2.6 + Cor 2.5-2.6: CRCW hot-spot emulation on the star",
+      {"n", "procs", "diam", "op", "combining", "steps/pram-step",
+       "worst step", "combined reqs", "per diam"});
+  table.row()
+      .cell(std::uint64_t{n})
+      .cell(std::uint64_t{star.node_count()})
+      .cell(std::uint64_t{star.diameter()})
+      .cell(std::string(write ? "write" : "read"))
+      .cell(std::string(combining ? "yes" : "no"))
+      .cell(report.mean_step_network, 1)
+      .cell(std::uint64_t{report.max_step_network})
+      .cell(report.combined_requests)
+      .cell(report.mean_step_network / star.diameter(), 2);
+}
+
+void BM_CrcwHotSpotRead(benchmark::State& state) {
+  crcw_hotspot_case(state, static_cast<std::uint32_t>(state.range(0)),
+                    /*write=*/false, state.range(1) != 0);
+}
+
+void BM_CrcwHotSpotWrite(benchmark::State& state) {
+  crcw_hotspot_case(state, static_cast<std::uint32_t>(state.range(0)),
+                    /*write=*/true, state.range(1) != 0);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ErewEmulationStar)->DenseRange(4, 7)->Iterations(1);
+BENCHMARK(BM_ErewEmulationShuffle)->DenseRange(3, 5)->Iterations(1);
+BENCHMARK(BM_ErewEmulationButterfly)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(10)
+    ->Iterations(1);
+BENCHMARK(BM_CrcwHotSpotRead)
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({6, 0})
+    ->Args({6, 1})
+    ->Iterations(1);
+BENCHMARK(BM_CrcwHotSpotWrite)
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({6, 0})
+    ->Args({6, 1})
+    ->Iterations(1);
+
+LEVNET_BENCH_MAIN()

@@ -1,0 +1,179 @@
+// E5 (Section 2.1 Fact, Lemma 2.2, Corollaries 3.1-3.3): load behaviour of
+// the Karlin-Upfal polynomial hash family.
+//
+// Claims measured:
+//  * N items into N buckets: max load O(log N / log log N) w.h.p. (Cor 3.1)
+//  * N = n^2 items into beta*n buckets: max load n/beta + O(n^{3/4}) (Cor 3.2)
+//  * any log N consecutive buckets get O(log N) items (Cor 3.3)
+//  * description size is O(L log M) bits (Section 2.1)
+//  * higher polynomial degree S = cL buys lower worst-case load (Lemma 2.2).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "hashing/poly_hash.hpp"
+#include "support/bits.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace levnet;
+
+constexpr std::uint32_t kDraws = 20;  // hash functions sampled per row
+
+void BM_MaxLoadNIntoN(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto degree = static_cast<std::uint32_t>(state.range(1));
+  support::RunningStat max_load;
+  std::uint64_t seed = 1;
+  for (std::uint32_t i = 0; i < kDraws; ++i) {
+    support::Rng rng(seed++);
+    const auto h = hashing::PolynomialHash::sample(degree, n, n, rng);
+    max_load.add(hashing::bucket_loads(h, n).max_load);
+  }
+  for (auto _ : state) {
+    support::Rng rng(seed++);
+    const auto h = hashing::PolynomialHash::sample(degree, n, n, rng);
+    benchmark::DoNotOptimize(hashing::bucket_loads(h, n).max_load);
+  }
+  const double bound = std::log2(static_cast<double>(n)) /
+                       std::log2(std::log2(static_cast<double>(n)));
+  state.counters["maxload_mean"] = max_load.mean();
+  state.counters["maxload_max"] = max_load.max();
+  state.counters["log/loglog"] = bound;
+
+  auto& table = bench::Report::instance().table(
+      "E5a / Corollary 3.1: N items into N buckets",
+      {"N", "degree S", "maxload(mean)", "maxload(max)", "logN/loglogN",
+       "ratio"});
+  table.row()
+      .cell(n)
+      .cell(std::uint64_t{degree})
+      .cell(max_load.mean(), 2)
+      .cell(max_load.max(), 0)
+      .cell(bound, 2)
+      .cell(max_load.max() / bound, 2);
+}
+
+void BM_MaxLoadSquareIntoBetaN(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto beta = static_cast<std::uint64_t>(state.range(1));
+  const std::uint64_t items = n * n;
+  const std::uint64_t buckets = beta * n;
+  support::RunningStat max_load;
+  std::uint64_t seed = 1;
+  for (std::uint32_t i = 0; i < kDraws; ++i) {
+    support::Rng rng(seed++);
+    const auto h = hashing::PolynomialHash::sample(12, items, buckets, rng);
+    max_load.add(hashing::bucket_loads(h, items).max_load);
+  }
+  for (auto _ : state) {
+    support::Rng rng(seed++);
+    const auto h = hashing::PolynomialHash::sample(12, items, buckets, rng);
+    benchmark::DoNotOptimize(hashing::bucket_loads(h, items).max_load);
+  }
+  const double ideal = static_cast<double>(n) / static_cast<double>(beta);
+  const double slack = std::pow(static_cast<double>(n), 0.75);
+  state.counters["maxload_max"] = max_load.max();
+
+  auto& table = bench::Report::instance().table(
+      "E5b / Corollary 3.2: n^2 items into beta*n buckets",
+      {"n", "beta", "items", "buckets", "maxload(mean)", "maxload(max)",
+       "n/beta", "n/beta+n^0.75"});
+  table.row()
+      .cell(n)
+      .cell(beta)
+      .cell(items)
+      .cell(buckets)
+      .cell(max_load.mean(), 2)
+      .cell(max_load.max(), 0)
+      .cell(ideal, 1)
+      .cell(ideal + slack, 1);
+}
+
+void BM_WindowLoad(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const std::uint32_t window = support::ceil_log2(n);
+  support::RunningStat window_load;
+  std::uint64_t seed = 1;
+  for (std::uint32_t i = 0; i < kDraws; ++i) {
+    support::Rng rng(seed++);
+    const auto h = hashing::PolynomialHash::sample(12, n, n, rng);
+    const auto profile = hashing::bucket_loads(h, n);
+    window_load.add(hashing::max_window_load(profile, window));
+  }
+  for (auto _ : state) {
+    support::Rng rng(seed++);
+    const auto h = hashing::PolynomialHash::sample(12, n, n, rng);
+    const auto profile = hashing::bucket_loads(h, n);
+    benchmark::DoNotOptimize(hashing::max_window_load(profile, window));
+  }
+  state.counters["windowload_max"] = window_load.max();
+
+  auto& table = bench::Report::instance().table(
+      "E5c / Corollary 3.3: any log N consecutive buckets",
+      {"N", "window=logN", "windowload(mean)", "windowload(max)",
+       "ratio to logN"});
+  table.row()
+      .cell(n)
+      .cell(std::uint64_t{window})
+      .cell(window_load.mean(), 2)
+      .cell(window_load.max(), 0)
+      .cell(window_load.max() / window, 2);
+}
+
+void BM_DescriptionBits(benchmark::State& state) {
+  const auto degree = static_cast<std::uint32_t>(state.range(0));
+  const std::uint64_t address_space = std::uint64_t{1}
+                                      << static_cast<std::uint32_t>(
+                                             state.range(1));
+  support::Rng rng(1);
+  const auto h =
+      hashing::PolynomialHash::sample(degree, address_space, 4096, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(h.description_bits());
+  state.counters["bits"] = static_cast<double>(h.description_bits());
+
+  auto& table = bench::Report::instance().table(
+      "E5d / Section 2.1: hash description size O(L log M)",
+      {"degree S=cL", "log2 M", "bits", "bits/(S*log2M)"});
+  table.row()
+      .cell(std::uint64_t{degree})
+      .cell(static_cast<std::uint64_t>(state.range(1)))
+      .cell(h.description_bits())
+      .cell(static_cast<double>(h.description_bits()) /
+                (static_cast<double>(degree) *
+                 static_cast<double>(state.range(1))),
+            2);
+}
+
+}  // namespace
+
+BENCHMARK(BM_MaxLoadNIntoN)
+    ->Args({1024, 2})
+    ->Args({1024, 12})
+    ->Args({4096, 2})
+    ->Args({4096, 12})
+    ->Args({16384, 12})
+    ->Args({65536, 12})
+    ->Iterations(2);
+BENCHMARK(BM_MaxLoadSquareIntoBetaN)
+    ->Args({32, 1})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({128, 2})
+    ->Iterations(2);
+BENCHMARK(BM_WindowLoad)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Iterations(2);
+BENCHMARK(BM_DescriptionBits)
+    ->Args({4, 20})
+    ->Args({8, 20})
+    ->Args({16, 30})
+    ->Iterations(2);
+
+LEVNET_BENCH_MAIN()

@@ -1,0 +1,111 @@
+// E1 (Theorem 2.1) + E4 (Theorem 2.4): the universal two-phase algorithm on
+// generic leveled networks (wrapped radix-d butterflies).
+//
+// Claim: permutation routing finishes in O~(l) steps — steps/l should be a
+// small constant independent of l and d — with FIFO link queues of size
+// O(l); partial l-relations also finish in O~(l).
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/trials.hpp"
+#include "bench_common.hpp"
+#include "routing/driver.hpp"
+#include "routing/two_phase.hpp"
+#include "sim/workload.hpp"
+#include "support/rng.hpp"
+#include "topology/butterfly.hpp"
+
+namespace {
+
+using namespace levnet;
+
+constexpr std::uint32_t kSeeds = 5;
+
+void run_leveled_case(benchmark::State& state, std::uint32_t radix,
+                      std::uint32_t levels, std::uint32_t relation_h) {
+  const topology::WrappedButterfly bf(radix, levels);
+  const routing::TwoPhaseButterflyRouter router(bf);
+  std::uint64_t seed = 1;
+  analysis::TrialStats stats = analysis::run_trials(
+      [&](std::uint64_t s) {
+        support::Rng rng(s);
+        const sim::Workload w =
+            relation_h <= 1
+                ? sim::permutation_workload(bf.row_count(), rng)
+                : sim::h_relation_workload(bf.row_count(), relation_h, rng);
+        return routing::run_workload(bf.graph(), router, w, {}, rng);
+      },
+      kSeeds);
+  for (auto _ : state) {
+    support::Rng rng(seed++);
+    const sim::Workload w =
+        relation_h <= 1
+            ? sim::permutation_workload(bf.row_count(), rng)
+            : sim::h_relation_workload(bf.row_count(), relation_h, rng);
+    const auto outcome = routing::run_workload(bf.graph(), router, w, {}, rng);
+    benchmark::DoNotOptimize(outcome.metrics.steps);
+  }
+  state.counters["steps_mean"] = stats.steps.mean;
+  state.counters["steps_max"] = stats.steps.max;
+  state.counters["steps_per_l"] = stats.steps.mean / levels;
+  state.counters["max_link_q"] = stats.max_link_queue.max;
+  state.counters["complete"] = stats.all_complete ? 1 : 0;
+
+  auto& table = bench::Report::instance().table(
+      relation_h <= 1
+          ? "E1 / Theorem 2.1: permutation routing on leveled networks"
+          : "E4 / Theorem 2.4: partial l-relation routing on leveled networks",
+      {"d", "l", "N=d^l", "h", "steps(mean)", "steps(max)", "steps/l",
+       "linkQ(max)", "ok"});
+  table.row()
+      .cell(std::uint64_t{radix})
+      .cell(std::uint64_t{levels})
+      .cell(std::uint64_t{bf.row_count()})
+      .cell(std::uint64_t{relation_h == 0 ? 1 : relation_h})
+      .cell(stats.steps.mean, 1)
+      .cell(stats.steps.max, 0)
+      .cell(stats.steps.mean / levels, 2)
+      .cell(stats.max_link_queue.max, 0)
+      .cell(std::string(stats.all_complete ? "yes" : "NO"));
+}
+
+void BM_LeveledPermutation(benchmark::State& state) {
+  run_leveled_case(state, static_cast<std::uint32_t>(state.range(0)),
+                   static_cast<std::uint32_t>(state.range(1)), 1);
+}
+
+void BM_LeveledRelation(benchmark::State& state) {
+  run_leveled_case(state, static_cast<std::uint32_t>(state.range(0)),
+                   static_cast<std::uint32_t>(state.range(1)),
+                   static_cast<std::uint32_t>(state.range(2)));
+}
+
+}  // namespace
+
+// Permutations: sweep levels for several radices (same-scale N where
+// possible). steps/l must stay flat as l grows — that is Theorem 2.1.
+BENCHMARK(BM_LeveledPermutation)
+    ->Args({2, 4})
+    ->Args({2, 6})
+    ->Args({2, 8})
+    ->Args({2, 10})
+    ->Args({2, 12})
+    ->Args({3, 4})
+    ->Args({3, 6})
+    ->Args({3, 8})
+    ->Args({4, 3})
+    ->Args({4, 5})
+    ->Args({4, 6})
+    ->Args({8, 4})
+    ->Iterations(2);
+
+// Partial l-relations with h up to l (Theorem 2.4's regime l = O(d) is the
+// d = 8 row; smaller radices are the stress beyond the theorem).
+BENCHMARK(BM_LeveledRelation)
+    ->Args({2, 8, 4})
+    ->Args({2, 8, 8})
+    ->Args({4, 5, 5})
+    ->Args({8, 4, 4})
+    ->Iterations(2);
+
+LEVNET_BENCH_MAIN()

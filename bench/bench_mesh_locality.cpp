@@ -1,0 +1,106 @@
+// E10 (Theorem 3.3): locality on the mesh — if every memory request
+// originates within Manhattan distance d of the memory's location, the
+// emulation step finishes in 6d + o(d), independent of n.
+//
+// The hypothesis is about where memory lives, so the experiment constructs
+// the local layout directly (request to a module within distance d, reply
+// back) and scales the stage-1 slice height with d rather than n. Total
+// time per PRAM step = request round + reply round, each 3 stages of at
+// most ~d links: the 6d budget.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/trials.hpp"
+#include "bench_common.hpp"
+#include "routing/driver.hpp"
+#include "routing/mesh_router.hpp"
+#include "sim/workload.hpp"
+#include "support/bits.hpp"
+#include "support/rng.hpp"
+#include "topology/mesh.hpp"
+
+namespace {
+
+using namespace levnet;
+
+constexpr std::uint32_t kSeeds = 3;
+
+/// One emulation step under the locality hypothesis: request to a module
+/// within distance d, then the reply retraces (an independent routing of
+/// the inverse demands). Returns total steps (request phase + reply phase).
+routing::RoutingOutcome locality_round(const topology::Mesh& mesh,
+                                       const routing::Router& router,
+                                       std::uint32_t d, std::uint64_t seed,
+                                       bool reply_phase) {
+  support::Rng rng(seed);
+  sim::Workload w = sim::local_mesh_workload(mesh.rows(), d, rng);
+  if (reply_phase) {
+    for (auto& demand : w) std::swap(demand.source, demand.destination);
+  }
+  sim::EngineConfig config;
+  config.discipline = sim::QueueDiscipline::kFurthestFirst;
+  return routing::run_workload(mesh.graph(), router, w, config, rng);
+}
+
+void BM_MeshLocality(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto d = static_cast<std::uint32_t>(state.range(1));
+  const topology::Mesh mesh(n, n);
+  // Slice height scaled to the locality radius: d / log2(d) (>= 1).
+  const std::uint32_t slice =
+      std::max(1U, d / std::max(1U, support::ceil_log2(d)));
+  const routing::MeshThreeStageRouter router(mesh, slice);
+
+  const analysis::TrialStats request_stats = analysis::run_trials(
+      [&](std::uint64_t s) {
+        return locality_round(mesh, router, d, s, false);
+      },
+      kSeeds);
+  const analysis::TrialStats reply_stats = analysis::run_trials(
+      [&](std::uint64_t s) {
+        return locality_round(mesh, router, d, s, true);
+      },
+      kSeeds);
+
+  for (auto _ : state) {
+    const auto outcome = locality_round(mesh, router, d, 77, false);
+    benchmark::DoNotOptimize(outcome.metrics.steps);
+  }
+  const double round_trip = request_stats.steps.mean + reply_stats.steps.mean;
+  const double round_trip_max =
+      request_stats.steps.max + reply_stats.steps.max;
+  state.counters["roundtrip_mean"] = round_trip;
+  state.counters["per_d"] = round_trip / d;
+
+  auto& table = bench::Report::instance().table(
+      "E10 / Theorem 3.3: local requests (distance <= d) finish in 6d + o(d)",
+      {"n", "d", "slice", "request(mean)", "reply(mean)", "roundtrip",
+       "roundtrip(max)", "per d", "bound 6d", "ok"});
+  table.row()
+      .cell(std::uint64_t{n})
+      .cell(std::uint64_t{d})
+      .cell(std::uint64_t{slice})
+      .cell(request_stats.steps.mean, 1)
+      .cell(reply_stats.steps.mean, 1)
+      .cell(round_trip, 1)
+      .cell(round_trip_max, 0)
+      .cell(round_trip / d, 2)
+      .cell(std::uint64_t{6 * d})
+      .cell(std::string(request_stats.all_complete && reply_stats.all_complete
+                            ? "yes"
+                            : "NO"));
+}
+
+}  // namespace
+
+// Fixed large n, growing d: cost must track d, not n.
+BENCHMARK(BM_MeshLocality)
+    ->Args({64, 4})
+    ->Args({64, 8})
+    ->Args({64, 16})
+    ->Args({64, 32})
+    ->Args({128, 8})
+    ->Args({128, 16})
+    ->Iterations(1);
+
+LEVNET_BENCH_MAIN()

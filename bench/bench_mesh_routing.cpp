@@ -1,0 +1,156 @@
+// E8 (Theorem 3.1, Section 3.2/3.4): routing on the n x n mesh.
+//
+// Claims measured:
+//  * the 3-stage slice-randomized algorithm with furthest-destination-first
+//    contention resolution routes permutations in 2n + o(n) steps with
+//    queues of size O(log n);
+//  * Valiant-Brebner two-phase [19] needs ~3n (its phase-1 detour is a full
+//    extra traversal);
+//  * greedy XY is fast on random permutations but collapses on bursty
+//    h-relations, which the slice randomization absorbs;
+//  * a constant node-buffer bound (the O(1)-queue variant) barely changes
+//    the finishing time.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/trials.hpp"
+#include "bench_common.hpp"
+#include "routing/driver.hpp"
+#include "routing/mesh_router.hpp"
+#include "sim/workload.hpp"
+#include "support/rng.hpp"
+#include "topology/mesh.hpp"
+
+namespace {
+
+using namespace levnet;
+
+constexpr std::uint32_t kSeeds = 3;
+
+enum class MeshAlgo { kThreeStage, kValiantBrebner, kGreedyXY };
+
+const char* algo_name(MeshAlgo algo) {
+  switch (algo) {
+    case MeshAlgo::kThreeStage:
+      return "3-stage";
+    case MeshAlgo::kValiantBrebner:
+      return "valiant-brebner";
+    case MeshAlgo::kGreedyXY:
+      return "greedy-xy";
+  }
+  return "?";
+}
+
+void mesh_case(benchmark::State& state, std::uint32_t n, MeshAlgo algo,
+               std::uint32_t relation_h, std::uint32_t buffer_bound) {
+  const topology::Mesh mesh(n, n);
+  const routing::MeshThreeStageRouter staged(mesh);
+  const routing::ValiantBrebnerMeshRouter valiant(mesh);
+  const routing::GreedyXYMeshRouter greedy(mesh);
+  const routing::Router& router =
+      algo == MeshAlgo::kThreeStage
+          ? static_cast<const routing::Router&>(staged)
+          : (algo == MeshAlgo::kValiantBrebner
+                 ? static_cast<const routing::Router&>(valiant)
+                 : static_cast<const routing::Router&>(greedy));
+  sim::EngineConfig config;
+  // The paper's discipline for its own algorithm; FIFO for baselines.
+  if (algo == MeshAlgo::kThreeStage) {
+    config.discipline = sim::QueueDiscipline::kFurthestFirst;
+  }
+  config.node_buffer_bound = buffer_bound;
+
+  const analysis::TrialStats stats = analysis::run_trials(
+      [&](std::uint64_t s) {
+        support::Rng rng(s);
+        const sim::Workload w =
+            relation_h <= 1
+                ? sim::permutation_workload(mesh.node_count(), rng)
+                : sim::h_relation_workload(mesh.node_count(), relation_h,
+                                           rng);
+        return routing::run_workload(mesh.graph(), router, w, config, rng);
+      },
+      kSeeds);
+
+  for (auto _ : state) {
+    support::Rng rng(55);
+    const sim::Workload w = sim::permutation_workload(mesh.node_count(), rng);
+    const auto outcome =
+        routing::run_workload(mesh.graph(), router, w, config, rng);
+    benchmark::DoNotOptimize(outcome.metrics.steps);
+  }
+  state.counters["steps_mean"] = stats.steps.mean;
+  state.counters["steps_per_n"] = stats.steps.mean / n;
+  state.counters["node_q_max"] = stats.max_node_queue.max;
+
+  auto& table = bench::Report::instance().table(
+      relation_h <= 1
+          ? (buffer_bound == 0
+                 ? "E8a / Theorem 3.1: mesh permutation routing"
+                 : "E8c / O(1)-queue variant: bounded node buffers")
+          : "E8b / bursty h-relations: slice randomization vs greedy",
+      {"n", "algo", "h", "buf", "steps(mean)", "steps(max)", "steps/n",
+       "nodeQ(max)", "ok"});
+  table.row()
+      .cell(std::uint64_t{n})
+      .cell(std::string(algo_name(algo)))
+      .cell(std::uint64_t{relation_h == 0 ? 1 : relation_h})
+      .cell(std::uint64_t{buffer_bound})
+      .cell(stats.steps.mean, 1)
+      .cell(stats.steps.max, 0)
+      .cell(stats.steps.mean / n, 2)
+      .cell(stats.max_node_queue.max, 0)
+      .cell(std::string(stats.all_complete ? "yes" : "NO"));
+}
+
+void BM_MeshThreeStage(benchmark::State& state) {
+  mesh_case(state, static_cast<std::uint32_t>(state.range(0)),
+            MeshAlgo::kThreeStage, 1, 0);
+}
+
+void BM_MeshValiantBrebner(benchmark::State& state) {
+  mesh_case(state, static_cast<std::uint32_t>(state.range(0)),
+            MeshAlgo::kValiantBrebner, 1, 0);
+}
+
+void BM_MeshGreedyXY(benchmark::State& state) {
+  mesh_case(state, static_cast<std::uint32_t>(state.range(0)),
+            MeshAlgo::kGreedyXY, 1, 0);
+}
+
+void BM_MeshRelationStaged(benchmark::State& state) {
+  mesh_case(state, static_cast<std::uint32_t>(state.range(0)),
+            MeshAlgo::kThreeStage, 8, 0);
+}
+
+void BM_MeshRelationGreedy(benchmark::State& state) {
+  mesh_case(state, static_cast<std::uint32_t>(state.range(0)),
+            MeshAlgo::kGreedyXY, 8, 0);
+}
+
+void BM_MeshBoundedBuffers(benchmark::State& state) {
+  mesh_case(state, static_cast<std::uint32_t>(state.range(0)),
+            MeshAlgo::kThreeStage, 1,
+            static_cast<std::uint32_t>(state.range(1)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_MeshThreeStage)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Iterations(1);
+BENCHMARK(BM_MeshValiantBrebner)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Iterations(1);
+BENCHMARK(BM_MeshGreedyXY)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Iterations(1);
+BENCHMARK(BM_MeshRelationStaged)->Arg(32)->Arg(64)->Iterations(1);
+BENCHMARK(BM_MeshRelationGreedy)->Arg(32)->Arg(64)->Iterations(1);
+BENCHMARK(BM_MeshBoundedBuffers)
+    ->Args({32, 4})
+    ->Args({32, 8})
+    ->Args({64, 4})
+    ->Args({64, 8})
+    ->Iterations(1);
+
+LEVNET_BENCH_MAIN()

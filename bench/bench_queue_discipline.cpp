@@ -1,0 +1,162 @@
+// E13 / ablations: the design choices DESIGN.md calls out.
+//
+//  * queue discipline on the mesh 3-stage algorithm: the paper prescribes
+//    furthest-destination-first; compare FIFO and nearest-first;
+//  * stage-1 slice height epsilon*n: the paper picks epsilon = 1/log n;
+//    sweep the height and watch stage-1 overhead vs randomization benefit;
+//  * hash polynomial degree S = cL: Lemma 2.2 wants S ~ cL; degree 1-2
+//    (weaker universality) vs S = L on emulation cost.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/trials.hpp"
+#include "bench_common.hpp"
+#include "emulation/emulator.hpp"
+#include "emulation/fabric.hpp"
+#include "pram/algorithms/access_patterns.hpp"
+#include "routing/driver.hpp"
+#include "routing/mesh_router.hpp"
+#include "routing/star_router.hpp"
+#include "sim/workload.hpp"
+#include "support/rng.hpp"
+#include "topology/mesh.hpp"
+#include "topology/star.hpp"
+
+namespace {
+
+using namespace levnet;
+
+constexpr std::uint32_t kSeeds = 3;
+
+const char* discipline_name(sim::QueueDiscipline d) {
+  switch (d) {
+    case sim::QueueDiscipline::kFifo:
+      return "fifo";
+    case sim::QueueDiscipline::kFurthestFirst:
+      return "furthest-first";
+    case sim::QueueDiscipline::kNearestFirst:
+      return "nearest-first";
+  }
+  return "?";
+}
+
+void BM_DisciplineAblation(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto discipline =
+      static_cast<sim::QueueDiscipline>(state.range(1));
+  const topology::Mesh mesh(n, n);
+  const routing::MeshThreeStageRouter router(mesh);
+  sim::EngineConfig config;
+  config.discipline = discipline;
+
+  const analysis::TrialStats stats = analysis::run_trials(
+      [&](std::uint64_t s) {
+        support::Rng rng(s);
+        const sim::Workload w =
+            sim::permutation_workload(mesh.node_count(), rng);
+        return routing::run_workload(mesh.graph(), router, w, config, rng);
+      },
+      kSeeds);
+  for (auto _ : state) benchmark::DoNotOptimize(stats.steps.mean);
+  state.counters["steps_mean"] = stats.steps.mean;
+
+  auto& table = bench::Report::instance().table(
+      "E13a / ablation: queue discipline on the mesh 3-stage router",
+      {"n", "discipline", "steps(mean)", "steps(max)", "steps/n",
+       "nodeQ(max)"});
+  table.row()
+      .cell(std::uint64_t{n})
+      .cell(std::string(discipline_name(discipline)))
+      .cell(stats.steps.mean, 1)
+      .cell(stats.steps.max, 0)
+      .cell(stats.steps.mean / n, 2)
+      .cell(stats.max_node_queue.max, 0);
+}
+
+void BM_SliceHeightAblation(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto slice = static_cast<std::uint32_t>(state.range(1));
+  const topology::Mesh mesh(n, n);
+  const routing::MeshThreeStageRouter router(mesh, slice);
+  sim::EngineConfig config;
+  config.discipline = sim::QueueDiscipline::kFurthestFirst;
+
+  const analysis::TrialStats stats = analysis::run_trials(
+      [&](std::uint64_t s) {
+        support::Rng rng(s);
+        // Bursty relation: where stage-1 randomization earns its keep.
+        const sim::Workload w =
+            sim::h_relation_workload(mesh.node_count(), 4, rng);
+        return routing::run_workload(mesh.graph(), router, w, config, rng);
+      },
+      kSeeds);
+  for (auto _ : state) benchmark::DoNotOptimize(stats.steps.mean);
+  state.counters["steps_mean"] = stats.steps.mean;
+
+  auto& table = bench::Report::instance().table(
+      "E13b / ablation: stage-1 slice height (paper: n/log n) on 4-relations",
+      {"n", "slice rows", "steps(mean)", "steps(max)", "nodeQ(max)"});
+  table.row()
+      .cell(std::uint64_t{n})
+      .cell(std::uint64_t{slice})
+      .cell(stats.steps.mean, 1)
+      .cell(stats.steps.max, 0)
+      .cell(stats.max_node_queue.max, 0);
+}
+
+void BM_HashDegreeAblation(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto degree = static_cast<std::uint32_t>(state.range(1));
+  const topology::StarGraph star(n);
+  const routing::StarTwoPhaseRouter router(star);
+  const emulation::EmulationFabric fabric(star.graph(), router,
+                                          star.diameter(), star.name());
+  emulation::EmulatorConfig config;
+  config.hash_degree = degree;
+  emulation::EmulationReport report;
+  for (auto _ : state) {
+    pram::PermutationTraffic program(star.node_count(), 4, 41);
+    emulation::NetworkEmulator emulator(fabric, config);
+    pram::SharedMemory memory;
+    report = emulator.run(program, memory);
+    benchmark::DoNotOptimize(report.network_steps);
+  }
+  state.counters["steps_per_pram_step"] = report.mean_step_network;
+
+  auto& table = bench::Report::instance().table(
+      "E13c / ablation: hash polynomial degree S (Lemma 2.2 wants S = cL)",
+      {"star n", "degree S", "steps/pram-step", "worst step", "linkQ"});
+  table.row()
+      .cell(std::uint64_t{n})
+      .cell(std::uint64_t{degree})
+      .cell(report.mean_step_network, 1)
+      .cell(std::uint64_t{report.max_step_network})
+      .cell(std::uint64_t{report.max_link_queue});
+}
+
+}  // namespace
+
+BENCHMARK(BM_DisciplineAblation)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Iterations(1);
+BENCHMARK(BM_SliceHeightAblation)
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Args({64, 10})  // ~n/log n
+    ->Args({64, 16})
+    ->Args({64, 64})  // no randomization benefit: whole mesh is one slice
+    ->Iterations(1);
+BENCHMARK(BM_HashDegreeAblation)
+    ->Args({6, 1})
+    ->Args({6, 2})
+    ->Args({6, 4})
+    ->Args({6, 7})   // S = diameter
+    ->Args({6, 14})  // S = 2L
+    ->Iterations(1);
+
+LEVNET_BENCH_MAIN()

@@ -1,0 +1,107 @@
+// E3 (Theorem 2.3, Section 2.3.5) + E4 (Corollary 2.2): routing on the
+// n-way shuffle (N = n^n nodes, diameter n).
+//
+// Claim: Algorithm 2.3 routes any permutation in O~(n) — optimal, improving
+// Valiant's general d-way shuffle bound of Theta(n log n / log log n) —
+// and partial n-relations too.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/trials.hpp"
+#include "bench_common.hpp"
+#include "routing/driver.hpp"
+#include "routing/shuffle_router.hpp"
+#include "sim/workload.hpp"
+#include "support/rng.hpp"
+#include "topology/shuffle.hpp"
+
+namespace {
+
+using namespace levnet;
+
+constexpr std::uint32_t kSeeds = 5;
+
+void shuffle_case(benchmark::State& state, std::uint32_t d, std::uint32_t n,
+                  bool randomized, std::uint32_t relation_h) {
+  const topology::DWayShuffle net(d, n);
+  const routing::ShuffleTwoPhaseRouter two_phase(net);
+  const routing::ShuffleUniquePathRouter unique_path(net);
+  const routing::Router& router =
+      randomized ? static_cast<const routing::Router&>(two_phase)
+                 : static_cast<const routing::Router&>(unique_path);
+
+  const analysis::TrialStats stats = analysis::run_trials(
+      [&](std::uint64_t s) {
+        support::Rng rng(s);
+        const sim::Workload w =
+            relation_h <= 1
+                ? sim::permutation_workload(net.node_count(), rng)
+                : sim::h_relation_workload(net.node_count(), relation_h, rng);
+        return routing::run_workload(net.graph(), router, w, {}, rng);
+      },
+      kSeeds);
+
+  for (auto _ : state) {
+    support::Rng rng(7);
+    const sim::Workload w = sim::permutation_workload(net.node_count(), rng);
+    const auto outcome = routing::run_workload(net.graph(), router, w, {}, rng);
+    benchmark::DoNotOptimize(outcome.metrics.steps);
+  }
+  state.counters["steps_mean"] = stats.steps.mean;
+  state.counters["steps_per_n"] = stats.steps.mean / n;
+  state.counters["max_link_q"] = stats.max_link_queue.max;
+
+  auto& table = bench::Report::instance().table(
+      relation_h <= 1
+          ? "E3 / Theorem 2.3: permutation routing on the d-way shuffle"
+          : "E4 / Corollary 2.2: partial n-relation routing on the shuffle",
+      {"d", "n", "N=d^n", "router", "h", "steps(mean)", "steps(max)",
+       "steps/n", "linkQ(max)", "ok"});
+  table.row()
+      .cell(std::uint64_t{d})
+      .cell(std::uint64_t{n})
+      .cell(std::uint64_t{net.node_count()})
+      .cell(std::string(randomized ? "two-phase" : "unique-path"))
+      .cell(std::uint64_t{relation_h == 0 ? 1 : relation_h})
+      .cell(stats.steps.mean, 1)
+      .cell(stats.steps.max, 0)
+      .cell(stats.steps.mean / n, 2)
+      .cell(stats.max_link_queue.max, 0)
+      .cell(std::string(stats.all_complete ? "yes" : "NO"));
+}
+
+void BM_ShufflePermutationTwoPhase(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  shuffle_case(state, n, n, true, 1);  // the paper's n-way shuffle
+}
+
+void BM_ShufflePermutationUniquePath(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  shuffle_case(state, n, n, false, 1);
+}
+
+void BM_ShuffleFixedRadixSweep(benchmark::State& state) {
+  // d fixed, n grows: the general d-way shuffle regime Valiant analyzed.
+  shuffle_case(state, static_cast<std::uint32_t>(state.range(0)),
+               static_cast<std::uint32_t>(state.range(1)), true, 1);
+}
+
+void BM_ShuffleNRelation(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  shuffle_case(state, n, n, true, n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ShufflePermutationTwoPhase)->DenseRange(2, 5)->Iterations(2);
+BENCHMARK(BM_ShufflePermutationUniquePath)->DenseRange(2, 5)->Iterations(2);
+BENCHMARK(BM_ShuffleFixedRadixSweep)
+    ->Args({2, 6})
+    ->Args({2, 10})
+    ->Args({2, 14})
+    ->Args({4, 4})
+    ->Args({4, 6})
+    ->Iterations(2);
+BENCHMARK(BM_ShuffleNRelation)->DenseRange(2, 4)->Iterations(2);
+
+LEVNET_BENCH_MAIN()

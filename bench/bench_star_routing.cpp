@@ -1,0 +1,96 @@
+// E2 (Theorem 2.2, Section 2.3.3) + E4 (Corollary 2.1): routing on the
+// n-star graph.
+//
+// Claim: randomized two-phase permutation routing (Algorithm 2.2) finishes
+// in O~(n) steps — sub-logarithmic in the network size N = n! — and partial
+// n-relations do too. The deterministic greedy router is the oblivious
+// baseline.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/trials.hpp"
+#include "bench_common.hpp"
+#include "routing/driver.hpp"
+#include "routing/star_router.hpp"
+#include "sim/workload.hpp"
+#include "support/rng.hpp"
+#include "topology/star.hpp"
+
+namespace {
+
+using namespace levnet;
+
+constexpr std::uint32_t kSeeds = 5;
+
+void star_case(benchmark::State& state, std::uint32_t n, bool randomized,
+               std::uint32_t relation_h) {
+  const topology::StarGraph star(n);
+  const routing::StarTwoPhaseRouter two_phase(star);
+  const routing::StarGreedyRouter greedy(star);
+  const routing::Router& router =
+      randomized ? static_cast<const routing::Router&>(two_phase)
+                 : static_cast<const routing::Router&>(greedy);
+
+  const analysis::TrialStats stats = analysis::run_trials(
+      [&](std::uint64_t s) {
+        support::Rng rng(s);
+        const sim::Workload w =
+            relation_h <= 1
+                ? sim::permutation_workload(star.node_count(), rng)
+                : sim::h_relation_workload(star.node_count(), relation_h, rng);
+        return routing::run_workload(star.graph(), router, w, {}, rng);
+      },
+      kSeeds);
+
+  for (auto _ : state) {
+    support::Rng rng(99);
+    const sim::Workload w = sim::permutation_workload(star.node_count(), rng);
+    const auto outcome =
+        routing::run_workload(star.graph(), router, w, {}, rng);
+    benchmark::DoNotOptimize(outcome.metrics.steps);
+  }
+  state.counters["steps_mean"] = stats.steps.mean;
+  state.counters["steps_per_n"] = stats.steps.mean / n;
+  state.counters["max_link_q"] = stats.max_link_queue.max;
+
+  auto& table = bench::Report::instance().table(
+      relation_h <= 1
+          ? "E2 / Theorem 2.2: permutation routing on the n-star graph"
+          : "E4 / Corollary 2.1: partial n-relation routing on the n-star",
+      {"n", "N=n!", "diam", "router", "h", "steps(mean)", "steps(max)",
+       "steps/n", "steps/diam", "linkQ(max)", "ok"});
+  table.row()
+      .cell(std::uint64_t{n})
+      .cell(std::uint64_t{star.node_count()})
+      .cell(std::uint64_t{star.diameter()})
+      .cell(std::string(randomized ? "two-phase" : "greedy"))
+      .cell(std::uint64_t{relation_h == 0 ? 1 : relation_h})
+      .cell(stats.steps.mean, 1)
+      .cell(stats.steps.max, 0)
+      .cell(stats.steps.mean / n, 2)
+      .cell(stats.steps.mean / star.diameter(), 2)
+      .cell(stats.max_link_queue.max, 0)
+      .cell(std::string(stats.all_complete ? "yes" : "NO"));
+}
+
+void BM_StarPermutationTwoPhase(benchmark::State& state) {
+  star_case(state, static_cast<std::uint32_t>(state.range(0)), true, 1);
+}
+
+void BM_StarPermutationGreedy(benchmark::State& state) {
+  star_case(state, static_cast<std::uint32_t>(state.range(0)), false, 1);
+}
+
+void BM_StarNRelation(benchmark::State& state) {
+  star_case(state, static_cast<std::uint32_t>(state.range(0)), true,
+            static_cast<std::uint32_t>(state.range(0)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_StarPermutationTwoPhase)->DenseRange(4, 8)->Iterations(2);
+BENCHMARK(BM_StarPermutationGreedy)->DenseRange(4, 8)->Iterations(2);
+// Corollary 2.1: h = n relations.
+BENCHMARK(BM_StarNRelation)->DenseRange(4, 7)->Iterations(2);
+
+LEVNET_BENCH_MAIN()

@@ -1,0 +1,85 @@
+// E12 (Section 2.3.4, Akers-Harel-Krishnamurthy [2]): the star graph versus
+// the hypercube — degree and diameter grow strictly slower in the network
+// size, which is why sub-logarithmic emulation is possible there at all.
+//
+// Rows compare, at matched network sizes, degree, diameter, and
+// diameter / log2(N) (sub-logarithmic means the last column falls).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "topology/checks.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/star.hpp"
+
+namespace {
+
+using namespace levnet;
+
+void BM_StarMetrics(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const topology::StarGraph star(n);
+  // Verify the closed-form diameter on sizes where all-pairs BFS is cheap.
+  std::uint32_t measured = star.diameter();
+  if (star.node_count() <= 720) {
+    measured = topology::exact_diameter(star.graph());
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(measured);
+  const double log_size = std::log2(static_cast<double>(star.node_count()));
+  state.counters["diam_over_logN"] = star.diameter() / log_size;
+
+  auto& table = bench::Report::instance().table(
+      "E12 / Section 2.3.4: star graph vs hypercube scaling",
+      {"network", "nodes", "degree", "diameter", "diam(measured)",
+       "log2 N", "diam/log2N"});
+  table.row()
+      .cell(star.name())
+      .cell(std::uint64_t{star.node_count()})
+      .cell(std::uint64_t{star.degree()})
+      .cell(std::uint64_t{star.diameter()})
+      .cell(std::uint64_t{measured})
+      .cell(log_size, 1)
+      .cell(star.diameter() / log_size, 3);
+}
+
+void BM_HypercubeMetrics(benchmark::State& state) {
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  const topology::Hypercube cube(dim);
+  std::uint32_t measured = cube.diameter();
+  if (cube.node_count() <= 1024) {
+    measured = topology::exact_diameter(cube.graph());
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(measured);
+  const double log_size = std::log2(static_cast<double>(cube.node_count()));
+  state.counters["diam_over_logN"] = cube.diameter() / log_size;
+
+  auto& table = bench::Report::instance().table(
+      "E12 / Section 2.3.4: star graph vs hypercube scaling",
+      {"network", "nodes", "degree", "diameter", "diam(measured)",
+       "log2 N", "diam/log2N"});
+  table.row()
+      .cell(cube.name())
+      .cell(std::uint64_t{cube.node_count()})
+      .cell(std::uint64_t{cube.degree()})
+      .cell(std::uint64_t{cube.diameter()})
+      .cell(std::uint64_t{measured})
+      .cell(log_size, 1)
+      .cell(cube.diameter() / log_size, 3);
+}
+
+}  // namespace
+
+BENCHMARK(BM_StarMetrics)->DenseRange(3, 9)->Iterations(1);
+BENCHMARK(BM_HypercubeMetrics)
+    ->Arg(3)
+    ->Arg(5)
+    ->Arg(7)
+    ->Arg(9)
+    ->Arg(12)
+    ->Arg(15)
+    ->Arg(18)
+    ->Iterations(1);
+
+LEVNET_BENCH_MAIN()

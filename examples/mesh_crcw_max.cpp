@@ -1,0 +1,84 @@
+// Scenario: CRCW on a practical machine. Mesh-connected computers were the
+// hardware of the day (ILLIAC IV, MPP, Blitzen — Section 3's motivation);
+// this example runs the O(1)-step CRCW maximum (n^2 processors) and the
+// CRCW logical-OR on an emulated mesh PRAM, with and without message
+// combining, showing why Theorem 2.6 needs combining: the concurrent
+// accesses of CRCW programs otherwise serialize at memory modules.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "emulation/emulator.hpp"
+#include "emulation/fabric.hpp"
+#include "pram/algorithms/max_find.hpp"
+#include "pram/memory.hpp"
+#include "routing/mesh_router.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "topology/mesh.hpp"
+
+int main() {
+  using namespace levnet;
+
+  const std::uint32_t mesh_n = 12;  // 144 processors >= 12^2 for ConstantMax
+  const topology::Mesh mesh(mesh_n, mesh_n);
+  const routing::MeshThreeStageRouter router(mesh);
+  const emulation::EmulationFabric fabric(mesh.graph(), router,
+                                          mesh.diameter(), mesh.name());
+
+  support::Rng rng(2024);
+  std::vector<pram::Word> values(12);
+  for (auto& v : values) v = static_cast<pram::Word>(rng.below(10000));
+
+  support::Table table({"program", "combining", "PRAM steps",
+                        "net steps/step", "worst step", "combined reqs",
+                        "valid"});
+
+  for (const bool combining : {false, true}) {
+    emulation::EmulatorConfig config;
+    config.combining = combining;
+    config.discipline = sim::QueueDiscipline::kFurthestFirst;
+
+    {
+      pram::ConstantMaxCrcw program(values);
+      emulation::NetworkEmulator emulator(fabric, config);
+      pram::SharedMemory memory;
+      const auto report = emulator.run(program, memory);
+      table.row()
+          .cell(std::string("max (5-step CRCW)"))
+          .cell(std::string(combining ? "yes" : "no"))
+          .cell(std::uint64_t{report.pram_steps})
+          .cell(report.mean_step_network, 1)
+          .cell(std::uint64_t{report.max_step_network})
+          .cell(report.combined_requests)
+          .cell(std::string(program.validate(memory) ? "yes" : "NO"));
+    }
+    {
+      std::vector<pram::Word> bits(fabric.processors());
+      for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = i == 37 ? 1 : 0;
+      pram::LogicalOrCrcw program(bits);
+      emulation::NetworkEmulator emulator(fabric, config);
+      pram::SharedMemory memory;
+      const auto report = emulator.run(program, memory);
+      table.row()
+          .cell(std::string("logical OR (2-step CRCW)"))
+          .cell(std::string(combining ? "yes" : "no"))
+          .cell(std::uint64_t{report.pram_steps})
+          .cell(report.mean_step_network, 1)
+          .cell(std::uint64_t{report.max_step_network})
+          .cell(report.combined_requests)
+          .cell(std::string(program.validate(memory) ? "yes" : "NO"));
+    }
+  }
+
+  std::printf(
+      "CRCW algorithms on an emulated %ux%u mesh PRAM (Theorem 3.2 + the\n"
+      "message-combining trick of Theorem 2.6). The constant-time CRCW\n"
+      "programs read/write few cells from many processors at once —\n"
+      "combining keeps the per-step network cost near the permutation-\n"
+      "traffic cost instead of serializing at the hot module.\n\n",
+      mesh_n, mesh_n);
+  table.print(std::cout);
+  return 0;
+}

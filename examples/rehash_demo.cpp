@@ -1,0 +1,65 @@
+// Demonstrates the rehashing escape hatch of Section 2.1: if a PRAM step
+// exceeds its time budget (an unlucky hash function concentrated too many
+// live addresses on one module), the designated processor draws a new hash
+// function and the step re-runs. "Although rehashing is very expensive,
+// rehashings hardly happen" — we show both halves: with a sane budget there
+// are zero rehashes; with an adversarially tight budget the machinery kicks
+// in, the exponential budget backoff terminates, and the result is still
+// bit-identical to the ideal PRAM.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "emulation/emulator.hpp"
+#include "emulation/fabric.hpp"
+#include "pram/algorithms/access_patterns.hpp"
+#include "pram/memory.hpp"
+#include "pram/reference.hpp"
+#include "routing/star_router.hpp"
+#include "support/table.hpp"
+#include "topology/star.hpp"
+
+int main() {
+  using namespace levnet;
+
+  const topology::StarGraph star(5);
+  const routing::StarTwoPhaseRouter router(star);
+  const emulation::EmulationFabric fabric(star.graph(), router,
+                                          star.diameter(), star.name());
+
+  support::Table table({"budget (x diameter)", "rehashes", "PRAM steps",
+                        "net steps/step", "memory matches ideal"});
+
+  pram::SharedMemory ideal;
+  {
+    pram::PermutationTraffic program(star.node_count(), 6, 99);
+    pram::ReferencePram::for_program(program).run(program, ideal);
+  }
+
+  for (const std::uint32_t budget_factor : {0U, 12U, 1U}) {
+    pram::PermutationTraffic program(star.node_count(), 6, 99);
+    emulation::EmulatorConfig config;
+    config.step_budget_factor = budget_factor;  // 0 = no budget
+    config.max_rehash_attempts = 32;
+    emulation::NetworkEmulator emulator(fabric, config);
+    pram::SharedMemory memory;
+    const auto report = emulator.run(program, memory);
+    table.row()
+        .cell(budget_factor == 0 ? std::string("none")
+                                 : std::to_string(budget_factor))
+        .cell(std::uint64_t{report.rehashes})
+        .cell(std::uint64_t{report.pram_steps})
+        .cell(report.mean_step_network, 1)
+        .cell(std::string(memory == ideal ? "yes" : "NO"));
+  }
+
+  std::printf(
+      "Rehashing on %s (diameter %u): a generous budget never triggers\n"
+      "it; a budget of 1x the diameter is below the cost of any two-phase\n"
+      "round trip, so every step rehashes at least once and relies on the\n"
+      "budget backoff — and the final memory is identical either way.\n\n",
+      fabric.name().c_str(), star.diameter());
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "analysis/trials.hpp"
+
+namespace levnet::analysis {
+
+TrialStats run_trials(
+    const std::function<routing::RoutingOutcome(std::uint64_t seed)>& trial,
+    std::uint32_t seeds, std::uint64_t first_seed) {
+  std::vector<double> steps;
+  std::vector<double> link_queue;
+  std::vector<double> node_queue;
+  std::vector<double> delay;
+  TrialStats stats;
+  for (std::uint32_t s = 0; s < seeds; ++s) {
+    const routing::RoutingOutcome outcome = trial(first_seed + s);
+    stats.all_complete = stats.all_complete && outcome.complete;
+    steps.push_back(static_cast<double>(outcome.metrics.steps));
+    link_queue.push_back(static_cast<double>(outcome.metrics.max_link_queue));
+    node_queue.push_back(static_cast<double>(outcome.metrics.max_node_queue));
+    const double consumed =
+        outcome.metrics.consumed == 0
+            ? 1.0
+            : static_cast<double>(outcome.metrics.consumed);
+    delay.push_back(static_cast<double>(outcome.metrics.total_delay) /
+                    consumed);
+    ++stats.runs;
+  }
+  stats.steps = support::summarize(steps);
+  stats.max_link_queue = support::summarize(link_queue);
+  stats.max_node_queue = support::summarize(node_queue);
+  stats.mean_delay = support::summarize(delay);
+  return stats;
+}
+
+ScalingPoint make_point(std::uint64_t scale, const TrialStats& stats) {
+  ScalingPoint point;
+  point.scale = scale;
+  point.steps_mean = stats.steps.mean;
+  point.steps_max = stats.steps.max;
+  const auto denom = static_cast<double>(scale);
+  point.per_scale_mean = stats.steps.mean / denom;
+  point.per_scale_max = stats.steps.max / denom;
+  point.max_link_queue = stats.max_link_queue.max;
+  point.max_node_queue = stats.max_node_queue.max;
+  return point;
+}
+
+support::LinearFit fit_scaling(const std::vector<ScalingPoint>& points) {
+  std::vector<double> x;
+  std::vector<double> y;
+  x.reserve(points.size());
+  y.reserve(points.size());
+  for (const ScalingPoint& p : points) {
+    x.push_back(static_cast<double>(p.scale));
+    y.push_back(p.steps_mean);
+  }
+  return support::fit_line(x, y);
+}
+
+}  // namespace levnet::analysis

@@ -1,0 +1,54 @@
+#pragma once
+// Multi-seed trial harness: the paper's O~ bounds are "with high
+// probability" statements, so every experiment runs R independent seeds and
+// reports the max/mean over seeds. Benches and property tests share this
+// harness so EXPERIMENTS.md rows and CI assertions come from the same code.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "routing/driver.hpp"
+#include "support/stats.hpp"
+
+namespace levnet::analysis {
+
+/// Aggregated outcome of repeating one routing experiment over seeds.
+struct TrialStats {
+  support::Summary steps;           // engine routing time
+  support::Summary max_link_queue;  // paper's "queue size"
+  support::Summary max_node_queue;
+  support::Summary mean_delay;      // avg per-packet queueing delay
+  bool all_complete = true;         // every run delivered everything
+  std::size_t runs = 0;
+};
+
+/// Runs `trial(seed)` for `seeds` consecutive seeds starting at
+/// `first_seed` and aggregates.
+[[nodiscard]] TrialStats run_trials(
+    const std::function<routing::RoutingOutcome(std::uint64_t seed)>& trial,
+    std::uint32_t seeds, std::uint64_t first_seed = 1);
+
+/// Normalized cost rows: x = problem scale (n, l, d...), y = steps / x.
+/// The theorems predict y is bounded by a constant; `fit_line` over the raw
+/// points recovers the constant.
+struct ScalingPoint {
+  std::uint64_t scale = 0;
+  double steps_mean = 0.0;
+  double steps_max = 0.0;
+  double per_scale_mean = 0.0;  // steps_mean / scale
+  double per_scale_max = 0.0;
+  double max_link_queue = 0.0;
+  double max_node_queue = 0.0;
+};
+
+[[nodiscard]] ScalingPoint make_point(std::uint64_t scale,
+                                      const TrialStats& stats);
+
+/// Least-squares slope of mean steps vs scale over a sweep — the measured
+/// constant in "steps <= a * scale + o(scale)".
+[[nodiscard]] support::LinearFit fit_scaling(
+    const std::vector<ScalingPoint>& points);
+
+}  // namespace levnet::analysis

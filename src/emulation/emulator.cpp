@@ -1,0 +1,331 @@
+#include "emulation/emulator.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace levnet::emulation {
+
+using pram::Addr;
+using pram::MemOp;
+using pram::OpKind;
+using pram::ProcId;
+using pram::Word;
+using sim::Packet;
+using sim::PacketKind;
+
+namespace {
+constexpr std::uint32_t kMaxPramSteps = 1U << 24;
+}  // namespace
+
+NetworkEmulator::NetworkEmulator(const EmulationFabric& fabric,
+                                 EmulatorConfig config)
+    : fabric_(fabric), config_(config), rng_(config.seed) {}
+
+NetworkEmulator::~NetworkEmulator() = default;
+
+EmulationReport NetworkEmulator::run(pram::PramProgram& program,
+                                     pram::SharedMemory& memory) {
+  policy_ = program.write_policy();
+  program.init_memory(memory);
+  memory_ = &memory;
+
+  const ProcId procs = program.processor_count();
+  LEVNET_CHECK_MSG(procs <= fabric_.processors(),
+                   "program needs more processors than the network has");
+  pending_value_.assign(procs, 0);
+  pending_read_.assign(procs, 0);
+  read_served_.assign(procs, 0);
+
+  const std::uint32_t degree = config_.hash_degree != 0
+                                   ? config_.hash_degree
+                                   : fabric_.route_scale();
+  const std::uint64_t address_space =
+      std::max<std::uint64_t>(program.address_space(), 1);
+  hash_ = std::make_unique<hashing::PolynomialHash>(
+      hashing::PolynomialHash::sample(degree, address_space, fabric_.modules(),
+                                      rng_));
+
+  sim::EngineConfig engine_config;
+  engine_config.discipline = config_.discipline;
+  engine_config.node_buffer_bound = config_.node_buffer_bound;
+  const std::uint32_t base_budget =
+      config_.step_budget_factor != 0
+          ? config_.step_budget_factor * fabric_.route_scale()
+          : 0;
+  engine_config.max_steps = base_budget;
+  engine_ = std::make_unique<sim::SyncEngine>(fabric_.graph(), *this,
+                                              engine_config);
+
+  EmulationReport report;
+  std::vector<MemOp> ops(procs);
+  std::uint64_t local_this_step = 0;
+  std::uint64_t requests_this_step = 0;
+  std::uint64_t replies_this_step = 0;
+
+  for (std::uint32_t step = 0; !program.finished(step); ++step) {
+    LEVNET_CHECK_MSG(step < kMaxPramSteps, "PRAM program did not terminate");
+    for (ProcId p = 0; p < procs; ++p) ops[p] = program.issue(p, step);
+
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      LEVNET_CHECK_MSG(attempt <= config_.max_rehash_attempts,
+                       "rehash budget exhausted; raise step_budget_factor");
+      // Exponential backoff on the step budget: a freshly drawn hash plus a
+      // doubled budget guarantees termination even if the configured budget
+      // was below the feasible cost of the step.
+      if (base_budget != 0) {
+        const std::uint32_t shift = std::min(attempt, 16U);
+        engine_->set_max_steps(base_budget << shift);
+      }
+      engine_->reset();
+      claims_.clear();
+      trails_.clear();
+      std::fill(pending_read_.begin(), pending_read_.end(), std::uint8_t{0});
+      std::fill(read_served_.begin(), read_served_.end(), std::uint8_t{0});
+      combined_this_step_ = 0;
+      local_this_step = 0;
+      requests_this_step = 0;
+      replies_this_step = 0;
+
+      for (ProcId p = 0; p < procs; ++p) {
+        const MemOp& op = ops[p];
+        if (op.kind == OpKind::kNone) continue;
+        const auto module =
+            static_cast<std::uint32_t>((*hash_)(op.addr));
+        const NodeId module_node = fabric_.module_node(module);
+        const NodeId proc_node = fabric_.proc_node(p);
+        if (op.kind == OpKind::kRead) pending_read_[p] = 1;
+
+        if (module_node == proc_node) {
+          // The processor owns this module: unit-time local access, no
+          // network traffic (reads still observe the pre-step state).
+          ++local_this_step;
+          if (op.kind == OpKind::kRead) {
+            pending_value_[p] = memory.read(op.addr);
+            read_served_[p] = 1;
+          } else {
+            merge_claim(op.addr, {p, op.value});
+          }
+          continue;
+        }
+
+        Packet packet;
+        packet.kind = PacketKind::kRequest;
+        packet.op = op.kind == OpKind::kRead ? sim::MemOpKind::kRead
+                                             : sim::MemOpKind::kWrite;
+        packet.addr = op.addr;
+        packet.value = op.value;
+        packet.proc = p;
+        packet.src = proc_node;
+        packet.dst = module_node;
+        fabric_.router().prepare(packet, rng_);
+        ++requests_this_step;
+        engine_->inject(std::move(packet), proc_node, rng_);
+      }
+
+      // Count replies generated during the run via the handler.
+      replies_counter_ = &replies_this_step;
+      const bool drained = engine_->run(rng_);
+      replies_counter_ = nullptr;
+      if (drained) break;
+      const sim::RunMetrics& metrics = engine_->metrics();
+      LEVNET_CHECK_MSG(!metrics.deadlocked,
+                       "bounded-buffer deadlock during emulation");
+      // Over budget: choose a new hash function and re-run the step
+      // (Section 2.1's rehashing rule). Memory is untouched mid-step, so
+      // the retry is exact.
+      ++report.rehashes;
+      hash_ = std::make_unique<hashing::PolynomialHash>(
+          hashing::PolynomialHash::sample(degree, address_space,
+                                          fabric_.modules(), rng_));
+    }
+
+    // Step epilogue: every read must have been answered, writes land under
+    // the machine policy, results are delivered.
+    for (ProcId p = 0; p < procs; ++p) {
+      if (pending_read_[p] != 0) {
+        LEVNET_CHECK_MSG(read_served_[p] != 0,
+                         "a read request was never answered");
+      }
+    }
+    for (const auto& [addr, claim] : claims_) memory.write(addr, claim.value);
+    for (ProcId p = 0; p < procs; ++p) {
+      if (pending_read_[p] != 0) {
+        program.receive(p, step, pending_value_[p]);
+      }
+    }
+
+    const sim::RunMetrics& metrics = engine_->metrics();
+    report.pram_steps = step + 1;
+    report.network_steps += metrics.steps;
+    report.max_step_network = std::max(report.max_step_network, metrics.steps);
+    report.step_costs.push_back(metrics.steps);
+    report.max_link_queue =
+        std::max(report.max_link_queue, metrics.max_link_queue);
+    report.max_node_queue =
+        std::max(report.max_node_queue, metrics.max_node_queue);
+    report.request_packets += requests_this_step;
+    report.reply_packets += replies_this_step;
+    report.combined_requests += combined_this_step_;
+    report.local_ops += local_this_step;
+  }
+
+  if (report.pram_steps != 0) {
+    report.mean_step_network = static_cast<double>(report.network_steps) /
+                               static_cast<double>(report.pram_steps);
+  }
+  memory_ = nullptr;
+  return report;
+}
+
+void NetworkEmulator::on_packet(Packet& p, NodeId at, std::uint32_t step,
+                                support::Rng& rng,
+                                std::vector<sim::Forward>& out) {
+  (void)step;
+  if (p.kind == PacketKind::kRequest) {
+    handle_request(p, at, rng, out);
+  } else if (config_.combining) {
+    handle_reply_combining(p, at, out);
+  } else {
+    handle_reply_plain(p, at, rng, out);
+  }
+}
+
+std::uint32_t NetworkEmulator::priority(const Packet& p, NodeId at) const {
+  if (p.kind == PacketKind::kRequest) {
+    return fabric_.router().remaining(p, at);
+  }
+  return 0;
+}
+
+void NetworkEmulator::handle_request(Packet& p, NodeId at, support::Rng& rng,
+                                     std::vector<sim::Forward>& out) {
+  if (config_.combining) {
+    // Every read landing leaves a route-back breadcrumb so the eventual
+    // reply can retrace the (possibly merged) request tree.
+    if (p.op == sim::MemOpKind::kRead) record_trail(p, at);
+    if (try_merge_in_queue(p, at)) {
+      ++combined_this_step_;
+      return;  // absorbed into a queued same-address request
+    }
+  }
+  const NodeId next = fabric_.router().next_hop(p, at, rng);
+  if (next != topology::kInvalidNode) {
+    out.push_back(sim::Forward{next, p.route_state});
+    return;
+  }
+  serve_at_module(p, at, rng, out);
+}
+
+void NetworkEmulator::serve_at_module(Packet& p, NodeId at, support::Rng& rng,
+                                      std::vector<sim::Forward>& out) {
+  LEVNET_DCHECK(at == p.dst);
+  if (p.op == sim::MemOpKind::kWrite) {
+    merge_claim(p.addr, {p.proc, p.value});
+    return;  // writes are not acknowledged (Section 2.4)
+  }
+  // Reads observe the pre-step memory; writes of this step are still
+  // pending claims.
+  const Word value = memory_->read(p.addr);
+  if (replies_counter_ != nullptr) ++*replies_counter_;
+  p.kind = PacketKind::kReply;
+  p.value = value;
+  if (config_.combining) {
+    // The reply floods the route-back trail starting at the module itself.
+    handle_reply_combining(p, at, out);
+    return;
+  }
+  p.src = at;
+  p.dst = fabric_.proc_node(p.proc);
+  fabric_.router().prepare(p, rng);
+  const NodeId next = fabric_.router().next_hop(p, at, rng);
+  if (next == topology::kInvalidNode) {
+    deliver_read(p.proc, value);
+    return;
+  }
+  out.push_back(sim::Forward{next, p.route_state});
+}
+
+void NetworkEmulator::handle_reply_plain(Packet& p, NodeId at,
+                                         support::Rng& rng,
+                                         std::vector<sim::Forward>& out) {
+  const NodeId next = fabric_.router().next_hop(p, at, rng);
+  if (next == topology::kInvalidNode) {
+    LEVNET_DCHECK(at == p.dst);
+    deliver_read(p.proc, p.value);
+    return;
+  }
+  out.push_back(sim::Forward{next, p.route_state});
+}
+
+void NetworkEmulator::handle_reply_combining(Packet& p, NodeId at,
+                                             std::vector<sim::Forward>& out) {
+  const auto it = trails_.find(TrailKey{at, p.addr});
+  if (it == trails_.end()) return;  // stale flood branch; dies out
+  for (TrailEntry& entry : it->second) {
+    if (entry.serviced) continue;
+    entry.serviced = true;
+    if (entry.local) {
+      deliver_read(entry.proc, p.value);
+    } else {
+      out.push_back(sim::Forward{entry.from, 0});
+    }
+  }
+}
+
+bool NetworkEmulator::try_merge_in_queue(Packet& p, NodeId at) {
+  const topology::Graph& graph = fabric_.graph();
+  const topology::EdgeId begin = graph.out_begin(at);
+  const topology::EdgeId end = graph.out_begin(at + 1);
+  for (topology::EdgeId e = begin; e < end; ++e) {
+    auto& queue = engine_->edge_queue(e);
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      Packet& candidate = queue.at(i);
+      if (candidate.kind != PacketKind::kRequest ||
+          candidate.addr != p.addr || candidate.op != p.op) {
+        continue;
+      }
+      if (p.op == sim::MemOpKind::kWrite) {
+        bool violation = false;
+        const pram::WriteClaim merged = pram::merge_claims(
+            policy_, {candidate.proc, candidate.value}, {p.proc, p.value},
+            &violation);
+        candidate.proc = merged.proc;
+        candidate.value = merged.value;
+      }
+      // Reads need no data transfer: p's breadcrumb at this node is already
+      // recorded, and the candidate's eventual reply will flood it.
+      return true;
+    }
+  }
+  return false;
+}
+
+void NetworkEmulator::record_trail(const Packet& p, NodeId at) {
+  TrailEntry entry;
+  if (p.came_from == topology::kInvalidNode) {
+    entry.local = true;
+    entry.proc = p.proc;
+  } else {
+    entry.from = p.came_from;
+  }
+  trails_[TrailKey{at, p.addr}].push_back(entry);
+}
+
+void NetworkEmulator::merge_claim(Addr addr, pram::WriteClaim claim) {
+  auto [it, inserted] = claims_.try_emplace(addr, claim);
+  if (!inserted) {
+    bool violation = false;
+    it->second = pram::merge_claims(policy_, it->second, claim, &violation);
+  }
+}
+
+void NetworkEmulator::deliver_read(ProcId proc, Word value) {
+  LEVNET_DCHECK(proc < pending_read_.size());
+  LEVNET_DCHECK(pending_read_[proc] != 0);
+  if (read_served_[proc] != 0) return;  // duplicate flood delivery
+  read_served_[proc] = 1;
+  pending_value_[proc] = value;
+}
+
+}  // namespace levnet::emulation

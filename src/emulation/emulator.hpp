@@ -1,0 +1,159 @@
+#pragma once
+// NetworkEmulator — the paper's contribution, end to end.
+//
+// One PRAM step is emulated as (Section 2.4, Section 3.3):
+//   1. every processor with a memory operation sends a request packet to
+//      the memory module h(addr), where h is drawn from the Karlin-Upfal
+//      polynomial family (Section 2.1);
+//   2. requests are routed by the network's randomized oblivious router
+//      (Algorithm 2.1 / 2.2 / 2.3, or the 3-stage mesh algorithm);
+//   3. writes deposit a claim at the module, reads trigger a reply routed
+//      back to the issuing processor;
+//   4. if the step exceeds its time budget, a new hash function is chosen
+//      and the step is re-run (the paper's rehashing escape hatch);
+//   5. claims are applied under the machine's write policy, read values are
+//      delivered, and the next PRAM step begins.
+//
+// CRCW mode (Theorem 2.6) adds en-route combining: a request landing on a
+// node that still queues another request for the same address merges into
+// it (writes combine their claims associatively; reads are absorbed), and
+// every read landing leaves a route-back trail entry — the paper's "log d
+// direction bits" — so one reply fans out along the combining tree to all
+// requesters.
+//
+// The emulator produces exactly the same final memory as ReferencePram for
+// any legal program — the library's core correctness oracle — while the
+// returned report carries the cost measurements the theorems bound.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "emulation/fabric.hpp"
+#include "hashing/poly_hash.hpp"
+#include "pram/memory.hpp"
+#include "pram/program.hpp"
+#include "pram/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/traffic.hpp"
+#include "support/rng.hpp"
+
+namespace levnet::emulation {
+
+struct EmulatorConfig {
+  /// En-route combining + tree replies (CRCW emulation, Theorem 2.6).
+  /// Without it, concurrent accesses still execute correctly but serialize
+  /// at the module links (the behaviour EREW analysis assumes away).
+  bool combining = false;
+  /// Hash polynomial degree S; 0 selects S = route_scale (c = 1 in S = cL).
+  std::uint32_t hash_degree = 0;
+  /// Per-PRAM-step budget = factor * route_scale network steps; exceeding
+  /// it triggers a rehash and a retry of the step. 0 disables rehashing.
+  std::uint32_t step_budget_factor = 0;
+  std::uint32_t max_rehash_attempts = 16;
+  sim::QueueDiscipline discipline = sim::QueueDiscipline::kFifo;
+  /// Bounded-buffer mode forwarded to the engine (0 = unbounded).
+  std::uint32_t node_buffer_bound = 0;
+  std::uint64_t seed = 0x1991'06ULL;
+};
+
+struct EmulationReport {
+  std::uint32_t pram_steps = 0;
+  /// Sum over PRAM steps of the network steps each took — the emulation
+  /// cost the theorems bound by O~(l) per step.
+  std::uint64_t network_steps = 0;
+  std::uint32_t max_step_network = 0;
+  double mean_step_network = 0.0;
+  std::uint32_t max_link_queue = 0;
+  std::uint32_t max_node_queue = 0;
+  std::uint64_t request_packets = 0;
+  std::uint64_t reply_packets = 0;
+  /// Requests absorbed into a queued same-address request (combining).
+  std::uint64_t combined_requests = 0;
+  /// Operations served without network traffic (processor == module node).
+  std::uint64_t local_ops = 0;
+  std::uint32_t rehashes = 0;
+  /// Per-PRAM-step network cost (for distribution plots).
+  std::vector<std::uint32_t> step_costs;
+};
+
+class NetworkEmulator final : public sim::TrafficHandler {
+ public:
+  NetworkEmulator(const EmulationFabric& fabric, EmulatorConfig config);
+  ~NetworkEmulator() override;
+
+  NetworkEmulator(const NetworkEmulator&) = delete;
+  NetworkEmulator& operator=(const NetworkEmulator&) = delete;
+
+  /// Runs `program` to completion against `memory` (initializing it), with
+  /// the write policy the program declares.
+  EmulationReport run(pram::PramProgram& program, pram::SharedMemory& memory);
+
+ private:
+  struct TrailKey {
+    NodeId node;
+    pram::Addr addr;
+    bool operator==(const TrailKey&) const = default;
+  };
+  struct TrailKeyHash {
+    std::size_t operator()(const TrailKey& k) const noexcept {
+      std::uint64_t state =
+          (static_cast<std::uint64_t>(k.node) << 1) ^ (k.addr * 0x9e3779b9ULL);
+      return static_cast<std::size_t>(support::splitmix64(state));
+    }
+  };
+  /// Route-back record: when a read reply for this address floods this
+  /// node, forward a copy toward `from` (or deliver locally to `proc`).
+  struct TrailEntry {
+    bool local = false;
+    bool serviced = false;
+    pram::ProcId proc = 0;
+    NodeId from = topology::kInvalidNode;
+  };
+
+  // sim::TrafficHandler
+  void on_packet(sim::Packet& p, NodeId at, std::uint32_t step,
+                 support::Rng& rng, std::vector<sim::Forward>& out) override;
+  [[nodiscard]] std::uint32_t priority(const sim::Packet& p,
+                                       NodeId at) const override;
+
+  void handle_request(sim::Packet& p, NodeId at, support::Rng& rng,
+                      std::vector<sim::Forward>& out);
+  void handle_reply_plain(sim::Packet& p, NodeId at, support::Rng& rng,
+                          std::vector<sim::Forward>& out);
+  void handle_reply_combining(sim::Packet& p, NodeId at,
+                              std::vector<sim::Forward>& out);
+
+  /// Serves an op arriving at its module: writes merge a claim, reads
+  /// return the pre-step value.
+  void serve_at_module(sim::Packet& p, NodeId at, support::Rng& rng,
+                       std::vector<sim::Forward>& out);
+
+  /// Tries to merge a landing request into a same-address request still
+  /// queued at `at`; true if absorbed.
+  bool try_merge_in_queue(sim::Packet& p, NodeId at);
+
+  void record_trail(const sim::Packet& p, NodeId at);
+  void merge_claim(pram::Addr addr, pram::WriteClaim claim);
+  void deliver_read(pram::ProcId proc, pram::Word value);
+
+  const EmulationFabric& fabric_;
+  EmulatorConfig config_;
+  pram::WritePolicy policy_ = pram::WritePolicy::kCommon;
+  support::Rng rng_;
+  std::unique_ptr<hashing::PolynomialHash> hash_;
+  std::unique_ptr<sim::SyncEngine> engine_;
+  const pram::SharedMemory* memory_ = nullptr;  // pre-step state (reads)
+
+  // Per-PRAM-step state (cleared between steps and on rehash retries).
+  std::unordered_map<pram::Addr, pram::WriteClaim> claims_;
+  std::unordered_map<TrailKey, std::vector<TrailEntry>, TrailKeyHash> trails_;
+  std::vector<pram::Word> pending_value_;
+  std::vector<std::uint8_t> pending_read_;
+  std::vector<std::uint8_t> read_served_;
+  std::uint64_t combined_this_step_ = 0;
+  std::uint64_t* replies_counter_ = nullptr;
+};
+
+}  // namespace levnet::emulation

@@ -1,0 +1,28 @@
+#include "emulation/fabric.hpp"
+
+#include "support/check.hpp"
+
+namespace levnet::emulation {
+
+EmulationFabric::EmulationFabric(const topology::Graph& graph,
+                                 const routing::Router& router,
+                                 std::uint32_t route_scale, std::string name)
+    : graph_(&graph),
+      router_(&router),
+      endpoints_(graph.node_count()),
+      route_scale_(route_scale),
+      name_(std::move(name)) {
+  LEVNET_CHECK(route_scale_ >= 1);
+}
+
+EmulationFabric::EmulationFabric(const topology::WrappedButterfly& butterfly,
+                                 const routing::Router& router)
+    : graph_(&butterfly.graph()),
+      router_(&router),
+      // Column-0 node ids are exactly [0, rows): the identity endpoint
+      // mapping holds because node_id(0, r) == r.
+      endpoints_(butterfly.row_count()),
+      route_scale_(butterfly.levels()),
+      name_(butterfly.name()) {}
+
+}  // namespace levnet::emulation

@@ -1,0 +1,65 @@
+#pragma once
+// EmulationFabric: the binding between an interconnection network and the
+// PRAM being emulated — which nodes host processors, which host memory
+// modules, and which router carries the request/reply traffic.
+//
+// For vertex-symmetric physical networks (star graph, shuffle, mesh,
+// hypercube) every node is both a processor and a memory module. For the
+// wrapped butterfly the endpoints are the column-0 nodes (the paper's
+// "first column are processors / last column are memory modules", with the
+// wrap identifying the two columns).
+
+#include <cstdint>
+#include <string>
+
+#include "routing/router.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/graph.hpp"
+
+namespace levnet::emulation {
+
+using topology::NodeId;
+
+class EmulationFabric {
+ public:
+  /// Identity fabric: every node of `graph` is processor i == module i.
+  /// `route_scale` is the network's diameter scale L (the l of the
+  /// theorems), used for hash degree and rehash budgets.
+  EmulationFabric(const topology::Graph& graph, const routing::Router& router,
+                  std::uint32_t route_scale, std::string name);
+
+  /// Butterfly fabric: processors/modules are the column-0 nodes.
+  EmulationFabric(const topology::WrappedButterfly& butterfly,
+                  const routing::Router& router);
+
+  [[nodiscard]] const topology::Graph& graph() const noexcept {
+    return *graph_;
+  }
+  [[nodiscard]] const routing::Router& router() const noexcept {
+    return *router_;
+  }
+  [[nodiscard]] std::uint32_t processors() const noexcept {
+    return endpoints_;
+  }
+  [[nodiscard]] std::uint32_t modules() const noexcept { return endpoints_; }
+  [[nodiscard]] std::uint32_t route_scale() const noexcept {
+    return route_scale_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] NodeId proc_node(std::uint32_t proc) const noexcept {
+    return proc;  // endpoint indices coincide with node ids in both layouts
+  }
+  [[nodiscard]] NodeId module_node(std::uint32_t module) const noexcept {
+    return module;
+  }
+
+ private:
+  const topology::Graph* graph_;
+  const routing::Router* router_;
+  std::uint32_t endpoints_;
+  std::uint32_t route_scale_;
+  std::string name_;
+};
+
+}  // namespace levnet::emulation

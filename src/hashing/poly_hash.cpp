@@ -1,0 +1,77 @@
+#include "hashing/poly_hash.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/modmath.hpp"
+#include "support/primes.hpp"
+
+namespace levnet::hashing {
+
+PolynomialHash::PolynomialHash(std::vector<std::uint64_t> coefficients,
+                               std::uint64_t prime, std::uint64_t buckets)
+    : coefficients_(std::move(coefficients)), prime_(prime), buckets_(buckets) {
+  LEVNET_CHECK(!coefficients_.empty());
+  LEVNET_CHECK(buckets_ >= 1);
+  LEVNET_CHECK(support::is_prime(prime_));
+  for (const std::uint64_t a : coefficients_) LEVNET_CHECK(a < prime_);
+}
+
+PolynomialHash PolynomialHash::sample(std::uint32_t degree,
+                                      std::uint64_t address_space,
+                                      std::uint64_t buckets,
+                                      support::Rng& rng) {
+  LEVNET_CHECK(degree >= 1);
+  const std::uint64_t prime =
+      support::next_prime(std::max(address_space, buckets + 1));
+  std::vector<std::uint64_t> coefficients(degree);
+  for (auto& a : coefficients) a = rng.below(prime);
+  return PolynomialHash(std::move(coefficients), prime, buckets);
+}
+
+std::uint64_t PolynomialHash::operator()(std::uint64_t x) const noexcept {
+  const std::uint64_t xm = x % prime_;
+  std::uint64_t acc = 0;
+  // Horner: a_{S-1} x^{S-1} + ... + a_0, highest coefficient first.
+  for (std::size_t i = coefficients_.size(); i-- > 0;) {
+    acc = support::add_mod(support::mul_mod(acc, xm, prime_), coefficients_[i],
+                           prime_);
+  }
+  return acc % buckets_;
+}
+
+std::uint64_t PolynomialHash::description_bits() const noexcept {
+  std::uint64_t bits_per_coeff = 0;
+  while ((std::uint64_t{1} << bits_per_coeff) < prime_) ++bits_per_coeff;
+  return bits_per_coeff * coefficients_.size();
+}
+
+LoadProfile bucket_loads(const PolynomialHash& h, std::uint64_t key_count) {
+  LoadProfile profile;
+  profile.load.assign(h.buckets(), 0);
+  for (std::uint64_t x = 0; x < key_count; ++x) {
+    profile.max_load = std::max(profile.max_load, ++profile.load[h(x)]);
+  }
+  profile.mean_load =
+      static_cast<double>(key_count) / static_cast<double>(h.buckets());
+  return profile;
+}
+
+std::uint32_t max_window_load(const LoadProfile& profile,
+                              std::uint32_t window) {
+  LEVNET_CHECK(window >= 1);
+  const std::size_t buckets = profile.load.size();
+  if (buckets == 0) return 0;
+  const std::size_t w = std::min<std::size_t>(window, buckets);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < w; ++i) sum += profile.load[i];
+  std::uint64_t best = sum;
+  for (std::size_t i = w; i < buckets; ++i) {
+    sum += profile.load[i];
+    sum -= profile.load[i - w];
+    best = std::max(best, sum);
+  }
+  return static_cast<std::uint32_t>(best);
+}
+
+}  // namespace levnet::hashing

@@ -1,0 +1,68 @@
+#pragma once
+// The Karlin-Upfal polynomial hash family of Section 2.1:
+//
+//   H = { h(x) = ((sum_{0 <= i < S} a_i x^i) mod P) mod N }
+//
+// with P prime, P >= M (the PRAM address-space size), coefficients a_i
+// drawn from Z_P, and degree S = cL where L is the diameter of the
+// emulating network. Lemma 2.2 bounds the probability that a random h in H
+// maps more than gamma >= S items of a request set onto one memory module,
+// which is what makes O~(l) emulation possible; each h needs only
+// O(L log M) bits to describe (Section 2.1's practicality argument).
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace levnet::hashing {
+
+class PolynomialHash {
+ public:
+  /// Explicit construction; coefficients must lie in [0, prime).
+  PolynomialHash(std::vector<std::uint64_t> coefficients, std::uint64_t prime,
+                 std::uint64_t buckets);
+
+  /// Draws h uniformly from H with `degree` = S coefficients, prime
+  /// P = next_prime(max(address_space, buckets + 1)), and N = `buckets`.
+  [[nodiscard]] static PolynomialHash sample(std::uint32_t degree,
+                                             std::uint64_t address_space,
+                                             std::uint64_t buckets,
+                                             support::Rng& rng);
+
+  /// h(x): Horner evaluation mod P, then mod N.
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t x) const noexcept;
+
+  [[nodiscard]] std::uint32_t degree() const noexcept {
+    return static_cast<std::uint32_t>(coefficients_.size());
+  }
+  [[nodiscard]] std::uint64_t prime() const noexcept { return prime_; }
+  [[nodiscard]] std::uint64_t buckets() const noexcept { return buckets_; }
+
+  /// Bits needed to broadcast this function (S coefficients of log P bits) —
+  /// the O(L log M) description-size claim of Section 2.1.
+  [[nodiscard]] std::uint64_t description_bits() const noexcept;
+
+ private:
+  std::vector<std::uint64_t> coefficients_;  // a_0 first
+  std::uint64_t prime_;
+  std::uint64_t buckets_;
+};
+
+/// Bucket occupancy profile of a set of keys under a hash function — the
+/// measurement behind Lemma 2.2 and Corollaries 3.1-3.3.
+struct LoadProfile {
+  std::vector<std::uint32_t> load;  // per bucket
+  std::uint32_t max_load = 0;
+  double mean_load = 0.0;
+};
+
+[[nodiscard]] LoadProfile bucket_loads(const PolynomialHash& h,
+                                       std::uint64_t key_count);
+
+/// Max total load over any window of `window` consecutive buckets
+/// (Corollary 3.3 takes window = log N).
+[[nodiscard]] std::uint32_t max_window_load(const LoadProfile& profile,
+                                            std::uint32_t window);
+
+}  // namespace levnet::hashing

@@ -1,0 +1,123 @@
+#include "pram/algorithms/access_patterns.hpp"
+
+#include "support/check.hpp"
+
+namespace levnet::pram {
+
+PermutationTraffic::PermutationTraffic(ProcId n, std::uint32_t pram_steps,
+                                       std::uint64_t seed)
+    : n_(n), steps_(pram_steps) {
+  LEVNET_CHECK(n >= 1);
+  support::Rng rng(seed);
+  perms_.reserve(steps_);
+  for (std::uint32_t t = 0; t < steps_; ++t) {
+    perms_.push_back(support::random_permutation(n_, rng));
+  }
+}
+
+void PermutationTraffic::init_memory(SharedMemory& memory) const {
+  // Cell i holds i + 1 so every read returns a nonzero, position-specific
+  // value; validate() recomputes the expected checksum from the contents.
+  for (ProcId i = 0; i < n_; ++i) {
+    memory.write(i, static_cast<Word>(i) + 1);
+  }
+}
+
+MemOp PermutationTraffic::issue(ProcId proc, std::uint32_t step) {
+  return MemOp::read(perms_[step][proc]);
+}
+
+void PermutationTraffic::receive(ProcId proc, std::uint32_t step, Word value) {
+  (void)proc;
+  (void)step;
+  checksum_ += static_cast<std::uint64_t>(value);
+}
+
+bool PermutationTraffic::validate(const SharedMemory& memory) const {
+  (void)memory;
+  // Each step reads every cell exactly once: the checksum over all steps is
+  // steps * sum(1..n). (reset() is a no-op, so compare against the total
+  // across however many runs have accumulated — callers snapshot.)
+  const std::uint64_t per_step =
+      static_cast<std::uint64_t>(n_) * (static_cast<std::uint64_t>(n_) + 1) / 2;
+  return checksum_ % per_step == 0;
+}
+
+RandomTraffic::RandomTraffic(ProcId n, std::uint32_t pram_steps,
+                             std::uint64_t seed)
+    : n_(n), steps_(pram_steps), seed_(seed), rng_(seed) {
+  LEVNET_CHECK(n >= 1);
+}
+
+void RandomTraffic::init_memory(SharedMemory& memory) const {
+  for (ProcId i = 0; i < n_; ++i) {
+    memory.write(i, static_cast<Word>(i) + 1);
+  }
+}
+
+MemOp RandomTraffic::issue(ProcId proc, std::uint32_t step) {
+  (void)proc;
+  (void)step;
+  return MemOp::read(rng_.below(n_));
+}
+
+void RandomTraffic::receive(ProcId proc, std::uint32_t step, Word value) {
+  (void)proc;
+  (void)step;
+  (void)value;
+}
+
+bool RandomTraffic::validate(const SharedMemory& memory) const {
+  (void)memory;
+  return true;
+}
+
+HotSpotReadTraffic::HotSpotReadTraffic(ProcId n, std::uint32_t pram_steps,
+                                       Word sentinel)
+    : n_(n), steps_(pram_steps), sentinel_(sentinel) {
+  LEVNET_CHECK(n >= 1);
+}
+
+void HotSpotReadTraffic::init_memory(SharedMemory& memory) const {
+  memory.write(0, sentinel_);
+}
+
+MemOp HotSpotReadTraffic::issue(ProcId proc, std::uint32_t step) {
+  (void)proc;
+  (void)step;
+  return MemOp::read(0);
+}
+
+void HotSpotReadTraffic::receive(ProcId proc, std::uint32_t step, Word value) {
+  (void)proc;
+  (void)step;
+  if (value != sentinel_) ++mismatches_;
+}
+
+bool HotSpotReadTraffic::validate(const SharedMemory& memory) const {
+  return mismatches_ == 0 && memory.read(0) == sentinel_;
+}
+
+HotSpotWriteTraffic::HotSpotWriteTraffic(ProcId n, std::uint32_t pram_steps)
+    : n_(n), steps_(pram_steps) {
+  LEVNET_CHECK(n >= 1);
+}
+
+MemOp HotSpotWriteTraffic::issue(ProcId proc, std::uint32_t step) {
+  (void)proc;
+  (void)step;
+  return MemOp::write(0, 1);
+}
+
+void HotSpotWriteTraffic::receive(ProcId proc, std::uint32_t step, Word value) {
+  (void)proc;
+  (void)step;
+  (void)value;
+}
+
+bool HotSpotWriteTraffic::validate(const SharedMemory& memory) const {
+  if (steps_ == 0) return memory.read(0) == 0;
+  return memory.read(0) == static_cast<Word>(n_);
+}
+
+}  // namespace levnet::pram

@@ -1,0 +1,125 @@
+#pragma once
+// Synthetic access-pattern programs for the emulation experiments
+// (E6/E7/E9): they do no useful computation, but generate precisely the
+// traffic the theorems are stated for.
+//
+//  * PermutationTraffic — each PRAM step, processor p reads the cell at a
+//    fresh random permutation image of p: the canonical EREW step of
+//    Theorem 2.5 (|S| = N, all distinct).
+//  * RandomTraffic — uniformly random cells (many-one; CREW).
+//  * HotSpotReadTraffic — every processor reads cell 0 each step: the
+//    worst-case concurrent read that Theorem 2.6's combining flattens.
+//  * HotSpotWriteTraffic — every processor adds 1 to cell 0 each step under
+//    the SUM policy; the final counter value n*steps doubles as an
+//    end-to-end correctness check of combined writes.
+
+#include <string>
+#include <vector>
+
+#include "pram/program.hpp"
+#include "support/rng.hpp"
+
+namespace levnet::pram {
+
+class PermutationTraffic final : public PramProgram {
+ public:
+  PermutationTraffic(ProcId n, std::uint32_t pram_steps, std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override { return "perm-traffic"; }
+  [[nodiscard]] ProcId processor_count() const override { return n_; }
+  [[nodiscard]] Addr address_space() const override { return n_; }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kErew; }
+  void init_memory(SharedMemory& memory) const override;
+  [[nodiscard]] bool finished(std::uint32_t step) const override {
+    return step >= steps_;
+  }
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override {}
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  ProcId n_;
+  std::uint32_t steps_;
+  std::vector<std::vector<std::uint32_t>> perms_;  // one permutation per step
+  std::uint64_t checksum_ = 0;  // accumulated read values (anti-DCE, audited)
+};
+
+class RandomTraffic final : public PramProgram {
+ public:
+  RandomTraffic(ProcId n, std::uint32_t pram_steps, std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override { return "random-traffic"; }
+  [[nodiscard]] ProcId processor_count() const override { return n_; }
+  [[nodiscard]] Addr address_space() const override { return n_; }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kCrew; }
+  void init_memory(SharedMemory& memory) const override;
+  [[nodiscard]] bool finished(std::uint32_t step) const override {
+    return step >= steps_;
+  }
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override { rng_.reseed(seed_); }
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  ProcId n_;
+  std::uint32_t steps_;
+  std::uint64_t seed_;
+  support::Rng rng_;
+};
+
+class HotSpotReadTraffic final : public PramProgram {
+ public:
+  HotSpotReadTraffic(ProcId n, std::uint32_t pram_steps, Word sentinel);
+
+  [[nodiscard]] std::string name() const override { return "hotspot-read"; }
+  [[nodiscard]] ProcId processor_count() const override { return n_; }
+  [[nodiscard]] Addr address_space() const override { return n_; }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kCrcw; }
+  void init_memory(SharedMemory& memory) const override;
+  [[nodiscard]] bool finished(std::uint32_t step) const override {
+    return step >= steps_;
+  }
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override { mismatches_ = 0; }
+  /// Every processor must have read the sentinel in every step.
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  ProcId n_;
+  std::uint32_t steps_;
+  Word sentinel_;
+  std::uint64_t mismatches_ = 0;
+};
+
+class HotSpotWriteTraffic final : public PramProgram {
+ public:
+  HotSpotWriteTraffic(ProcId n, std::uint32_t pram_steps);
+
+  [[nodiscard]] std::string name() const override { return "hotspot-write"; }
+  [[nodiscard]] ProcId processor_count() const override { return n_; }
+  [[nodiscard]] Addr address_space() const override { return n_; }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kCrcw; }
+  [[nodiscard]] WritePolicy write_policy() const override {
+    return WritePolicy::kSum;
+  }
+  void init_memory(SharedMemory& memory) const override { (void)memory; }
+  [[nodiscard]] bool finished(std::uint32_t step) const override {
+    return step >= steps_;
+  }
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override {}
+  /// Cell 0 must equal n: each step's n concurrent writes of 1 combine to
+  /// the sum n under the SUM policy (the cell is replaced each step, not
+  /// accumulated across steps).
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  ProcId n_;
+  std::uint32_t steps_;
+};
+
+}  // namespace levnet::pram

@@ -1,0 +1,79 @@
+#include "pram/algorithms/broadcast.hpp"
+
+#include <algorithm>
+
+#include "support/bits.hpp"
+#include "support/check.hpp"
+
+namespace levnet::pram {
+
+BroadcastErew::BroadcastErew(ProcId n, Word value)
+    : n_(n), value_(value), rounds_(support::ceil_log2(n)) {
+  LEVNET_CHECK(n >= 1);
+  incoming_.assign(n_, 0);
+}
+
+void BroadcastErew::init_memory(SharedMemory& memory) const {
+  memory.write(0, value_);
+}
+
+bool BroadcastErew::finished(std::uint32_t step) const {
+  return step >= 2 * rounds_;
+}
+
+MemOp BroadcastErew::issue(ProcId proc, std::uint32_t step) {
+  const std::uint32_t round = step / 2;
+  const bool read_phase = (step % 2) == 0;
+  const ProcId lo = ProcId{1} << round;
+  const ProcId hi = std::min<ProcId>(lo * 2, n_);
+  if (proc < lo || proc >= hi) return MemOp::none();
+  if (read_phase) return MemOp::read(proc - lo);
+  return MemOp::write(proc, incoming_[proc]);
+}
+
+void BroadcastErew::receive(ProcId proc, std::uint32_t step, Word value) {
+  (void)step;
+  incoming_[proc] = value;
+}
+
+void BroadcastErew::reset() { incoming_.assign(n_, 0); }
+
+bool BroadcastErew::validate(const SharedMemory& memory) const {
+  for (ProcId i = 0; i < n_; ++i) {
+    if (memory.read(i) != value_) return false;
+  }
+  return true;
+}
+
+BroadcastCrew::BroadcastCrew(ProcId n, Word value) : n_(n), value_(value) {
+  LEVNET_CHECK(n >= 1);
+  incoming_.assign(n_, 0);
+}
+
+void BroadcastCrew::init_memory(SharedMemory& memory) const {
+  memory.write(0, value_);
+}
+
+bool BroadcastCrew::finished(std::uint32_t step) const { return step >= 2; }
+
+MemOp BroadcastCrew::issue(ProcId proc, std::uint32_t step) {
+  if (step == 0) return MemOp::read(0);  // all processors, concurrently
+  if (proc == 0) return MemOp::none();   // cell 0 already holds the value
+  return MemOp::write(proc, incoming_[proc]);
+}
+
+void BroadcastCrew::receive(ProcId proc, std::uint32_t step, Word value) {
+  (void)step;
+  incoming_[proc] = value;
+}
+
+void BroadcastCrew::reset() { incoming_.assign(n_, 0); }
+
+bool BroadcastCrew::validate(const SharedMemory& memory) const {
+  for (ProcId i = 0; i < n_; ++i) {
+    if (memory.read(i) != value_) return false;
+  }
+  return true;
+}
+
+}  // namespace levnet::pram

@@ -1,0 +1,60 @@
+#pragma once
+// Broadcast: the canonical EREW-vs-CRCW contrast program.
+//
+// BroadcastCrew reads one cell concurrently (2 steps; legal on CREW/CRCW);
+// BroadcastErew doubles the set of informed cells each round
+// (2*ceil(log2 n) steps with exclusive accesses only). Running both through
+// the emulator demonstrates how concurrent reads lean on the combining
+// machinery of Theorem 2.6.
+
+#include <string>
+#include <vector>
+
+#include "pram/program.hpp"
+
+namespace levnet::pram {
+
+class BroadcastErew final : public PramProgram {
+ public:
+  BroadcastErew(ProcId n, Word value);
+
+  [[nodiscard]] std::string name() const override { return "broadcast-erew"; }
+  [[nodiscard]] ProcId processor_count() const override { return n_; }
+  [[nodiscard]] Addr address_space() const override { return n_; }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kErew; }
+  void init_memory(SharedMemory& memory) const override;
+  [[nodiscard]] bool finished(std::uint32_t step) const override;
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override;
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  ProcId n_;
+  Word value_;
+  std::uint32_t rounds_;
+  std::vector<Word> incoming_;
+};
+
+class BroadcastCrew final : public PramProgram {
+ public:
+  BroadcastCrew(ProcId n, Word value);
+
+  [[nodiscard]] std::string name() const override { return "broadcast-crew"; }
+  [[nodiscard]] ProcId processor_count() const override { return n_; }
+  [[nodiscard]] Addr address_space() const override { return n_; }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kCrew; }
+  void init_memory(SharedMemory& memory) const override;
+  [[nodiscard]] bool finished(std::uint32_t step) const override;
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override;
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  ProcId n_;
+  Word value_;
+  std::vector<Word> incoming_;
+};
+
+}  // namespace levnet::pram

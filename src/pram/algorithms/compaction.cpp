@@ -1,0 +1,82 @@
+#include "pram/algorithms/compaction.hpp"
+
+#include "support/bits.hpp"
+#include "support/check.hpp"
+
+namespace levnet::pram {
+
+CompactionErew::CompactionErew(std::vector<Word> values,
+                               std::vector<Word> marks)
+    : values_(std::move(values)),
+      marks_(std::move(marks)),
+      rounds_(support::ceil_log2(values_.size())) {
+  LEVNET_CHECK(!values_.empty());
+  LEVNET_CHECK(values_.size() == marks_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (marks_[i] != 0) expected_.push_back(values_[i]);
+  }
+  reset();
+}
+
+void CompactionErew::init_memory(SharedMemory& memory) const {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    memory.write(scan_cell(i), marks_[i] != 0 ? 1 : 0);
+    memory.write(value_cell(i), values_[i]);
+  }
+}
+
+bool CompactionErew::finished(std::uint32_t step) const {
+  // Steps: load scan bit, load value, 2 per prefix round, final scatter.
+  return step >= 3 + 2 * rounds_;
+}
+
+MemOp CompactionErew::issue(ProcId proc, std::uint32_t step) {
+  if (step == 0) return MemOp::read(scan_cell(proc));
+  if (step == 1) return MemOp::read(value_cell(proc));
+  const std::uint32_t scatter_step = 2 + 2 * rounds_;
+  if (step < scatter_step) {
+    // Hillis-Steele prefix sum over the mark bits (see prefix_sum.cpp).
+    const std::uint32_t round = (step - 2) / 2;
+    const bool read_phase = ((step - 2) % 2) == 0;
+    const ProcId offset = ProcId{1} << round;
+    if (proc < offset) return MemOp::none();
+    if (read_phase) return MemOp::read(scan_cell(proc - offset));
+    reg_scan_[proc] += incoming_[proc];
+    return MemOp::write(scan_cell(proc), reg_scan_[proc]);
+  }
+  // Scatter: survivor i goes to output slot scan[i] - 1. Slots are distinct
+  // (prefix sums of marked positions are strictly increasing), so the write
+  // is exclusive.
+  if (marks_[proc] == 0) return MemOp::none();
+  const auto slot = static_cast<std::uint64_t>(reg_scan_[proc] - 1);
+  return MemOp::write(out_cell(slot), reg_value_[proc]);
+}
+
+void CompactionErew::receive(ProcId proc, std::uint32_t step, Word value) {
+  if (step == 0) {
+    reg_scan_[proc] = value;
+  } else if (step == 1) {
+    reg_value_[proc] = value;
+  } else {
+    incoming_[proc] = value;
+  }
+}
+
+void CompactionErew::reset() {
+  reg_scan_.assign(values_.size(), 0);
+  reg_value_.assign(values_.size(), 0);
+  incoming_.assign(values_.size(), 0);
+}
+
+bool CompactionErew::validate(const SharedMemory& memory) const {
+  for (std::size_t i = 0; i < expected_.size(); ++i) {
+    if (memory.read(out_cell(i)) != expected_[i]) return false;
+  }
+  // Slots past the survivor count must be untouched (zero).
+  for (std::size_t i = expected_.size(); i < values_.size(); ++i) {
+    if (memory.read(out_cell(i)) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace levnet::pram

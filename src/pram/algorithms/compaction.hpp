@@ -1,0 +1,54 @@
+#pragma once
+// Stream compaction (array packing): move the marked elements of an array
+// to a contiguous prefix, preserving order — the workhorse primitive behind
+// PRAM processor reallocation. EREW throughout: a prefix-sum over the mark
+// bits computes each survivor's output slot, then one exclusive write
+// scatters it. 3 + 2*ceil(log2 n) steps on n processors.
+
+#include <string>
+#include <vector>
+
+#include "pram/program.hpp"
+
+namespace levnet::pram {
+
+class CompactionErew final : public PramProgram {
+ public:
+  /// values[i] survives iff marks[i] != 0.
+  CompactionErew(std::vector<Word> values, std::vector<Word> marks);
+
+  [[nodiscard]] std::string name() const override { return "compaction-erew"; }
+  [[nodiscard]] ProcId processor_count() const override {
+    return static_cast<ProcId>(values_.size());
+  }
+  /// Layout: marks scratch in [0, n), values in [n, 2n), output in [2n, 3n).
+  [[nodiscard]] Addr address_space() const override {
+    return 3 * values_.size();
+  }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kErew; }
+  void init_memory(SharedMemory& memory) const override;
+  [[nodiscard]] bool finished(std::uint32_t step) const override;
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override;
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  [[nodiscard]] Addr scan_cell(std::uint64_t i) const { return i; }
+  [[nodiscard]] Addr value_cell(std::uint64_t i) const {
+    return values_.size() + i;
+  }
+  [[nodiscard]] Addr out_cell(std::uint64_t i) const {
+    return 2 * values_.size() + i;
+  }
+
+  std::vector<Word> values_;
+  std::vector<Word> marks_;
+  std::vector<Word> expected_;  // compacted survivors
+  std::uint32_t rounds_;
+  std::vector<Word> reg_scan_;   // running inclusive prefix of marks
+  std::vector<Word> reg_value_;  // own value
+  std::vector<Word> incoming_;
+};
+
+}  // namespace levnet::pram

@@ -1,0 +1,45 @@
+#include "pram/algorithms/histogram.hpp"
+
+#include "support/check.hpp"
+
+namespace levnet::pram {
+
+HistogramCrcwSum::HistogramCrcwSum(std::vector<Word> keys,
+                                   std::uint32_t buckets)
+    : keys_(std::move(keys)), buckets_(buckets) {
+  LEVNET_CHECK(!keys_.empty());
+  LEVNET_CHECK(buckets_ >= 1);
+  expected_.assign(buckets_, 0);
+  for (const Word key : keys_) {
+    LEVNET_CHECK(key >= 0 && key < static_cast<Word>(buckets_));
+    ++expected_[static_cast<std::size_t>(key)];
+  }
+  reset();
+}
+
+void HistogramCrcwSum::init_memory(SharedMemory& memory) const {
+  for (std::size_t i = 0; i < keys_.size(); ++i) memory.write(i, keys_[i]);
+}
+
+bool HistogramCrcwSum::finished(std::uint32_t step) const { return step >= 2; }
+
+MemOp HistogramCrcwSum::issue(ProcId proc, std::uint32_t step) {
+  if (step == 0) return MemOp::read(proc);
+  return MemOp::write(bucket_cell(reg_[proc]), 1);
+}
+
+void HistogramCrcwSum::receive(ProcId proc, std::uint32_t step, Word value) {
+  (void)step;
+  reg_[proc] = value;
+}
+
+void HistogramCrcwSum::reset() { reg_.assign(keys_.size(), 0); }
+
+bool HistogramCrcwSum::validate(const SharedMemory& memory) const {
+  for (std::uint32_t b = 0; b < buckets_; ++b) {
+    if (memory.read(bucket_cell(b)) != expected_[b]) return false;
+  }
+  return true;
+}
+
+}  // namespace levnet::pram

@@ -1,0 +1,48 @@
+#pragma once
+// Histogram via SUM-combining concurrent writes: every processor reads its
+// key and increments the key's bucket in one concurrent write step. Skewed
+// key distributions turn this into the write-side hot-spot stress for the
+// combining network.
+
+#include <string>
+#include <vector>
+
+#include "pram/program.hpp"
+
+namespace levnet::pram {
+
+class HistogramCrcwSum final : public PramProgram {
+ public:
+  /// keys[i] in [0, buckets).
+  HistogramCrcwSum(std::vector<Word> keys, std::uint32_t buckets);
+
+  [[nodiscard]] std::string name() const override { return "histogram-crcw"; }
+  [[nodiscard]] ProcId processor_count() const override {
+    return static_cast<ProcId>(keys_.size());
+  }
+  [[nodiscard]] Addr address_space() const override {
+    return keys_.size() + buckets_;
+  }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kCrcw; }
+  [[nodiscard]] WritePolicy write_policy() const override {
+    return WritePolicy::kSum;
+  }
+  void init_memory(SharedMemory& memory) const override;
+  [[nodiscard]] bool finished(std::uint32_t step) const override;
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override;
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  [[nodiscard]] Addr bucket_cell(Word key) const {
+    return keys_.size() + static_cast<Addr>(key);
+  }
+
+  std::vector<Word> keys_;
+  std::uint32_t buckets_;
+  std::vector<Word> expected_;
+  std::vector<Word> reg_;
+};
+
+}  // namespace levnet::pram

@@ -1,0 +1,92 @@
+#include "pram/algorithms/list_ranking.hpp"
+
+#include "support/bits.hpp"
+#include "support/check.hpp"
+
+namespace levnet::pram {
+
+ListRankingCrew::ListRankingCrew(std::vector<std::uint32_t> successor)
+    : successor_(std::move(successor)),
+      rounds_(support::ceil_log2(successor_.size())) {
+  const std::size_t n = successor_.size();
+  LEVNET_CHECK(n >= 1);
+  for (const std::uint32_t s : successor_) LEVNET_CHECK(s < n);
+  // Expected ranks by walking each node's chain (O(n^2) is fine at test
+  // scale; also verifies the input really is a list ending in a tail).
+  expected_rank_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t at = static_cast<std::uint32_t>(i);
+    std::uint32_t dist = 0;
+    while (successor_[at] != at) {
+      at = successor_[at];
+      ++dist;
+      LEVNET_CHECK_MSG(dist <= n, "successor array is not a list");
+    }
+    expected_rank_[i] = dist;
+  }
+  reset();
+}
+
+void ListRankingCrew::init_memory(SharedMemory& memory) const {
+  for (std::size_t i = 0; i < successor_.size(); ++i) {
+    memory.write(succ_cell(i), successor_[i]);
+    memory.write(rank_cell(i), successor_[i] == i ? 0 : 1);
+  }
+}
+
+bool ListRankingCrew::finished(std::uint32_t step) const {
+  return step >= 2 + 4 * rounds_;
+}
+
+MemOp ListRankingCrew::issue(ProcId proc, std::uint32_t step) {
+  if (step == 0) return MemOp::read(succ_cell(proc));
+  if (step == 1) return MemOp::read(rank_cell(proc));
+  const std::uint32_t phase = (step - 2) % 4;
+  const auto s = static_cast<std::uint64_t>(reg_succ_[proc]);
+  switch (phase) {
+    case 0:
+      return MemOp::read(rank_cell(s));
+    case 1:
+      return MemOp::read(succ_cell(s));
+    case 2:
+      if (s != proc) reg_rank_[proc] += incoming_rank_[proc];
+      return MemOp::write(rank_cell(proc), reg_rank_[proc]);
+    default:
+      if (s != proc) reg_succ_[proc] = incoming_succ_[proc];
+      return MemOp::write(succ_cell(proc), reg_succ_[proc]);
+  }
+}
+
+void ListRankingCrew::receive(ProcId proc, std::uint32_t step, Word value) {
+  if (step == 0) {
+    reg_succ_[proc] = value;
+    return;
+  }
+  if (step == 1) {
+    reg_rank_[proc] = value;
+    return;
+  }
+  const std::uint32_t phase = (step - 2) % 4;
+  if (phase == 0) {
+    incoming_rank_[proc] = value;
+  } else if (phase == 1) {
+    incoming_succ_[proc] = value;
+  }
+}
+
+void ListRankingCrew::reset() {
+  const std::size_t n = successor_.size();
+  reg_succ_.assign(n, 0);
+  reg_rank_.assign(n, 0);
+  incoming_rank_.assign(n, 0);
+  incoming_succ_.assign(n, 0);
+}
+
+bool ListRankingCrew::validate(const SharedMemory& memory) const {
+  for (std::size_t i = 0; i < successor_.size(); ++i) {
+    if (memory.read(rank_cell(i)) != expected_rank_[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace levnet::pram

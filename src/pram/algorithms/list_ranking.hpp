@@ -1,0 +1,50 @@
+#pragma once
+// List ranking by pointer jumping (Wyllie): each node of a linked list
+// learns its distance to the tail in ceil(log2 n) jump rounds. Reads of
+// rank[succ] and succ[succ] become concurrent as pointers converge, so the
+// program needs CREW — a natural exerciser of the emulator's concurrent-
+// read handling on an irregular access pattern.
+
+#include <string>
+#include <vector>
+
+#include "pram/program.hpp"
+
+namespace levnet::pram {
+
+class ListRankingCrew final : public PramProgram {
+ public:
+  /// successor[i] is the next node; the tail points to itself.
+  explicit ListRankingCrew(std::vector<std::uint32_t> successor);
+
+  [[nodiscard]] std::string name() const override { return "list-ranking"; }
+  [[nodiscard]] ProcId processor_count() const override {
+    return static_cast<ProcId>(successor_.size());
+  }
+  [[nodiscard]] Addr address_space() const override {
+    return 2 * successor_.size();
+  }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kCrew; }
+  void init_memory(SharedMemory& memory) const override;
+  [[nodiscard]] bool finished(std::uint32_t step) const override;
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override;
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  [[nodiscard]] Addr succ_cell(std::uint64_t i) const { return i; }
+  [[nodiscard]] Addr rank_cell(std::uint64_t i) const {
+    return successor_.size() + i;
+  }
+
+  std::vector<std::uint32_t> successor_;
+  std::vector<std::uint32_t> expected_rank_;
+  std::uint32_t rounds_;
+  std::vector<Word> reg_succ_;
+  std::vector<Word> reg_rank_;
+  std::vector<Word> incoming_rank_;
+  std::vector<Word> incoming_succ_;
+};
+
+}  // namespace levnet::pram

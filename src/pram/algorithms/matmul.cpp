@@ -1,0 +1,78 @@
+#include "pram/algorithms/matmul.hpp"
+
+#include "support/check.hpp"
+
+namespace levnet::pram {
+
+MatMulCrcwSum::MatMulCrcwSum(std::vector<Word> a, std::vector<Word> b,
+                             ProcId n)
+    : n_(n), a_(std::move(a)), b_(std::move(b)) {
+  LEVNET_CHECK(n >= 1);
+  LEVNET_CHECK(a_.size() == static_cast<std::size_t>(n) * n);
+  LEVNET_CHECK(b_.size() == a_.size());
+  expected_.assign(a_.size(), 0);
+  for (ProcId i = 0; i < n_; ++i) {
+    for (ProcId j = 0; j < n_; ++j) {
+      Word sum = 0;
+      for (ProcId k = 0; k < n_; ++k) {
+        sum += a_[i * n_ + k] * b_[k * n_ + j];
+      }
+      expected_[i * n_ + j] = sum;
+    }
+  }
+  reset();
+}
+
+void MatMulCrcwSum::init_memory(SharedMemory& memory) const {
+  for (ProcId i = 0; i < n_; ++i) {
+    for (ProcId j = 0; j < n_; ++j) {
+      memory.write(a_cell(i, j), a_[i * n_ + j]);
+      memory.write(b_cell(i, j), b_[i * n_ + j]);
+    }
+  }
+}
+
+bool MatMulCrcwSum::finished(std::uint32_t step) const { return step >= 3; }
+
+MemOp MatMulCrcwSum::issue(ProcId proc, std::uint32_t step) {
+  const ProcId k = proc % n_;
+  const ProcId j = (proc / n_) % n_;
+  const ProcId i = proc / (n_ * n_);
+  switch (step) {
+    case 0:
+      return MemOp::read(a_cell(i, k));
+    case 1:
+      return MemOp::read(b_cell(k, j));
+    default: {
+      const Word product = reg_a_[proc] * reg_b_[proc];
+      // Zero contributions still participate in the combined write; skipping
+      // them would be an optimization the PRAM program cannot see.
+      return MemOp::write(c_cell(i, j), product);
+    }
+  }
+}
+
+void MatMulCrcwSum::receive(ProcId proc, std::uint32_t step, Word value) {
+  if (step == 0) {
+    reg_a_[proc] = value;
+  } else {
+    reg_b_[proc] = value;
+  }
+}
+
+void MatMulCrcwSum::reset() {
+  const std::size_t procs = static_cast<std::size_t>(n_) * n_ * n_;
+  reg_a_.assign(procs, 0);
+  reg_b_.assign(procs, 0);
+}
+
+bool MatMulCrcwSum::validate(const SharedMemory& memory) const {
+  for (ProcId i = 0; i < n_; ++i) {
+    for (ProcId j = 0; j < n_; ++j) {
+      if (memory.read(c_cell(i, j)) != expected_[i * n_ + j]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace levnet::pram

@@ -1,0 +1,55 @@
+#pragma once
+// Matrix multiplication with n^3 processors in 3 CRCW steps: processor
+// (i, j, k) reads A[i][k] and B[k][j] (concurrently with n-1 others) and
+// writes the product into C[i][j] under the SUM combining policy — the
+// n-way concurrent write per output cell is exactly the traffic
+// Theorem 2.6's combining is built for.
+
+#include <string>
+#include <vector>
+
+#include "pram/program.hpp"
+
+namespace levnet::pram {
+
+class MatMulCrcwSum final : public PramProgram {
+ public:
+  /// a and b are n x n row-major.
+  MatMulCrcwSum(std::vector<Word> a, std::vector<Word> b, ProcId n);
+
+  [[nodiscard]] std::string name() const override { return "matmul-crcw-sum"; }
+  [[nodiscard]] ProcId processor_count() const override {
+    return n_ * n_ * n_;
+  }
+  [[nodiscard]] Addr address_space() const override {
+    return 3 * static_cast<Addr>(n_) * n_;
+  }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kCrcw; }
+  [[nodiscard]] WritePolicy write_policy() const override {
+    return WritePolicy::kSum;
+  }
+  void init_memory(SharedMemory& memory) const override;
+  [[nodiscard]] bool finished(std::uint32_t step) const override;
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override;
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  [[nodiscard]] Addr a_cell(ProcId i, ProcId k) const { return i * n_ + k; }
+  [[nodiscard]] Addr b_cell(ProcId k, ProcId j) const {
+    return static_cast<Addr>(n_) * n_ + k * n_ + j;
+  }
+  [[nodiscard]] Addr c_cell(ProcId i, ProcId j) const {
+    return 2 * static_cast<Addr>(n_) * n_ + i * n_ + j;
+  }
+
+  ProcId n_;
+  std::vector<Word> a_;
+  std::vector<Word> b_;
+  std::vector<Word> expected_;
+  std::vector<Word> reg_a_;
+  std::vector<Word> reg_b_;
+};
+
+}  // namespace levnet::pram

@@ -1,0 +1,83 @@
+#include "pram/algorithms/matvec.hpp"
+
+#include "support/bits.hpp"
+#include "support/check.hpp"
+
+namespace levnet::pram {
+
+MatVecCrew::MatVecCrew(std::vector<Word> a, std::vector<Word> x, ProcId n)
+    : n_(n), a_(std::move(a)), x_(std::move(x)),
+      rounds_(support::ceil_log2(n)) {
+  LEVNET_CHECK(n >= 1);
+  LEVNET_CHECK(a_.size() == static_cast<std::size_t>(n) * n);
+  LEVNET_CHECK(x_.size() == n);
+  expected_.assign(n_, 0);
+  for (ProcId i = 0; i < n_; ++i) {
+    Word sum = 0;
+    for (ProcId j = 0; j < n_; ++j) sum += a_[i * n_ + j] * x_[j];
+    expected_[i] = sum;
+  }
+  reset();
+}
+
+void MatVecCrew::init_memory(SharedMemory& memory) const {
+  for (ProcId i = 0; i < n_; ++i) {
+    for (ProcId j = 0; j < n_; ++j) {
+      memory.write(a_cell(i, j), a_[i * n_ + j]);
+    }
+    memory.write(x_cell(i), x_[i]);
+  }
+}
+
+bool MatVecCrew::finished(std::uint32_t step) const {
+  // read A, read x, write product, 2 per reduction round, final y write.
+  return step >= 4 + 2 * rounds_;
+}
+
+MemOp MatVecCrew::issue(ProcId proc, std::uint32_t step) {
+  const ProcId i = proc / n_;
+  const ProcId j = proc % n_;
+  if (step == 0) return MemOp::read(a_cell(i, j));
+  if (step == 1) return MemOp::read(x_cell(j));  // concurrent down column j
+  if (step == 2) return MemOp::write(product_cell(i, j), reg_prod_[proc]);
+  const std::uint32_t final_step = 3 + 2 * rounds_;
+  if (step < final_step) {
+    // Tournament reduction within row i over the product cells.
+    const std::uint32_t round = (step - 3) / 2;
+    const bool read_phase = ((step - 3) % 2) == 0;
+    const ProcId stride = ProcId{1} << round;
+    const bool active = j % (2 * stride) == 0 && j + stride < n_;
+    if (!active) return MemOp::none();
+    if (read_phase) return MemOp::read(product_cell(i, j + stride));
+    reg_prod_[proc] += incoming_[proc];
+    return MemOp::write(product_cell(i, j), reg_prod_[proc]);
+  }
+  // Row leader publishes the dot product.
+  return j == 0 ? MemOp::write(y_cell(i), reg_prod_[proc]) : MemOp::none();
+}
+
+void MatVecCrew::receive(ProcId proc, std::uint32_t step, Word value) {
+  if (step == 0) {
+    reg_a_[proc] = value;
+  } else if (step == 1) {
+    reg_prod_[proc] = reg_a_[proc] * value;
+  } else {
+    incoming_[proc] = value;
+  }
+}
+
+void MatVecCrew::reset() {
+  const std::size_t procs = static_cast<std::size_t>(n_) * n_;
+  reg_a_.assign(procs, 0);
+  reg_prod_.assign(procs, 0);
+  incoming_.assign(procs, 0);
+}
+
+bool MatVecCrew::validate(const SharedMemory& memory) const {
+  for (ProcId i = 0; i < n_; ++i) {
+    if (memory.read(y_cell(i)) != expected_[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace levnet::pram

@@ -1,0 +1,58 @@
+#pragma once
+// Matrix-vector product y = A x with n^2 processors in 2 + 2*ceil(log2 n)
+// CREW steps: processor (i, j) reads A[i][j] (exclusive) and x[j]
+// (concurrent with the rest of column j), then row i's processors reduce
+// their products by tournament into y[i]. The mixed exclusive/concurrent
+// access pattern makes it a good CREW-mode emulation workload between the
+// all-exclusive sorting programs and the all-concurrent CRCW stressors.
+
+#include <string>
+#include <vector>
+
+#include "pram/program.hpp"
+
+namespace levnet::pram {
+
+class MatVecCrew final : public PramProgram {
+ public:
+  /// a is n x n row-major, x has n entries.
+  MatVecCrew(std::vector<Word> a, std::vector<Word> x, ProcId n);
+
+  [[nodiscard]] std::string name() const override { return "matvec-crew"; }
+  [[nodiscard]] ProcId processor_count() const override { return n_ * n_; }
+  /// Layout: A in [0, n^2), x in [n^2, n^2+n), scratch/products in
+  /// [n^2+n, 2n^2+n), y in [2n^2+n, 2n^2+2n).
+  [[nodiscard]] Addr address_space() const override {
+    return 2 * static_cast<Addr>(n_) * n_ + 2 * n_;
+  }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kCrew; }
+  void init_memory(SharedMemory& memory) const override;
+  [[nodiscard]] bool finished(std::uint32_t step) const override;
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override;
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  [[nodiscard]] Addr a_cell(ProcId i, ProcId j) const { return i * n_ + j; }
+  [[nodiscard]] Addr x_cell(ProcId j) const {
+    return static_cast<Addr>(n_) * n_ + j;
+  }
+  [[nodiscard]] Addr product_cell(ProcId i, ProcId j) const {
+    return static_cast<Addr>(n_) * n_ + n_ + i * n_ + j;
+  }
+  [[nodiscard]] Addr y_cell(ProcId i) const {
+    return 2 * static_cast<Addr>(n_) * n_ + n_ + i;
+  }
+
+  ProcId n_;
+  std::vector<Word> a_;
+  std::vector<Word> x_;
+  std::vector<Word> expected_;
+  std::uint32_t rounds_;
+  std::vector<Word> reg_a_;
+  std::vector<Word> reg_prod_;
+  std::vector<Word> incoming_;
+};
+
+}  // namespace levnet::pram

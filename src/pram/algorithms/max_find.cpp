@@ -1,0 +1,156 @@
+#include "pram/algorithms/max_find.hpp"
+
+#include <algorithm>
+
+#include "support/bits.hpp"
+#include "support/check.hpp"
+
+namespace levnet::pram {
+
+TournamentMaxErew::TournamentMaxErew(std::vector<Word> input)
+    : input_(std::move(input)),
+      rounds_(support::ceil_log2(input_.size())) {
+  LEVNET_CHECK(!input_.empty());
+  expected_ = *std::max_element(input_.begin(), input_.end());
+  reset();
+}
+
+void TournamentMaxErew::init_memory(SharedMemory& memory) const {
+  for (std::size_t i = 0; i < input_.size(); ++i) memory.write(i, input_[i]);
+}
+
+bool TournamentMaxErew::finished(std::uint32_t step) const {
+  return step >= 1 + 2 * rounds_;
+}
+
+MemOp TournamentMaxErew::issue(ProcId proc, std::uint32_t step) {
+  if (step == 0) return MemOp::read(proc);
+  const std::uint32_t round = (step - 1) / 2;
+  const bool read_phase = ((step - 1) % 2) == 0;
+  const ProcId stride = ProcId{1} << round;
+  const bool active =
+      proc % (2 * stride) == 0 && proc + stride < processor_count();
+  if (!active) return MemOp::none();
+  if (read_phase) return MemOp::read(proc + stride);
+  reg_[proc] = std::max(reg_[proc], incoming_[proc]);
+  return MemOp::write(proc, reg_[proc]);
+}
+
+void TournamentMaxErew::receive(ProcId proc, std::uint32_t step, Word value) {
+  if (step == 0) {
+    reg_[proc] = value;
+  } else {
+    incoming_[proc] = value;
+  }
+}
+
+void TournamentMaxErew::reset() {
+  reg_.assign(input_.size(), 0);
+  incoming_.assign(input_.size(), 0);
+}
+
+bool TournamentMaxErew::validate(const SharedMemory& memory) const {
+  return memory.read(0) == expected_;
+}
+
+ConstantMaxCrcw::ConstantMaxCrcw(std::vector<Word> input)
+    : n_(static_cast<ProcId>(input.size())), input_(std::move(input)) {
+  LEVNET_CHECK(n_ >= 1);
+  expected_ = *std::max_element(input_.begin(), input_.end());
+  reset();
+}
+
+void ConstantMaxCrcw::init_memory(SharedMemory& memory) const {
+  for (ProcId i = 0; i < n_; ++i) {
+    memory.write(i, input_[i]);
+    memory.write(flag_cell(i), 1);
+  }
+}
+
+bool ConstantMaxCrcw::finished(std::uint32_t step) const { return step >= 5; }
+
+MemOp ConstantMaxCrcw::issue(ProcId proc, std::uint32_t step) {
+  const ProcId i = proc / n_;
+  const ProcId j = proc % n_;
+  switch (step) {
+    case 0:
+      return MemOp::read(i);  // concurrent: column j shares a[i]
+    case 1:
+      return MemOp::read(j);
+    case 2:
+      // a[i] loses to a[j]: knock i out. All writers agree on the value 0,
+      // so the kCommon policy is satisfied.
+      return reg_a_[proc] < reg_b_[proc] ? MemOp::write(flag_cell(i), 0)
+                                         : MemOp::none();
+    case 3:
+      return j == 0 ? MemOp::read(flag_cell(i)) : MemOp::none();
+    case 4:
+      // Undefeated rows hold the maximum; duplicates write equal values.
+      return (j == 0 && reg_flag_[proc] != 0)
+                 ? MemOp::write(result_cell(), reg_a_[proc])
+                 : MemOp::none();
+    default:
+      return MemOp::none();
+  }
+}
+
+void ConstantMaxCrcw::receive(ProcId proc, std::uint32_t step, Word value) {
+  switch (step) {
+    case 0:
+      reg_a_[proc] = value;
+      break;
+    case 1:
+      reg_b_[proc] = value;
+      break;
+    case 3:
+      reg_flag_[proc] = value;
+      break;
+    default:
+      break;
+  }
+}
+
+void ConstantMaxCrcw::reset() {
+  const std::size_t procs = static_cast<std::size_t>(n_) * n_;
+  reg_a_.assign(procs, 0);
+  reg_b_.assign(procs, 0);
+  reg_flag_.assign(procs, 0);
+}
+
+bool ConstantMaxCrcw::validate(const SharedMemory& memory) const {
+  return memory.read(result_cell()) == expected_;
+}
+
+LogicalOrCrcw::LogicalOrCrcw(std::vector<Word> input)
+    : input_(std::move(input)) {
+  LEVNET_CHECK(!input_.empty());
+  expected_ = std::any_of(input_.begin(), input_.end(),
+                          [](Word v) { return v != 0; })
+                  ? 1
+                  : 0;
+  reset();
+}
+
+void LogicalOrCrcw::init_memory(SharedMemory& memory) const {
+  for (std::size_t i = 0; i < input_.size(); ++i) memory.write(i, input_[i]);
+}
+
+bool LogicalOrCrcw::finished(std::uint32_t step) const { return step >= 2; }
+
+MemOp LogicalOrCrcw::issue(ProcId proc, std::uint32_t step) {
+  if (step == 0) return MemOp::read(proc);
+  return reg_[proc] != 0 ? MemOp::write(input_.size(), 1) : MemOp::none();
+}
+
+void LogicalOrCrcw::receive(ProcId proc, std::uint32_t step, Word value) {
+  (void)step;
+  reg_[proc] = value;
+}
+
+void LogicalOrCrcw::reset() { reg_.assign(input_.size(), 0); }
+
+bool LogicalOrCrcw::validate(const SharedMemory& memory) const {
+  return memory.read(input_.size()) == expected_;
+}
+
+}  // namespace levnet::pram

@@ -1,0 +1,101 @@
+#pragma once
+// Maximum finding, three ways:
+//  * TournamentMaxErew — binary-tree reduction, 1 + 2*ceil(log2 n) EREW steps;
+//  * ConstantMaxCrcw — the classic 5-step CRCW trick with n^2 processors
+//    (every pair compared at once, losers knocked out via common writes);
+//  * LogicalOrCrcw — 2-step CRCW boolean OR, the textbook example of CRCW
+//    constant-time power.
+// The CRCW programs are the emulation stress cases for Theorem 2.6: their
+// access patterns concentrate reads and writes on few cells.
+
+#include <string>
+#include <vector>
+
+#include "pram/program.hpp"
+
+namespace levnet::pram {
+
+class TournamentMaxErew final : public PramProgram {
+ public:
+  explicit TournamentMaxErew(std::vector<Word> input);
+
+  [[nodiscard]] std::string name() const override { return "max-tournament"; }
+  [[nodiscard]] ProcId processor_count() const override {
+    return static_cast<ProcId>(input_.size());
+  }
+  [[nodiscard]] Addr address_space() const override { return input_.size(); }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kErew; }
+  void init_memory(SharedMemory& memory) const override;
+  [[nodiscard]] bool finished(std::uint32_t step) const override;
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override;
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  std::vector<Word> input_;
+  Word expected_;
+  std::uint32_t rounds_;
+  std::vector<Word> reg_;
+  std::vector<Word> incoming_;
+};
+
+class ConstantMaxCrcw final : public PramProgram {
+ public:
+  explicit ConstantMaxCrcw(std::vector<Word> input);
+
+  [[nodiscard]] std::string name() const override { return "max-crcw-const"; }
+  [[nodiscard]] ProcId processor_count() const override { return n_ * n_; }
+  [[nodiscard]] Addr address_space() const override { return 2 * n_ + 1; }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kCrcw; }
+  [[nodiscard]] WritePolicy write_policy() const override {
+    return WritePolicy::kCommon;
+  }
+  void init_memory(SharedMemory& memory) const override;
+  [[nodiscard]] bool finished(std::uint32_t step) const override;
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override;
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  [[nodiscard]] Addr flag_cell(ProcId i) const { return n_ + i; }
+  [[nodiscard]] Addr result_cell() const { return 2 * static_cast<Addr>(n_); }
+
+  ProcId n_;
+  std::vector<Word> input_;
+  Word expected_;
+  std::vector<Word> reg_a_;     // a[i] as seen by processor (i, j)
+  std::vector<Word> reg_b_;     // a[j]
+  std::vector<Word> reg_flag_;  // flag[i] read by (i, 0)
+};
+
+class LogicalOrCrcw final : public PramProgram {
+ public:
+  explicit LogicalOrCrcw(std::vector<Word> input);
+
+  [[nodiscard]] std::string name() const override { return "logical-or-crcw"; }
+  [[nodiscard]] ProcId processor_count() const override {
+    return static_cast<ProcId>(input_.size());
+  }
+  [[nodiscard]] Addr address_space() const override {
+    return input_.size() + 1;
+  }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kCrcw; }
+  [[nodiscard]] WritePolicy write_policy() const override {
+    return WritePolicy::kCommon;
+  }
+  void init_memory(SharedMemory& memory) const override;
+  [[nodiscard]] bool finished(std::uint32_t step) const override;
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override;
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  std::vector<Word> input_;
+  Word expected_;
+  std::vector<Word> reg_;
+};
+
+}  // namespace levnet::pram

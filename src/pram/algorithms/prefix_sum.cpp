@@ -1,0 +1,62 @@
+#include "pram/algorithms/prefix_sum.hpp"
+
+#include "support/bits.hpp"
+#include "support/check.hpp"
+
+namespace levnet::pram {
+
+PrefixSumErew::PrefixSumErew(std::vector<Word> input)
+    : input_(std::move(input)),
+      rounds_(support::ceil_log2(input_.size())) {
+  LEVNET_CHECK(!input_.empty());
+  expected_.resize(input_.size());
+  Word sum = 0;
+  for (std::size_t i = 0; i < input_.size(); ++i) {
+    sum += input_[i];
+    expected_[i] = sum;
+  }
+  reset();
+}
+
+void PrefixSumErew::init_memory(SharedMemory& memory) const {
+  for (std::size_t i = 0; i < input_.size(); ++i) {
+    memory.write(i, input_[i]);
+  }
+}
+
+bool PrefixSumErew::finished(std::uint32_t step) const {
+  return step >= 1 + 2 * rounds_;
+}
+
+MemOp PrefixSumErew::issue(ProcId proc, std::uint32_t step) {
+  if (step == 0) return MemOp::read(proc);  // load own cell into the register
+  const std::uint32_t round = (step - 1) / 2;
+  const bool read_phase = ((step - 1) % 2) == 0;
+  const ProcId offset = ProcId{1} << round;
+  if (proc < offset) return MemOp::none();
+  if (read_phase) return MemOp::read(proc - offset);
+  reg_[proc] += incoming_[proc];
+  return MemOp::write(proc, reg_[proc]);
+}
+
+void PrefixSumErew::receive(ProcId proc, std::uint32_t step, Word value) {
+  if (step == 0) {
+    reg_[proc] = value;
+  } else {
+    incoming_[proc] = value;
+  }
+}
+
+void PrefixSumErew::reset() {
+  reg_.assign(input_.size(), 0);
+  incoming_.assign(input_.size(), 0);
+}
+
+bool PrefixSumErew::validate(const SharedMemory& memory) const {
+  for (std::size_t i = 0; i < expected_.size(); ++i) {
+    if (memory.read(i) != expected_[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace levnet::pram

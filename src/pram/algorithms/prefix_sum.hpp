@@ -1,0 +1,39 @@
+#pragma once
+// Inclusive parallel prefix sum by recursive doubling (Hillis-Steele):
+// 1 + 2*ceil(log2 n) EREW steps on n processors. The introduction's
+// motivating class of PRAM algorithms ("sorting, graph and matrix
+// problems") leans on prefix sums throughout.
+
+#include <string>
+#include <vector>
+
+#include "pram/program.hpp"
+
+namespace levnet::pram {
+
+class PrefixSumErew final : public PramProgram {
+ public:
+  explicit PrefixSumErew(std::vector<Word> input);
+
+  [[nodiscard]] std::string name() const override { return "prefix-sum-erew"; }
+  [[nodiscard]] ProcId processor_count() const override {
+    return static_cast<ProcId>(input_.size());
+  }
+  [[nodiscard]] Addr address_space() const override { return input_.size(); }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kErew; }
+  void init_memory(SharedMemory& memory) const override;
+  [[nodiscard]] bool finished(std::uint32_t step) const override;
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override;
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  std::vector<Word> input_;
+  std::vector<Word> expected_;  // inclusive prefix sums
+  std::uint32_t rounds_;
+  std::vector<Word> reg_;       // running value held by each processor
+  std::vector<Word> incoming_;
+};
+
+}  // namespace levnet::pram

@@ -1,0 +1,67 @@
+#include "pram/algorithms/sorting.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace levnet::pram {
+
+OddEvenSortErew::OddEvenSortErew(std::vector<Word> input)
+    : input_(std::move(input)) {
+  LEVNET_CHECK(!input_.empty());
+  expected_ = input_;
+  std::sort(expected_.begin(), expected_.end());
+  reset();
+}
+
+void OddEvenSortErew::init_memory(SharedMemory& memory) const {
+  for (std::size_t i = 0; i < input_.size(); ++i) memory.write(i, input_[i]);
+}
+
+bool OddEvenSortErew::finished(std::uint32_t step) const {
+  return step >= 4 * static_cast<std::uint32_t>(input_.size());
+}
+
+MemOp OddEvenSortErew::issue(ProcId proc, std::uint32_t step) {
+  const std::uint32_t phase = step / 4;
+  const std::uint32_t sub = step % 4;
+  // Processor `proc` leads the pair (proc, proc + 1) when its parity
+  // matches the phase parity; pairs are disjoint, so all accesses are
+  // exclusive.
+  const bool leader =
+      (proc % 2 == phase % 2) && (proc + 1 < processor_count());
+  if (!leader) return MemOp::none();
+  switch (sub) {
+    case 0:
+      return MemOp::read(proc);
+    case 1:
+      return MemOp::read(proc + 1);
+    case 2:
+      return MemOp::write(proc, std::min(reg_left_[proc], reg_right_[proc]));
+    default:
+      return MemOp::write(proc + 1,
+                          std::max(reg_left_[proc], reg_right_[proc]));
+  }
+}
+
+void OddEvenSortErew::receive(ProcId proc, std::uint32_t step, Word value) {
+  if (step % 4 == 0) {
+    reg_left_[proc] = value;
+  } else {
+    reg_right_[proc] = value;
+  }
+}
+
+void OddEvenSortErew::reset() {
+  reg_left_.assign(input_.size(), 0);
+  reg_right_.assign(input_.size(), 0);
+}
+
+bool OddEvenSortErew::validate(const SharedMemory& memory) const {
+  for (std::size_t i = 0; i < expected_.size(); ++i) {
+    if (memory.read(i) != expected_[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace levnet::pram

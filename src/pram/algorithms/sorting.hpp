@@ -1,0 +1,37 @@
+#pragma once
+// Odd-even transposition sort: n phases of disjoint compare-exchanges,
+// 4 EREW steps per phase. A long-running exclusive-access program — the
+// bulk workload for end-to-end emulation soak tests.
+
+#include <string>
+#include <vector>
+
+#include "pram/program.hpp"
+
+namespace levnet::pram {
+
+class OddEvenSortErew final : public PramProgram {
+ public:
+  explicit OddEvenSortErew(std::vector<Word> input);
+
+  [[nodiscard]] std::string name() const override { return "odd-even-sort"; }
+  [[nodiscard]] ProcId processor_count() const override {
+    return static_cast<ProcId>(input_.size());
+  }
+  [[nodiscard]] Addr address_space() const override { return input_.size(); }
+  [[nodiscard]] Mode required_mode() const override { return Mode::kErew; }
+  void init_memory(SharedMemory& memory) const override;
+  [[nodiscard]] bool finished(std::uint32_t step) const override;
+  [[nodiscard]] MemOp issue(ProcId proc, std::uint32_t step) override;
+  void receive(ProcId proc, std::uint32_t step, Word value) override;
+  void reset() override;
+  [[nodiscard]] bool validate(const SharedMemory& memory) const override;
+
+ private:
+  std::vector<Word> input_;
+  std::vector<Word> expected_;  // sorted input
+  std::vector<Word> reg_left_;
+  std::vector<Word> reg_right_;
+};
+
+}  // namespace levnet::pram

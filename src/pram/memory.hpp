@@ -1,0 +1,49 @@
+#pragma once
+// The PRAM's shared global memory: a sparse map from address to word with
+// all cells implicitly zero. Both the reference machine and the network
+// emulator operate on this representation (the emulator's hash function
+// decides which *module* serves an address, not where the word lives in
+// the host process).
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "pram/types.hpp"
+
+namespace levnet::pram {
+
+class SharedMemory {
+ public:
+  [[nodiscard]] Word read(Addr addr) const noexcept {
+    const auto it = cells_.find(addr);
+    return it == cells_.end() ? Word{0} : it->second;
+  }
+
+  void write(Addr addr, Word value) {
+    if (value == 0) {
+      cells_.erase(addr);  // keep the canonical form: zeros are absent
+    } else {
+      cells_[addr] = value;
+    }
+  }
+
+  [[nodiscard]] std::size_t nonzero_cells() const noexcept {
+    return cells_.size();
+  }
+
+  void clear() noexcept { cells_.clear(); }
+
+  /// Value equality over the whole address space (zeros canonicalized).
+  [[nodiscard]] bool operator==(const SharedMemory& other) const {
+    return cells_ == other.cells_;
+  }
+
+  [[nodiscard]] const std::unordered_map<Addr, Word>& cells() const noexcept {
+    return cells_;
+  }
+
+ private:
+  std::unordered_map<Addr, Word> cells_;
+};
+
+}  // namespace levnet::pram

@@ -1,0 +1,61 @@
+#pragma once
+// Step-driven PRAM program interface.
+//
+// A PRAM computation is a sequence of synchronous steps; in each step every
+// processor may issue at most one shared-memory operation (Section 1's
+// model, Section 3.3's "single instruction" framing). Programs keep their
+// per-processor registers internally; the executor (reference machine or
+// network emulator) calls issue() for every processor, serves the reads,
+// and hands results back through receive() before the next step begins.
+// Reads observe the memory as of the start of the step; writes are applied
+// at the end of the step under the machine's write policy.
+
+#include <cstdint>
+#include <string>
+
+#include "pram/memory.hpp"
+#include "pram/types.hpp"
+
+namespace levnet::pram {
+
+class PramProgram {
+ public:
+  virtual ~PramProgram() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual ProcId processor_count() const = 0;
+
+  /// Size M of the shared address space the program touches; the emulator
+  /// sizes its hash family prime from this (Section 2.1: P >= M).
+  [[nodiscard]] virtual Addr address_space() const = 0;
+
+  /// Minimal machine the program is legal on, and the write policy its
+  /// concurrent writes assume. Executors use these as defaults.
+  [[nodiscard]] virtual Mode required_mode() const = 0;
+  [[nodiscard]] virtual WritePolicy write_policy() const {
+    return WritePolicy::kCommon;
+  }
+
+  /// Loads the program's input into shared memory (called once per run on a
+  /// fresh memory).
+  virtual void init_memory(SharedMemory& memory) const = 0;
+
+  /// True once `step` is past the last step of the program.
+  [[nodiscard]] virtual bool finished(std::uint32_t step) const = 0;
+
+  /// The operation processor `proc` performs in `step`.
+  [[nodiscard]] virtual MemOp issue(ProcId proc, std::uint32_t step) = 0;
+
+  /// Result delivery for a read issued by `proc` in `step`.
+  virtual void receive(ProcId proc, std::uint32_t step, Word value) = 0;
+
+  /// Clears per-processor registers so the same instance can run again
+  /// (reference run then emulated run, on separate memories).
+  virtual void reset() = 0;
+
+  /// Postcondition check against the final memory; every algorithm in the
+  /// library verifies its own output.
+  [[nodiscard]] virtual bool validate(const SharedMemory& memory) const = 0;
+};
+
+}  // namespace levnet::pram

@@ -1,0 +1,92 @@
+#include "pram/reference.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace levnet::pram {
+namespace {
+
+/// Generous safety net against non-terminating programs.
+constexpr std::uint32_t kMaxSteps = 1U << 24;
+
+struct PendingRead {
+  ProcId proc;
+  Addr addr;
+};
+
+struct CellActivity {
+  std::uint32_t readers = 0;
+  std::uint32_t writers = 0;
+  WriteClaim claim{};
+};
+
+}  // namespace
+
+ReferencePram::Result ReferencePram::run(PramProgram& program,
+                                         SharedMemory& memory) const {
+  Result result;
+  program.init_memory(memory);
+
+  const ProcId procs = program.processor_count();
+  std::vector<PendingRead> reads;
+  std::unordered_map<Addr, CellActivity> activity;
+
+  for (std::uint32_t step = 0; !program.finished(step); ++step) {
+    LEVNET_CHECK_MSG(step < kMaxSteps, "PRAM program did not terminate");
+    reads.clear();
+    activity.clear();
+
+    for (ProcId p = 0; p < procs; ++p) {
+      const MemOp op = program.issue(p, step);
+      switch (op.kind) {
+        case OpKind::kNone:
+          break;
+        case OpKind::kRead: {
+          ++result.reads;
+          reads.push_back({p, op.addr});
+          ++activity[op.addr].readers;
+          break;
+        }
+        case OpKind::kWrite: {
+          ++result.writes;
+          CellActivity& cell = activity[op.addr];
+          const WriteClaim claim{p, op.value};
+          if (cell.writers == 0) {
+            cell.claim = claim;
+          } else {
+            bool violation = false;
+            cell.claim = merge_claims(policy_, cell.claim, claim, &violation);
+            if (violation) ++result.common_violations;
+          }
+          ++cell.writers;
+          break;
+        }
+      }
+    }
+
+    // Conflict audit (the EREW/CREW legality conditions of Section 1).
+    for (const auto& [addr, cell] : activity) {
+      (void)addr;
+      if (cell.readers >= 2) ++result.read_conflicts;
+      if (cell.writers >= 2) ++result.write_conflicts;
+      result.max_concurrency =
+          std::max(result.max_concurrency, cell.readers + cell.writers);
+    }
+
+    // All reads observe the pre-write state of this step.
+    for (const PendingRead& r : reads) {
+      program.receive(r.proc, step, memory.read(r.addr));
+    }
+    // Writes land at the end of the step under the machine policy.
+    for (const auto& [addr, cell] : activity) {
+      if (cell.writers > 0) memory.write(addr, cell.claim.value);
+    }
+    result.steps = step + 1;
+  }
+  return result;
+}
+
+}  // namespace levnet::pram

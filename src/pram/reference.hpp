@@ -1,0 +1,53 @@
+#pragma once
+// Reference PRAM executor: runs a PramProgram directly against shared
+// memory with unit-time access — the ideal machine of Section 1 that the
+// network emulators are measured against. It also audits access conflicts,
+// so EREW/CREW programs can be certified conflict-free before their
+// emulation cost is interpreted (a CRCW access pattern on an EREW emulator
+// would not enjoy Theorem 2.5's bound).
+
+#include <cstdint>
+
+#include "pram/memory.hpp"
+#include "pram/program.hpp"
+#include "pram/types.hpp"
+
+namespace levnet::pram {
+
+class ReferencePram {
+ public:
+  struct Result {
+    std::uint32_t steps = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    /// Cells read by more than one processor in one step (illegal in EREW).
+    std::uint64_t read_conflicts = 0;
+    /// Cells written by more than one processor in one step (illegal in
+    /// EREW and CREW).
+    std::uint64_t write_conflicts = 0;
+    /// kCommon-policy write conflicts with disagreeing values.
+    std::uint64_t common_violations = 0;
+    /// Max processors touching one cell in one step (read or write side).
+    std::uint32_t max_concurrency = 1;
+  };
+
+  ReferencePram(Mode mode, WritePolicy policy)
+      : mode_(mode), policy_(policy) {}
+
+  /// Convenience: executor configured from the program's own requirements.
+  static ReferencePram for_program(const PramProgram& program) {
+    return ReferencePram(program.required_mode(), program.write_policy());
+  }
+
+  /// Runs `program` to completion on `memory` (which it initializes).
+  Result run(PramProgram& program, SharedMemory& memory) const;
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] WritePolicy policy() const noexcept { return policy_; }
+
+ private:
+  Mode mode_;
+  WritePolicy policy_;
+};
+
+}  // namespace levnet::pram

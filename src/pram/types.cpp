@@ -1,0 +1,62 @@
+#include "pram/types.hpp"
+
+#include <algorithm>
+
+namespace levnet::pram {
+
+const char* to_string(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::kErew:
+      return "EREW";
+    case Mode::kCrew:
+      return "CREW";
+    case Mode::kCrcw:
+      return "CRCW";
+  }
+  return "?";
+}
+
+const char* to_string(WritePolicy policy) noexcept {
+  switch (policy) {
+    case WritePolicy::kCommon:
+      return "COMMON";
+    case WritePolicy::kArbitrary:
+      return "ARBITRARY";
+    case WritePolicy::kPriority:
+      return "PRIORITY";
+    case WritePolicy::kSum:
+      return "SUM";
+    case WritePolicy::kMax:
+      return "MAX";
+    case WritePolicy::kMin:
+      return "MIN";
+  }
+  return "?";
+}
+
+WriteClaim merge_claims(WritePolicy policy, const WriteClaim& a,
+                        const WriteClaim& b,
+                        bool* common_violation) noexcept {
+  const ProcId low_proc = std::min(a.proc, b.proc);
+  switch (policy) {
+    case WritePolicy::kCommon:
+      if (a.value != b.value && common_violation != nullptr) {
+        *common_violation = true;
+      }
+      [[fallthrough]];
+    case WritePolicy::kArbitrary:
+    case WritePolicy::kPriority:
+      // Deterministic tie-break: the lowest processor id wins. For kCommon
+      // all values agree in a correct program, so the choice is immaterial.
+      return a.proc <= b.proc ? a : b;
+    case WritePolicy::kSum:
+      return {low_proc, a.value + b.value};
+    case WritePolicy::kMax:
+      return {low_proc, std::max(a.value, b.value)};
+    case WritePolicy::kMin:
+      return {low_proc, std::min(a.value, b.value)};
+  }
+  return a;
+}
+
+}  // namespace levnet::pram

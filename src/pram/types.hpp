@@ -1,0 +1,72 @@
+#pragma once
+// PRAM model vocabulary: machine modes (EREW / CREW / CRCW), concurrent-
+// write resolution policies, and the per-processor memory operation issued
+// in one PRAM step.
+//
+// The paper emulates the CRCW PRAM (Theorem 2.6) by way of the EREW result
+// (Theorem 2.5) plus message combining; the reference executor and the
+// network emulator resolve concurrent writes with the same policy code so
+// their final memories are bit-identical — the library's core correctness
+// oracle.
+
+#include <cstdint>
+
+namespace levnet::pram {
+
+using Word = std::int64_t;
+using Addr = std::uint64_t;
+using ProcId = std::uint32_t;
+
+enum class Mode : std::uint8_t {
+  kErew,  // exclusive read, exclusive write
+  kCrew,  // concurrent read, exclusive write
+  kCrcw,  // concurrent read, concurrent write
+};
+
+/// Resolution rule for concurrent writes to one cell in one step.
+enum class WritePolicy : std::uint8_t {
+  kCommon,     // all writers must agree; disagreement is a program error
+  kArbitrary,  // any single writer wins (deterministically: lowest ProcId)
+  kPriority,   // lowest ProcId wins
+  kSum,        // cell receives the sum of written values (combining +)
+  kMax,        // cell receives the maximum written value
+  kMin,        // cell receives the minimum written value
+};
+
+[[nodiscard]] const char* to_string(Mode mode) noexcept;
+[[nodiscard]] const char* to_string(WritePolicy policy) noexcept;
+
+enum class OpKind : std::uint8_t { kNone, kRead, kWrite };
+
+/// One processor's memory action in one PRAM step.
+struct MemOp {
+  OpKind kind = OpKind::kNone;
+  Addr addr = 0;
+  Word value = 0;
+
+  [[nodiscard]] static MemOp none() noexcept { return {}; }
+  [[nodiscard]] static MemOp read(Addr addr) noexcept {
+    return {OpKind::kRead, addr, 0};
+  }
+  [[nodiscard]] static MemOp write(Addr addr, Word value) noexcept {
+    return {OpKind::kWrite, addr, value};
+  }
+};
+
+/// A pending write by `proc`; claims for one cell merge associatively under
+/// every policy, which is what lets the emulator combine them en route
+/// (Theorem 2.6) and still match the reference machine exactly.
+struct WriteClaim {
+  ProcId proc = 0;
+  Word value = 0;
+};
+
+/// Merges two claims for the same cell under `policy`. Sets
+/// *common_violation (if non-null) when policy is kCommon and the values
+/// disagree; the merged result is still well-defined (lowest proc wins) so
+/// execution can continue deterministically.
+[[nodiscard]] WriteClaim merge_claims(WritePolicy policy, const WriteClaim& a,
+                                      const WriteClaim& b,
+                                      bool* common_violation) noexcept;
+
+}  // namespace levnet::pram

@@ -1,0 +1,71 @@
+#pragma once
+// Drives a Router over a Workload on the synchronous engine and audits
+// delivery — the harness behind every routing theorem experiment.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "routing/router.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/traffic.hpp"
+#include "sim/workload.hpp"
+
+namespace levnet::routing {
+
+/// TrafficHandler adapter: asks the Router for hops and records deliveries.
+class RouterTraffic final : public sim::TrafficHandler {
+ public:
+  explicit RouterTraffic(const Router& router) : router_(router) {}
+
+  void on_packet(Packet& p, NodeId at, std::uint32_t step, support::Rng& rng,
+                 std::vector<sim::Forward>& out) override;
+
+  [[nodiscard]] std::uint32_t priority(const Packet& p,
+                                       NodeId at) const override {
+    return router_.remaining(p, at);
+  }
+
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] bool all_at_destination() const noexcept {
+    return misdelivered_ == 0;
+  }
+  /// Step at which each packet id arrived (kNotDelivered if still in flight).
+  [[nodiscard]] const std::vector<std::uint32_t>& arrival_steps() const noexcept {
+    return arrival_steps_;
+  }
+  void expect_packets(std::size_t count) {
+    arrival_steps_.assign(count, kNotDelivered);
+  }
+
+  static constexpr std::uint32_t kNotDelivered = ~std::uint32_t{0};
+
+ private:
+  const Router& router_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t misdelivered_ = 0;
+  std::vector<std::uint32_t> arrival_steps_;
+};
+
+struct RoutingOutcome {
+  sim::RunMetrics metrics;
+  std::uint64_t delivered = 0;
+  bool complete = false;  ///< drained, every packet at its destination
+  /// Max over packets of (arrival - injection): the paper's "number of
+  /// steps taken by a packet" for the slowest packet == routing time.
+  std::uint32_t slowest_packet = 0;
+};
+
+/// Maps workload endpoint indices to physical nodes (identity by default;
+/// the butterfly maps index i to its column-0 node i).
+using EndpointMap = std::function<NodeId(std::uint32_t)>;
+
+[[nodiscard]] RoutingOutcome run_workload(const topology::Graph& graph,
+                                          const Router& router,
+                                          const sim::Workload& workload,
+                                          sim::EngineConfig config,
+                                          support::Rng& rng,
+                                          const EndpointMap& endpoint = {});
+
+}  // namespace levnet::routing

@@ -1,0 +1,45 @@
+#pragma once
+// Router interface: one oblivious next-hop policy per algorithm.
+//
+// All routers in the paper are oblivious (Section 2.2.1): a packet's path
+// depends only on its own (source, destination) and its private coin flips.
+// The interface enforces that shape — `prepare` draws the coins (e.g. the
+// random intermediate node of Valiant's scheme) into the packet, and
+// `next_hop` is a pure function of packet state and current position.
+
+#include <cstdint>
+
+#include "sim/packet.hpp"
+#include "support/rng.hpp"
+#include "topology/graph.hpp"
+
+namespace levnet::routing {
+
+using sim::Packet;
+using topology::kInvalidNode;
+using topology::NodeId;
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Initializes routing state for a journey that starts at p.src and ends
+  /// at p.dst (draws random intermediates, resets hop counters).
+  virtual void prepare(Packet& p, support::Rng& rng) const = 0;
+
+  /// Next node to visit from `at`, or kInvalidNode when the packet is to be
+  /// delivered at `at`. May advance p.route_state.
+  [[nodiscard]] virtual NodeId next_hop(Packet& p, NodeId at,
+                                        support::Rng& rng) const = 0;
+
+  /// Remaining journey length estimate; the engine's furthest-first
+  /// discipline serves larger values first (Section 3.4's priority rule).
+  [[nodiscard]] virtual std::uint32_t remaining(const Packet& p,
+                                                NodeId at) const {
+    (void)p;
+    (void)at;
+    return 0;
+  }
+};
+
+}  // namespace levnet::routing

@@ -1,0 +1,96 @@
+#include "routing/shuffle_router.hpp"
+
+#include "support/check.hpp"
+
+namespace levnet::routing {
+// The shift link out of a constant-digit node that re-injects the same
+// digit is a self-loop in the abstract network; the graph omits self-loops,
+// so the routers below consume such hops in place (the packet stays put for
+// that link of the unique path) — a zero-cost traversal that can only make
+// the measured routing time smaller by at most one step for d special nodes.
+
+void ShuffleUniquePathRouter::prepare(Packet& p, support::Rng& rng) const {
+  (void)rng;
+  p.route_state = 0;
+}
+
+NodeId ShuffleUniquePathRouter::next_hop(Packet& p, NodeId at,
+                                         support::Rng& rng) const {
+  (void)rng;
+  std::uint32_t hops = sim::route_state_hops(p.route_state);
+  while (hops < net_.digits()) {
+    const NodeId next = net_.forward_toward(at, p.dst, hops);
+    ++hops;
+    if (next != at) {
+      p.route_state = sim::route_state_pack(0, hops);
+      return next;
+    }
+  }
+  LEVNET_DCHECK(at == p.dst);
+  p.route_state = sim::route_state_pack(0, hops);
+  return kInvalidNode;
+}
+
+std::uint32_t ShuffleUniquePathRouter::remaining(const Packet& p,
+                                                 NodeId at) const {
+  (void)at;
+  return net_.digits() - sim::route_state_hops(p.route_state);
+}
+
+void ShuffleTwoPhaseRouter::prepare(Packet& p, support::Rng& rng) const {
+  (void)rng;
+  p.route_state = sim::route_state_pack(kPhaseRandom, 0);
+}
+
+NodeId ShuffleTwoPhaseRouter::next_hop(Packet& p, NodeId at,
+                                       support::Rng& rng) const {
+  std::uint32_t phase = sim::route_state_phase(p.route_state);
+  std::uint32_t hops = sim::route_state_hops(p.route_state);
+  const std::uint32_t n = net_.digits();
+
+  for (;;) {
+    if (phase == kPhaseDone) return kInvalidNode;
+    if (phase == kPhaseRandom && hops == n) {
+      p.intermediate = at;
+      phase = kPhaseFixed;
+      hops = 0;
+    }
+    if (phase == kPhaseFixed && hops == n) {
+      LEVNET_DCHECK(at == p.dst);
+      p.route_state = sim::route_state_pack(kPhaseDone, 0);
+      return kInvalidNode;
+    }
+    NodeId next;
+    if (phase == kPhaseRandom) {
+      next = net_.shift_inject(
+          at, static_cast<std::uint32_t>(rng.below(net_.radix())));
+    } else {
+      next = net_.forward_toward(at, p.dst, hops);
+    }
+    ++hops;
+    if (next != at) {
+      p.route_state = sim::route_state_pack(phase, hops);
+      return next;
+    }
+    // Self-loop link: hop consumed in place; keep going this step.
+    p.route_state = sim::route_state_pack(phase, hops);
+  }
+}
+
+std::uint32_t ShuffleTwoPhaseRouter::remaining(const Packet& p,
+                                               NodeId at) const {
+  (void)at;
+  const std::uint32_t phase = sim::route_state_phase(p.route_state);
+  const std::uint32_t hops = sim::route_state_hops(p.route_state);
+  const std::uint32_t n = net_.digits();
+  switch (phase) {
+    case kPhaseRandom:
+      return (n - hops) + n;
+    case kPhaseFixed:
+      return n - hops;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace levnet::routing

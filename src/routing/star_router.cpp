@@ -1,0 +1,46 @@
+#include "routing/star_router.hpp"
+
+namespace levnet::routing {
+
+void StarGreedyRouter::prepare(Packet& p, support::Rng& rng) const {
+  (void)rng;
+  p.route_state = 0;
+}
+
+NodeId StarGreedyRouter::next_hop(Packet& p, NodeId at,
+                                  support::Rng& rng) const {
+  (void)rng;
+  (void)p;
+  if (at == p.dst) return kInvalidNode;
+  return star_.greedy_step(at, p.dst);
+}
+
+std::uint32_t StarGreedyRouter::remaining(const Packet& p, NodeId at) const {
+  return star_.distance(at, p.dst);
+}
+
+void StarTwoPhaseRouter::prepare(Packet& p, support::Rng& rng) const {
+  p.intermediate = static_cast<NodeId>(rng.below(star_.node_count()));
+  p.route_state = sim::route_state_pack(kPhaseToIntermediate, 0);
+}
+
+NodeId StarTwoPhaseRouter::next_hop(Packet& p, NodeId at,
+                                    support::Rng& rng) const {
+  (void)rng;
+  if (sim::route_state_phase(p.route_state) == kPhaseToIntermediate) {
+    if (at != p.intermediate) return star_.greedy_step(at, p.intermediate);
+    p.route_state = sim::route_state_pack(kPhaseToDestination, 0);
+  }
+  if (at == p.dst) return kInvalidNode;
+  return star_.greedy_step(at, p.dst);
+}
+
+std::uint32_t StarTwoPhaseRouter::remaining(const Packet& p, NodeId at) const {
+  if (sim::route_state_phase(p.route_state) == kPhaseToIntermediate) {
+    return star_.distance(at, p.intermediate) +
+           star_.distance(p.intermediate, p.dst);
+  }
+  return star_.distance(at, p.dst);
+}
+
+}  // namespace levnet::routing

@@ -1,0 +1,88 @@
+#include "routing/two_phase.hpp"
+
+#include "support/check.hpp"
+
+namespace levnet::routing {
+
+void TwoPhaseButterflyRouter::prepare(Packet& p, support::Rng& rng) const {
+  (void)rng;
+  p.route_state = p.src == p.dst ? sim::route_state_pack(kPhaseDone, 0)
+                                 : sim::route_state_pack(kPhaseRandom, 0);
+  p.intermediate = p.src;
+}
+
+NodeId TwoPhaseButterflyRouter::next_hop(Packet& p, NodeId at,
+                                         support::Rng& rng) const {
+  std::uint32_t phase = sim::route_state_phase(p.route_state);
+  std::uint32_t hops = sim::route_state_hops(p.route_state);
+  const std::uint32_t l = net_.levels();
+
+  if (phase == kPhaseDone) return kInvalidNode;
+  if (phase == kPhaseRandom && hops == l) {
+    // Random walk complete: `at` is the uniformly random intermediate node.
+    p.intermediate = at;
+    phase = kPhaseFixed;
+    hops = 0;
+  }
+  if (phase == kPhaseFixed && hops == l) {
+    LEVNET_DCHECK(at == p.dst);
+    p.route_state = sim::route_state_pack(kPhaseDone, 0);
+    return kInvalidNode;
+  }
+
+  NodeId next;
+  if (phase == kPhaseRandom) {
+    const std::uint32_t column = net_.column_of(at);
+    const NodeId row = net_.row_of(at);
+    const auto digit =
+        static_cast<std::uint32_t>(rng.below(net_.radix()));
+    next = net_.node_id((column + 1) % l, net_.with_digit(row, column, digit));
+  } else {
+    next = net_.forward_toward(at, net_.row_of(p.dst));
+  }
+  p.route_state = sim::route_state_pack(phase, hops + 1);
+  return next;
+}
+
+std::uint32_t TwoPhaseButterflyRouter::remaining(const Packet& p,
+                                                 NodeId at) const {
+  (void)at;
+  const std::uint32_t phase = sim::route_state_phase(p.route_state);
+  const std::uint32_t hops = sim::route_state_hops(p.route_state);
+  const std::uint32_t l = net_.levels();
+  switch (phase) {
+    case kPhaseRandom:
+      return (l - hops) + l;
+    case kPhaseFixed:
+      return l - hops;
+    default:
+      return 0;
+  }
+}
+
+void UniquePathButterflyRouter::prepare(Packet& p, support::Rng& rng) const {
+  (void)rng;
+  p.route_state = sim::route_state_pack(p.src == p.dst ? 1 : 0, 0);
+}
+
+NodeId UniquePathButterflyRouter::next_hop(Packet& p, NodeId at,
+                                           support::Rng& rng) const {
+  (void)rng;
+  if (sim::route_state_phase(p.route_state) == 1) return kInvalidNode;
+  const std::uint32_t hops = sim::route_state_hops(p.route_state);
+  if (hops == net_.levels()) {
+    LEVNET_DCHECK(at == p.dst);
+    return kInvalidNode;
+  }
+  p.route_state = sim::route_state_pack(0, hops + 1);
+  return net_.forward_toward(at, net_.row_of(p.dst));
+}
+
+std::uint32_t UniquePathButterflyRouter::remaining(const Packet& p,
+                                                   NodeId at) const {
+  (void)at;
+  if (sim::route_state_phase(p.route_state) == 1) return 0;
+  return net_.levels() - sim::route_state_hops(p.route_state);
+}
+
+}  // namespace levnet::routing

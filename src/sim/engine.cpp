@@ -1,0 +1,143 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace levnet::sim {
+
+SyncEngine::SyncEngine(const topology::Graph& graph, TrafficHandler& handler,
+                       EngineConfig config)
+    : graph_(graph),
+      handler_(handler),
+      config_(config),
+      queues_(graph.edge_count()),
+      edge_active_(graph.edge_count(), 0),
+      node_load_(graph.node_count(), 0) {}
+
+void SyncEngine::reset() {
+  for (EdgeId e : active_) queues_[e].clear();
+  std::fill(edge_active_.begin(), edge_active_.end(), 0);
+  active_.clear();
+  std::fill(node_load_.begin(), node_load_.end(), 0);
+  metrics_.reset();
+  now_ = 0;
+}
+
+void SyncEngine::inject(Packet packet, NodeId at, support::Rng& rng) {
+  packet.inject_step = now_;
+  packet.came_from = topology::kInvalidNode;
+  ++metrics_.injected;
+  route_from(std::move(packet), at, rng);
+}
+
+void SyncEngine::route_from(Packet&& packet, NodeId at, support::Rng& rng) {
+  scratch_forwards_.clear();
+  handler_.on_packet(packet, at, now_, rng, scratch_forwards_);
+  if (scratch_forwards_.empty()) {
+    ++metrics_.consumed;
+    metrics_.steps = std::max(metrics_.steps, now_);
+    metrics_.total_hops += packet.hops;
+    const std::uint32_t journey = now_ - packet.inject_step;
+    metrics_.total_delay += journey - std::min(journey, packet.hops);
+    return;
+  }
+  // Fan-out: the last forward moves the original, earlier ones take copies.
+  const std::size_t fan = scratch_forwards_.size();
+  for (std::size_t i = 0; i + 1 < fan; ++i) {
+    Packet copy{packet};
+    copy.route_state = scratch_forwards_[i].route_state;
+    enqueue(std::move(copy), at, scratch_forwards_[i].to);
+  }
+  packet.route_state = scratch_forwards_[fan - 1].route_state;
+  const NodeId last = scratch_forwards_[fan - 1].to;
+  enqueue(std::move(packet), at, last);
+}
+
+void SyncEngine::enqueue(Packet&& packet, NodeId at, NodeId next) {
+  const EdgeId e = graph_.edge_between(at, next);
+  LEVNET_CHECK_MSG(e != topology::kInvalidEdge,
+                   "handler forwarded along a non-existent link");
+  queues_[e].push(std::move(packet));
+  metrics_.max_link_queue = std::max(
+      metrics_.max_link_queue, static_cast<std::uint32_t>(queues_[e].size()));
+  const std::uint32_t load = ++node_load_[at];
+  metrics_.max_node_queue = std::max(metrics_.max_node_queue, load);
+  if (!edge_active_[e]) {
+    edge_active_[e] = 1;
+    active_.push_back(e);
+  }
+}
+
+Packet SyncEngine::pop_by_discipline(support::RingQueue<Packet>& queue,
+                                     NodeId tail) {
+  if (config_.discipline == QueueDiscipline::kFifo || queue.size() == 1) {
+    return queue.pop();
+  }
+  std::size_t best = 0;
+  std::uint32_t best_key = handler_.priority(queue.at(0), tail);
+  for (std::size_t i = 1; i < queue.size(); ++i) {
+    const std::uint32_t key = handler_.priority(queue.at(i), tail);
+    const bool better = config_.discipline == QueueDiscipline::kFurthestFirst
+                            ? key > best_key
+                            : key < best_key;
+    if (better) {
+      best = i;
+      best_key = key;
+    }
+  }
+  return queue.extract(best);
+}
+
+std::size_t SyncEngine::step(support::Rng& rng) {
+  ++now_;
+  landings_.clear();
+  next_active_.clear();
+  // Transmission phase: every active directed link moves one packet, unless
+  // bounded-buffer mode blocks it.
+  for (const EdgeId e : active_) {
+    auto& queue = queues_[e];
+    const NodeId tail = graph_.edge_tail(e);
+    const NodeId head = graph_.edge_head(e);
+    if (config_.node_buffer_bound != 0 &&
+        node_load_[head] >= config_.node_buffer_bound) {
+      next_active_.push_back(e);  // blocked; stays active
+      continue;
+    }
+    Packet packet = pop_by_discipline(queue, tail);
+    --node_load_[tail];
+    packet.hops += 1;
+    packet.came_from = tail;
+    landings_.push_back(Landing{std::move(packet), head});
+    if (!queue.empty()) {
+      next_active_.push_back(e);
+    } else {
+      edge_active_[e] = 0;
+    }
+  }
+  std::swap(active_, next_active_);
+  // Landing phase: consumed or forwarded; new enqueues become eligible for
+  // transmission from the next step (they are appended to active_ now, but
+  // this step's transmission loop has already finished).
+  for (auto& landing : landings_) {
+    route_from(std::move(landing.packet), landing.at, rng);
+  }
+  return landings_.size();
+}
+
+bool SyncEngine::run(support::Rng& rng) {
+  while (!active_.empty()) {
+    if (config_.max_steps != 0 && now_ >= config_.max_steps) {
+      metrics_.aborted = true;
+      return false;
+    }
+    const std::size_t moved = step(rng);
+    if (moved == 0 && !active_.empty()) {
+      metrics_.deadlocked = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace levnet::sim

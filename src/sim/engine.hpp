@@ -1,0 +1,109 @@
+#pragma once
+// Synchronous network simulator.
+//
+// Model (Section 2.2): time advances in unit steps; in each step every
+// directed link transmits at most one packet, selected from the link's
+// queue by the configured discipline (FIFO by default, matching the paper's
+// algorithms; furthest-destination-first for the mesh algorithm of
+// Section 3.4). Packets that land on a node are handed to the
+// TrafficHandler, which decides consumption or next hop(s); newly enqueued
+// packets become eligible for transmission from the following step, so a
+// packet traverses at most one link per step.
+//
+// An optional per-node buffer bound models constant-queue hardware: a link
+// refuses to transmit while the receiving node's aggregate occupancy is at
+// the bound (used by the O(1)-queue variants of Section 3.4).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/packet.hpp"
+#include "sim/traffic.hpp"
+#include "support/ring_queue.hpp"
+#include "support/rng.hpp"
+#include "topology/graph.hpp"
+
+namespace levnet::sim {
+
+enum class QueueDiscipline : std::uint8_t {
+  kFifo = 0,
+  kFurthestFirst = 1,  // larger TrafficHandler::priority served first
+  kNearestFirst = 2,   // smaller priority served first
+};
+
+struct EngineConfig {
+  QueueDiscipline discipline = QueueDiscipline::kFifo;
+  /// Abort the run (metrics().aborted) once this many steps elapse; 0 means
+  /// no budget. The PRAM emulator uses this to trigger rehashing.
+  std::uint32_t max_steps = 0;
+  /// If nonzero, a node's outgoing queues may hold at most this many packets
+  /// for a link to transmit into it (bounded-buffer mode).
+  std::uint32_t node_buffer_bound = 0;
+};
+
+class SyncEngine {
+ public:
+  SyncEngine(const topology::Graph& graph, TrafficHandler& handler,
+             EngineConfig config);
+
+  /// Places a packet on node `at` at the current time; the handler routes it
+  /// immediately (it starts crossing its first link next step).
+  void inject(Packet packet, NodeId at, support::Rng& rng);
+
+  /// Advances one step: transmissions, then landings. Returns the number of
+  /// packets that moved.
+  std::size_t step(support::Rng& rng);
+
+  /// Runs until all queues drain, the step budget is exhausted, or
+  /// bounded-buffer mode deadlocks. Returns true iff drained normally.
+  bool run(support::Rng& rng);
+
+  [[nodiscard]] const RunMetrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] std::uint32_t now() const noexcept { return now_; }
+  [[nodiscard]] bool idle() const noexcept { return active_.empty(); }
+
+  /// Direct access to a directed link's queue. The CRCW combining layer
+  /// (Theorem 2.6) scans and edits packets still queued at a node to merge
+  /// same-address requests before they depart.
+  [[nodiscard]] support::RingQueue<Packet>& edge_queue(EdgeId e) noexcept {
+    return queues_[e];
+  }
+
+  /// Clears queues and metrics for a fresh run on the same graph.
+  void reset();
+
+  /// Adjusts the step budget (0 = unlimited). The emulator grows it across
+  /// rehash attempts so an initially mis-set budget cannot live-lock.
+  void set_max_steps(std::uint32_t max_steps) noexcept {
+    config_.max_steps = max_steps;
+  }
+
+ private:
+  struct Landing {
+    Packet packet;
+    NodeId at;
+  };
+
+  void route_from(Packet&& packet, NodeId at, support::Rng& rng);
+  void enqueue(Packet&& packet, NodeId at, NodeId next);
+  [[nodiscard]] Packet pop_by_discipline(support::RingQueue<Packet>& queue,
+                                         NodeId tail);
+
+  const topology::Graph& graph_;
+  TrafficHandler& handler_;
+  EngineConfig config_;
+
+  std::vector<support::RingQueue<Packet>> queues_;  // one per directed edge
+  std::vector<std::uint8_t> edge_active_;
+  std::vector<EdgeId> active_;
+  std::vector<EdgeId> next_active_;
+  std::vector<Landing> landings_;
+  std::vector<Forward> scratch_forwards_;
+  std::vector<std::uint32_t> node_load_;
+
+  RunMetrics metrics_;
+  std::uint32_t now_ = 0;
+};
+
+}  // namespace levnet::sim

@@ -1,0 +1,32 @@
+#pragma once
+// Run-level measurements in the paper's vocabulary (Section 2.2): routing
+// time (step of last consumption), delay, and queue size.
+
+#include <cstdint>
+
+namespace levnet::sim {
+
+struct RunMetrics {
+  /// Step at which the last packet was consumed; the paper's routing time.
+  std::uint32_t steps = 0;
+  std::uint64_t injected = 0;
+  /// Packets consumed by the handler (delivered or absorbed by combining).
+  std::uint64_t consumed = 0;
+  std::uint64_t total_hops = 0;
+  /// Sum over consumed packets of (journey steps - hops): time spent waiting
+  /// unserved in queues — the paper's "delay of a packet".
+  std::uint64_t total_delay = 0;
+  /// Maximum occupancy of any single directed-link queue.
+  std::uint32_t max_link_queue = 0;
+  /// Maximum total occupancy across one node's outgoing-link queues.
+  std::uint32_t max_node_queue = 0;
+  /// True if the run hit the step budget before draining (triggers a rehash
+  /// in the emulator, Section 2.1).
+  bool aborted = false;
+  /// True if bounded-buffer mode wedged (no transmission possible).
+  bool deadlocked = false;
+
+  void reset() { *this = RunMetrics{}; }
+};
+
+}  // namespace levnet::sim

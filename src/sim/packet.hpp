@@ -1,0 +1,59 @@
+#pragma once
+// The unit of communication: a (source, destination) pair plus the PRAM
+// payload it may carry (Section 2.2's routing problem definition).
+
+#include <cstdint>
+
+#include "topology/graph.hpp"
+
+namespace levnet::sim {
+
+using topology::EdgeId;
+using topology::NodeId;
+
+enum class PacketKind : std::uint8_t {
+  kData = 0,     // plain routing payload (permutation / h-relation studies)
+  kRequest = 1,  // PRAM memory request travelling processor -> module
+  kReply = 2,    // PRAM read reply travelling module -> processor
+};
+
+enum class MemOpKind : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+};
+
+struct Packet {
+  std::uint32_t id = 0;           ///< Unique within a run (injection order).
+  NodeId src = 0;                 ///< Origin of the current journey.
+  NodeId dst = 0;                 ///< Destination of the current journey.
+  NodeId intermediate = 0;        ///< Phase-1 target chosen by two-phase routers.
+  std::uint32_t route_state = 0;  ///< Router scratch: phase / hops-in-pass.
+  std::uint32_t proc = 0;         ///< Issuing PRAM processor (requests/replies).
+  PacketKind kind = PacketKind::kData;
+  MemOpKind op = MemOpKind::kNone;
+  std::uint64_t addr = 0;         ///< Shared-memory address (PRAM traffic).
+  std::int64_t value = 0;         ///< Write payload or read reply value.
+  std::uint32_t inject_step = 0;  ///< Simulation step of injection.
+  std::uint32_t hops = 0;         ///< Links traversed so far.
+  /// Node the packet just crossed a link from; kInvalidNode right after
+  /// injection. Maintained by the engine; CRCW combining records it.
+  NodeId came_from = topology::kInvalidNode;
+};
+
+/// Router scratch encoding shared by the two-phase routers: low 16 bits hop
+/// counter within the current pass, high bits the phase number.
+[[nodiscard]] constexpr std::uint32_t route_state_pack(
+    std::uint32_t phase, std::uint32_t hops_in_pass) noexcept {
+  return (phase << 16) | (hops_in_pass & 0xffffU);
+}
+[[nodiscard]] constexpr std::uint32_t route_state_phase(
+    std::uint32_t state) noexcept {
+  return state >> 16;
+}
+[[nodiscard]] constexpr std::uint32_t route_state_hops(
+    std::uint32_t state) noexcept {
+  return state & 0xffffU;
+}
+
+}  // namespace levnet::sim

@@ -1,0 +1,79 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace levnet::sim {
+namespace {
+
+[[nodiscard]] std::uint64_t link_key(NodeId from, NodeId to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+[[nodiscard]] std::unordered_set<std::uint64_t> link_set(
+    const PacketTrace& trace) {
+  std::unordered_set<std::uint64_t> links;
+  links.reserve(trace.link_count());
+  for (std::size_t i = 0; i + 1 < trace.nodes.size(); ++i) {
+    links.insert(link_key(trace.nodes[i], trace.nodes[i + 1]));
+  }
+  return links;
+}
+
+/// Indices (link positions) of `a`'s links that also appear in `b`.
+[[nodiscard]] std::vector<std::size_t> shared_positions(
+    const PacketTrace& a, const std::unordered_set<std::uint64_t>& b_links) {
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i + 1 < a.nodes.size(); ++i) {
+    if (b_links.contains(link_key(a.nodes[i], a.nodes[i + 1]))) {
+      positions.push_back(i);
+    }
+  }
+  return positions;
+}
+
+[[nodiscard]] bool contiguous(const std::vector<std::size_t>& positions) {
+  for (std::size_t i = 1; i < positions.size(); ++i) {
+    if (positions[i] != positions[i - 1] + 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t shared_link_count(const PacketTrace& a, const PacketTrace& b) {
+  const auto b_links = link_set(b);
+  std::uint32_t count = 0;
+  for (std::size_t i = 0; i + 1 < a.nodes.size(); ++i) {
+    if (b_links.contains(link_key(a.nodes[i], a.nodes[i + 1]))) ++count;
+  }
+  return count;
+}
+
+bool nonrepeating_pair(const PacketTrace& a, const PacketTrace& b) {
+  const auto b_links = link_set(b);
+  const auto in_a = shared_positions(a, b_links);
+  if (in_a.empty()) return true;
+  if (!contiguous(in_a)) return false;
+  const auto a_links = link_set(a);
+  return contiguous(shared_positions(b, a_links));
+}
+
+std::uint32_t overlap_count(const PacketTrace& a, std::size_t self_index,
+                            const std::vector<PacketTrace>& all) {
+  const auto a_links = link_set(a);
+  std::uint32_t overlapping = 0;
+  for (std::size_t j = 0; j < all.size(); ++j) {
+    if (j == self_index) continue;
+    const PacketTrace& other = all[j];
+    for (std::size_t i = 0; i + 1 < other.nodes.size(); ++i) {
+      if (a_links.contains(link_key(other.nodes[i], other.nodes[i + 1]))) {
+        ++overlapping;
+        break;
+      }
+    }
+  }
+  return overlapping;
+}
+
+}  // namespace levnet::sim

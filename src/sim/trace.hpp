@@ -1,0 +1,77 @@
+#pragma once
+// Packet-journey tracing and the path-level audits of Section 2.2.
+//
+// The paper's delay analysis rests on two objects:
+//   * Definition 2.1 (nonrepeating): if the paths of two packets share some
+//     links and then diverge, they never share a link again;
+//   * Fact 2.1 (queue-line lemma): under a nonrepeating scheme, a packet's
+//     delay is at most the number of packets whose paths overlap its own.
+// TracingTraffic decorates any TrafficHandler, records every packet's
+// visited-node sequence, and the free functions below audit those
+// properties — the property tests use them to machine-check the lemma the
+// theorems lean on.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "sim/traffic.hpp"
+
+namespace levnet::sim {
+
+/// A packet's route: the node sequence from injection to consumption.
+/// Directed links are consecutive pairs.
+struct PacketTrace {
+  std::vector<NodeId> nodes;
+
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return nodes.empty() ? 0 : nodes.size() - 1;
+  }
+};
+
+/// Decorator recording per-packet routes while delegating all decisions to
+/// the wrapped handler. Fan-out copies (combining replies) extend the same
+/// packet id's trace and are excluded from path audits by design — the
+/// lemma concerns request routes, which never fan out.
+class TracingTraffic final : public TrafficHandler {
+ public:
+  explicit TracingTraffic(TrafficHandler& inner) : inner_(inner) {}
+
+  void on_packet(Packet& p, NodeId at, std::uint32_t step, support::Rng& rng,
+                 std::vector<Forward>& out) override {
+    if (p.id >= traces_.size()) traces_.resize(p.id + 1);
+    traces_[p.id].nodes.push_back(at);
+    inner_.on_packet(p, at, step, rng, out);
+  }
+
+  [[nodiscard]] std::uint32_t priority(const Packet& p,
+                                       NodeId at) const override {
+    return inner_.priority(p, at);
+  }
+
+  [[nodiscard]] const std::vector<PacketTrace>& traces() const noexcept {
+    return traces_;
+  }
+
+ private:
+  TrafficHandler& inner_;
+  std::vector<PacketTrace> traces_;
+};
+
+/// Number of directed links the two routes share (the paper's "overlap"
+/// measure behind Definition 2.2's queue lines).
+[[nodiscard]] std::uint32_t shared_link_count(const PacketTrace& a,
+                                              const PacketTrace& b);
+
+/// Definition 2.1 check for one pair: the shared links must form a single
+/// contiguous run in both routes (once diverged, never share again).
+[[nodiscard]] bool nonrepeating_pair(const PacketTrace& a,
+                                     const PacketTrace& b);
+
+/// Number of packets in `all` whose route shares at least one link with
+/// `a` (excluding itself) — the queue-line lemma's delay bound.
+[[nodiscard]] std::uint32_t overlap_count(const PacketTrace& a,
+                                          std::size_t self_index,
+                                          const std::vector<PacketTrace>& all);
+
+}  // namespace levnet::sim

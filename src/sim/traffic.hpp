@@ -1,0 +1,47 @@
+#pragma once
+// TrafficHandler: the engine's callback surface.
+//
+// The engine owns time, link queues and the one-packet-per-link-per-step
+// capacity rule; everything problem-specific (where a packet goes next,
+// when it is delivered, CRCW combining, reply generation at memory modules)
+// lives behind this interface. on_packet may emit zero forwards (the packet
+// is consumed), one (normal forwarding) or several (reply fan-out along a
+// combining tree, Theorem 2.6); each forward carries its own route_state so
+// tree branches can be retraced independently.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "support/rng.hpp"
+
+namespace levnet::sim {
+
+/// One outgoing copy of a landing packet.
+struct Forward {
+  NodeId to;
+  std::uint32_t route_state;
+};
+
+class TrafficHandler {
+ public:
+  virtual ~TrafficHandler() = default;
+
+  /// Packet `p` landed on node `at` at time `step` (either freshly injected,
+  /// with p.came_from == kInvalidNode, or after crossing a link from
+  /// p.came_from). Append to `out` the forward(s) to emit; leaving `out`
+  /// empty consumes the packet.
+  virtual void on_packet(Packet& p, NodeId at, std::uint32_t step,
+                         support::Rng& rng, std::vector<Forward>& out) = 0;
+
+  /// Priority key for non-FIFO queue disciplines; larger values are served
+  /// first ("furthest destination first" returns the remaining distance).
+  [[nodiscard]] virtual std::uint32_t priority(const Packet& p,
+                                               NodeId at) const {
+    (void)p;
+    (void)at;
+    return 0;
+  }
+};
+
+}  // namespace levnet::sim

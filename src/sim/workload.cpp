@@ -1,0 +1,151 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace levnet::sim {
+
+Workload permutation_workload(std::uint32_t m, support::Rng& rng) {
+  const auto perm = support::random_permutation(m, rng);
+  Workload w;
+  w.reserve(m);
+  for (std::uint32_t i = 0; i < m; ++i) w.push_back({i, perm[i]});
+  return w;
+}
+
+Workload partial_permutation_workload(std::uint32_t m, double density,
+                                      support::Rng& rng) {
+  LEVNET_CHECK(density >= 0.0 && density <= 1.0);
+  const auto perm = support::random_permutation(m, rng);
+  Workload w;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    if (rng.chance(density)) w.push_back({i, perm[i]});
+  }
+  return w;
+}
+
+Workload h_relation_workload(std::uint32_t m, std::uint32_t h,
+                             support::Rng& rng) {
+  Workload w;
+  w.reserve(static_cast<std::size_t>(m) * h);
+  for (std::uint32_t round = 0; round < h; ++round) {
+    const auto perm = support::random_permutation(m, rng);
+    for (std::uint32_t i = 0; i < m; ++i) w.push_back({i, perm[i]});
+  }
+  return w;
+}
+
+Workload many_one_workload(std::uint32_t m, support::Rng& rng) {
+  Workload w;
+  w.reserve(m);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    w.push_back({i, static_cast<std::uint32_t>(rng.below(m))});
+  }
+  return w;
+}
+
+Workload hot_spot_workload(std::uint32_t m, double fraction,
+                           std::uint32_t target, support::Rng& rng) {
+  LEVNET_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  LEVNET_CHECK(target < m);
+  const auto perm = support::random_permutation(m, rng);
+  Workload w;
+  w.reserve(m);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    if (rng.chance(fraction)) {
+      w.push_back({i, target});
+    } else {
+      w.push_back({i, perm[i]});
+    }
+  }
+  return w;
+}
+
+Workload reversal_workload(std::uint32_t m) {
+  // Reverse the index within the smallest power of two >= m, clamping any
+  // out-of-range image to a self-loop (delivered at injection; harmless).
+  std::uint32_t bits = 0;
+  while ((std::uint32_t{1} << bits) < m) ++bits;
+  Workload w;
+  w.reserve(m);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    std::uint32_t r = 0;
+    for (std::uint32_t b = 0; b < bits; ++b) {
+      if (i & (std::uint32_t{1} << b)) r |= std::uint32_t{1} << (bits - 1 - b);
+    }
+    w.push_back({i, r < m ? r : i});
+  }
+  return w;
+}
+
+Workload transpose_workload(std::uint32_t n) {
+  Workload w;
+  w.reserve(static_cast<std::size_t>(n) * n);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t c = 0; c < n; ++c) {
+      w.push_back({r * n + c, c * n + r});
+    }
+  }
+  return w;
+}
+
+Workload local_mesh_workload(std::uint32_t n, std::uint32_t d,
+                             support::Rng& rng) {
+  LEVNET_CHECK(d >= 1);
+  Workload w;
+  w.reserve(static_cast<std::size_t>(n) * n);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t c = 0; c < n; ++c) {
+      // Rejection-sample a destination within Manhattan distance d.
+      for (;;) {
+        const auto dr = static_cast<std::int64_t>(rng.range(0, 2 * d)) -
+                        static_cast<std::int64_t>(d);
+        const std::int64_t budget = static_cast<std::int64_t>(d) -
+                                    (dr < 0 ? -dr : dr);
+        const auto dc = static_cast<std::int64_t>(
+                            rng.range(0, static_cast<std::uint64_t>(2 * budget))) -
+                        budget;
+        const std::int64_t rr = static_cast<std::int64_t>(r) + dr;
+        const std::int64_t cc = static_cast<std::int64_t>(c) + dc;
+        if (rr < 0 || cc < 0 || rr >= n || cc >= n) continue;
+        w.push_back({r * n + c, static_cast<std::uint32_t>(rr) * n +
+                                    static_cast<std::uint32_t>(cc)});
+        break;
+      }
+    }
+  }
+  return w;
+}
+
+bool is_permutation_workload(const Workload& w, std::uint32_t m) {
+  if (w.size() != m) return false;
+  std::vector<bool> seen_src(m, false);
+  std::vector<bool> seen_dst(m, false);
+  for (const auto& demand : w) {
+    if (demand.source >= m || demand.destination >= m) return false;
+    if (seen_src[demand.source] || seen_dst[demand.destination]) return false;
+    seen_src[demand.source] = true;
+    seen_dst[demand.destination] = true;
+  }
+  return true;
+}
+
+std::uint32_t max_demands_per_source(const Workload& w, std::uint32_t m) {
+  std::vector<std::uint32_t> count(m, 0);
+  std::uint32_t best = 0;
+  for (const auto& demand : w) best = std::max(best, ++count[demand.source]);
+  return best;
+}
+
+std::uint32_t max_demands_per_destination(const Workload& w, std::uint32_t m) {
+  std::vector<std::uint32_t> count(m, 0);
+  std::uint32_t best = 0;
+  for (const auto& demand : w) {
+    best = std::max(best, ++count[demand.destination]);
+  }
+  return best;
+}
+
+}  // namespace levnet::sim

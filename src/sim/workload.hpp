@@ -1,0 +1,69 @@
+#pragma once
+// Workload generators for the routing problems of Section 2.2.1:
+// permutation, partial, (partial) h-relation, many-one, plus the hot-spot
+// and adversarial patterns used in the benches.
+//
+// A workload is a list of (source index, destination index) demands over an
+// abstract endpoint domain [0, m); the caller maps indices to physical
+// nodes (e.g. column-0 butterfly nodes, or all nodes of a star graph).
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace levnet::sim {
+
+struct Demand {
+  std::uint32_t source;
+  std::uint32_t destination;
+};
+
+using Workload = std::vector<Demand>;
+
+/// One packet per endpoint, destinations a uniform random permutation.
+[[nodiscard]] Workload permutation_workload(std::uint32_t m,
+                                            support::Rng& rng);
+
+/// Partial routing: each endpoint holds a packet with probability `density`;
+/// destinations are distinct (a random partial permutation).
+[[nodiscard]] Workload partial_permutation_workload(std::uint32_t m,
+                                                    double density,
+                                                    support::Rng& rng);
+
+/// Partial h-relation (Section 2.2.1): at most h packets per source and at
+/// most h per destination — realized as h independent random permutations.
+[[nodiscard]] Workload h_relation_workload(std::uint32_t m, std::uint32_t h,
+                                           support::Rng& rng);
+
+/// Many-one routing: one packet per endpoint, destination uniform (collisions
+/// allowed).
+[[nodiscard]] Workload many_one_workload(std::uint32_t m, support::Rng& rng);
+
+/// Hot spot: a `fraction` of endpoints all target `target`; the rest form a
+/// random permutation among themselves. Exercises CRCW combining.
+[[nodiscard]] Workload hot_spot_workload(std::uint32_t m, double fraction,
+                                         std::uint32_t target,
+                                         support::Rng& rng);
+
+/// Digit/bit reversal of the index — a classic adversarial permutation for
+/// deterministic dimension-order routers.
+[[nodiscard]] Workload reversal_workload(std::uint32_t m);
+
+/// Mesh transpose (i, j) -> (j, i) over an n x n index grid; the standard
+/// worst case for greedy XY routing (all of row i funnels into column i).
+[[nodiscard]] Workload transpose_workload(std::uint32_t n);
+
+/// Local workload over an n x n grid: destination uniform among nodes within
+/// Manhattan distance `d` of the source (Theorem 3.3's locality regime).
+[[nodiscard]] Workload local_mesh_workload(std::uint32_t n, std::uint32_t d,
+                                           support::Rng& rng);
+
+/// Audit helpers used by tests.
+[[nodiscard]] bool is_permutation_workload(const Workload& w, std::uint32_t m);
+[[nodiscard]] std::uint32_t max_demands_per_source(const Workload& w,
+                                                   std::uint32_t m);
+[[nodiscard]] std::uint32_t max_demands_per_destination(const Workload& w,
+                                                        std::uint32_t m);
+
+}  // namespace levnet::sim

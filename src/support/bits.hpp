@@ -1,0 +1,27 @@
+#pragma once
+// Small integer helpers shared by the doubling-style PRAM algorithms.
+
+#include <bit>
+#include <cstdint>
+
+namespace levnet::support {
+
+/// ceil(log2(x)) for x >= 1; 0 maps to 0.
+[[nodiscard]] constexpr std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return static_cast<std::uint32_t>(std::bit_width(x - 1));
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
+  return x == 0 ? 0 : static_cast<std::uint32_t>(std::bit_width(x) - 1);
+}
+
+static_assert(ceil_log2(1) == 0);
+static_assert(ceil_log2(2) == 1);
+static_assert(ceil_log2(3) == 2);
+static_assert(ceil_log2(1024) == 10);
+static_assert(floor_log2(1) == 0);
+static_assert(floor_log2(1023) == 9);
+
+}  // namespace levnet::support

@@ -1,0 +1,17 @@
+#include "support/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace levnet::support {
+
+void check_failed(std::string_view expr, std::string_view file, int line,
+                  std::string_view msg) {
+  std::fprintf(stderr, "[levnet] check failed: %.*s at %.*s:%d %.*s\n",
+               static_cast<int>(expr.size()), expr.data(),
+               static_cast<int>(file.size()), file.data(), line,
+               static_cast<int>(msg.size()), msg.data());
+  std::abort();
+}
+
+}  // namespace levnet::support

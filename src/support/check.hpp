@@ -1,0 +1,38 @@
+#pragma once
+// Runtime invariant checking used across the library.
+//
+// LEVNET_CHECK is always on (it guards simulator invariants whose violation
+// would silently corrupt an experiment); LEVNET_DCHECK compiles out in
+// release builds and is used in hot loops.
+
+#include <string_view>
+
+namespace levnet::support {
+
+/// Aborts with a diagnostic message. Marked noreturn; never returns.
+[[noreturn]] void check_failed(std::string_view expr, std::string_view file,
+                               int line, std::string_view msg);
+
+}  // namespace levnet::support
+
+#define LEVNET_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]] {                                            \
+      ::levnet::support::check_failed(#expr, __FILE__, __LINE__, "");      \
+    }                                                                      \
+  } while (false)
+
+#define LEVNET_CHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]] {                                            \
+      ::levnet::support::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define LEVNET_DCHECK(expr) \
+  do {                      \
+  } while (false)
+#else
+#define LEVNET_DCHECK(expr) LEVNET_CHECK(expr)
+#endif

@@ -1,0 +1,19 @@
+// modmath is header-only; this TU exists to give the functions a home in the
+// archive and to host the compile-time self-checks below.
+
+#include "support/modmath.hpp"
+
+namespace levnet::support {
+namespace {
+
+static_assert(add_mod(5, 6, 7) == 4);
+static_assert(sub_mod(2, 5, 7) == 4);
+static_assert(mul_mod(123456789ULL, 987654321ULL, kMersenne61) ==
+              123456789ULL * 987654321ULL % kMersenne61);
+static_assert(pow_mod(3, 0, 5) == 1);
+static_assert(pow_mod(2, 61, kMersenne61) == 1);  // 2^61 = 1 mod (2^61 - 1)
+static_assert(mul_mod_m61(kMersenne61 - 1, kMersenne61 - 1) ==
+              mul_mod(kMersenne61 - 1, kMersenne61 - 1, kMersenne61));
+
+}  // namespace
+}  // namespace levnet::support

@@ -1,0 +1,60 @@
+#pragma once
+// 64-bit modular arithmetic for the Karlin–Upfal hash family (Section 2.1).
+//
+// The hash class is H = { h(x) = ((sum a_i x^i) mod P) mod N } with P prime,
+// P >= M (the PRAM address-space size). Polynomial evaluation needs fast
+// (a * b) mod P for 64-bit operands, which we do through unsigned __int128.
+
+#include <cstdint>
+
+namespace levnet::support {
+
+/// 2^61 - 1, a Mersenne prime large enough for any address space we simulate.
+inline constexpr std::uint64_t kMersenne61 = (std::uint64_t{1} << 61) - 1;
+
+/// (a + b) mod m, assuming a, b < m < 2^63.
+[[nodiscard]] constexpr std::uint64_t add_mod(std::uint64_t a, std::uint64_t b,
+                                              std::uint64_t m) noexcept {
+  const std::uint64_t s = a + b;
+  return s >= m ? s - m : s;
+}
+
+/// (a - b) mod m, assuming a, b < m.
+[[nodiscard]] constexpr std::uint64_t sub_mod(std::uint64_t a, std::uint64_t b,
+                                              std::uint64_t m) noexcept {
+  return a >= b ? a - b : a + (m - b);
+}
+
+/// (a * b) mod m via 128-bit intermediate; a, b < m < 2^64.
+[[nodiscard]] constexpr std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b,
+                                              std::uint64_t m) noexcept {
+  using u128 = unsigned __int128;
+  return static_cast<std::uint64_t>(static_cast<u128>(a) * b % m);
+}
+
+/// a^e mod m by square-and-multiply.
+[[nodiscard]] constexpr std::uint64_t pow_mod(std::uint64_t a, std::uint64_t e,
+                                              std::uint64_t m) noexcept {
+  std::uint64_t result = 1 % m;
+  a %= m;
+  while (e != 0) {
+    if (e & 1U) result = mul_mod(result, a, m);
+    a = mul_mod(a, a, m);
+    e >>= 1;
+  }
+  return result;
+}
+
+/// Specialized reduction mod 2^61-1 (branch-light; used in hash hot path).
+[[nodiscard]] constexpr std::uint64_t mul_mod_m61(std::uint64_t a,
+                                                  std::uint64_t b) noexcept {
+  using u128 = unsigned __int128;
+  const u128 prod = static_cast<u128>(a) * b;
+  std::uint64_t lo = static_cast<std::uint64_t>(prod) & kMersenne61;
+  const std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+  std::uint64_t s = lo + hi;
+  if (s >= kMersenne61) s -= kMersenne61;
+  return s;
+}
+
+}  // namespace levnet::support

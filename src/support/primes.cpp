@@ -1,0 +1,58 @@
+#include "support/primes.hpp"
+
+#include <array>
+
+#include "support/check.hpp"
+#include "support/modmath.hpp"
+
+namespace levnet::support {
+namespace {
+
+// Exact deterministic witness set for n < 2^64 (Sinclair / Jaeschke).
+constexpr std::array<std::uint64_t, 12> kWitnesses = {2,  3,  5,  7,  11, 13,
+                                                      17, 19, 23, 29, 31, 37};
+
+[[nodiscard]] bool miller_rabin_round(std::uint64_t n, std::uint64_t a,
+                                      std::uint64_t d, int r) noexcept {
+  std::uint64_t x = pow_mod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 1; i < r; ++i) {
+    x = mul_mod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1U) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : kWitnesses) {
+    if (!miller_rabin_round(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) noexcept {
+  if (n <= 2) return 2;
+  std::uint64_t candidate = n | 1U;  // first odd >= n
+  while (!is_prime(candidate)) {
+    LEVNET_CHECK_MSG(candidate < (std::uint64_t{1} << 63),
+                     "next_prime search out of range");
+    candidate += 2;
+  }
+  return candidate;
+}
+
+}  // namespace levnet::support

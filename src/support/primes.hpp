@@ -1,0 +1,18 @@
+#pragma once
+// Primality testing and prime search.
+//
+// The hash family requires a prime P >= M (Section 2.1). We find it with a
+// deterministic Miller–Rabin test: the witness set {2, 3, 5, 7, 11, 13, 17,
+// 19, 23, 29, 31, 37} is known to be exact for all 64-bit integers.
+
+#include <cstdint>
+
+namespace levnet::support {
+
+/// Deterministic Miller–Rabin for 64-bit integers.
+[[nodiscard]] bool is_prime(std::uint64_t n) noexcept;
+
+/// Smallest prime >= n. n must leave room below 2^63.
+[[nodiscard]] std::uint64_t next_prime(std::uint64_t n) noexcept;
+
+}  // namespace levnet::support

@@ -1,0 +1,96 @@
+#pragma once
+// Growable ring-buffer FIFO used for per-link packet queues.
+//
+// The simulator allocates one queue per directed link; most stay tiny
+// (the paper proves O(1)..O(l) occupancy), so the structure favours a
+// small footprint when empty and amortized O(1) push/pop when active.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace levnet::support {
+
+template <typename T>
+class RingQueue {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void push(T value) {
+    if (size_ == buffer_.size()) grow();
+    buffer_[(head_ + size_) % buffer_.size()] = std::move(value);
+    ++size_;
+  }
+
+  [[nodiscard]] T& front() {
+    LEVNET_DCHECK(!empty());
+    return buffer_[head_];
+  }
+
+  [[nodiscard]] const T& front() const {
+    LEVNET_DCHECK(!empty());
+    return buffer_[head_];
+  }
+
+  /// Element at FIFO position i (0 = front). Used by priority disciplines
+  /// to scan the queue; occupancies are small by the paper's bounds.
+  [[nodiscard]] T& at(std::size_t i) {
+    LEVNET_DCHECK(i < size_);
+    return buffer_[(head_ + i) % buffer_.size()];
+  }
+
+  [[nodiscard]] const T& at(std::size_t i) const {
+    LEVNET_DCHECK(i < size_);
+    return buffer_[(head_ + i) % buffer_.size()];
+  }
+
+  T pop() {
+    LEVNET_DCHECK(!empty());
+    T value = std::move(buffer_[head_]);
+    head_ = (head_ + 1) % buffer_.size();
+    --size_;
+    return value;
+  }
+
+  /// Removes and returns the element at FIFO position i, preserving the
+  /// relative order of the others (shifts the shorter side).
+  T extract(std::size_t i) {
+    LEVNET_DCHECK(i < size_);
+    if (i == 0) return pop();
+    const std::size_t cap = buffer_.size();
+    T value = std::move(buffer_[(head_ + i) % cap]);
+    // Shift elements (i, size_) left by one slot.
+    for (std::size_t k = i; k + 1 < size_; ++k) {
+      buffer_[(head_ + k) % cap] = std::move(buffer_[(head_ + k + 1) % cap]);
+    }
+    --size_;
+    return value;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buffer_.empty() ? 4 : buffer_.size() * 2;
+    std::vector<T> next;
+    next.reserve(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next.push_back(std::move(buffer_[(head_ + i) % buffer_.size()]));
+    }
+    next.resize(new_cap);
+    buffer_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buffer_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace levnet::support

@@ -1,0 +1,34 @@
+#include "support/rng.hpp"
+
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace levnet::support {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire, "Fast Random Integer Generation in an Interval" (2019).
+  LEVNET_DCHECK(bound != 0);
+  using u128 = unsigned __int128;
+  std::uint64_t x = (*this)();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::vector<std::uint32_t> random_permutation(std::uint32_t n, Rng& rng) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0U);
+  shuffle(perm, rng);
+  return perm;
+}
+
+}  // namespace levnet::support

@@ -1,0 +1,64 @@
+#pragma once
+// Descriptive statistics and linear fits for the experiment harness.
+//
+// The paper's claims are of the form "steps <= a*n + o(n) w.h.p."; we
+// evidence them by collecting step counts over seeds and sizes, then
+// reporting summaries and least-squares slopes (the measured constant a).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace levnet::support {
+
+/// Streaming accumulator (Welford) for mean/variance plus min/max.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes a sample (copies + sorts internally; samples are small).
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Least-squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination; 1.0 means a perfect linear relationship.
+  double r_squared = 0.0;
+};
+
+[[nodiscard]] LinearFit fit_line(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Convenience: fit with integral x values (sweep sizes).
+[[nodiscard]] LinearFit fit_line(std::span<const std::uint64_t> x,
+                                 std::span<const double> y);
+
+}  // namespace levnet::support

@@ -1,0 +1,68 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace levnet::support {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  LEVNET_CHECK(!header_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  LEVNET_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  LEVNET_CHECK_MSG(rows_.back().size() < header_.size(),
+                   "more cells than header columns");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      os << (c == 0 ? "" : "  ") << std::left
+         << std::setw(static_cast<int>(widths[c])) << text;
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+}  // namespace levnet::support

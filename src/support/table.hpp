@@ -1,0 +1,36 @@
+#pragma once
+// Plain-text table printer used by benches and examples to emit the
+// paper-style result rows recorded in EXPERIMENTS.md.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace levnet::support {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// with fixed precision so diffs across runs stay readable.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(double value, int precision = 2);
+
+  /// Renders with a separator line under the header.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace levnet::support

@@ -1,0 +1,76 @@
+#include "topology/butterfly.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace levnet::topology {
+
+WrappedButterfly::WrappedButterfly(std::uint32_t radix, std::uint32_t levels)
+    : radix_(radix), levels_(levels) {
+  LEVNET_CHECK(radix >= 2);
+  LEVNET_CHECK(levels >= 1);
+  std::uint64_t rows = 1;
+  digit_pow_.reserve(levels + 1);
+  for (std::uint32_t i = 0; i <= levels; ++i) {
+    digit_pow_.push_back(static_cast<NodeId>(rows));
+    if (i < levels) {
+      rows *= radix;
+      LEVNET_CHECK_MSG(rows * levels <= 0x7fffffffULL,
+                       "butterfly too large for NodeId");
+    }
+  }
+  rows_ = static_cast<NodeId>(rows);
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(node_count()) * radix * 2);
+  for (std::uint32_t c = 0; c < levels_; ++c) {
+    const std::uint32_t next_col = (c + 1) % levels_;
+    for (NodeId r = 0; r < rows_; ++r) {
+      const NodeId u = node_id(c, r);
+      for (std::uint32_t digit_value = 0; digit_value < radix_; ++digit_value) {
+        const NodeId v = node_id(next_col, with_digit(r, c, digit_value));
+        if (u == v) continue;  // levels_ == 1 with identical digit
+        edges.emplace_back(u, v);
+        edges.emplace_back(v, u);  // physical links are bidirectional
+      }
+    }
+  }
+  // A radix-d wrapped butterfly with one level degenerates into parallel
+  // self-referencing columns; from_edges also dedups the backward edges that
+  // coincide with forward edges of the adjacent column when levels_ == 2 and
+  // radix_ == 2 is *not* an issue because tails differ. Remove duplicates
+  // defensively before building.
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  graph_ = Graph::from_edges(node_count(), std::move(edges));
+}
+
+std::string WrappedButterfly::name() const {
+  return "butterfly(d=" + std::to_string(radix_) +
+         ",l=" + std::to_string(levels_) + ")";
+}
+
+NodeId WrappedButterfly::with_digit(NodeId row, std::uint32_t level,
+                                    std::uint32_t digit_value) const noexcept {
+  const NodeId pow = digit_pow_[level];
+  const std::uint32_t current = digit(row, level);
+  return row - current * pow + digit_value * pow;
+}
+
+std::uint32_t WrappedButterfly::digit(NodeId row,
+                                      std::uint32_t level) const noexcept {
+  return (row / digit_pow_[level]) % radix_;
+}
+
+NodeId WrappedButterfly::forward_toward(NodeId v,
+                                        NodeId target_row) const noexcept {
+  const std::uint32_t c = column_of(v);
+  const NodeId r = row_of(v);
+  const std::uint32_t next_col = (c + 1) % levels_;
+  return node_id(next_col, with_digit(r, c, digit(target_row, c)));
+}
+
+}  // namespace levnet::topology

@@ -1,0 +1,50 @@
+#include "topology/ccc.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace levnet::topology {
+
+CubeConnectedCycles::CubeConnectedCycles(std::uint32_t k) : k_(k) {
+  LEVNET_CHECK(k >= 3 && k <= 22);
+  const NodeId corners = NodeId{1} << k_;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(node_count()) * 3);
+  for (NodeId w = 0; w < corners; ++w) {
+    for (std::uint32_t i = 0; i < k_; ++i) {
+      const NodeId u = node_id(i, w);
+      const NodeId next_in_cycle = node_id((i + 1) % k_, w);
+      edges.emplace_back(u, next_in_cycle);
+      edges.emplace_back(next_in_cycle, u);
+      edges.emplace_back(u, node_id(i, w ^ (NodeId{1} << i)));  // rung
+    }
+  }
+  graph_ = Graph::from_edges(node_count(), std::move(edges));
+}
+
+std::string CubeConnectedCycles::name() const {
+  return "ccc(k=" + std::to_string(k_) + ")";
+}
+
+NodeId CubeConnectedCycles::sweep_step(NodeId at, NodeId dst) const noexcept {
+  if (at == dst) return kInvalidNode;
+  const std::uint32_t i = position_of(at);
+  const std::uint32_t w = corner_of(at);
+  const std::uint32_t dst_corner = corner_of(dst);
+  const std::uint32_t diff = w ^ dst_corner;
+  if (diff != 0) {
+    // Fix the current position's bit via the rung, else advance the cycle
+    // toward the next differing bit.
+    if ((diff >> i) & 1U) return node_id(i, w ^ (1U << i));
+    return node_id((i + 1) % k_, w);
+  }
+  // Same corner: walk the cycle the short way to the destination position.
+  const std::uint32_t dst_position = position_of(dst);
+  const std::uint32_t forward = (dst_position + k_ - i) % k_;
+  return forward <= k_ - forward ? node_id((i + 1) % k_, w)
+                                 : node_id((i + k_ - 1) % k_, w);
+}
+
+}  // namespace levnet::topology

@@ -1,0 +1,81 @@
+#include "topology/checks.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace levnet::topology {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src) {
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : g.out_neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId src) {
+  const auto dist = bfs_distances(g, src);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    LEVNET_CHECK_MSG(d != kUnreachable, "graph not strongly connected");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t exact_diameter(const Graph& g) {
+  std::uint32_t diameter = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    diameter = std::max(diameter, eccentricity(g, u));
+  }
+  return diameter;
+}
+
+bool is_regular(const Graph& g, std::uint32_t d) {
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (g.out_degree(u) != d) return false;
+  }
+  return true;
+}
+
+bool is_symmetric(const Graph& g) {
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (g.reverse_edge(e) == kInvalidEdge) return false;
+  }
+  return true;
+}
+
+bool is_connected(const Graph& g) {
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::uint64_t count_paths(const Graph& g, NodeId u, NodeId v,
+                          std::uint32_t length) {
+  std::vector<std::uint64_t> ways(g.node_count(), 0);
+  ways[u] = 1;
+  for (std::uint32_t step = 0; step < length; ++step) {
+    std::vector<std::uint64_t> next(g.node_count(), 0);
+    for (NodeId a = 0; a < g.node_count(); ++a) {
+      if (ways[a] == 0) continue;
+      for (NodeId b : g.out_neighbors(a)) next[b] += ways[a];
+    }
+    ways = std::move(next);
+  }
+  return ways[v];
+}
+
+}  // namespace levnet::topology

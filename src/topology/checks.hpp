@@ -1,0 +1,41 @@
+#pragma once
+// Structural audits used by tests and by the figure-reproduction example:
+// BFS distances/diameter, degree profiles, regularity, vertex symmetry
+// proxies, and the unique-path property of leveled networks.
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace levnet::topology {
+
+inline constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
+
+/// BFS distances from src along directed edges.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       NodeId src);
+
+/// Eccentricity of src (max finite BFS distance); checks reachability.
+[[nodiscard]] std::uint32_t eccentricity(const Graph& g, NodeId src);
+
+/// Exact diameter by all-pairs BFS — O(V * E), for test-sized graphs only.
+[[nodiscard]] std::uint32_t exact_diameter(const Graph& g);
+
+/// True if every node has out-degree exactly d.
+[[nodiscard]] bool is_regular(const Graph& g, std::uint32_t d);
+
+/// True if for every edge (u, v) the edge (v, u) exists.
+[[nodiscard]] bool is_symmetric(const Graph& g);
+
+/// True if all nodes are reachable from node 0 (directed).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Number of distinct directed paths of exactly `length` edges from u to v.
+/// Used to audit the unique-path property (Definition of leveled networks):
+/// for the wrapped butterfly the count must be 1 when length == levels.
+/// O(length * E) per call via dynamic programming.
+[[nodiscard]] std::uint64_t count_paths(const Graph& g, NodeId u, NodeId v,
+                                        std::uint32_t length);
+
+}  // namespace levnet::topology

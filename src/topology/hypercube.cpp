@@ -1,0 +1,38 @@
+#include "topology/hypercube.hpp"
+
+#include <bit>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace levnet::topology {
+
+Hypercube::Hypercube(std::uint32_t dim) : dim_(dim) {
+  LEVNET_CHECK(dim >= 1 && dim <= 24);
+  const NodeId count = node_count();
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(count) * dim_);
+  for (NodeId u = 0; u < count; ++u) {
+    for (std::uint32_t i = 0; i < dim_; ++i) {
+      edges.emplace_back(u, u ^ (NodeId{1} << i));
+    }
+  }
+  graph_ = Graph::from_edges(count, std::move(edges));
+}
+
+std::string Hypercube::name() const {
+  return "hypercube(dim=" + std::to_string(dim_) + ")";
+}
+
+NodeId Hypercube::ecube_step(NodeId u, NodeId v) const noexcept {
+  LEVNET_DCHECK(u != v);
+  const NodeId diff = u ^ v;
+  return u ^ (diff & (~diff + 1));  // flip lowest set bit of the difference
+}
+
+std::uint32_t Hypercube::distance(NodeId u, NodeId v) const noexcept {
+  return static_cast<std::uint32_t>(std::popcount(u ^ v));
+}
+
+}  // namespace levnet::topology

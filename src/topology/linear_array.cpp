@@ -1,0 +1,25 @@
+#include "topology/linear_array.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace levnet::topology {
+
+LinearArray::LinearArray(std::uint32_t n) : n_(n) {
+  LEVNET_CHECK(n >= 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  for (NodeId u = 0; u + 1 < n_; ++u) {
+    edges.emplace_back(u, u + 1);
+    edges.emplace_back(u + 1, u);
+  }
+  graph_ = Graph::from_edges(n_, std::move(edges));
+}
+
+std::string LinearArray::name() const {
+  return "linear(n=" + std::to_string(n_) + ")";
+}
+
+}  // namespace levnet::topology

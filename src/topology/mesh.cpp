@@ -1,0 +1,52 @@
+#include "topology/mesh.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace levnet::topology {
+
+Mesh::Mesh(std::uint32_t rows, std::uint32_t cols) : rows_(rows), cols_(cols) {
+  LEVNET_CHECK(rows >= 1 && cols >= 1);
+  LEVNET_CHECK_MSG(static_cast<std::uint64_t>(rows) * cols <= 0x7fffffffULL,
+                   "mesh too large for NodeId");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(rows) * cols * 4);
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    for (std::uint32_t c = 0; c < cols_; ++c) {
+      const NodeId u = node_id(r, c);
+      if (r + 1 < rows_) {
+        edges.emplace_back(u, node_id(r + 1, c));
+        edges.emplace_back(node_id(r + 1, c), u);
+      }
+      if (c + 1 < cols_) {
+        edges.emplace_back(u, node_id(r, c + 1));
+        edges.emplace_back(node_id(r, c + 1), u);
+      }
+    }
+  }
+  graph_ = Graph::from_edges(node_count(), std::move(edges));
+}
+
+std::string Mesh::name() const {
+  return "mesh(" + std::to_string(rows_) + "x" + std::to_string(cols_) + ")";
+}
+
+std::uint32_t Mesh::distance(NodeId u, NodeId v) const noexcept {
+  const auto dr = static_cast<std::int64_t>(row_of(u)) - row_of(v);
+  const auto dc = static_cast<std::int64_t>(col_of(u)) - col_of(v);
+  return static_cast<std::uint32_t>(std::llabs(dr) + std::llabs(dc));
+}
+
+Mesh::RowRange Mesh::slice_rows_of(std::uint32_t r,
+                                   std::uint32_t slice_rows) const noexcept {
+  LEVNET_DCHECK(slice_rows >= 1);
+  const std::uint32_t first = (r / slice_rows) * slice_rows;
+  const std::uint32_t last = std::min(first + slice_rows - 1, rows_ - 1);
+  return {first, last};
+}
+
+}  // namespace levnet::topology

@@ -1,0 +1,69 @@
+#include "topology/shuffle.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace levnet::topology {
+
+DWayShuffle::DWayShuffle(std::uint32_t d, std::uint32_t n) : d_(d), n_(n) {
+  LEVNET_CHECK(d >= 2);
+  LEVNET_CHECK(n >= 1);
+  std::uint64_t count = 1;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    count *= d;
+    LEVNET_CHECK_MSG(count <= 0x7fffffffULL, "shuffle too large for NodeId");
+  }
+  count_ = static_cast<NodeId>(count);
+  top_pow_ = static_cast<NodeId>(count / d);
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(count_) * d_ * 2);
+  for (NodeId u = 0; u < count_; ++u) {
+    for (std::uint32_t l = 0; l < d_; ++l) {
+      const NodeId v = shift_inject(u, l);
+      if (u == v) continue;  // fixed points of the shift (e.g. 000..0)
+      edges.emplace_back(u, v);
+      edges.emplace_back(v, u);  // bidirectional physical link
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  graph_ = Graph::from_edges(count_, std::move(edges));
+}
+
+std::string DWayShuffle::name() const {
+  return "shuffle(d=" + std::to_string(d_) + ",n=" + std::to_string(n_) + ")";
+}
+
+NodeId DWayShuffle::shift_inject(NodeId u, std::uint32_t digit) const noexcept {
+  LEVNET_DCHECK(digit < d_);
+  return digit * top_pow_ + u / d_;
+}
+
+std::uint32_t DWayShuffle::route_digit(NodeId v, std::uint32_t k) const noexcept {
+  LEVNET_DCHECK(k < n_);
+  NodeId x = v;
+  for (std::uint32_t i = 0; i < k; ++i) x /= d_;
+  return x % d_;
+}
+
+NodeId DWayShuffle::forward_toward(NodeId u, NodeId v,
+                                   std::uint32_t hops_done) const noexcept {
+  // After k hops of the pass, the digit to inject is the destination's
+  // k-th least-significant digit; after n hops the label equals v.
+  return shift_inject(u, route_digit(v, hops_done));
+}
+
+std::string DWayShuffle::label(NodeId u) const {
+  std::string s(n_, '0');
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    s[n_ - 1 - i] = static_cast<char>('0' + (u % d_));
+    u /= d_;
+  }
+  return s;
+}
+
+}  // namespace levnet::topology

@@ -1,0 +1,144 @@
+#include "topology/star.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace levnet::topology {
+
+StarGraph::StarGraph(std::uint32_t n) : n_(n) {
+  LEVNET_CHECK(n >= 2 && n <= kMaxStarSymbols);
+  factorial_[0] = 1;
+  for (std::uint32_t i = 1; i <= kMaxStarSymbols; ++i) {
+    const std::uint64_t f =
+        static_cast<std::uint64_t>(factorial_[i - 1]) * i;
+    factorial_[i] = static_cast<NodeId>(f);
+    if (i <= n) LEVNET_CHECK_MSG(f <= 0x7fffffffULL, "star graph too large");
+  }
+  count_ = factorial_[n_];
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(count_) * (n_ - 1));
+  for (NodeId u = 0; u < count_; ++u) {
+    for (std::uint32_t j = 1; j < n_; ++j) {
+      edges.emplace_back(u, swap_neighbor(u, j));
+    }
+  }
+  graph_ = Graph::from_edges(count_, std::move(edges));
+}
+
+std::string StarGraph::name() const {
+  return "star(n=" + std::to_string(n_) + ")";
+}
+
+NodeId StarGraph::rank(const StarPerm& p) const noexcept {
+  // Lehmer code via counting smaller symbols to the right; O(n^2) with
+  // n <= 12, which beats fancier schemes at this size.
+  NodeId r = 0;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    std::uint32_t smaller = 0;
+    for (std::uint32_t j = i + 1; j < n_; ++j) {
+      if (p[j] < p[i]) ++smaller;
+    }
+    r += smaller * factorial_[n_ - 1 - i];
+  }
+  return r;
+}
+
+StarPerm StarGraph::unrank(NodeId id) const noexcept {
+  StarPerm p{};
+  std::array<std::uint8_t, kMaxStarSymbols> pool{};
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    pool[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  std::uint32_t remaining = n_;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    const NodeId f = factorial_[n_ - 1 - i];
+    const std::uint32_t idx = id / f;
+    id %= f;
+    p[i] = pool[idx];
+    for (std::uint32_t j = idx; j + 1 < remaining; ++j) pool[j] = pool[j + 1];
+    --remaining;
+  }
+  return p;
+}
+
+NodeId StarGraph::swap_neighbor(NodeId u, std::uint32_t j) const noexcept {
+  LEVNET_DCHECK(j >= 1 && j < n_);
+  StarPerm p = unrank(u);
+  std::swap(p[0], p[j]);
+  return rank(p);
+}
+
+StarPerm StarGraph::relative(NodeId u, NodeId v) const noexcept {
+  const StarPerm pu = unrank(u);
+  const StarPerm pv = unrank(v);
+  std::array<std::uint8_t, kMaxStarSymbols + 1> pos_in_v{};
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    pos_in_v[pv[i]] = static_cast<std::uint8_t>(i + 1);  // 1-based position
+  }
+  StarPerm rho{};
+  for (std::uint32_t i = 0; i < n_; ++i) rho[i] = pos_in_v[pu[i]];
+  return rho;
+}
+
+std::uint32_t StarGraph::distance(NodeId u, NodeId v) const noexcept {
+  if (u == v) return 0;
+  const StarPerm rho = relative(u, v);
+  // Cycle structure of rho (values are 1-based positions): the minimal
+  // number of star transpositions is m + c if position 1 is already
+  // correct, and m + c - 2 otherwise, where the c cycles of length >= 2
+  // cover m elements (Akers-Krishnamurthy).
+  std::array<bool, kMaxStarSymbols + 1> seen{};
+  std::uint32_t m = 0;
+  std::uint32_t c = 0;
+  for (std::uint32_t start = 1; start <= n_; ++start) {
+    if (seen[start] || rho[start - 1] == start) continue;
+    std::uint32_t len = 0;
+    std::uint32_t at = start;
+    while (!seen[at]) {
+      seen[at] = true;
+      ++len;
+      at = rho[at - 1];
+    }
+    if (len >= 2) {
+      m += len;
+      ++c;
+    }
+  }
+  const bool first_fixed = rho[0] == 1;
+  return first_fixed ? m + c : m + c - 2;
+}
+
+NodeId StarGraph::greedy_step(NodeId u, NodeId v) const noexcept {
+  LEVNET_DCHECK(u != v);
+  const StarPerm rho = relative(u, v);
+  std::uint32_t j = 0;
+  if (rho[0] != 1) {
+    // Send the displaced first symbol home: it belongs at position rho[0].
+    j = rho[0] - 1U;
+  } else {
+    // Position 1 is correct but the permutation is not sorted; fetch the
+    // smallest-index unplaced symbol (deterministic tie-break).
+    for (std::uint32_t i = 1; i < n_; ++i) {
+      if (rho[i] != i + 1) {
+        j = i;
+        break;
+      }
+    }
+  }
+  LEVNET_DCHECK(j >= 1 && j < n_);
+  return swap_neighbor(u, j);
+}
+
+std::string StarGraph::label(NodeId u) const {
+  const StarPerm p = unrank(u);
+  std::string s;
+  s.reserve(n_);
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    s.push_back(static_cast<char>('0' + p[i]));
+  }
+  return s;
+}
+
+}  // namespace levnet::topology

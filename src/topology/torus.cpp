@@ -1,0 +1,62 @@
+#include "topology/torus.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace levnet::topology {
+
+Torus::Torus(std::uint32_t rows, std::uint32_t cols)
+    : rows_(rows), cols_(cols) {
+  // 2 x 2 and smaller degenerate into multi-edges; require 3+ per axis.
+  LEVNET_CHECK(rows >= 3 && cols >= 3);
+  LEVNET_CHECK_MSG(static_cast<std::uint64_t>(rows) * cols <= 0x7fffffffULL,
+                   "torus too large for NodeId");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(rows) * cols * 4);
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    for (std::uint32_t c = 0; c < cols_; ++c) {
+      const NodeId u = node_id(r, c);
+      edges.emplace_back(u, node_id((r + 1) % rows_, c));
+      edges.emplace_back(node_id((r + 1) % rows_, c), u);
+      edges.emplace_back(u, node_id(r, (c + 1) % cols_));
+      edges.emplace_back(node_id(r, (c + 1) % cols_), u);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  graph_ = Graph::from_edges(node_count(), std::move(edges));
+}
+
+std::string Torus::name() const {
+  return "torus(" + std::to_string(rows_) + "x" + std::to_string(cols_) + ")";
+}
+
+std::uint32_t Torus::distance(NodeId u, NodeId v) const noexcept {
+  const std::uint32_t dr_raw =
+      row_of(u) > row_of(v) ? row_of(u) - row_of(v) : row_of(v) - row_of(u);
+  const std::uint32_t dc_raw =
+      col_of(u) > col_of(v) ? col_of(u) - col_of(v) : col_of(v) - col_of(u);
+  return std::min(dr_raw, rows_ - dr_raw) + std::min(dc_raw, cols_ - dc_raw);
+}
+
+std::uint32_t Torus::row_step_toward(std::uint32_t r,
+                                     std::uint32_t target_row) const noexcept {
+  LEVNET_DCHECK(r != target_row);
+  const std::uint32_t forward = (target_row + rows_ - r) % rows_;
+  // Ties (exactly half way) break toward +1 for determinism.
+  return forward <= rows_ - forward ? (r + 1) % rows_
+                                    : (r + rows_ - 1) % rows_;
+}
+
+std::uint32_t Torus::col_step_toward(std::uint32_t c,
+                                     std::uint32_t target_col) const noexcept {
+  LEVNET_DCHECK(c != target_col);
+  const std::uint32_t forward = (target_col + cols_ - c) % cols_;
+  return forward <= cols_ - forward ? (c + 1) % cols_
+                                    : (c + cols_ - 1) % cols_;
+}
+
+}  // namespace levnet::topology

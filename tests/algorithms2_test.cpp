@@ -1,0 +1,124 @@
+// Tests for the second wave of PRAM algorithms (compaction, matrix-vector)
+// on the reference machine and through the emulator.
+
+#include <gtest/gtest.h>
+
+#include "emulation/emulator.hpp"
+#include "emulation/fabric.hpp"
+#include "pram/algorithms/compaction.hpp"
+#include "pram/algorithms/matvec.hpp"
+#include "pram/reference.hpp"
+#include "routing/star_router.hpp"
+#include "support/rng.hpp"
+#include "topology/star.hpp"
+
+namespace levnet::pram {
+namespace {
+
+std::vector<Word> random_words(std::size_t n, std::uint64_t seed,
+                               std::uint64_t bound = 100) {
+  support::Rng rng(seed);
+  std::vector<Word> v(n);
+  for (auto& w : v) w = static_cast<Word>(rng.below(bound));
+  return v;
+}
+
+TEST(Compaction, ValidatesOnReference) {
+  for (const std::size_t n : {1U, 2U, 7U, 32U, 100U}) {
+    support::Rng rng(n);
+    std::vector<Word> marks(n);
+    for (auto& m : marks) m = rng.chance(0.4) ? 1 : 0;
+    CompactionErew program(random_words(n, 2 * n, 50), marks);
+    SharedMemory memory;
+    const auto result =
+        ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory)) << "n=" << n;
+    EXPECT_EQ(result.read_conflicts, 0U) << "n=" << n;   // EREW-clean
+    EXPECT_EQ(result.write_conflicts, 0U) << "n=" << n;
+  }
+}
+
+TEST(Compaction, AllMarkedAndNoneMarked) {
+  {
+    CompactionErew program({5, 6, 7}, {1, 1, 1});
+    SharedMemory memory;
+    ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory));
+  }
+  {
+    CompactionErew program({5, 6, 7}, {0, 0, 0});
+    SharedMemory memory;
+    ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory));
+  }
+}
+
+TEST(Compaction, PreservesOrder) {
+  CompactionErew program({10, 20, 30, 40, 50}, {0, 1, 0, 1, 1});
+  SharedMemory memory;
+  ReferencePram::for_program(program).run(program, memory);
+  ASSERT_TRUE(program.validate(memory));
+  // Output region starts at 2n = 10: expect 20, 40, 50.
+  EXPECT_EQ(memory.read(10), 20);
+  EXPECT_EQ(memory.read(11), 40);
+  EXPECT_EQ(memory.read(12), 50);
+}
+
+TEST(MatVec, ValidatesOnReference) {
+  for (const ProcId n : {1U, 2U, 3U, 5U, 8U}) {
+    MatVecCrew program(random_words(n * n, n, 10), random_words(n, n + 1, 10),
+                       n);
+    SharedMemory memory;
+    const auto result =
+        ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory)) << "n=" << n;
+    EXPECT_EQ(result.write_conflicts, 0U) << "n=" << n;  // CREW-clean writes
+    if (n > 1) EXPECT_GT(result.read_conflicts, 0U);     // x[j] shared
+  }
+}
+
+TEST(MatVec, HandlesNegativeEntries) {
+  MatVecCrew program({1, -2, -3, 4}, {5, -6}, 2);
+  SharedMemory memory;
+  ReferencePram::for_program(program).run(program, memory);
+  EXPECT_TRUE(program.validate(memory));
+}
+
+TEST(SecondWave, EmulateOnStarGraph) {
+  const topology::StarGraph star(5);  // 120 processors
+  const routing::StarTwoPhaseRouter router(star);
+  const emulation::EmulationFabric fabric(star.graph(), router,
+                                          star.diameter(), star.name());
+  {
+    support::Rng rng(3);
+    std::vector<Word> marks(64);
+    for (auto& m : marks) m = rng.chance(0.5) ? 1 : 0;
+    CompactionErew program(random_words(64, 9), marks);
+    SharedMemory reference_memory;
+    ReferencePram::for_program(program).run(program, reference_memory);
+    program.reset();
+    emulation::NetworkEmulator emulator(fabric, {});
+    SharedMemory emulated;
+    emulator.run(program, emulated);
+    EXPECT_TRUE(reference_memory == emulated);
+    EXPECT_TRUE(program.validate(emulated));
+  }
+  {
+    MatVecCrew program(random_words(100, 11, 10), random_words(10, 12, 10),
+                       10);
+    SharedMemory reference_memory;
+    ReferencePram::for_program(program).run(program, reference_memory);
+    program.reset();
+    emulation::EmulatorConfig config;
+    config.combining = true;  // x[j] column reads combine
+    emulation::NetworkEmulator emulator(fabric, config);
+    SharedMemory emulated;
+    const auto report = emulator.run(program, emulated);
+    EXPECT_TRUE(reference_memory == emulated);
+    EXPECT_TRUE(program.validate(emulated));
+    EXPECT_GT(report.combined_requests, 0U);
+  }
+}
+
+}  // namespace
+}  // namespace levnet::pram

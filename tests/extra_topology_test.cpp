@@ -1,0 +1,198 @@
+// Extension topologies: torus and cube-connected cycles, plus their
+// routers and emulation integration.
+
+#include <gtest/gtest.h>
+
+#include "emulation/emulator.hpp"
+#include "emulation/fabric.hpp"
+#include "pram/algorithms/prefix_sum.hpp"
+#include "pram/reference.hpp"
+#include "routing/driver.hpp"
+#include "routing/extra_routers.hpp"
+#include "sim/workload.hpp"
+#include "support/rng.hpp"
+#include "topology/ccc.hpp"
+#include "topology/checks.hpp"
+#include "topology/torus.hpp"
+
+namespace levnet::topology {
+namespace {
+
+TEST(Torus, StructureAndDiameter) {
+  const Torus torus(6, 6);
+  EXPECT_EQ(torus.node_count(), 36U);
+  EXPECT_TRUE(is_regular(torus.graph(), 4));
+  EXPECT_TRUE(is_symmetric(torus.graph()));
+  EXPECT_EQ(exact_diameter(torus.graph()), torus.diameter());  // n/2 + n/2
+}
+
+TEST(Torus, WrappedDistance) {
+  const Torus torus(8, 8);
+  EXPECT_EQ(torus.distance(torus.node_id(0, 0), torus.node_id(7, 7)), 2U);
+  EXPECT_EQ(torus.distance(torus.node_id(0, 0), torus.node_id(4, 4)), 8U);
+  EXPECT_EQ(torus.distance(torus.node_id(1, 2), torus.node_id(1, 2)), 0U);
+}
+
+TEST(Torus, StepTowardTakesShortDirection) {
+  const Torus torus(8, 8);
+  EXPECT_EQ(torus.row_step_toward(0, 7), 7U);  // wrap backward
+  EXPECT_EQ(torus.row_step_toward(0, 2), 1U);  // forward
+  EXPECT_EQ(torus.col_step_toward(6, 1), 7U);  // wrap forward
+}
+
+TEST(Torus, DistanceMatchesBfsEverywhere) {
+  const Torus torus(5, 7);
+  for (NodeId src : {NodeId{0}, NodeId{17}, NodeId{34}}) {
+    const auto bfs = bfs_distances(torus.graph(), src);
+    for (NodeId v = 0; v < torus.node_count(); ++v) {
+      EXPECT_EQ(torus.distance(src, v), bfs[v]) << "src=" << src << " v=" << v;
+    }
+  }
+}
+
+TEST(Ccc, StructureMatchesDefinition) {
+  const CubeConnectedCycles ccc(3);
+  EXPECT_EQ(ccc.node_count(), 24U);  // 3 * 2^3
+  EXPECT_TRUE(is_regular(ccc.graph(), 3));
+  EXPECT_TRUE(is_symmetric(ccc.graph()));
+  EXPECT_TRUE(is_connected(ccc.graph()));
+}
+
+TEST(Ccc, SweepStepReachesDestinationWithinBound) {
+  const CubeConnectedCycles ccc(4);
+  support::Rng rng(13);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto src = static_cast<NodeId>(rng.below(ccc.node_count()));
+    const auto dst = static_cast<NodeId>(rng.below(ccc.node_count()));
+    NodeId at = src;
+    std::uint32_t hops = 0;
+    while (at != dst) {
+      const NodeId next = ccc.sweep_step(at, dst);
+      ASSERT_NE(next, kInvalidNode);
+      // Every hop must follow a real link.
+      ASSERT_NE(ccc.graph().edge_between(at, next), kInvalidEdge);
+      at = next;
+      ++hops;
+      ASSERT_LE(hops, ccc.route_bound());
+    }
+  }
+}
+
+TEST(Ccc, DiameterIsThetaK) {
+  const CubeConnectedCycles ccc(3);
+  const std::uint32_t diameter = exact_diameter(ccc.graph());
+  EXPECT_GE(diameter, ccc.k());
+  EXPECT_LE(diameter, ccc.route_bound());
+}
+
+}  // namespace
+}  // namespace levnet::topology
+
+namespace levnet::routing {
+namespace {
+
+TEST(TorusRouting, GreedyAndValiantDeliver) {
+  const topology::Torus torus(8, 8);
+  const TorusGreedyRouter greedy(torus);
+  const TorusValiantRouter valiant(torus);
+  for (const Router* router :
+       {static_cast<const Router*>(&greedy),
+        static_cast<const Router*>(&valiant)}) {
+    support::Rng rng(17);
+    const sim::Workload w =
+        sim::permutation_workload(torus.node_count(), rng);
+    const RoutingOutcome outcome =
+        run_workload(torus.graph(), *router, w, {}, rng);
+    EXPECT_TRUE(outcome.complete);
+  }
+}
+
+TEST(TorusRouting, BeatsMeshScaleOnWrappedDistance) {
+  // A torus permutation finishes within ~n (diameter n), comfortably under
+  // the mesh's 2n scale.
+  const topology::Torus torus(16, 16);
+  const TorusValiantRouter router(torus);
+  support::Rng rng(19);
+  const sim::Workload w = sim::permutation_workload(torus.node_count(), rng);
+  const RoutingOutcome outcome =
+      run_workload(torus.graph(), router, w, {}, rng);
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_LE(outcome.metrics.steps, 3 * torus.rows());
+}
+
+TEST(CccRouting, SweepAndTwoPhaseDeliver) {
+  const topology::CubeConnectedCycles ccc(4);  // 64 nodes
+  const CccSweepRouter sweep(ccc);
+  const CccTwoPhaseRouter two_phase(ccc);
+  for (const Router* router : {static_cast<const Router*>(&sweep),
+                               static_cast<const Router*>(&two_phase)}) {
+    support::Rng rng(23);
+    const sim::Workload w = sim::permutation_workload(ccc.node_count(), rng);
+    const RoutingOutcome outcome =
+        run_workload(ccc.graph(), *router, w, {}, rng);
+    EXPECT_TRUE(outcome.complete);
+  }
+}
+
+TEST(CccRouting, TwoPhaseWithinRouteBound) {
+  const topology::CubeConnectedCycles ccc(5);  // 160 nodes, degree 3
+  const CccTwoPhaseRouter router(ccc);
+  support::Rng rng(29);
+  const sim::Workload w = sim::permutation_workload(ccc.node_count(), rng);
+  const RoutingOutcome outcome = run_workload(ccc.graph(), router, w, {}, rng);
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_LE(outcome.metrics.steps, 8 * ccc.route_bound());
+}
+
+}  // namespace
+}  // namespace levnet::routing
+
+namespace levnet::emulation {
+namespace {
+
+TEST(ExtraFabrics, TorusEmulationMatchesReference) {
+  const topology::Torus torus(6, 6);
+  const routing::TorusValiantRouter router(torus);
+  const EmulationFabric fabric(torus.graph(), router, torus.diameter(),
+                               torus.name());
+  std::vector<pram::Word> input(36);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<pram::Word>(i * 3 % 13);
+  }
+  pram::PrefixSumErew program(input);
+  pram::SharedMemory reference_memory;
+  pram::ReferencePram::for_program(program).run(program, reference_memory);
+  program.reset();
+  NetworkEmulator emulator(fabric, {});
+  pram::SharedMemory emulated;
+  const auto report = emulator.run(program, emulated);
+  EXPECT_TRUE(reference_memory == emulated);
+  EXPECT_TRUE(program.validate(emulated));
+  EXPECT_GT(report.network_steps, 0U);
+}
+
+TEST(ExtraFabrics, CccEmulationMatchesReference) {
+  const topology::CubeConnectedCycles ccc(4);
+  const routing::CccTwoPhaseRouter router(ccc);
+  const EmulationFabric fabric(ccc.graph(), router, ccc.route_bound(),
+                               ccc.name());
+  std::vector<pram::Word> input(64);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<pram::Word>((i * 7 + 1) % 10);
+  }
+  pram::PrefixSumErew program(input);
+  pram::SharedMemory reference_memory;
+  pram::ReferencePram::for_program(program).run(program, reference_memory);
+  program.reset();
+  EmulatorConfig config;
+  config.combining = true;  // exercise combining on the constant-degree net
+  NetworkEmulator emulator(fabric, config);
+  pram::SharedMemory emulated;
+  const auto report = emulator.run(program, emulated);
+  EXPECT_TRUE(reference_memory == emulated);
+  EXPECT_TRUE(program.validate(emulated));
+  EXPECT_EQ(report.rehashes, 0U);
+}
+
+}  // namespace
+}  // namespace levnet::emulation

@@ -1,0 +1,138 @@
+// Hash family tests: membership in H (Section 2.1), determinism, range,
+// description size, and the load bounds of the Karlin-Upfal Fact and
+// Corollaries 3.1-3.3 (checked with generous constants over seeds).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hashing/poly_hash.hpp"
+#include "support/bits.hpp"
+#include "support/primes.hpp"
+#include "support/rng.hpp"
+
+namespace levnet::hashing {
+namespace {
+
+TEST(PolyHash, ValuesInRange) {
+  support::Rng rng(1);
+  const PolynomialHash h = PolynomialHash::sample(8, 1 << 20, 1000, rng);
+  for (std::uint64_t x = 0; x < 5000; ++x) EXPECT_LT(h(x), 1000U);
+}
+
+TEST(PolyHash, DeterministicEvaluation) {
+  support::Rng rng(2);
+  const PolynomialHash h = PolynomialHash::sample(4, 1 << 16, 64, rng);
+  for (std::uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h(x), h(x));
+}
+
+TEST(PolyHash, SamplePrimeCoversAddressSpace) {
+  support::Rng rng(3);
+  const std::uint64_t m = (1ULL << 33) + 5;
+  const PolynomialHash h = PolynomialHash::sample(4, m, 128, rng);
+  EXPECT_GE(h.prime(), m);  // P >= M, Section 2.1
+  EXPECT_TRUE(support::is_prime(h.prime()));
+}
+
+TEST(PolyHash, ExplicitPolynomialEvaluation) {
+  // h(x) = (3x^2 + 2x + 1 mod 97) mod 10.
+  const PolynomialHash h({1, 2, 3}, 97, 10);
+  EXPECT_EQ(h(0), 1U % 10);
+  EXPECT_EQ(h(1), 6U % 10);
+  EXPECT_EQ(h(5), (3 * 25 + 2 * 5 + 1) % 97 % 10);
+}
+
+TEST(PolyHash, DegreeOneIsAffine) {
+  const PolynomialHash h({5, 7}, 101, 101);
+  for (std::uint64_t x = 0; x < 20; ++x) {
+    EXPECT_EQ(h(x), (5 + 7 * x) % 101);
+  }
+}
+
+TEST(PolyHash, DescriptionBitsMatchSectionTwoOne) {
+  support::Rng rng(4);
+  const std::uint32_t degree = 12;  // S = cL
+  const PolynomialHash h = PolynomialHash::sample(degree, 1 << 20, 256, rng);
+  // O(L log M): degree coefficients of ceil(log2 P) bits each.
+  std::uint64_t bits_per_coeff = 0;
+  while ((std::uint64_t{1} << bits_per_coeff) < h.prime()) ++bits_per_coeff;
+  EXPECT_EQ(h.description_bits(), degree * bits_per_coeff);
+}
+
+TEST(PolyHash, DifferentDrawsDiffer) {
+  support::Rng rng(5);
+  const PolynomialHash h1 = PolynomialHash::sample(6, 1 << 16, 997, rng);
+  const PolynomialHash h2 = PolynomialHash::sample(6, 1 << 16, 997, rng);
+  int differences = 0;
+  for (std::uint64_t x = 0; x < 200; ++x) {
+    if (h1(x) != h2(x)) ++differences;
+  }
+  EXPECT_GT(differences, 100);
+}
+
+TEST(LoadProfile, NIntoNBucketsStaysNearLogOverLogLog) {
+  // Corollary 3.1: max load O(log N / log log N) w.h.p. Gate at a generous
+  // multiple to keep the test robust across seeds.
+  const std::uint64_t n = 4096;
+  const double loglog_bound =
+      std::log2(static_cast<double>(n)) /
+      std::log2(std::log2(static_cast<double>(n)));
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    support::Rng rng(seed);
+    const PolynomialHash h = PolynomialHash::sample(12, n, n, rng);
+    const LoadProfile profile = bucket_loads(h, n);
+    EXPECT_EQ(profile.load.size(), n);
+    EXPECT_LE(profile.max_load, 4.0 * loglog_bound) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(profile.mean_load, 1.0);
+  }
+}
+
+TEST(LoadProfile, SquareIntoBetaNBuckets) {
+  // Corollary 3.2: N = n^2 items into beta*n buckets -> max load
+  // n/beta + O(n^{3/4}) w.h.p.
+  const std::uint64_t n = 64;
+  const std::uint64_t items = n * n;
+  const std::uint64_t buckets = 2 * n;  // beta = 2
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    support::Rng rng(seed);
+    const PolynomialHash h = PolynomialHash::sample(12, items, buckets, rng);
+    const LoadProfile profile = bucket_loads(h, items);
+    const double bound =
+        static_cast<double>(n) / 2.0 +
+        4.0 * std::pow(static_cast<double>(n), 0.75);
+    EXPECT_LE(profile.max_load, bound) << "seed " << seed;
+  }
+}
+
+TEST(LoadProfile, WindowSumsStayLogarithmic) {
+  // Corollary 3.3: any log N consecutive buckets receive O(log N) items.
+  const std::uint64_t n = 4096;
+  const auto window = support::ceil_log2(n);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    support::Rng rng(seed);
+    const PolynomialHash h = PolynomialHash::sample(12, n, n, rng);
+    const LoadProfile profile = bucket_loads(h, n);
+    EXPECT_LE(max_window_load(profile, window), 8 * window) << "seed " << seed;
+  }
+}
+
+TEST(LoadProfile, WindowLoadDegenerateCases) {
+  LoadProfile profile;
+  profile.load = {3, 1, 4, 1, 5};
+  EXPECT_EQ(max_window_load(profile, 1), 5U);
+  EXPECT_EQ(max_window_load(profile, 5), 14U);
+  EXPECT_EQ(max_window_load(profile, 99), 14U);  // clamped to size
+  EXPECT_EQ(max_window_load(profile, 2), 6U);    // 1+5
+}
+
+TEST(LoadProfile, TotalMassConserved) {
+  support::Rng rng(6);
+  const PolynomialHash h = PolynomialHash::sample(8, 10000, 37, rng);
+  const LoadProfile profile = bucket_loads(h, 10000);
+  std::uint64_t total = 0;
+  for (const std::uint32_t c : profile.load) total += c;
+  EXPECT_EQ(total, 10000U);
+}
+
+}  // namespace
+}  // namespace levnet::hashing

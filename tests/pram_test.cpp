@@ -1,0 +1,351 @@
+// PRAM machine tests: write-policy algebra, reference executor semantics
+// (reads before writes, conflict auditing), and every algorithm in the
+// library validating on the ideal machine.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pram/algorithms/access_patterns.hpp"
+#include "pram/algorithms/broadcast.hpp"
+#include "pram/algorithms/histogram.hpp"
+#include "pram/algorithms/list_ranking.hpp"
+#include "pram/algorithms/matmul.hpp"
+#include "pram/algorithms/max_find.hpp"
+#include "pram/algorithms/prefix_sum.hpp"
+#include "pram/algorithms/sorting.hpp"
+#include "pram/memory.hpp"
+#include "pram/reference.hpp"
+#include "pram/types.hpp"
+#include "support/rng.hpp"
+
+namespace levnet::pram {
+namespace {
+
+std::vector<Word> random_words(std::size_t n, std::uint64_t seed,
+                               std::uint64_t bound = 1000) {
+  support::Rng rng(seed);
+  std::vector<Word> v(n);
+  for (auto& w : v) w = static_cast<Word>(rng.below(bound));
+  return v;
+}
+
+// ------------------------------------------------------------ write claims
+
+TEST(WriteClaims, PriorityLowestProcWins) {
+  bool violation = false;
+  const WriteClaim merged = merge_claims(WritePolicy::kPriority, {5, 50},
+                                         {3, 30}, &violation);
+  EXPECT_EQ(merged.proc, 3U);
+  EXPECT_EQ(merged.value, 30);
+  EXPECT_FALSE(violation);
+}
+
+TEST(WriteClaims, CommonFlagsDisagreement) {
+  bool violation = false;
+  (void)merge_claims(WritePolicy::kCommon, {1, 10}, {2, 10}, &violation);
+  EXPECT_FALSE(violation);
+  (void)merge_claims(WritePolicy::kCommon, {1, 10}, {2, 11}, &violation);
+  EXPECT_TRUE(violation);
+}
+
+TEST(WriteClaims, SumMaxMin) {
+  bool violation = false;
+  EXPECT_EQ(merge_claims(WritePolicy::kSum, {1, 10}, {2, 32}, &violation).value,
+            42);
+  EXPECT_EQ(merge_claims(WritePolicy::kMax, {1, 10}, {2, 32}, &violation).value,
+            32);
+  EXPECT_EQ(merge_claims(WritePolicy::kMin, {1, 10}, {2, 32}, &violation).value,
+            10);
+}
+
+TEST(WriteClaims, MergeIsAssociativeAndCommutative) {
+  // The emulator combines claims pairwise in arbitrary order; the result
+  // must not depend on that order for any policy.
+  const std::vector<WriteClaim> claims{{4, 7}, {1, 9}, {3, 2}, {2, 5}};
+  for (const WritePolicy policy :
+       {WritePolicy::kArbitrary, WritePolicy::kPriority, WritePolicy::kSum,
+        WritePolicy::kMax, WritePolicy::kMin}) {
+    bool violation = false;
+    WriteClaim forward = claims[0];
+    for (std::size_t i = 1; i < claims.size(); ++i) {
+      forward = merge_claims(policy, forward, claims[i], &violation);
+    }
+    WriteClaim backward = claims[3];
+    for (std::size_t i = 3; i-- > 0;) {
+      backward = merge_claims(policy, backward, claims[i], &violation);
+    }
+    EXPECT_EQ(forward.value, backward.value)
+        << "policy " << to_string(policy);
+    EXPECT_EQ(forward.proc, backward.proc) << "policy " << to_string(policy);
+  }
+}
+
+// ------------------------------------------------------------ shared memory
+
+TEST(SharedMemory, DefaultZeroAndCanonicalForm) {
+  SharedMemory memory;
+  EXPECT_EQ(memory.read(12345), 0);
+  memory.write(7, 42);
+  EXPECT_EQ(memory.read(7), 42);
+  memory.write(7, 0);  // zero writes erase: canonical sparse form
+  EXPECT_EQ(memory.read(7), 0);
+  EXPECT_EQ(memory.nonzero_cells(), 0U);
+}
+
+TEST(SharedMemory, EqualityIsValueBased) {
+  SharedMemory a;
+  SharedMemory b;
+  a.write(1, 5);
+  b.write(1, 5);
+  EXPECT_TRUE(a == b);
+  b.write(2, 0);  // writing zero changes nothing
+  EXPECT_TRUE(a == b);
+  b.write(2, 1);
+  EXPECT_FALSE(a == b);
+}
+
+// ------------------------------------------------- reads-before-writes rule
+
+/// Two processors: proc 0 reads cell 0 while proc 1 writes it in the same
+/// step; the read must observe the pre-step value.
+class ReadWriteRace final : public PramProgram {
+ public:
+  std::string name() const override { return "read-write-race"; }
+  ProcId processor_count() const override { return 2; }
+  Addr address_space() const override { return 2; }
+  Mode required_mode() const override { return Mode::kCrcw; }
+  void init_memory(SharedMemory& memory) const override {
+    memory.write(0, 111);
+  }
+  bool finished(std::uint32_t step) const override { return step >= 2; }
+  MemOp issue(ProcId proc, std::uint32_t step) override {
+    if (step == 0) {
+      return proc == 0 ? MemOp::read(0) : MemOp::write(0, 222);
+    }
+    // Step 1: proc 0 stores what it read into cell 1 for inspection.
+    return proc == 0 ? MemOp::write(1, observed_) : MemOp::none();
+  }
+  void receive(ProcId proc, std::uint32_t step, Word value) override {
+    (void)proc;
+    (void)step;
+    observed_ = value;
+  }
+  void reset() override { observed_ = -1; }
+  bool validate(const SharedMemory& memory) const override {
+    return memory.read(1) == 111 && memory.read(0) == 222;
+  }
+
+ private:
+  Word observed_ = -1;
+};
+
+TEST(ReferencePram, ReadsObservePreStepState) {
+  ReadWriteRace program;
+  SharedMemory memory;
+  const auto result = ReferencePram::for_program(program).run(program, memory);
+  EXPECT_TRUE(program.validate(memory));
+  EXPECT_EQ(result.steps, 2U);
+}
+
+// ------------------------------------------------------- conflict auditing
+
+TEST(ReferencePram, ErewProgramsAreConflictFree) {
+  PrefixSumErew program(random_words(64, 11));
+  SharedMemory memory;
+  const auto result = ReferencePram::for_program(program).run(program, memory);
+  EXPECT_EQ(result.read_conflicts, 0U);
+  EXPECT_EQ(result.write_conflicts, 0U);
+  EXPECT_EQ(result.max_concurrency, 1U);
+}
+
+TEST(ReferencePram, CrewBroadcastHasReadConflictsOnly) {
+  BroadcastCrew program(32, 99);
+  SharedMemory memory;
+  const auto result = ReferencePram::for_program(program).run(program, memory);
+  EXPECT_GT(result.read_conflicts, 0U);
+  EXPECT_EQ(result.write_conflicts, 0U);
+}
+
+TEST(ReferencePram, CrcwProgramsShowWriteConflicts) {
+  LogicalOrCrcw program({1, 1, 1, 0, 1});
+  SharedMemory memory;
+  const auto result = ReferencePram::for_program(program).run(program, memory);
+  EXPECT_GT(result.write_conflicts, 0U);
+  EXPECT_EQ(result.common_violations, 0U);  // all write the same 1
+}
+
+// ------------------------------------------------ algorithm validation set
+
+TEST(Algorithms, BroadcastErewValidates) {
+  for (const ProcId n : {1U, 2U, 7U, 32U, 33U}) {
+    BroadcastErew program(n, 77);
+    SharedMemory memory;
+    ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory)) << "n=" << n;
+  }
+}
+
+TEST(Algorithms, BroadcastCrewValidates) {
+  for (const ProcId n : {1U, 5U, 64U}) {
+    BroadcastCrew program(n, -12);
+    SharedMemory memory;
+    ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory)) << "n=" << n;
+  }
+}
+
+TEST(Algorithms, PrefixSumValidates) {
+  for (const std::size_t n : {1U, 2U, 3U, 16U, 100U}) {
+    PrefixSumErew program(random_words(n, n));
+    SharedMemory memory;
+    ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory)) << "n=" << n;
+  }
+}
+
+TEST(Algorithms, PrefixSumHandlesNegatives) {
+  PrefixSumErew program({5, -3, 2, -7, 10, -1});
+  SharedMemory memory;
+  ReferencePram::for_program(program).run(program, memory);
+  EXPECT_TRUE(program.validate(memory));
+}
+
+TEST(Algorithms, TournamentMaxValidates) {
+  for (const std::size_t n : {1U, 2U, 9U, 64U, 100U}) {
+    TournamentMaxErew program(random_words(n, 3 * n + 1));
+    SharedMemory memory;
+    ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory)) << "n=" << n;
+  }
+}
+
+TEST(Algorithms, ConstantMaxValidates) {
+  for (const std::size_t n : {1U, 2U, 8U, 20U}) {
+    ConstantMaxCrcw program(random_words(n, 5 * n + 3));
+    SharedMemory memory;
+    const auto result =
+        ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory)) << "n=" << n;
+    EXPECT_EQ(result.steps, 5U);
+    EXPECT_EQ(result.common_violations, 0U);
+  }
+}
+
+TEST(Algorithms, ConstantMaxWithDuplicatedMaximum) {
+  ConstantMaxCrcw program({3, 9, 9, 1});
+  SharedMemory memory;
+  const auto result = ReferencePram::for_program(program).run(program, memory);
+  EXPECT_TRUE(program.validate(memory));
+  EXPECT_EQ(result.common_violations, 0U);  // both winners write 9
+}
+
+TEST(Algorithms, LogicalOrValidates) {
+  {
+    LogicalOrCrcw program({0, 0, 0, 0});
+    SharedMemory memory;
+    ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory));
+  }
+  {
+    LogicalOrCrcw program({0, 0, 1, 0});
+    SharedMemory memory;
+    ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory));
+  }
+}
+
+std::vector<std::uint32_t> random_list(std::uint32_t n, std::uint64_t seed) {
+  // Random ordering of a single chain ending in a self-loop tail.
+  support::Rng rng(seed);
+  const auto order = support::random_permutation(n, rng);
+  std::vector<std::uint32_t> succ(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) succ[order[i]] = order[i + 1];
+  succ[order[n - 1]] = order[n - 1];
+  return succ;
+}
+
+TEST(Algorithms, ListRankingValidates) {
+  for (const std::uint32_t n : {1U, 2U, 5U, 33U, 128U}) {
+    ListRankingCrew program(random_list(n, n + 7));
+    SharedMemory memory;
+    ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory)) << "n=" << n;
+  }
+}
+
+TEST(Algorithms, OddEvenSortValidates) {
+  for (const std::size_t n : {1U, 2U, 7U, 16U, 50U}) {
+    OddEvenSortErew program(random_words(n, 13 * n + 5));
+    SharedMemory memory;
+    const auto result =
+        ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory)) << "n=" << n;
+    EXPECT_EQ(result.read_conflicts, 0U);
+    EXPECT_EQ(result.write_conflicts, 0U);
+  }
+}
+
+TEST(Algorithms, MatMulValidates) {
+  for (const ProcId n : {1U, 2U, 4U, 6U}) {
+    MatMulCrcwSum program(random_words(n * n, 2 * n, 20),
+                          random_words(n * n, 2 * n + 1, 20), n);
+    SharedMemory memory;
+    const auto result =
+        ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory)) << "n=" << n;
+    EXPECT_EQ(result.steps, 3U);
+  }
+}
+
+TEST(Algorithms, HistogramValidates) {
+  HistogramCrcwSum program(random_words(200, 17, 8), 8);
+  SharedMemory memory;
+  ReferencePram::for_program(program).run(program, memory);
+  EXPECT_TRUE(program.validate(memory));
+}
+
+TEST(Algorithms, HistogramSkewedKeys) {
+  std::vector<Word> keys(100, 3);  // every key in one bucket
+  HistogramCrcwSum program(keys, 8);
+  SharedMemory memory;
+  ReferencePram::for_program(program).run(program, memory);
+  EXPECT_TRUE(program.validate(memory));
+}
+
+TEST(Algorithms, AccessPatternsRunOnReference) {
+  {
+    PermutationTraffic program(64, 10, 5);
+    SharedMemory memory;
+    const auto result =
+        ReferencePram::for_program(program).run(program, memory);
+    EXPECT_EQ(result.read_conflicts, 0U);  // permutations are exclusive
+    EXPECT_TRUE(program.validate(memory));
+  }
+  {
+    HotSpotWriteTraffic program(50, 4);
+    SharedMemory memory;
+    ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory));  // cell 0 == 50 (last step's sum)
+  }
+  {
+    HotSpotReadTraffic program(50, 4, 1234);
+    SharedMemory memory;
+    ReferencePram::for_program(program).run(program, memory);
+    EXPECT_TRUE(program.validate(memory));
+  }
+}
+
+TEST(Algorithms, ResetAllowsRerun) {
+  PrefixSumErew program(random_words(32, 3));
+  SharedMemory first;
+  ReferencePram::for_program(program).run(program, first);
+  program.reset();
+  SharedMemory second;
+  ReferencePram::for_program(program).run(program, second);
+  EXPECT_TRUE(first == second);
+  EXPECT_TRUE(program.validate(second));
+}
+
+}  // namespace
+}  // namespace levnet::pram

@@ -1,0 +1,278 @@
+// Engine semantics: unit-time links, one packet per directed edge per step,
+// queue disciplines, fan-out, bounded buffers, metrics — the machine model
+// of Section 2.2 that every theorem is stated over.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/packet.hpp"
+#include "sim/traffic.hpp"
+#include "support/rng.hpp"
+#include "topology/linear_array.hpp"
+#include "topology/mesh.hpp"
+
+namespace levnet::sim {
+namespace {
+
+using topology::kInvalidNode;
+using topology::LinearArray;
+using topology::NodeId;
+
+/// Walks each packet rightward along a linear array to its dst; delivery
+/// records the step.
+class RightwardTraffic final : public TrafficHandler {
+ public:
+  void on_packet(Packet& p, NodeId at, std::uint32_t step, support::Rng& rng,
+                 std::vector<Forward>& out) override {
+    (void)rng;
+    if (at == p.dst) {
+      deliveries.push_back({p.id, step});
+      return;
+    }
+    out.push_back(Forward{at + 1, p.route_state});
+  }
+
+  std::uint32_t priority(const Packet& p, NodeId at) const override {
+    return p.dst > at ? p.dst - at : 0;  // furthest destination first
+  }
+
+  struct Delivery {
+    std::uint32_t id;
+    std::uint32_t step;
+  };
+  std::vector<Delivery> deliveries;
+};
+
+TEST(Engine, SinglePacketTravelsOneLinkPerStep) {
+  const LinearArray line(6);
+  RightwardTraffic traffic;
+  SyncEngine engine(line.graph(), traffic, {});
+  support::Rng rng(1);
+  Packet p;
+  p.id = 0;
+  p.src = 0;
+  p.dst = 5;
+  engine.inject(std::move(p), 0, rng);
+  EXPECT_TRUE(engine.run(rng));
+  ASSERT_EQ(traffic.deliveries.size(), 1U);
+  EXPECT_EQ(traffic.deliveries[0].step, 5U);  // distance 5 -> 5 steps
+  EXPECT_EQ(engine.metrics().steps, 5U);
+  EXPECT_EQ(engine.metrics().total_hops, 5U);
+  EXPECT_EQ(engine.metrics().total_delay, 0U);
+}
+
+TEST(Engine, ContendingPacketsSerializeOnSharedLink) {
+  // Two packets at node 0 both need link 0->1 in the same step; one packet
+  // per directed link per step means the second waits one step.
+  const LinearArray line(4);
+  RightwardTraffic traffic;
+  SyncEngine engine(line.graph(), traffic, {});
+  support::Rng rng(2);
+  Packet a;
+  a.id = 0;
+  a.src = 0;
+  a.dst = 2;
+  Packet b;
+  b.id = 1;
+  b.src = 0;
+  b.dst = 3;
+  engine.inject(std::move(a), 0, rng);
+  engine.inject(std::move(b), 0, rng);
+  EXPECT_TRUE(engine.run(rng));
+  ASSERT_EQ(traffic.deliveries.size(), 2U);
+  // Packet a (FIFO first): 2 hops, no delay -> step 2. Packet b: 3 hops
+  // plus one step queued behind a on link 0->1 -> step 4.
+  EXPECT_EQ(traffic.deliveries[0].step, 2U);
+  EXPECT_EQ(traffic.deliveries[1].step, 4U);
+  EXPECT_EQ(engine.metrics().total_delay, 1U);
+  EXPECT_EQ(engine.metrics().max_link_queue, 2U);
+}
+
+TEST(Engine, FifoPreservesQueueOrder) {
+  const LinearArray line(3);
+  RightwardTraffic traffic;
+  SyncEngine engine(line.graph(), traffic, {});
+  support::Rng rng(3);
+  // Three packets at node 0, all to node 2; FIFO serves them in id order.
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    Packet p;
+    p.id = i;
+    p.src = 0;
+    p.dst = 2;
+    engine.inject(std::move(p), 0, rng);
+  }
+  EXPECT_TRUE(engine.run(rng));
+  ASSERT_EQ(traffic.deliveries.size(), 3U);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(traffic.deliveries[i].id, i);
+  }
+}
+
+TEST(Engine, FurthestFirstOvertakes) {
+  const LinearArray line(5);
+  RightwardTraffic traffic;
+  EngineConfig config;
+  config.discipline = QueueDiscipline::kFurthestFirst;
+  SyncEngine engine(line.graph(), traffic, config);
+  support::Rng rng(4);
+  Packet near;
+  near.id = 0;
+  near.src = 0;
+  near.dst = 1;  // short trip, enqueued first
+  Packet far;
+  far.id = 1;
+  far.src = 0;
+  far.dst = 4;  // long trip, should be served first
+  engine.inject(std::move(near), 0, rng);
+  engine.inject(std::move(far), 0, rng);
+  EXPECT_TRUE(engine.run(rng));
+  ASSERT_EQ(traffic.deliveries.size(), 2U);
+  // The far packet crossed 0->1 first, so the near one (1 hop) arrives at
+  // step 2 instead of step 1, and the far one is never delayed.
+  ASSERT_EQ(traffic.deliveries[0].id, 0U);
+  EXPECT_EQ(traffic.deliveries[0].step, 2U);
+  EXPECT_EQ(traffic.deliveries[1].step, 4U);
+  EXPECT_EQ(engine.metrics().total_delay, 1U);
+}
+
+TEST(Engine, NearestFirstServesShortTripsFirst) {
+  const LinearArray line(5);
+  RightwardTraffic traffic;
+  EngineConfig config;
+  config.discipline = QueueDiscipline::kNearestFirst;
+  SyncEngine engine(line.graph(), traffic, config);
+  support::Rng rng(5);
+  Packet far;
+  far.id = 0;
+  far.src = 0;
+  far.dst = 4;
+  Packet near;
+  near.id = 1;
+  near.src = 0;
+  near.dst = 1;
+  engine.inject(std::move(far), 0, rng);
+  engine.inject(std::move(near), 0, rng);
+  EXPECT_TRUE(engine.run(rng));
+  ASSERT_EQ(traffic.deliveries.size(), 2U);
+  EXPECT_EQ(traffic.deliveries[0].id, 1U);
+}
+
+TEST(Engine, MaxStepsAborts) {
+  const LinearArray line(10);
+  RightwardTraffic traffic;
+  EngineConfig config;
+  config.max_steps = 3;
+  SyncEngine engine(line.graph(), traffic, config);
+  support::Rng rng(6);
+  Packet p;
+  p.id = 0;
+  p.src = 0;
+  p.dst = 9;
+  engine.inject(std::move(p), 0, rng);
+  EXPECT_FALSE(engine.run(rng));
+  EXPECT_TRUE(engine.metrics().aborted);
+  EXPECT_TRUE(traffic.deliveries.empty());
+}
+
+TEST(Engine, ResetClearsStateForReuse) {
+  const LinearArray line(4);
+  RightwardTraffic traffic;
+  SyncEngine engine(line.graph(), traffic, {});
+  support::Rng rng(7);
+  Packet p;
+  p.id = 0;
+  p.src = 0;
+  p.dst = 3;
+  engine.inject(std::move(p), 0, rng);
+  EXPECT_TRUE(engine.run(rng));
+  engine.reset();
+  EXPECT_EQ(engine.now(), 0U);
+  EXPECT_EQ(engine.metrics().steps, 0U);
+  Packet q;
+  q.id = 1;
+  q.src = 0;
+  q.dst = 2;
+  engine.inject(std::move(q), 0, rng);
+  EXPECT_TRUE(engine.run(rng));
+  EXPECT_EQ(engine.metrics().steps, 2U);
+}
+
+/// Fans a packet out to all neighbors at the first node, then delivers.
+class FanOutTraffic final : public TrafficHandler {
+ public:
+  void on_packet(Packet& p, NodeId at, std::uint32_t step, support::Rng& rng,
+                 std::vector<Forward>& out) override {
+    (void)rng;
+    (void)step;
+    if (p.route_state == 1) {
+      ++arrivals;
+      return;
+    }
+    p.route_state = 0;
+    // Copy to every neighbor; each copy carries route_state 1.
+    if (at == p.src) {
+      out.push_back(Forward{at + 1, 1});
+      if (at > 0) out.push_back(Forward{at - 1, 1});
+    }
+  }
+  int arrivals = 0;
+};
+
+TEST(Engine, FanOutCreatesIndependentCopies) {
+  const LinearArray line(3);
+  FanOutTraffic traffic;
+  SyncEngine engine(line.graph(), traffic, {});
+  support::Rng rng(8);
+  Packet p;
+  p.id = 0;
+  p.src = 1;
+  p.dst = 1;
+  engine.inject(std::move(p), 1, rng);
+  EXPECT_TRUE(engine.run(rng));
+  EXPECT_EQ(traffic.arrivals, 2);  // one copy to node 0, one to node 2
+  EXPECT_EQ(engine.metrics().consumed, 2U);
+}
+
+TEST(Engine, BoundedBuffersBlockTransmission) {
+  // Five packets at node 0 heading right; with node_buffer_bound = 1 the
+  // downstream node accepts one packet at a time, so progress serializes
+  // but still completes (monotone flow cannot deadlock).
+  const LinearArray line(3);
+  RightwardTraffic traffic;
+  EngineConfig config;
+  config.node_buffer_bound = 1;
+  SyncEngine engine(line.graph(), traffic, config);
+  support::Rng rng(9);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    Packet p;
+    p.id = i;
+    p.src = 0;
+    p.dst = 2;
+    engine.inject(std::move(p), 0, rng);
+  }
+  EXPECT_TRUE(engine.run(rng));
+  EXPECT_EQ(traffic.deliveries.size(), 5U);
+  EXPECT_LE(engine.metrics().max_node_queue, 5U);
+}
+
+TEST(Metrics, NodeQueueTracksAggregateLoad) {
+  const LinearArray line(3);
+  RightwardTraffic traffic;
+  SyncEngine engine(line.graph(), traffic, {});
+  support::Rng rng(10);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    Packet p;
+    p.id = i;
+    p.src = 0;
+    p.dst = 2;
+    engine.inject(std::move(p), 0, rng);
+  }
+  EXPECT_TRUE(engine.run(rng));
+  EXPECT_EQ(engine.metrics().max_node_queue, 4U);
+  EXPECT_EQ(engine.metrics().max_link_queue, 4U);
+}
+
+}  // namespace
+}  // namespace levnet::sim

@@ -1,0 +1,283 @@
+// Unit tests for the support layer: RNG, modular arithmetic, primality,
+// statistics, ring queue, table formatting, bit helpers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "support/bits.hpp"
+#include "support/modmath.hpp"
+#include "support/primes.hpp"
+#include "support/ring_queue.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace levnet::support {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a() != b()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0U);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.range(5, 8);
+    EXPECT_GE(v, 5U);
+    EXPECT_LE(v, 8U);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4U);  // all four values should appear in 500 draws
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int draws = 10000;
+  for (int i = 0; i < draws; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / draws, 0.5, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.split();
+  // The child must not replay the parent's stream.
+  Rng b(21);
+  (void)b();  // advance past the split draw
+  int equal = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (child() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, RandomPermutationIsPermutation) {
+  Rng rng(5);
+  const auto perm = random_permutation(257, rng);
+  std::vector<bool> seen(257, false);
+  for (const std::uint32_t v : perm) {
+    ASSERT_LT(v, 257U);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(6);
+  std::vector<int> values{1, 1, 2, 3, 5, 8, 13};
+  auto shuffled = values;
+  shuffle(shuffled, rng);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(ModMath, MulModMatchesWideMultiply) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t m = rng.range(2, ~std::uint64_t{0} - 1);
+    const std::uint64_t a = rng.below(m);
+    const std::uint64_t b = rng.below(m);
+    const auto expected = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(a) * b % m);
+    EXPECT_EQ(mul_mod(a, b, m), expected);
+  }
+}
+
+TEST(ModMath, MulModM61MatchesGeneric) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng.below(kMersenne61);
+    const std::uint64_t b = rng.below(kMersenne61);
+    EXPECT_EQ(mul_mod_m61(a, b), mul_mod(a, b, kMersenne61));
+  }
+}
+
+TEST(ModMath, PowModFermatLittleTheorem) {
+  // a^(p-1) = 1 mod p for prime p and a not divisible by p.
+  const std::uint64_t p = 1000000007ULL;
+  for (std::uint64_t a : {2ULL, 3ULL, 12345ULL, 999999999ULL}) {
+    EXPECT_EQ(pow_mod(a, p - 1, p), 1U);
+  }
+}
+
+TEST(ModMath, AddSubRoundTrip) {
+  const std::uint64_t m = 97;
+  for (std::uint64_t a = 0; a < m; a += 13) {
+    for (std::uint64_t b = 0; b < m; b += 17) {
+      EXPECT_EQ(sub_mod(add_mod(a, b, m), b, m), a);
+    }
+  }
+}
+
+TEST(Primes, SmallKnownValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(91));  // 7 * 13
+  EXPECT_TRUE(is_prime(7919));
+}
+
+TEST(Primes, LargeKnownValues) {
+  EXPECT_TRUE(is_prime(kMersenne61));
+  EXPECT_TRUE(is_prime(1000000007ULL));
+  EXPECT_TRUE(is_prime(1000000000000000003ULL));
+  EXPECT_FALSE(is_prime(1000000007ULL * 1000000009ULL % (1ULL << 62)));
+}
+
+TEST(Primes, CarmichaelNumbersRejected) {
+  // Fermat pseudoprimes that a weak test would accept.
+  for (std::uint64_t c : {561ULL, 1105ULL, 1729ULL, 2465ULL, 2821ULL}) {
+    EXPECT_FALSE(is_prime(c)) << c;
+  }
+}
+
+TEST(Primes, NextPrimeIsPrimeAndMinimal) {
+  for (std::uint64_t n : {10ULL, 90ULL, 1000000ULL, 1ULL << 32}) {
+    const std::uint64_t p = next_prime(n);
+    EXPECT_TRUE(is_prime(p));
+    EXPECT_GE(p, n);
+    for (std::uint64_t q = n; q < p; ++q) EXPECT_FALSE(is_prime(q));
+  }
+}
+
+TEST(Stats, RunningStatMoments) {
+  RunningStat rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(v);
+  EXPECT_EQ(rs.count(), 8U);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(Stats, SummaryPercentiles) {
+  std::vector<double> values(101);
+  std::iota(values.begin(), values.end(), 0.0);
+  const Summary s = summarize(values);
+  EXPECT_DOUBLE_EQ(s.median, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(Stats, FitExactLine) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{5, 7, 9, 11, 13};  // y = 2x + 3
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, FitDegenerateInputs) {
+  std::vector<double> x{2.0};
+  std::vector<double> y{7.0};
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 7.0);
+}
+
+TEST(RingQueue, FifoOrder) {
+  RingQueue<int> q;
+  for (int i = 0; i < 100; ++i) q.push(i);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(q.pop(), i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, InterleavedPushPopWrapsCorrectly) {
+  RingQueue<int> q;
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 3; ++i) q.push(next_push++);
+    for (int i = 0; i < 2; ++i) EXPECT_EQ(q.pop(), next_pop++);
+  }
+  while (!q.empty()) EXPECT_EQ(q.pop(), next_pop++);
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(RingQueue, ExtractMiddlePreservesOrder) {
+  RingQueue<int> q;
+  for (int i = 0; i < 6; ++i) q.push(i);  // 0 1 2 3 4 5
+  EXPECT_EQ(q.extract(2), 2);
+  EXPECT_EQ(q.extract(0), 0);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 4);
+  EXPECT_EQ(q.pop(), 5);
+}
+
+TEST(RingQueue, AtIndexesFromFront) {
+  RingQueue<int> q;
+  q.push(10);
+  q.push(20);
+  q.push(30);
+  (void)q.pop();
+  q.push(40);  // queue: 20 30 40, wrapped storage
+  EXPECT_EQ(q.at(0), 20);
+  EXPECT_EQ(q.at(1), 30);
+  EXPECT_EQ(q.at(2), 40);
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"net", "steps", "ratio"});
+  t.row().cell(std::string("star")).cell(std::uint64_t{42}).cell(3.14159, 2);
+  t.row().cell(std::string("mesh")).cell(std::uint64_t{7}).cell(2.0, 2);
+  EXPECT_EQ(t.row_count(), 2U);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("star"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Bits, CeilAndFloorLog2) {
+  EXPECT_EQ(ceil_log2(1), 0U);
+  EXPECT_EQ(ceil_log2(2), 1U);
+  EXPECT_EQ(ceil_log2(5), 3U);
+  EXPECT_EQ(ceil_log2(8), 3U);
+  EXPECT_EQ(ceil_log2(9), 4U);
+  EXPECT_EQ(floor_log2(8), 3U);
+  EXPECT_EQ(floor_log2(9), 3U);
+}
+
+}  // namespace
+}  // namespace levnet::support

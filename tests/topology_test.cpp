@@ -1,0 +1,305 @@
+// Structural tests for every topology: node/edge counts, degree, diameter,
+// unique-path properties, and the figure-level claims of the paper
+// (star degree n-1 and diameter floor(3(n-1)/2), shuffle unique n-link
+// paths, butterfly leveled structure of Figure 1).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/rng.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/checks.hpp"
+#include "topology/graph.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/linear_array.hpp"
+#include "topology/mesh.hpp"
+#include "topology/shuffle.hpp"
+#include "topology/star.hpp"
+
+namespace levnet::topology {
+namespace {
+
+TEST(Graph, CsrBasics) {
+  // 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0
+  Graph g = Graph::from_edges(3, {{0, 1}, {0, 2}, {1, 2}, {2, 0}});
+  EXPECT_EQ(g.node_count(), 3U);
+  EXPECT_EQ(g.edge_count(), 4U);
+  EXPECT_EQ(g.out_degree(0), 2U);
+  EXPECT_EQ(g.out_degree(1), 1U);
+  EXPECT_EQ(g.out_degree(2), 1U);
+  EXPECT_EQ(g.max_out_degree(), 2U);
+  const auto n0 = g.out_neighbors(0);
+  ASSERT_EQ(n0.size(), 2U);
+  EXPECT_EQ(n0[0], 1U);
+  EXPECT_EQ(n0[1], 2U);
+  EXPECT_NE(g.edge_between(0, 1), kInvalidEdge);
+  EXPECT_EQ(g.edge_between(1, 0), kInvalidEdge);
+}
+
+TEST(Graph, ReverseEdgeLookup) {
+  Graph g = Graph::from_edges(2, {{0, 1}, {1, 0}});
+  const EdgeId forward = g.edge_between(0, 1);
+  const EdgeId backward = g.edge_between(1, 0);
+  EXPECT_EQ(g.reverse_edge(forward), backward);
+  EXPECT_EQ(g.reverse_edge(backward), forward);
+}
+
+TEST(Graph, EdgeEndpoints) {
+  Graph g = Graph::from_edges(3, {{0, 2}, {2, 1}});
+  const EdgeId e = g.edge_between(0, 2);
+  EXPECT_EQ(g.edge_tail(e), 0U);
+  EXPECT_EQ(g.edge_head(e), 2U);
+}
+
+TEST(Butterfly, CountsMatchLeveledDefinition) {
+  // "A leveled network of lN nodes ... l groups of N nodes" (Sec. 2.3.1).
+  const WrappedButterfly bf(2, 4);
+  EXPECT_EQ(bf.row_count(), 16U);
+  EXPECT_EQ(bf.node_count(), 64U);  // 4 columns x 16 rows
+  EXPECT_EQ(bf.route_length(), 4U);
+}
+
+TEST(Butterfly, DigitArithmetic) {
+  const WrappedButterfly bf(3, 3);  // rows 0..26 in base 3
+  EXPECT_EQ(bf.digit(14, 0), 2U);   // 14 = 112_3
+  EXPECT_EQ(bf.digit(14, 1), 1U);
+  EXPECT_EQ(bf.digit(14, 2), 1U);
+  EXPECT_EQ(bf.with_digit(14, 2, 0), 5U);  // 012_3
+}
+
+TEST(Butterfly, GraphIsSymmetricAndConnected) {
+  const WrappedButterfly bf(2, 3);
+  EXPECT_TRUE(is_symmetric(bf.graph()));
+  EXPECT_TRUE(is_connected(bf.graph()));
+}
+
+TEST(Butterfly, UniqueForwardPathProperty) {
+  // Exactly one forward path of length l between any column-0 pair; the
+  // count_paths audit includes backward edges, so instead walk the unique
+  // path via forward_toward and check it lands correctly in l hops.
+  const WrappedButterfly bf(2, 4);
+  for (NodeId src_row = 0; src_row < bf.row_count(); ++src_row) {
+    for (NodeId dst_row : {NodeId{0}, NodeId{7}, NodeId{15}}) {
+      NodeId at = bf.node_id(0, src_row);
+      for (std::uint32_t hop = 0; hop < bf.route_length(); ++hop) {
+        at = bf.forward_toward(at, dst_row);
+      }
+      EXPECT_EQ(at, bf.node_id(0, dst_row));
+    }
+  }
+}
+
+TEST(Butterfly, ForwardTowardChangesOneDigitPerLevel) {
+  const WrappedButterfly bf(4, 3);
+  const NodeId start = bf.node_id(0, 0);
+  const NodeId target_row = 37;  // 211_4
+  NodeId at = start;
+  for (std::uint32_t hop = 0; hop < 3; ++hop) {
+    const NodeId next = bf.forward_toward(at, target_row);
+    EXPECT_EQ(bf.column_of(next), (bf.column_of(at) + 1) % 3);
+    EXPECT_EQ(bf.digit(bf.row_of(next), bf.column_of(at)),
+              bf.digit(target_row, bf.column_of(at)));
+    at = next;
+  }
+  EXPECT_EQ(bf.row_of(at), target_row);
+}
+
+TEST(Butterfly, RadixDegreeBound) {
+  const WrappedButterfly bf(4, 2);
+  // Forward out-degree d plus backward links: at most 2d per node.
+  EXPECT_LE(bf.graph().max_out_degree(), 8U);
+}
+
+TEST(Star, NodeCountAndDegree) {
+  const StarGraph star(4);
+  EXPECT_EQ(star.node_count(), 24U);
+  EXPECT_EQ(star.degree(), 3U);
+  EXPECT_TRUE(is_regular(star.graph(), 3));
+  EXPECT_TRUE(is_symmetric(star.graph()));
+  EXPECT_TRUE(is_connected(star.graph()));
+}
+
+TEST(Star, RankUnrankRoundTrip) {
+  const StarGraph star(5);
+  for (NodeId id = 0; id < star.node_count(); ++id) {
+    EXPECT_EQ(star.rank(star.unrank(id)), id);
+  }
+}
+
+TEST(Star, IdentityIsRankZero) {
+  const StarGraph star(4);
+  const StarPerm identity = star.unrank(0);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(identity[i], i + 1);
+}
+
+TEST(Star, SwapNeighborIsInvolution) {
+  const StarGraph star(5);
+  for (NodeId u : {NodeId{0}, NodeId{17}, NodeId{63}, NodeId{119}}) {
+    for (std::uint32_t j = 1; j < 5; ++j) {
+      EXPECT_EQ(star.swap_neighbor(star.swap_neighbor(u, j), j), u);
+    }
+  }
+}
+
+TEST(Star, DiameterMatchesAkersFormula) {
+  // floor(3(n-1)/2): n=3 -> 3? Actually 3(2)/2 = 3; n=4 -> 4; n=5 -> 6.
+  for (std::uint32_t n = 3; n <= 5; ++n) {
+    const StarGraph star(n);
+    EXPECT_EQ(exact_diameter(star.graph()), star.diameter()) << "n=" << n;
+  }
+}
+
+TEST(Star, DistanceFormulaMatchesBfs) {
+  const StarGraph star(5);
+  for (NodeId src : {NodeId{0}, NodeId{37}, NodeId{101}}) {
+    const auto bfs = bfs_distances(star.graph(), src);
+    for (NodeId v = 0; v < star.node_count(); ++v) {
+      EXPECT_EQ(star.distance(src, v), bfs[v])
+          << "src=" << star.label(src) << " v=" << star.label(v);
+    }
+  }
+}
+
+TEST(Star, GreedyStepWalksAMinimalPath) {
+  const StarGraph star(6);
+  for (NodeId src : {NodeId{3}, NodeId{250}, NodeId{719}}) {
+    for (NodeId dst : {NodeId{0}, NodeId{100}, NodeId{700}}) {
+      NodeId at = src;
+      std::uint32_t hops = 0;
+      const std::uint32_t dist = star.distance(src, dst);
+      while (at != dst) {
+        const NodeId next = star.greedy_step(at, dst);
+        EXPECT_EQ(star.distance(next, dst), star.distance(at, dst) - 1);
+        at = next;
+        ++hops;
+        ASSERT_LE(hops, star.diameter());
+      }
+      EXPECT_EQ(hops, dist);
+    }
+  }
+}
+
+TEST(Star, NeighborsAreSwapImages) {
+  const StarGraph star(4);
+  const NodeId u = 13;
+  std::set<NodeId> expected;
+  for (std::uint32_t j = 1; j < 4; ++j) expected.insert(star.swap_neighbor(u, j));
+  std::set<NodeId> actual;
+  for (NodeId v : star.graph().out_neighbors(u)) actual.insert(v);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Shuffle, CountsAndStructure) {
+  const DWayShuffle shuffle(3, 3);
+  EXPECT_EQ(shuffle.node_count(), 27U);
+  EXPECT_EQ(shuffle.route_length(), 3U);
+  EXPECT_TRUE(is_symmetric(shuffle.graph()));
+  EXPECT_TRUE(is_connected(shuffle.graph()));
+}
+
+TEST(Shuffle, ShiftInjectSemantics) {
+  const DWayShuffle shuffle(10, 3);  // decimal digits for readability
+  // Node 123 ("123"): inject 9 -> "912".
+  EXPECT_EQ(shuffle.shift_inject(123, 9), 912U);
+  EXPECT_EQ(shuffle.label(123), "123");
+  EXPECT_EQ(shuffle.label(912), "912");
+}
+
+TEST(Shuffle, UniquePathReachesDestinationInNHops) {
+  const DWayShuffle shuffle(4, 4);
+  support::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto src = static_cast<NodeId>(rng.below(shuffle.node_count()));
+    const auto dst = static_cast<NodeId>(rng.below(shuffle.node_count()));
+    NodeId at = src;
+    for (std::uint32_t k = 0; k < shuffle.route_length(); ++k) {
+      at = shuffle.forward_toward(at, dst, k);
+    }
+    EXPECT_EQ(at, dst);
+  }
+}
+
+TEST(Shuffle, DiameterIsN) {
+  const DWayShuffle shuffle(3, 3);
+  EXPECT_EQ(exact_diameter(shuffle.graph()), 3U);
+}
+
+TEST(Shuffle, NWayFactory) {
+  const DWayShuffle nway = DWayShuffle::n_way(3);
+  EXPECT_EQ(nway.radix(), 3U);
+  EXPECT_EQ(nway.digits(), 3U);
+  EXPECT_EQ(nway.node_count(), 27U);
+}
+
+TEST(Hypercube, StructureAndDistance) {
+  const Hypercube cube(4);
+  EXPECT_EQ(cube.node_count(), 16U);
+  EXPECT_TRUE(is_regular(cube.graph(), 4));
+  EXPECT_TRUE(is_symmetric(cube.graph()));
+  EXPECT_EQ(exact_diameter(cube.graph()), 4U);
+  EXPECT_EQ(cube.distance(0b0000, 0b1111), 4U);
+  EXPECT_EQ(cube.distance(0b1010, 0b1010), 0U);
+}
+
+TEST(Hypercube, EcubeWalkMatchesHamming) {
+  const Hypercube cube(6);
+  NodeId at = 0b101010;
+  const NodeId dst = 0b010101;
+  std::uint32_t hops = 0;
+  while (at != dst) {
+    at = cube.ecube_step(at, dst);
+    ++hops;
+    ASSERT_LE(hops, 6U);
+  }
+  EXPECT_EQ(hops, 6U);
+}
+
+TEST(Mesh, StructureAndDistance) {
+  const Mesh mesh(4, 4);
+  EXPECT_EQ(mesh.node_count(), 16U);
+  EXPECT_TRUE(is_symmetric(mesh.graph()));
+  EXPECT_EQ(exact_diameter(mesh.graph()), 6U);  // 2n - 2
+  EXPECT_EQ(mesh.distance(mesh.node_id(0, 0), mesh.node_id(3, 3)), 6U);
+  EXPECT_EQ(mesh.row_of(mesh.node_id(2, 1)), 2U);
+  EXPECT_EQ(mesh.col_of(mesh.node_id(2, 1)), 1U);
+}
+
+TEST(Mesh, CornerAndInteriorDegrees) {
+  const Mesh mesh(3, 3);
+  EXPECT_EQ(mesh.graph().out_degree(mesh.node_id(0, 0)), 2U);  // corner
+  EXPECT_EQ(mesh.graph().out_degree(mesh.node_id(0, 1)), 3U);  // edge
+  EXPECT_EQ(mesh.graph().out_degree(mesh.node_id(1, 1)), 4U);  // interior
+}
+
+TEST(Mesh, SlicePartitioning) {
+  // Figure 5: horizontal slices of epsilon*n rows.
+  const Mesh mesh(16, 16);
+  const auto range = mesh.slice_rows_of(9, 4);
+  EXPECT_EQ(range.first, 8U);
+  EXPECT_EQ(range.last, 11U);
+  EXPECT_EQ(mesh.slice_of(9, 4), 2U);
+  // Short last slice.
+  const Mesh odd(10, 10);
+  const auto tail = odd.slice_rows_of(9, 4);
+  EXPECT_EQ(tail.first, 8U);
+  EXPECT_EQ(tail.last, 9U);
+}
+
+TEST(LinearArray, Structure) {
+  const LinearArray line(8);
+  EXPECT_EQ(line.node_count(), 8U);
+  EXPECT_EQ(exact_diameter(line.graph()), 7U);
+  EXPECT_EQ(line.distance(2, 7), 5U);
+  EXPECT_TRUE(is_symmetric(line.graph()));
+}
+
+TEST(Checks, CountPathsOnKnownGraph) {
+  // Diamond: 0->1->3, 0->2->3 gives two paths of length 2.
+  Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(count_paths(g, 0, 3, 2), 2U);
+  EXPECT_EQ(count_paths(g, 0, 3, 1), 0U);
+}
+
+}  // namespace
+}  // namespace levnet::topology

@@ -1,0 +1,108 @@
+// Workload generators: the routing problem taxonomy of Section 2.2.1.
+
+#include <gtest/gtest.h>
+
+#include "sim/workload.hpp"
+#include "support/rng.hpp"
+
+namespace levnet::sim {
+namespace {
+
+TEST(Workload, PermutationIsValid) {
+  support::Rng rng(1);
+  const Workload w = permutation_workload(128, rng);
+  EXPECT_TRUE(is_permutation_workload(w, 128));
+  EXPECT_EQ(max_demands_per_source(w, 128), 1U);
+  EXPECT_EQ(max_demands_per_destination(w, 128), 1U);
+}
+
+TEST(Workload, PartialPermutationRespectsDensityAndDistinctness) {
+  support::Rng rng(2);
+  const Workload w = partial_permutation_workload(1000, 0.5, rng);
+  EXPECT_GT(w.size(), 350U);
+  EXPECT_LT(w.size(), 650U);
+  EXPECT_EQ(max_demands_per_source(w, 1000), 1U);
+  EXPECT_EQ(max_demands_per_destination(w, 1000), 1U);
+}
+
+TEST(Workload, PartialPermutationDensityExtremes) {
+  support::Rng rng(3);
+  EXPECT_TRUE(partial_permutation_workload(50, 0.0, rng).empty());
+  EXPECT_EQ(partial_permutation_workload(50, 1.0, rng).size(), 50U);
+}
+
+TEST(Workload, HRelationBounds) {
+  support::Rng rng(4);
+  const std::uint32_t h = 5;
+  const Workload w = h_relation_workload(64, h, rng);
+  EXPECT_EQ(w.size(), 64U * h);
+  EXPECT_LE(max_demands_per_source(w, 64), h);
+  EXPECT_LE(max_demands_per_destination(w, 64), h);
+}
+
+TEST(Workload, ManyOneCoversAllSources) {
+  support::Rng rng(5);
+  const Workload w = many_one_workload(100, rng);
+  EXPECT_EQ(w.size(), 100U);
+  EXPECT_EQ(max_demands_per_source(w, 100), 1U);
+}
+
+TEST(Workload, HotSpotTargetsTarget) {
+  support::Rng rng(6);
+  const Workload w = hot_spot_workload(1000, 0.3, 7, rng);
+  std::uint32_t hits = 0;
+  for (const auto& d : w) {
+    if (d.destination == 7) ++hits;
+  }
+  EXPECT_GT(hits, 200U);
+  EXPECT_LT(hits, 450U);
+}
+
+TEST(Workload, ReversalIsInvolutionOnPowersOfTwo) {
+  const Workload w = reversal_workload(16);
+  for (const auto& d : w) {
+    EXPECT_EQ(w[d.destination].destination, d.source);
+  }
+}
+
+TEST(Workload, TransposeMapsRowColumn) {
+  const std::uint32_t n = 8;
+  const Workload w = transpose_workload(n);
+  EXPECT_TRUE(is_permutation_workload(w, n * n));
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t c = 0; c < n; ++c) {
+      EXPECT_EQ(w[r * n + c].destination, c * n + r);
+    }
+  }
+}
+
+TEST(Workload, LocalStaysWithinDistance) {
+  support::Rng rng(7);
+  const std::uint32_t n = 16;
+  const std::uint32_t d = 3;
+  const Workload w = local_mesh_workload(n, d, rng);
+  EXPECT_EQ(w.size(), static_cast<std::size_t>(n) * n);
+  for (const auto& demand : w) {
+    const std::int64_t sr = demand.source / n;
+    const std::int64_t sc = demand.source % n;
+    const std::int64_t dr = demand.destination / n;
+    const std::int64_t dc = demand.destination % n;
+    const std::int64_t manhattan =
+        (sr > dr ? sr - dr : dr - sr) + (sc > dc ? sc - dc : dc - sc);
+    EXPECT_LE(manhattan, static_cast<std::int64_t>(d));
+  }
+}
+
+TEST(Workload, GeneratorsAreDeterministicPerSeed) {
+  support::Rng rng_a(42);
+  support::Rng rng_b(42);
+  const Workload a = permutation_workload(64, rng_a);
+  const Workload b = permutation_workload(64, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].destination, b[i].destination);
+  }
+}
+
+}  // namespace
+}  // namespace levnet::sim
