@@ -11,6 +11,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -49,25 +52,114 @@ class Report {
     os.flush();
   }
 
+  /// Serializes the accumulated tables as JSON so scripted runs
+  /// (bench/run_benches.sh, CI) can diff results across PRs.
+  void write_json(std::ostream& os, const std::string& bench_name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\n  \"bench\": " << quoted(bench_name) << ",\n  \"tables\": [";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      const auto& entry = tables_[t];
+      if (t != 0) os << ',';
+      os << "\n    {\n      \"title\": " << quoted(entry.title)
+         << ",\n      \"header\": ";
+      write_string_array(os, entry.table->header());
+      os << ",\n      \"rows\": [";
+      const auto& rows = entry.table->rows();
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (r != 0) os << ',';
+        os << "\n        ";
+        write_string_array(os, rows[r]);
+      }
+      os << (rows.empty() ? "]" : "\n      ]") << "\n    }";
+    }
+    os << (tables_.empty() ? "]" : "\n  ]") << "\n}\n";
+    os.flush();
+  }
+
  private:
   struct Entry {
     std::string title;
     std::unique_ptr<support::Table> table;
   };
+
+  static std::string quoted(const std::string& value) {
+    std::string out = "\"";
+    for (const char c : value) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static void write_string_array(std::ostream& os,
+                                 const std::vector<std::string>& values) {
+    os << '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << quoted(values[i]);
+    }
+    os << ']';
+  }
+
   mutable std::mutex mutex_;
   std::vector<Entry> tables_;
 };
 
+/// Derives the bench's short name from argv[0]: basename minus any
+/// "bench_" prefix, e.g. ".../bench_emulation_leveled" -> "emulation_leveled".
+inline std::string bench_name_from_argv0(const std::string& argv0) {
+  const std::size_t slash = argv0.find_last_of("/\\");
+  std::string name =
+      slash == std::string::npos ? argv0 : argv0.substr(slash + 1);
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  return name;
+}
+
+/// When LEVNET_BENCH_JSON_DIR is set, writes the accumulated report tables
+/// to <dir>/BENCH_<name>.json. Returns false on I/O failure.
+inline bool maybe_write_json_report(const std::string& argv0) {
+  const char* dir = std::getenv("LEVNET_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return true;
+  const std::string name = bench_name_from_argv0(argv0);
+  const std::string path = std::string(dir) + "/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "levnet bench: cannot open " << path << " for writing\n";
+    return false;
+  }
+  Report::instance().write_json(out, name);
+  if (!out) {
+    std::cerr << "levnet bench: write to " << path << " failed\n";
+    return false;
+  }
+  std::cout << "wrote " << path << "\n";
+  return true;
+}
+
 }  // namespace levnet::bench
 
-/// Standard main: run benchmarks, then print the accumulated paper tables.
-#define LEVNET_BENCH_MAIN()                                   \
-  int main(int argc, char** argv) {                           \
-    ::benchmark::Initialize(&argc, argv);                     \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
-      return 1;                                               \
-    ::benchmark::RunSpecifiedBenchmarks();                    \
-    ::benchmark::Shutdown();                                  \
-    ::levnet::bench::Report::instance().print(std::cout);     \
-    return 0;                                                 \
+/// Standard main: run benchmarks, print the accumulated paper tables, then
+/// emit BENCH_<name>.json when LEVNET_BENCH_JSON_DIR is set.
+#define LEVNET_BENCH_MAIN()                                          \
+  int main(int argc, char** argv) {                                  \
+    ::benchmark::Initialize(&argc, argv);                            \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))        \
+      return 1;                                                      \
+    ::benchmark::RunSpecifiedBenchmarks();                           \
+    ::benchmark::Shutdown();                                         \
+    ::levnet::bench::Report::instance().print(std::cout);            \
+    return ::levnet::bench::maybe_write_json_report(argv[0]) ? 0 : 1; \
   }

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Builds the bench binaries and runs them with JSON emission enabled, so each
+# run lands as BENCH_<name>.json at the repo root (or $LEVNET_BENCH_JSON_DIR).
+#
+# Usage:
+#   bench/run_benches.sh [build-dir] [bench-name ...]
+#
+# The first argument names the build dir only when it is recognizable as
+# one — an existing directory or a path containing a slash (use ./build2
+# for a fresh dir); anything else is taken as a bench name and the
+# default <repo>/build is used. With no bench names, every bench_*
+# binary in <build-dir>/bench is run.
+# Examples:
+#   bench/run_benches.sh build emulation_leveled
+#   bench/run_benches.sh emulation_leveled hashing
+#   bench/run_benches.sh ./build-release
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+# The build-dir argument is optional: treat the first argument as a build
+# dir only when it is one (an existing directory or a path with a slash);
+# otherwise it is a bench name and the default build dir applies.
+build_dir="$repo_root/build"
+if (( $# > 0 )) && { [[ -d "$1" ]] || [[ "$1" == */* ]]; }; then
+  build_dir="$1"
+  shift
+fi
+
+if [[ ! -d "$build_dir" ]]; then
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+fi
+
+if (( $# > 0 )); then
+  targets=()
+  for name in "$@"; do targets+=("bench_${name#bench_}"); done
+  cmake --build "$build_dir" -j --target "${targets[@]}"
+else
+  cmake --build "$build_dir" -j --target benches
+fi
+
+export LEVNET_BENCH_JSON_DIR="${LEVNET_BENCH_JSON_DIR:-$repo_root}"
+
+read -ra LEVNET_BENCH_ARGS <<< "${LEVNET_BENCH_EXTRA_ARGS:-}"
+
+run_one() {
+  local bin="$1"
+  echo "=== $(basename "$bin") ==="
+  "$bin" ${LEVNET_BENCH_ARGS[@]+"${LEVNET_BENCH_ARGS[@]}"}
+}
+
+if (( $# > 0 )); then
+  for name in "$@"; do
+    run_one "$build_dir/bench/bench_${name#bench_}"
+  done
+else
+  for bin in "$build_dir"/bench/bench_*; do
+    [[ -x "$bin" && -f "$bin" ]] || continue
+    run_one "$bin"
+  done
+fi
+
+echo "JSON reports in $LEVNET_BENCH_JSON_DIR:"
+ls -1 "$LEVNET_BENCH_JSON_DIR"/BENCH_*.json 2>/dev/null || echo "  (none)"

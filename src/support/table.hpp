@@ -28,6 +28,14 @@ class Table {
 
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

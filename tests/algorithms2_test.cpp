@@ -73,7 +73,9 @@ TEST(MatVec, ValidatesOnReference) {
         ReferencePram::for_program(program).run(program, memory);
     EXPECT_TRUE(program.validate(memory)) << "n=" << n;
     EXPECT_EQ(result.write_conflicts, 0U) << "n=" << n;  // CREW-clean writes
-    if (n > 1) EXPECT_GT(result.read_conflicts, 0U);     // x[j] shared
+    if (n > 1) {
+      EXPECT_GT(result.read_conflicts, 0U);  // x[j] shared
+    }
   }
 }
 

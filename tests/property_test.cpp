@@ -168,9 +168,14 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
                        ::testing::Values(0.0, 0.25, 0.5, 1.0)),
     [](const auto& suite_info) {
-      return "s" + std::to_string(std::get<0>(suite_info.param)) + "_d" +
-             std::to_string(
-                 static_cast<int>(std::get<1>(suite_info.param) * 100));
+      // Built with += rather than an operator+ chain: GCC 12's -Wrestrict
+      // false-fires on `const char* + std::string&&` (GCC PR105329).
+      std::string name = "s";
+      name += std::to_string(std::get<0>(suite_info.param));
+      name += "_d";
+      name +=
+          std::to_string(static_cast<int>(std::get<1>(suite_info.param) * 100));
+      return name;
     });
 
 }  // namespace
