@@ -1,122 +1,42 @@
 #pragma once
 // Shared scaffolding for the experiment benches.
 //
-// Every bench binary regenerates one experiment row-set from DESIGN.md's
-// index (E1-E13). Wall-clock time is not the measurement — the paper's
-// claims are about *simulated network steps* — so each benchmark iteration
-// runs one seeded trial and publishes step counts, normalized ratios and
-// queue maxima through benchmark counters, while a paper-style summary
-// table accumulates rows that main() prints after the google-benchmark
-// report.
+// Every bench binary is a set of Scenario registrations into the
+// analysis::Registry (see src/analysis/experiment.hpp) plus the
+// LEVNET_BENCH_MAIN() below. Wall-clock time is not the measurement — the
+// paper's claims are about *simulated network steps* — so the runner
+// executes each scenario's sweep points once, fanning the per-point seeds
+// across a thread pool, and the paper-style summary tables are printed
+// after the per-scenario timing log.
+//
+// Common CLI (also in analysis::run_options_usage):
+//   --seeds N --threads N --scenario SUBSTR --smoke --list [--markdown]
 
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <vector>
 
-#include "support/table.hpp"
+#include "analysis/experiment.hpp"
+#include "analysis/report.hpp"
+
+// Scenario registrations intentionally set only the fields they use
+// (designated initializers over an aggregate with member defaults); GCC 12
+// still fires -Wmissing-field-initializers on that, so it is disabled for
+// the rest of the TU. Deliberate trade-off: bench TUs are scenario
+// registrations plus small helpers, so the lost coverage is negligible —
+// do not include this header from library or test code.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+#endif
 
 namespace levnet::bench {
 
-/// Singleton collection of summary tables printed at exit.
-class Report {
- public:
-  static Report& instance() {
-    static Report report;
-    return report;
-  }
-
-  support::Table& table(const std::string& title,
-                        std::vector<std::string> header) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& entry : tables_) {
-      if (entry.title == title) return *entry.table;
-    }
-    tables_.push_back(
-        {title, std::make_unique<support::Table>(std::move(header))});
-    return *tables_.back().table;
-  }
-
-  void print(std::ostream& os) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& entry : tables_) {
-      os << "\n=== " << entry.title << " ===\n";
-      entry.table->print(os);
-    }
-    os.flush();
-  }
-
-  /// Serializes the accumulated tables as JSON so scripted runs
-  /// (bench/run_benches.sh, CI) can diff results across PRs.
-  void write_json(std::ostream& os, const std::string& bench_name) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    os << "{\n  \"bench\": " << quoted(bench_name) << ",\n  \"tables\": [";
-    for (std::size_t t = 0; t < tables_.size(); ++t) {
-      const auto& entry = tables_[t];
-      if (t != 0) os << ',';
-      os << "\n    {\n      \"title\": " << quoted(entry.title)
-         << ",\n      \"header\": ";
-      write_string_array(os, entry.table->header());
-      os << ",\n      \"rows\": [";
-      const auto& rows = entry.table->rows();
-      for (std::size_t r = 0; r < rows.size(); ++r) {
-        if (r != 0) os << ',';
-        os << "\n        ";
-        write_string_array(os, rows[r]);
-      }
-      os << (rows.empty() ? "]" : "\n      ]") << "\n    }";
-    }
-    os << (tables_.empty() ? "]" : "\n  ]") << "\n}\n";
-    os.flush();
-  }
-
- private:
-  struct Entry {
-    std::string title;
-    std::unique_ptr<support::Table> table;
-  };
-
-  static std::string quoted(const std::string& value) {
-    std::string out = "\"";
-    for (const char c : value) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
-    }
-    out += '"';
-    return out;
-  }
-
-  static void write_string_array(std::ostream& os,
-                                 const std::vector<std::string>& values) {
-    os << '[';
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      if (i != 0) os << ", ";
-      os << quoted(values[i]);
-    }
-    os << ']';
-  }
-
-  mutable std::mutex mutex_;
-  std::vector<Entry> tables_;
-};
+/// Narrows a sweep argument (ScenarioContext::arg returns int64) to the
+/// uint32 sizes the topologies take.
+[[nodiscard]] inline std::uint32_t u32(std::int64_t v) {
+  return static_cast<std::uint32_t>(v);
+}
 
 /// Derives the bench's short name from argv[0]: basename minus any
 /// "bench_" prefix, e.g. ".../bench_emulation_leveled" -> "emulation_leveled".
@@ -140,7 +60,7 @@ inline bool maybe_write_json_report(const std::string& argv0) {
     std::cerr << "levnet bench: cannot open " << path << " for writing\n";
     return false;
   }
-  Report::instance().write_json(out, name);
+  analysis::Report::global().write_json(out, name);
   if (!out) {
     std::cerr << "levnet bench: write to " << path << " failed\n";
     return false;
@@ -149,17 +69,41 @@ inline bool maybe_write_json_report(const std::string& argv0) {
   return true;
 }
 
+/// Standard main: parse the common CLI, run (or list) the registered
+/// scenarios, print the accumulated paper tables, then emit
+/// BENCH_<name>.json when LEVNET_BENCH_JSON_DIR is set.
+inline int bench_main(int argc, char** argv) {
+  analysis::RunOptions options;
+  std::string error;
+  if (!analysis::parse_run_options(argc, argv, options, error)) {
+    std::cerr << "levnet bench: " << error << "\n"
+              << analysis::run_options_usage();
+    return 1;
+  }
+  if (options.help) {
+    std::cout << analysis::run_options_usage();
+    return 0;
+  }
+  const auto& registry = analysis::Registry::global();
+  if (options.list) {
+    registry.list(std::cout, options.markdown,
+                  bench_name_from_argv0(argv[0]));
+    return 0;
+  }
+  auto& report = analysis::Report::global();
+  const std::size_t ran = registry.run(options, report, std::cout);
+  if (ran == 0) {
+    std::cerr << "levnet bench: no scenario matches '"
+              << options.scenario_filter << "' (see --list)\n";
+    return 2;
+  }
+  report.print(std::cout);
+  return maybe_write_json_report(argv[0]) ? 0 : 1;
+}
+
 }  // namespace levnet::bench
 
-/// Standard main: run benchmarks, print the accumulated paper tables, then
-/// emit BENCH_<name>.json when LEVNET_BENCH_JSON_DIR is set.
-#define LEVNET_BENCH_MAIN()                                          \
-  int main(int argc, char** argv) {                                  \
-    ::benchmark::Initialize(&argc, argv);                            \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv))        \
-      return 1;                                                      \
-    ::benchmark::RunSpecifiedBenchmarks();                           \
-    ::benchmark::Shutdown();                                         \
-    ::levnet::bench::Report::instance().print(std::cout);            \
-    return ::levnet::bench::maybe_write_json_report(argv[0]) ? 0 : 1; \
+#define LEVNET_BENCH_MAIN()                          \
+  int main(int argc, char** argv) {                  \
+    return ::levnet::bench::bench_main(argc, argv);  \
   }

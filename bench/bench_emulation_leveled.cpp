@@ -8,8 +8,6 @@
 //  * CRCW steps (all processors reading or writing one cell) cost about the
 //    same *with combining*; without it the module serializes (E7).
 
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hpp"
 #include "emulation/emulator.hpp"
 #include "emulation/fabric.hpp"
@@ -24,112 +22,64 @@ namespace {
 
 using namespace levnet;
 
+using bench::u32;
+
 constexpr std::uint32_t kPramSteps = 4;
 
-struct EmulationRow {
-  std::string network;
-  std::uint64_t processors;
-  std::uint32_t diameter;
-  emulation::EmulationReport report;
-};
+/// One seeded EREW emulation trial: a fresh permutation program and a fresh
+/// emulator (per-trial engine + RNG — reentrant across pool threads).
+analysis::TrialStats erew_trials(analysis::ScenarioContext& ctx,
+                                 const emulation::EmulationFabric& fabric,
+                                 std::uint32_t procs) {
+  return ctx.trials([&](std::uint64_t seed) {
+    pram::PermutationTraffic program(procs, kPramSteps, seed);
+    emulation::EmulatorConfig config;
+    config.seed = seed;
+    emulation::NetworkEmulator emulator(fabric, config);
+    pram::SharedMemory memory;
+    return emulator.run(program, memory);
+  });
+}
 
-void record_erew_row(const EmulationRow& row, benchmark::State& state) {
-  state.counters["net_steps_per_pram_step"] = row.report.mean_step_network;
-  state.counters["per_diameter"] =
-      row.report.mean_step_network / row.diameter;
-  auto& table = bench::Report::instance().table(
+void erew_row(analysis::ScenarioContext& ctx, const std::string& network,
+              std::uint64_t processors, std::uint32_t diameter,
+              const analysis::TrialStats& stats) {
+  auto& table = ctx.table(
       "E6 / Theorem 2.5 + Cor 2.3-2.4: EREW emulation cost per PRAM step",
       {"network", "procs", "diam", "steps/pram-step", "worst step",
        "per diam", "linkQ", "rehash"});
   table.row()
-      .cell(row.network)
-      .cell(row.processors)
-      .cell(std::uint64_t{row.diameter})
-      .cell(row.report.mean_step_network, 1)
-      .cell(std::uint64_t{row.report.max_step_network})
-      .cell(row.report.mean_step_network / row.diameter, 2)
-      .cell(std::uint64_t{row.report.max_link_queue})
-      .cell(std::uint64_t{row.report.rehashes});
+      .cell(network)
+      .cell(processors)
+      .cell(std::uint64_t{diameter})
+      .cell(stats.steps.mean, 1)
+      .cell(stats.worst_step.max, 0)
+      .cell(stats.steps.mean / diameter, 2)
+      .cell(stats.max_link_queue.max, 0)
+      .cell(stats.rehashes_mean, 1);
 }
 
-void BM_ErewEmulationStar(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
+void crcw_row(analysis::ScenarioContext& ctx, std::uint32_t n, bool write,
+              bool combining) {
   const topology::StarGraph star(n);
   const routing::StarTwoPhaseRouter router(star);
   const emulation::EmulationFabric fabric(star.graph(), router,
                                           star.diameter(), star.name());
-  emulation::EmulationReport report;
-  for (auto _ : state) {
-    pram::PermutationTraffic program(star.node_count(), kPramSteps, 11);
-    emulation::NetworkEmulator emulator(fabric, {});
-    pram::SharedMemory memory;
-    report = emulator.run(program, memory);
-    benchmark::DoNotOptimize(report.network_steps);
-  }
-  record_erew_row({star.name(), star.node_count(), star.diameter(), report},
-                  state);
-}
-
-void BM_ErewEmulationShuffle(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  const topology::DWayShuffle net = topology::DWayShuffle::n_way(n);
-  const routing::ShuffleTwoPhaseRouter router(net);
-  const emulation::EmulationFabric fabric(net.graph(), router,
-                                          net.route_length(), net.name());
-  emulation::EmulationReport report;
-  for (auto _ : state) {
-    pram::PermutationTraffic program(net.node_count(), kPramSteps, 13);
-    emulation::NetworkEmulator emulator(fabric, {});
-    pram::SharedMemory memory;
-    report = emulator.run(program, memory);
-    benchmark::DoNotOptimize(report.network_steps);
-  }
-  record_erew_row({net.name(), net.node_count(), net.route_length(), report},
-                  state);
-}
-
-void BM_ErewEmulationButterfly(benchmark::State& state) {
-  const auto levels = static_cast<std::uint32_t>(state.range(0));
-  const topology::WrappedButterfly bf(2, levels);
-  const routing::TwoPhaseButterflyRouter router(bf);
-  const emulation::EmulationFabric fabric(bf, router);
-  emulation::EmulationReport report;
-  for (auto _ : state) {
-    pram::PermutationTraffic program(bf.row_count(), kPramSteps, 17);
-    emulation::NetworkEmulator emulator(fabric, {});
-    pram::SharedMemory memory;
-    report = emulator.run(program, memory);
-    benchmark::DoNotOptimize(report.network_steps);
-  }
-  record_erew_row({bf.name(), bf.row_count(), bf.levels(), report}, state);
-}
-
-void crcw_hotspot_case(benchmark::State& state, std::uint32_t n, bool write,
-                       bool combining) {
-  const topology::StarGraph star(n);
-  const routing::StarTwoPhaseRouter router(star);
-  const emulation::EmulationFabric fabric(star.graph(), router,
-                                          star.diameter(), star.name());
-  emulation::EmulatorConfig config;
-  config.combining = combining;
-  emulation::EmulationReport report;
-  for (auto _ : state) {
+  const analysis::TrialStats stats = ctx.trials([&](std::uint64_t seed) {
+    emulation::EmulatorConfig config;
+    config.combining = combining;
+    config.seed = seed;
     emulation::NetworkEmulator emulator(fabric, config);
     pram::SharedMemory memory;
     if (write) {
       pram::HotSpotWriteTraffic program(star.node_count(), kPramSteps);
-      report = emulator.run(program, memory);
-    } else {
-      pram::HotSpotReadTraffic program(star.node_count(), kPramSteps, 99);
-      report = emulator.run(program, memory);
+      return emulator.run(program, memory);
     }
-    benchmark::DoNotOptimize(report.network_steps);
-  }
-  state.counters["net_steps_per_pram_step"] = report.mean_step_network;
-  state.counters["combined"] =
-      static_cast<double>(report.combined_requests);
+    pram::HotSpotReadTraffic program(star.node_count(), kPramSteps, 99);
+    return emulator.run(program, memory);
+  });
 
-  auto& table = bench::Report::instance().table(
+  auto& table = ctx.table(
       "E7 / Theorem 2.6 + Cor 2.5-2.6: CRCW hot-spot emulation on the star",
       {"n", "procs", "diam", "op", "combining", "steps/pram-step",
        "worst step", "combined reqs", "per diam"});
@@ -139,43 +89,96 @@ void crcw_hotspot_case(benchmark::State& state, std::uint32_t n, bool write,
       .cell(std::uint64_t{star.diameter()})
       .cell(std::string(write ? "write" : "read"))
       .cell(std::string(combining ? "yes" : "no"))
-      .cell(report.mean_step_network, 1)
-      .cell(std::uint64_t{report.max_step_network})
-      .cell(report.combined_requests)
-      .cell(report.mean_step_network / star.diameter(), 2);
+      .cell(stats.steps.mean, 1)
+      .cell(stats.worst_step.max, 0)
+      .cell(stats.combined_mean, 1)
+      .cell(stats.steps.mean / star.diameter(), 2);
 }
 
-void BM_CrcwHotSpotRead(benchmark::State& state) {
-  crcw_hotspot_case(state, static_cast<std::uint32_t>(state.range(0)),
-                    /*write=*/false, state.range(1) != 0);
-}
+[[maybe_unused]] const analysis::ScenarioRegistrar kErewStar{
+    analysis::Scenario{
+        .name = "E6/erew-star",
+        .experiment = "E6 / Theorem 2.5 on the n-star",
+        .sweep = "(n); permutation reads, N = n! processors",
+        .points = {{4}, {5}, {6}, {7}},
+        .seeds = 3,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              const topology::StarGraph star(n);
+              const routing::StarTwoPhaseRouter router(star);
+              const emulation::EmulationFabric fabric(
+                  star.graph(), router, star.diameter(), star.name());
+              erew_row(ctx, star.name(), star.node_count(), star.diameter(),
+                       erew_trials(ctx, fabric, star.node_count()));
+            },
+    }};
 
-void BM_CrcwHotSpotWrite(benchmark::State& state) {
-  crcw_hotspot_case(state, static_cast<std::uint32_t>(state.range(0)),
-                    /*write=*/true, state.range(1) != 0);
-}
+[[maybe_unused]] const analysis::ScenarioRegistrar kErewShuffle{
+    analysis::Scenario{
+        .name = "E6/erew-shuffle",
+        .experiment = "E6 / Theorem 2.5 on the n-way shuffle",
+        .sweep = "(n); permutation reads, N = n^n processors",
+        .points = {{3}, {4}, {5}},
+        .seeds = 3,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              const topology::DWayShuffle net = topology::DWayShuffle::n_way(n);
+              const routing::ShuffleTwoPhaseRouter router(net);
+              const emulation::EmulationFabric fabric(
+                  net.graph(), router, net.route_length(), net.name());
+              erew_row(ctx, net.name(), net.node_count(), net.route_length(),
+                       erew_trials(ctx, fabric, net.node_count()));
+            },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kErewButterfly{
+    analysis::Scenario{
+        .name = "E6/erew-butterfly",
+        .experiment = "E6 / Theorem 2.5 on the wrapped butterfly (reference)",
+        .sweep = "(levels l); radix-2 wrapped butterfly, N = 2^l rows",
+        .points = {{4}, {6}, {8}, {10}},
+        .seeds = 3,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto levels = u32(ctx.arg(0));
+              const topology::WrappedButterfly bf(2, levels);
+              const routing::TwoPhaseButterflyRouter router(bf);
+              const emulation::EmulationFabric fabric(bf, router);
+              erew_row(ctx, bf.name(), bf.row_count(), bf.levels(),
+                       erew_trials(ctx, fabric, bf.row_count()));
+            },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kCrcwRead{
+    analysis::Scenario{
+        .name = "E7/crcw-hotspot-read",
+        .experiment = "E7 / Theorem 2.6 + Cor 2.5",
+        .sweep = "(n, combining 0/1); all processors read cell 0",
+        .points = {{5, 0}, {5, 1}, {6, 0}, {6, 1}},
+        .smoke_points = {{5, 0}, {5, 1}},
+        .seeds = 3,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              crcw_row(ctx, u32(ctx.arg(0)), false, ctx.arg(1) != 0);
+            },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kCrcwWrite{
+    analysis::Scenario{
+        .name = "E7/crcw-hotspot-write",
+        .experiment = "E7 / Theorem 2.6 + Cor 2.6",
+        .sweep = "(n, combining 0/1); all processors add 1 to cell 0 (SUM)",
+        .points = {{5, 0}, {5, 1}, {6, 0}, {6, 1}},
+        .smoke_points = {{5, 0}, {5, 1}},
+        .seeds = 3,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              crcw_row(ctx, u32(ctx.arg(0)), true, ctx.arg(1) != 0);
+            },
+    }};
 
 }  // namespace
-
-BENCHMARK(BM_ErewEmulationStar)->DenseRange(4, 7)->Iterations(1);
-BENCHMARK(BM_ErewEmulationShuffle)->DenseRange(3, 5)->Iterations(1);
-BENCHMARK(BM_ErewEmulationButterfly)
-    ->Arg(4)
-    ->Arg(6)
-    ->Arg(8)
-    ->Arg(10)
-    ->Iterations(1);
-BENCHMARK(BM_CrcwHotSpotRead)
-    ->Args({5, 0})
-    ->Args({5, 1})
-    ->Args({6, 0})
-    ->Args({6, 1})
-    ->Iterations(1);
-BENCHMARK(BM_CrcwHotSpotWrite)
-    ->Args({5, 0})
-    ->Args({5, 1})
-    ->Args({6, 0})
-    ->Args({6, 1})
-    ->Iterations(1);
 
 LEVNET_BENCH_MAIN()

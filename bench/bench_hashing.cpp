@@ -7,8 +7,10 @@
 //  * any log N consecutive buckets get O(log N) items (Cor 3.3)
 //  * description size is O(L log M) bits (Section 2.1)
 //  * higher polynomial degree S = cL buys lower worst-case load (Lemma 2.2).
-
-#include <benchmark/benchmark.h>
+//
+// "Trials" here are independent hash-function draws: the per-seed result is
+// a load statistic (a double), collected through the generic TrialRunner
+// path rather than the routing/emulation conversions.
 
 #include <cmath>
 
@@ -22,158 +24,156 @@ namespace {
 
 using namespace levnet;
 
-constexpr std::uint32_t kDraws = 20;  // hash functions sampled per row
+using bench::u32;
 
-void BM_MaxLoadNIntoN(benchmark::State& state) {
-  const auto n = static_cast<std::uint64_t>(state.range(0));
-  const auto degree = static_cast<std::uint32_t>(state.range(1));
-  support::RunningStat max_load;
-  std::uint64_t seed = 1;
-  for (std::uint32_t i = 0; i < kDraws; ++i) {
-    support::Rng rng(seed++);
-    const auto h = hashing::PolynomialHash::sample(degree, n, n, rng);
-    max_load.add(hashing::bucket_loads(h, n).max_load);
-  }
-  for (auto _ : state) {
-    support::Rng rng(seed++);
-    const auto h = hashing::PolynomialHash::sample(degree, n, n, rng);
-    benchmark::DoNotOptimize(hashing::bucket_loads(h, n).max_load);
-  }
-  const double bound = std::log2(static_cast<double>(n)) /
-                       std::log2(std::log2(static_cast<double>(n)));
-  state.counters["maxload_mean"] = max_load.mean();
-  state.counters["maxload_max"] = max_load.max();
-  state.counters["log/loglog"] = bound;
+[[maybe_unused]] const analysis::ScenarioRegistrar kMaxLoadNIntoN{
+    analysis::Scenario{
+        .name = "E5a/max-load-n-into-n",
+        .experiment = "E5a / Corollary 3.1",
+        .sweep = "(N, degree S); N items into N buckets, 20 hash draws",
+        .points = {{1024, 2}, {1024, 12}, {4096, 2}, {4096, 12}, {16384, 12},
+                   {65536, 12}},
+        .smoke_points = {{1024, 2}, {1024, 12}},
+        .seeds = 20,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = static_cast<std::uint64_t>(ctx.arg(0));
+              const auto degree = u32(ctx.arg(1));
+              const std::vector<double> loads =
+                  ctx.collect([&](std::uint64_t seed) {
+                    support::Rng rng(seed);
+                    const auto h =
+                        hashing::PolynomialHash::sample(degree, n, n, rng);
+                    return static_cast<double>(
+                        hashing::bucket_loads(h, n).max_load);
+                  });
+              const support::Summary max_load = support::summarize(loads);
+              const double bound = std::log2(static_cast<double>(n)) /
+                                   std::log2(std::log2(static_cast<double>(n)));
 
-  auto& table = bench::Report::instance().table(
-      "E5a / Corollary 3.1: N items into N buckets",
-      {"N", "degree S", "maxload(mean)", "maxload(max)", "logN/loglogN",
-       "ratio"});
-  table.row()
-      .cell(n)
-      .cell(std::uint64_t{degree})
-      .cell(max_load.mean(), 2)
-      .cell(max_load.max(), 0)
-      .cell(bound, 2)
-      .cell(max_load.max() / bound, 2);
-}
+              auto& table = ctx.table(
+                  "E5a / Corollary 3.1: N items into N buckets",
+                  {"N", "degree S", "maxload(mean)", "maxload(max)",
+                   "logN/loglogN", "ratio"});
+              table.row()
+                  .cell(n)
+                  .cell(std::uint64_t{degree})
+                  .cell(max_load.mean, 2)
+                  .cell(max_load.max, 0)
+                  .cell(bound, 2)
+                  .cell(max_load.max / bound, 2);
+            },
+    }};
 
-void BM_MaxLoadSquareIntoBetaN(benchmark::State& state) {
-  const auto n = static_cast<std::uint64_t>(state.range(0));
-  const auto beta = static_cast<std::uint64_t>(state.range(1));
-  const std::uint64_t items = n * n;
-  const std::uint64_t buckets = beta * n;
-  support::RunningStat max_load;
-  std::uint64_t seed = 1;
-  for (std::uint32_t i = 0; i < kDraws; ++i) {
-    support::Rng rng(seed++);
-    const auto h = hashing::PolynomialHash::sample(12, items, buckets, rng);
-    max_load.add(hashing::bucket_loads(h, items).max_load);
-  }
-  for (auto _ : state) {
-    support::Rng rng(seed++);
-    const auto h = hashing::PolynomialHash::sample(12, items, buckets, rng);
-    benchmark::DoNotOptimize(hashing::bucket_loads(h, items).max_load);
-  }
-  const double ideal = static_cast<double>(n) / static_cast<double>(beta);
-  const double slack = std::pow(static_cast<double>(n), 0.75);
-  state.counters["maxload_max"] = max_load.max();
+[[maybe_unused]] const analysis::ScenarioRegistrar kMaxLoadSquare{
+    analysis::Scenario{
+        .name = "E5b/max-load-square-into-beta-n",
+        .experiment = "E5b / Corollary 3.2",
+        .sweep = "(n, beta); n^2 items into beta*n buckets, 20 hash draws",
+        .points = {{32, 1}, {64, 1}, {64, 2}, {128, 2}},
+        .smoke_points = {{32, 1}},
+        .seeds = 20,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = static_cast<std::uint64_t>(ctx.arg(0));
+              const auto beta = static_cast<std::uint64_t>(ctx.arg(1));
+              const std::uint64_t items = n * n;
+              const std::uint64_t buckets = beta * n;
+              const std::vector<double> loads =
+                  ctx.collect([&](std::uint64_t seed) {
+                    support::Rng rng(seed);
+                    const auto h = hashing::PolynomialHash::sample(
+                        12, items, buckets, rng);
+                    return static_cast<double>(
+                        hashing::bucket_loads(h, items).max_load);
+                  });
+              const support::Summary max_load = support::summarize(loads);
+              const double ideal =
+                  static_cast<double>(n) / static_cast<double>(beta);
+              const double slack = std::pow(static_cast<double>(n), 0.75);
 
-  auto& table = bench::Report::instance().table(
-      "E5b / Corollary 3.2: n^2 items into beta*n buckets",
-      {"n", "beta", "items", "buckets", "maxload(mean)", "maxload(max)",
-       "n/beta", "n/beta+n^0.75"});
-  table.row()
-      .cell(n)
-      .cell(beta)
-      .cell(items)
-      .cell(buckets)
-      .cell(max_load.mean(), 2)
-      .cell(max_load.max(), 0)
-      .cell(ideal, 1)
-      .cell(ideal + slack, 1);
-}
+              auto& table = ctx.table(
+                  "E5b / Corollary 3.2: n^2 items into beta*n buckets",
+                  {"n", "beta", "items", "buckets", "maxload(mean)",
+                   "maxload(max)", "n/beta", "n/beta+n^0.75"});
+              table.row()
+                  .cell(n)
+                  .cell(beta)
+                  .cell(items)
+                  .cell(buckets)
+                  .cell(max_load.mean, 2)
+                  .cell(max_load.max, 0)
+                  .cell(ideal, 1)
+                  .cell(ideal + slack, 1);
+            },
+    }};
 
-void BM_WindowLoad(benchmark::State& state) {
-  const auto n = static_cast<std::uint64_t>(state.range(0));
-  const std::uint32_t window = support::ceil_log2(n);
-  support::RunningStat window_load;
-  std::uint64_t seed = 1;
-  for (std::uint32_t i = 0; i < kDraws; ++i) {
-    support::Rng rng(seed++);
-    const auto h = hashing::PolynomialHash::sample(12, n, n, rng);
-    const auto profile = hashing::bucket_loads(h, n);
-    window_load.add(hashing::max_window_load(profile, window));
-  }
-  for (auto _ : state) {
-    support::Rng rng(seed++);
-    const auto h = hashing::PolynomialHash::sample(12, n, n, rng);
-    const auto profile = hashing::bucket_loads(h, n);
-    benchmark::DoNotOptimize(hashing::max_window_load(profile, window));
-  }
-  state.counters["windowload_max"] = window_load.max();
+[[maybe_unused]] const analysis::ScenarioRegistrar kWindowLoad{
+    analysis::Scenario{
+        .name = "E5c/window-load",
+        .experiment = "E5c / Corollary 3.3",
+        .sweep = "(N); max load over any log N consecutive buckets, 20 draws",
+        .points = {{1024}, {4096}, {16384}},
+        .smoke_points = {{1024}},
+        .seeds = 20,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = static_cast<std::uint64_t>(ctx.arg(0));
+              const std::uint32_t window = support::ceil_log2(n);
+              const std::vector<double> loads =
+                  ctx.collect([&](std::uint64_t seed) {
+                    support::Rng rng(seed);
+                    const auto h =
+                        hashing::PolynomialHash::sample(12, n, n, rng);
+                    const auto profile = hashing::bucket_loads(h, n);
+                    return static_cast<double>(
+                        hashing::max_window_load(profile, window));
+                  });
+              const support::Summary window_load = support::summarize(loads);
 
-  auto& table = bench::Report::instance().table(
-      "E5c / Corollary 3.3: any log N consecutive buckets",
-      {"N", "window=logN", "windowload(mean)", "windowload(max)",
-       "ratio to logN"});
-  table.row()
-      .cell(n)
-      .cell(std::uint64_t{window})
-      .cell(window_load.mean(), 2)
-      .cell(window_load.max(), 0)
-      .cell(window_load.max() / window, 2);
-}
+              auto& table = ctx.table(
+                  "E5c / Corollary 3.3: any log N consecutive buckets",
+                  {"N", "window=logN", "windowload(mean)", "windowload(max)",
+                   "ratio to logN"});
+              table.row()
+                  .cell(n)
+                  .cell(std::uint64_t{window})
+                  .cell(window_load.mean, 2)
+                  .cell(window_load.max, 0)
+                  .cell(window_load.max / window, 2);
+            },
+    }};
 
-void BM_DescriptionBits(benchmark::State& state) {
-  const auto degree = static_cast<std::uint32_t>(state.range(0));
-  const std::uint64_t address_space = std::uint64_t{1}
-                                      << static_cast<std::uint32_t>(
-                                             state.range(1));
-  support::Rng rng(1);
-  const auto h =
-      hashing::PolynomialHash::sample(degree, address_space, 4096, rng);
-  for (auto _ : state) benchmark::DoNotOptimize(h.description_bits());
-  state.counters["bits"] = static_cast<double>(h.description_bits());
+[[maybe_unused]] const analysis::ScenarioRegistrar kDescriptionBits{
+    analysis::Scenario{
+        .name = "E5d/description-bits",
+        .experiment = "E5d / Section 2.1",
+        .sweep = "(degree S, log2 M); hash description size O(L log M)",
+        .points = {{4, 20}, {8, 20}, {16, 30}},
+        .seeds = 1,  // description size is deterministic in the parameters
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto degree = u32(ctx.arg(0));
+              const auto log2_m = u32(ctx.arg(1));
+              const std::uint64_t address_space = std::uint64_t{1} << log2_m;
+              support::Rng rng(1);
+              const auto h = hashing::PolynomialHash::sample(
+                  degree, address_space, 4096, rng);
 
-  auto& table = bench::Report::instance().table(
-      "E5d / Section 2.1: hash description size O(L log M)",
-      {"degree S=cL", "log2 M", "bits", "bits/(S*log2M)"});
-  table.row()
-      .cell(std::uint64_t{degree})
-      .cell(static_cast<std::uint64_t>(state.range(1)))
-      .cell(h.description_bits())
-      .cell(static_cast<double>(h.description_bits()) /
-                (static_cast<double>(degree) *
-                 static_cast<double>(state.range(1))),
-            2);
-}
+              auto& table = ctx.table(
+                  "E5d / Section 2.1: hash description size O(L log M)",
+                  {"degree S=cL", "log2 M", "bits", "bits/(S*log2M)"});
+              table.row()
+                  .cell(std::uint64_t{degree})
+                  .cell(std::uint64_t{log2_m})
+                  .cell(h.description_bits())
+                  .cell(static_cast<double>(h.description_bits()) /
+                            (static_cast<double>(degree) *
+                             static_cast<double>(log2_m)),
+                        2);
+            },
+    }};
 
 }  // namespace
-
-BENCHMARK(BM_MaxLoadNIntoN)
-    ->Args({1024, 2})
-    ->Args({1024, 12})
-    ->Args({4096, 2})
-    ->Args({4096, 12})
-    ->Args({16384, 12})
-    ->Args({65536, 12})
-    ->Iterations(2);
-BENCHMARK(BM_MaxLoadSquareIntoBetaN)
-    ->Args({32, 1})
-    ->Args({64, 1})
-    ->Args({64, 2})
-    ->Args({128, 2})
-    ->Iterations(2);
-BENCHMARK(BM_WindowLoad)
-    ->Arg(1024)
-    ->Arg(4096)
-    ->Arg(16384)
-    ->Iterations(2);
-BENCHMARK(BM_DescriptionBits)
-    ->Args({4, 20})
-    ->Args({8, 20})
-    ->Args({16, 30})
-    ->Iterations(2);
 
 LEVNET_BENCH_MAIN()

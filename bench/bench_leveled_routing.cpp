@@ -5,9 +5,6 @@
 // small constant independent of l and d — with FIFO link queues of size
 // O(l); partial l-relations also finish in O~(l).
 
-#include <benchmark/benchmark.h>
-
-#include "analysis/trials.hpp"
 #include "bench_common.hpp"
 #include "routing/driver.hpp"
 #include "routing/two_phase.hpp"
@@ -19,39 +16,22 @@ namespace {
 
 using namespace levnet;
 
-constexpr std::uint32_t kSeeds = 5;
+using bench::u32;
 
-void run_leveled_case(benchmark::State& state, std::uint32_t radix,
-                      std::uint32_t levels, std::uint32_t relation_h) {
+void leveled_row(analysis::ScenarioContext& ctx, std::uint32_t radix,
+                 std::uint32_t levels, std::uint32_t relation_h) {
   const topology::WrappedButterfly bf(radix, levels);
   const routing::TwoPhaseButterflyRouter router(bf);
-  std::uint64_t seed = 1;
-  analysis::TrialStats stats = analysis::run_trials(
-      [&](std::uint64_t s) {
-        support::Rng rng(s);
-        const sim::Workload w =
-            relation_h <= 1
-                ? sim::permutation_workload(bf.row_count(), rng)
-                : sim::h_relation_workload(bf.row_count(), relation_h, rng);
-        return routing::run_workload(bf.graph(), router, w, {}, rng);
-      },
-      kSeeds);
-  for (auto _ : state) {
-    support::Rng rng(seed++);
+  const analysis::TrialStats stats = ctx.trials([&](std::uint64_t seed) {
+    support::Rng rng(seed);
     const sim::Workload w =
         relation_h <= 1
             ? sim::permutation_workload(bf.row_count(), rng)
             : sim::h_relation_workload(bf.row_count(), relation_h, rng);
-    const auto outcome = routing::run_workload(bf.graph(), router, w, {}, rng);
-    benchmark::DoNotOptimize(outcome.metrics.steps);
-  }
-  state.counters["steps_mean"] = stats.steps.mean;
-  state.counters["steps_max"] = stats.steps.max;
-  state.counters["steps_per_l"] = stats.steps.mean / levels;
-  state.counters["max_link_q"] = stats.max_link_queue.max;
-  state.counters["complete"] = stats.all_complete ? 1 : 0;
+    return routing::run_workload(bf.graph(), router, w, {}, rng);
+  });
 
-  auto& table = bench::Report::instance().table(
+  auto& table = ctx.table(
       relation_h <= 1
           ? "E1 / Theorem 2.1: permutation routing on leveled networks"
           : "E4 / Theorem 2.4: partial l-relation routing on leveled networks",
@@ -69,43 +49,38 @@ void run_leveled_case(benchmark::State& state, std::uint32_t radix,
       .cell(std::string(stats.all_complete ? "yes" : "NO"));
 }
 
-void BM_LeveledPermutation(benchmark::State& state) {
-  run_leveled_case(state, static_cast<std::uint32_t>(state.range(0)),
-                   static_cast<std::uint32_t>(state.range(1)), 1);
-}
-
-void BM_LeveledRelation(benchmark::State& state) {
-  run_leveled_case(state, static_cast<std::uint32_t>(state.range(0)),
-                   static_cast<std::uint32_t>(state.range(1)),
-                   static_cast<std::uint32_t>(state.range(2)));
-}
-
-}  // namespace
-
 // Permutations: sweep levels for several radices (same-scale N where
 // possible). steps/l must stay flat as l grows — that is Theorem 2.1.
-BENCHMARK(BM_LeveledPermutation)
-    ->Args({2, 4})
-    ->Args({2, 6})
-    ->Args({2, 8})
-    ->Args({2, 10})
-    ->Args({2, 12})
-    ->Args({3, 4})
-    ->Args({3, 6})
-    ->Args({3, 8})
-    ->Args({4, 3})
-    ->Args({4, 5})
-    ->Args({4, 6})
-    ->Args({8, 4})
-    ->Iterations(2);
+[[maybe_unused]] const analysis::ScenarioRegistrar kPermutation{
+    analysis::Scenario{
+        .name = "E1/leveled-permutation",
+        .experiment = "E1 / Theorem 2.1",
+        .sweep = "(radix d, levels l), N = d^l; permutation workloads",
+        .points = {{2, 4}, {2, 6}, {2, 8}, {2, 10}, {2, 12}, {3, 4}, {3, 6},
+                   {3, 8}, {4, 3}, {4, 5}, {4, 6}, {8, 4}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              leveled_row(ctx, u32(ctx.arg(0)), u32(ctx.arg(1)), 1);
+            },
+    }};
 
 // Partial l-relations with h up to l (Theorem 2.4's regime l = O(d) is the
 // d = 8 row; smaller radices are the stress beyond the theorem).
-BENCHMARK(BM_LeveledRelation)
-    ->Args({2, 8, 4})
-    ->Args({2, 8, 8})
-    ->Args({4, 5, 5})
-    ->Args({8, 4, 4})
-    ->Iterations(2);
+[[maybe_unused]] const analysis::ScenarioRegistrar kRelation{
+    analysis::Scenario{
+        .name = "E4/leveled-relation",
+        .experiment = "E4 / Theorem 2.4",
+        .sweep = "(radix d, levels l, relation h); partial h-relations",
+        .points = {{2, 8, 4}, {2, 8, 8}, {4, 5, 5}, {8, 4, 4}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              leveled_row(ctx, u32(ctx.arg(0)), u32(ctx.arg(1)),
+                          u32(ctx.arg(2)));
+            },
+    }};
+
+}  // namespace
 
 LEVNET_BENCH_MAIN()

@@ -6,9 +6,6 @@
 // (Ranade's generic emulation would have constant ~100 — the paper's
 // motivation).
 
-#include <benchmark/benchmark.h>
-
-#include "analysis/trials.hpp"
 #include "bench_common.hpp"
 #include "emulation/emulator.hpp"
 #include "emulation/fabric.hpp"
@@ -21,82 +18,74 @@ namespace {
 
 using namespace levnet;
 
+using bench::u32;
+
 constexpr std::uint32_t kPramSteps = 3;
 
-struct SweepRow {
-  std::uint32_t n;
-  double mean_step;
-  double worst_step;
-};
-std::vector<SweepRow>& sweep_rows() {
-  static std::vector<SweepRow> rows;
-  return rows;
-}
+[[maybe_unused]] const analysis::ScenarioRegistrar kMeshErew{
+    analysis::Scenario{
+        .name = "E9/mesh-erew",
+        .experiment = "E9 / Theorem 3.2",
+        .sweep = "(n); n x n mesh, 3-stage router, permutation reads",
+        .points = {{8}, {16}, {24}, {32}, {48}, {64}, {96}},
+        .smoke_points = {{8}, {16}},
+        .seeds = 2,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              const topology::Mesh mesh(n, n);
+              const routing::MeshThreeStageRouter router(mesh);
+              const emulation::EmulationFabric fabric(
+                  mesh.graph(), router, mesh.diameter(), mesh.name());
+              const analysis::TrialStats stats =
+                  ctx.trials([&](std::uint64_t seed) {
+                    pram::PermutationTraffic program(mesh.node_count(),
+                                                     kPramSteps, seed);
+                    emulation::EmulatorConfig config;
+                    config.discipline = sim::QueueDiscipline::kFurthestFirst;
+                    config.seed = seed;
+                    emulation::NetworkEmulator emulator(fabric, config);
+                    pram::SharedMemory memory;
+                    return emulator.run(program, memory);
+                  });
 
-void BM_MeshErewEmulation(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  const topology::Mesh mesh(n, n);
-  const routing::MeshThreeStageRouter router(mesh);
-  const emulation::EmulationFabric fabric(mesh.graph(), router,
-                                          mesh.diameter(), mesh.name());
-  emulation::EmulatorConfig config;
-  config.discipline = sim::QueueDiscipline::kFurthestFirst;
-  emulation::EmulationReport report;
-  for (auto _ : state) {
-    pram::PermutationTraffic program(mesh.node_count(), kPramSteps, 29);
-    emulation::NetworkEmulator emulator(fabric, config);
-    pram::SharedMemory memory;
-    report = emulator.run(program, memory);
-    benchmark::DoNotOptimize(report.network_steps);
-  }
-  state.counters["steps_per_pram_step"] = report.mean_step_network;
-  state.counters["per_n"] = report.mean_step_network / n;
-  state.counters["worst_per_n"] =
-      static_cast<double>(report.max_step_network) / n;
-
-  auto& table = bench::Report::instance().table(
-      "E9 / Theorem 3.2: EREW emulation on the n x n mesh (bound: 4n + o(n))",
-      {"n", "procs", "steps/pram-step", "worst step", "per n", "worst per n",
-       "linkQ", "nodeQ"});
-  table.row()
-      .cell(std::uint64_t{n})
-      .cell(std::uint64_t{mesh.node_count()})
-      .cell(report.mean_step_network, 1)
-      .cell(std::uint64_t{report.max_step_network})
-      .cell(report.mean_step_network / n, 2)
-      .cell(static_cast<double>(report.max_step_network) / n, 2)
-      .cell(std::uint64_t{report.max_link_queue})
-      .cell(std::uint64_t{report.max_node_queue});
-  sweep_rows().push_back(
-      {n, report.mean_step_network,
-       static_cast<double>(report.max_step_network)});
-  // After the largest size, publish the slope fit (the measured constant).
-  if (n == 96) {
-    std::vector<double> x;
-    std::vector<double> y;
-    for (const SweepRow& row : sweep_rows()) {
-      x.push_back(row.n);
-      y.push_back(row.worst_step);
-    }
-    const support::LinearFit fit = support::fit_line(x, y);
-    auto& fit_table = bench::Report::instance().table(
-        "E9-fit: worst PRAM-step cost ~ a*n + b (paper bound: a <= 4)",
-        {"a (slope)", "b", "r^2"});
-    fit_table.row().cell(fit.slope, 3).cell(fit.intercept, 1).cell(
-        fit.r_squared, 4);
-  }
-}
+              auto& table = ctx.table(
+                  "E9 / Theorem 3.2: EREW emulation on the n x n mesh "
+                  "(bound: 4n + o(n))",
+                  {"n", "procs", "steps/pram-step", "worst step", "per n",
+                   "worst per n", "linkQ", "nodeQ"});
+              table.row()
+                  .cell(std::uint64_t{n})
+                  .cell(std::uint64_t{mesh.node_count()})
+                  .cell(stats.steps.mean, 1)
+                  .cell(stats.worst_step.max, 0)
+                  .cell(stats.steps.mean / n, 2)
+                  .cell(stats.worst_step.max / n, 2)
+                  .cell(stats.max_link_queue.max, 0)
+                  .cell(stats.max_node_queue.max, 0);
+              ctx.record(n, stats);
+            },
+        // After the sweep, publish the slope fit (the measured constant).
+        .finish =
+            [](analysis::ScenarioContext& ctx) {
+              std::vector<double> x;
+              std::vector<double> y;
+              for (const auto& [scale, stats] : ctx.recorded()) {
+                x.push_back(static_cast<double>(scale));
+                y.push_back(stats.worst_step.max);
+              }
+              const support::LinearFit fit = support::fit_line(x, y);
+              auto& fit_table = ctx.table(
+                  "E9-fit: worst PRAM-step cost ~ a*n + b (paper bound: "
+                  "a <= 4)",
+                  {"a (slope)", "b", "r^2"});
+              fit_table.row()
+                  .cell(fit.slope, 3)
+                  .cell(fit.intercept, 1)
+                  .cell(fit.r_squared, 4);
+            },
+    }};
 
 }  // namespace
-
-BENCHMARK(BM_MeshErewEmulation)
-    ->Arg(8)
-    ->Arg(16)
-    ->Arg(24)
-    ->Arg(32)
-    ->Arg(48)
-    ->Arg(64)
-    ->Arg(96)
-    ->Iterations(1);
 
 LEVNET_BENCH_MAIN()

@@ -8,9 +8,8 @@
 // time per PRAM step = request round + reply round, each 3 stages of at
 // most ~d links: the 6d budget.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
 
-#include "analysis/trials.hpp"
 #include "bench_common.hpp"
 #include "routing/driver.hpp"
 #include "routing/mesh_router.hpp"
@@ -23,11 +22,11 @@ namespace {
 
 using namespace levnet;
 
-constexpr std::uint32_t kSeeds = 3;
+using bench::u32;
 
 /// One emulation step under the locality hypothesis: request to a module
 /// within distance d, then the reply retraces (an independent routing of
-/// the inverse demands). Returns total steps (request phase + reply phase).
+/// the inverse demands). Each phase is one routing run.
 routing::RoutingOutcome locality_round(const topology::Mesh& mesh,
                                        const routing::Router& router,
                                        std::uint32_t d, std::uint64_t seed,
@@ -42,37 +41,28 @@ routing::RoutingOutcome locality_round(const topology::Mesh& mesh,
   return routing::run_workload(mesh.graph(), router, w, config, rng);
 }
 
-void BM_MeshLocality(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  const auto d = static_cast<std::uint32_t>(state.range(1));
+void locality_row(analysis::ScenarioContext& ctx, std::uint32_t n,
+                  std::uint32_t d) {
   const topology::Mesh mesh(n, n);
   // Slice height scaled to the locality radius: d / log2(d) (>= 1).
   const std::uint32_t slice =
       std::max(1U, d / std::max(1U, support::ceil_log2(d)));
   const routing::MeshThreeStageRouter router(mesh, slice);
 
-  const analysis::TrialStats request_stats = analysis::run_trials(
-      [&](std::uint64_t s) {
-        return locality_round(mesh, router, d, s, false);
-      },
-      kSeeds);
-  const analysis::TrialStats reply_stats = analysis::run_trials(
-      [&](std::uint64_t s) {
-        return locality_round(mesh, router, d, s, true);
-      },
-      kSeeds);
+  const analysis::TrialStats request_stats =
+      ctx.trials([&](std::uint64_t seed) {
+        return locality_round(mesh, router, d, seed, false);
+      });
+  const analysis::TrialStats reply_stats =
+      ctx.trials([&](std::uint64_t seed) {
+        return locality_round(mesh, router, d, seed, true);
+      });
 
-  for (auto _ : state) {
-    const auto outcome = locality_round(mesh, router, d, 77, false);
-    benchmark::DoNotOptimize(outcome.metrics.steps);
-  }
   const double round_trip = request_stats.steps.mean + reply_stats.steps.mean;
   const double round_trip_max =
       request_stats.steps.max + reply_stats.steps.max;
-  state.counters["roundtrip_mean"] = round_trip;
-  state.counters["per_d"] = round_trip / d;
 
-  auto& table = bench::Report::instance().table(
+  auto& table = ctx.table(
       "E10 / Theorem 3.3: local requests (distance <= d) finish in 6d + o(d)",
       {"n", "d", "slice", "request(mean)", "reply(mean)", "roundtrip",
        "roundtrip(max)", "per d", "bound 6d", "ok"});
@@ -91,16 +81,21 @@ void BM_MeshLocality(benchmark::State& state) {
                             : "NO"));
 }
 
-}  // namespace
-
 // Fixed large n, growing d: cost must track d, not n.
-BENCHMARK(BM_MeshLocality)
-    ->Args({64, 4})
-    ->Args({64, 8})
-    ->Args({64, 16})
-    ->Args({64, 32})
-    ->Args({128, 8})
-    ->Args({128, 16})
-    ->Iterations(1);
+[[maybe_unused]] const analysis::ScenarioRegistrar kLocality{
+    analysis::Scenario{
+        .name = "E10/mesh-locality",
+        .experiment = "E10 / Theorem 3.3",
+        .sweep = "(n, d); local workloads within Manhattan distance d",
+        .points = {{64, 4}, {64, 8}, {64, 16}, {64, 32}, {128, 8}, {128, 16}},
+        .smoke_points = {{64, 4}},
+        .seeds = 3,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              locality_row(ctx, u32(ctx.arg(0)), u32(ctx.arg(1)));
+            },
+    }};
+
+}  // namespace
 
 LEVNET_BENCH_MAIN()

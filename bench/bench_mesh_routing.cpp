@@ -11,9 +11,6 @@
 //  * a constant node-buffer bound (the O(1)-queue variant) barely changes
 //    the finishing time.
 
-#include <benchmark/benchmark.h>
-
-#include "analysis/trials.hpp"
 #include "bench_common.hpp"
 #include "routing/driver.hpp"
 #include "routing/mesh_router.hpp"
@@ -25,9 +22,13 @@ namespace {
 
 using namespace levnet;
 
-constexpr std::uint32_t kSeeds = 3;
+using bench::u32;
 
-enum class MeshAlgo { kThreeStage, kValiantBrebner, kGreedyXY };
+enum class MeshAlgo : std::int64_t {
+  kThreeStage = 0,
+  kValiantBrebner = 1,
+  kGreedyXY = 2,
+};
 
 const char* algo_name(MeshAlgo algo) {
   switch (algo) {
@@ -41,8 +42,8 @@ const char* algo_name(MeshAlgo algo) {
   return "?";
 }
 
-void mesh_case(benchmark::State& state, std::uint32_t n, MeshAlgo algo,
-               std::uint32_t relation_h, std::uint32_t buffer_bound) {
+void mesh_row(analysis::ScenarioContext& ctx, std::uint32_t n, MeshAlgo algo,
+              std::uint32_t relation_h, std::uint32_t buffer_bound) {
   const topology::Mesh mesh(n, n);
   const routing::MeshThreeStageRouter staged(mesh);
   const routing::ValiantBrebnerMeshRouter valiant(mesh);
@@ -60,30 +61,16 @@ void mesh_case(benchmark::State& state, std::uint32_t n, MeshAlgo algo,
   }
   config.node_buffer_bound = buffer_bound;
 
-  const analysis::TrialStats stats = analysis::run_trials(
-      [&](std::uint64_t s) {
-        support::Rng rng(s);
-        const sim::Workload w =
-            relation_h <= 1
-                ? sim::permutation_workload(mesh.node_count(), rng)
-                : sim::h_relation_workload(mesh.node_count(), relation_h,
-                                           rng);
-        return routing::run_workload(mesh.graph(), router, w, config, rng);
-      },
-      kSeeds);
+  const analysis::TrialStats stats = ctx.trials([&](std::uint64_t seed) {
+    support::Rng rng(seed);
+    const sim::Workload w =
+        relation_h <= 1
+            ? sim::permutation_workload(mesh.node_count(), rng)
+            : sim::h_relation_workload(mesh.node_count(), relation_h, rng);
+    return routing::run_workload(mesh.graph(), router, w, config, rng);
+  });
 
-  for (auto _ : state) {
-    support::Rng rng(55);
-    const sim::Workload w = sim::permutation_workload(mesh.node_count(), rng);
-    const auto outcome =
-        routing::run_workload(mesh.graph(), router, w, config, rng);
-    benchmark::DoNotOptimize(outcome.metrics.steps);
-  }
-  state.counters["steps_mean"] = stats.steps.mean;
-  state.counters["steps_per_n"] = stats.steps.mean / n;
-  state.counters["node_q_max"] = stats.max_node_queue.max;
-
-  auto& table = bench::Report::instance().table(
+  auto& table = ctx.table(
       relation_h <= 1
           ? (buffer_bound == 0
                  ? "E8a / Theorem 3.1: mesh permutation routing"
@@ -103,54 +90,56 @@ void mesh_case(benchmark::State& state, std::uint32_t n, MeshAlgo algo,
       .cell(std::string(stats.all_complete ? "yes" : "NO"));
 }
 
-void BM_MeshThreeStage(benchmark::State& state) {
-  mesh_case(state, static_cast<std::uint32_t>(state.range(0)),
-            MeshAlgo::kThreeStage, 1, 0);
-}
+// Permutations, one scenario per algorithm (same table): points are (n, algo).
+[[maybe_unused]] const analysis::ScenarioRegistrar kPermutation{
+    analysis::Scenario{
+        .name = "E8a/mesh-permutation",
+        .experiment = "E8a / Theorem 3.1",
+        .sweep = "(n, algo 0=3-stage 1=valiant-brebner 2=greedy-xy); "
+                 "n x n mesh permutations",
+        .points = {{16, 0}, {32, 0}, {64, 0}, {128, 0},
+                   {16, 1}, {32, 1}, {64, 1}, {128, 1},
+                   {16, 2}, {32, 2}, {64, 2}, {128, 2}},
+        .smoke_points = {{16, 0}, {16, 1}, {16, 2}},
+        .seeds = 3,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              mesh_row(ctx, u32(ctx.arg(0)),
+                       static_cast<MeshAlgo>(ctx.arg(1)), 1, 0);
+            },
+    }};
 
-void BM_MeshValiantBrebner(benchmark::State& state) {
-  mesh_case(state, static_cast<std::uint32_t>(state.range(0)),
-            MeshAlgo::kValiantBrebner, 1, 0);
-}
+// Bursty 8-relations: where stage-1 randomization earns its keep.
+[[maybe_unused]] const analysis::ScenarioRegistrar kRelation{
+    analysis::Scenario{
+        .name = "E8b/mesh-relation",
+        .experiment = "E8b / Theorem 3.1 under h-relations",
+        .sweep = "(n, algo); 8-relations, 3-stage vs greedy-xy",
+        .points = {{32, 0}, {64, 0}, {32, 2}, {64, 2}},
+        .smoke_points = {{32, 0}, {32, 2}},
+        .seeds = 3,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              mesh_row(ctx, u32(ctx.arg(0)),
+                       static_cast<MeshAlgo>(ctx.arg(1)), 8, 0);
+            },
+    }};
 
-void BM_MeshGreedyXY(benchmark::State& state) {
-  mesh_case(state, static_cast<std::uint32_t>(state.range(0)),
-            MeshAlgo::kGreedyXY, 1, 0);
-}
-
-void BM_MeshRelationStaged(benchmark::State& state) {
-  mesh_case(state, static_cast<std::uint32_t>(state.range(0)),
-            MeshAlgo::kThreeStage, 8, 0);
-}
-
-void BM_MeshRelationGreedy(benchmark::State& state) {
-  mesh_case(state, static_cast<std::uint32_t>(state.range(0)),
-            MeshAlgo::kGreedyXY, 8, 0);
-}
-
-void BM_MeshBoundedBuffers(benchmark::State& state) {
-  mesh_case(state, static_cast<std::uint32_t>(state.range(0)),
-            MeshAlgo::kThreeStage, 1,
-            static_cast<std::uint32_t>(state.range(1)));
-}
+[[maybe_unused]] const analysis::ScenarioRegistrar kBounded{
+    analysis::Scenario{
+        .name = "E8c/mesh-bounded-buffers",
+        .experiment = "E8c / Section 3.4 O(1)-queue variant",
+        .sweep = "(n, buffer bound); 3-stage under bounded node buffers",
+        .points = {{32, 4}, {32, 8}, {64, 4}, {64, 8}},
+        .smoke_points = {{32, 4}},
+        .seeds = 3,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              mesh_row(ctx, u32(ctx.arg(0)), MeshAlgo::kThreeStage, 1,
+                       u32(ctx.arg(1)));
+            },
+    }};
 
 }  // namespace
-
-BENCHMARK(BM_MeshThreeStage)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Iterations(1);
-BENCHMARK(BM_MeshValiantBrebner)
-    ->Arg(16)
-    ->Arg(32)
-    ->Arg(64)
-    ->Arg(128)
-    ->Iterations(1);
-BENCHMARK(BM_MeshGreedyXY)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Iterations(1);
-BENCHMARK(BM_MeshRelationStaged)->Arg(32)->Arg(64)->Iterations(1);
-BENCHMARK(BM_MeshRelationGreedy)->Arg(32)->Arg(64)->Iterations(1);
-BENCHMARK(BM_MeshBoundedBuffers)
-    ->Args({32, 4})
-    ->Args({32, 8})
-    ->Args({64, 4})
-    ->Args({64, 8})
-    ->Iterations(1);
 
 LEVNET_BENCH_MAIN()

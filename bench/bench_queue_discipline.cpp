@@ -7,9 +7,6 @@
 //  * hash polynomial degree S = cL: Lemma 2.2 wants S ~ cL; degree 1-2
 //    (weaker universality) vs S = L on emulation cost.
 
-#include <benchmark/benchmark.h>
-
-#include "analysis/trials.hpp"
 #include "bench_common.hpp"
 #include "emulation/emulator.hpp"
 #include "emulation/fabric.hpp"
@@ -26,7 +23,7 @@ namespace {
 
 using namespace levnet;
 
-constexpr std::uint32_t kSeeds = 3;
+using bench::u32;
 
 const char* discipline_name(sim::QueueDiscipline d) {
   switch (d) {
@@ -40,123 +37,135 @@ const char* discipline_name(sim::QueueDiscipline d) {
   return "?";
 }
 
-void BM_DisciplineAblation(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  const auto discipline =
-      static_cast<sim::QueueDiscipline>(state.range(1));
-  const topology::Mesh mesh(n, n);
-  const routing::MeshThreeStageRouter router(mesh);
-  sim::EngineConfig config;
-  config.discipline = discipline;
+[[maybe_unused]] const analysis::ScenarioRegistrar kDiscipline{
+    analysis::Scenario{
+        .name = "E13a/queue-discipline",
+        .experiment = "E13a / ablation",
+        .sweep = "(n, discipline 0=fifo 1=furthest 2=nearest); mesh 3-stage "
+                 "permutations",
+        .points = {{32, 0}, {32, 1}, {32, 2}, {64, 0}, {64, 1}, {64, 2}},
+        .smoke_points = {{32, 0}, {32, 1}, {32, 2}},
+        .seeds = 3,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              const auto discipline =
+                  static_cast<sim::QueueDiscipline>(ctx.arg(1));
+              const topology::Mesh mesh(n, n);
+              const routing::MeshThreeStageRouter router(mesh);
+              sim::EngineConfig config;
+              config.discipline = discipline;
 
-  const analysis::TrialStats stats = analysis::run_trials(
-      [&](std::uint64_t s) {
-        support::Rng rng(s);
-        const sim::Workload w =
-            sim::permutation_workload(mesh.node_count(), rng);
-        return routing::run_workload(mesh.graph(), router, w, config, rng);
-      },
-      kSeeds);
-  for (auto _ : state) benchmark::DoNotOptimize(stats.steps.mean);
-  state.counters["steps_mean"] = stats.steps.mean;
+              const analysis::TrialStats stats =
+                  ctx.trials([&](std::uint64_t seed) {
+                    support::Rng rng(seed);
+                    const sim::Workload w =
+                        sim::permutation_workload(mesh.node_count(), rng);
+                    return routing::run_workload(mesh.graph(), router, w,
+                                                 config, rng);
+                  });
 
-  auto& table = bench::Report::instance().table(
-      "E13a / ablation: queue discipline on the mesh 3-stage router",
-      {"n", "discipline", "steps(mean)", "steps(max)", "steps/n",
-       "nodeQ(max)"});
-  table.row()
-      .cell(std::uint64_t{n})
-      .cell(std::string(discipline_name(discipline)))
-      .cell(stats.steps.mean, 1)
-      .cell(stats.steps.max, 0)
-      .cell(stats.steps.mean / n, 2)
-      .cell(stats.max_node_queue.max, 0);
-}
+              auto& table = ctx.table(
+                  "E13a / ablation: queue discipline on the mesh 3-stage "
+                  "router",
+                  {"n", "discipline", "steps(mean)", "steps(max)", "steps/n",
+                   "nodeQ(max)"});
+              table.row()
+                  .cell(std::uint64_t{n})
+                  .cell(std::string(discipline_name(discipline)))
+                  .cell(stats.steps.mean, 1)
+                  .cell(stats.steps.max, 0)
+                  .cell(stats.steps.mean / n, 2)
+                  .cell(stats.max_node_queue.max, 0);
+            },
+    }};
 
-void BM_SliceHeightAblation(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  const auto slice = static_cast<std::uint32_t>(state.range(1));
-  const topology::Mesh mesh(n, n);
-  const routing::MeshThreeStageRouter router(mesh, slice);
-  sim::EngineConfig config;
-  config.discipline = sim::QueueDiscipline::kFurthestFirst;
+[[maybe_unused]] const analysis::ScenarioRegistrar kSliceHeight{
+    analysis::Scenario{
+        .name = "E13b/slice-height",
+        .experiment = "E13b / ablation",
+        .sweep = "(n, slice rows); stage-1 slice height on 4-relations "
+                 "(paper: n/log n)",
+        .points = {{64, 1}, {64, 4}, {64, 10}, {64, 16}, {64, 64}},
+        .smoke_points = {{64, 1}, {64, 10}},
+        .seeds = 3,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              const auto slice = u32(ctx.arg(1));
+              const topology::Mesh mesh(n, n);
+              const routing::MeshThreeStageRouter router(mesh, slice);
+              sim::EngineConfig config;
+              config.discipline = sim::QueueDiscipline::kFurthestFirst;
 
-  const analysis::TrialStats stats = analysis::run_trials(
-      [&](std::uint64_t s) {
-        support::Rng rng(s);
-        // Bursty relation: where stage-1 randomization earns its keep.
-        const sim::Workload w =
-            sim::h_relation_workload(mesh.node_count(), 4, rng);
-        return routing::run_workload(mesh.graph(), router, w, config, rng);
-      },
-      kSeeds);
-  for (auto _ : state) benchmark::DoNotOptimize(stats.steps.mean);
-  state.counters["steps_mean"] = stats.steps.mean;
+              const analysis::TrialStats stats =
+                  ctx.trials([&](std::uint64_t seed) {
+                    support::Rng rng(seed);
+                    // Bursty relation: where stage-1 randomization earns
+                    // its keep.
+                    const sim::Workload w =
+                        sim::h_relation_workload(mesh.node_count(), 4, rng);
+                    return routing::run_workload(mesh.graph(), router, w,
+                                                 config, rng);
+                  });
 
-  auto& table = bench::Report::instance().table(
-      "E13b / ablation: stage-1 slice height (paper: n/log n) on 4-relations",
-      {"n", "slice rows", "steps(mean)", "steps(max)", "nodeQ(max)"});
-  table.row()
-      .cell(std::uint64_t{n})
-      .cell(std::uint64_t{slice})
-      .cell(stats.steps.mean, 1)
-      .cell(stats.steps.max, 0)
-      .cell(stats.max_node_queue.max, 0);
-}
+              auto& table = ctx.table(
+                  "E13b / ablation: stage-1 slice height (paper: n/log n) on "
+                  "4-relations",
+                  {"n", "slice rows", "steps(mean)", "steps(max)",
+                   "nodeQ(max)"});
+              table.row()
+                  .cell(std::uint64_t{n})
+                  .cell(std::uint64_t{slice})
+                  .cell(stats.steps.mean, 1)
+                  .cell(stats.steps.max, 0)
+                  .cell(stats.max_node_queue.max, 0);
+            },
+    }};
 
-void BM_HashDegreeAblation(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  const auto degree = static_cast<std::uint32_t>(state.range(1));
-  const topology::StarGraph star(n);
-  const routing::StarTwoPhaseRouter router(star);
-  const emulation::EmulationFabric fabric(star.graph(), router,
-                                          star.diameter(), star.name());
-  emulation::EmulatorConfig config;
-  config.hash_degree = degree;
-  emulation::EmulationReport report;
-  for (auto _ : state) {
-    pram::PermutationTraffic program(star.node_count(), 4, 41);
-    emulation::NetworkEmulator emulator(fabric, config);
-    pram::SharedMemory memory;
-    report = emulator.run(program, memory);
-    benchmark::DoNotOptimize(report.network_steps);
-  }
-  state.counters["steps_per_pram_step"] = report.mean_step_network;
+[[maybe_unused]] const analysis::ScenarioRegistrar kHashDegree{
+    analysis::Scenario{
+        .name = "E13c/hash-degree",
+        .experiment = "E13c / ablation (Lemma 2.2)",
+        .sweep = "(star n, degree S); emulation cost vs hash polynomial "
+                 "degree",
+        .points = {{6, 1}, {6, 2}, {6, 4}, {6, 7}, {6, 14}},
+        .smoke_points = {{5, 1}, {5, 7}},
+        .seeds = 3,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              const auto degree = u32(ctx.arg(1));
+              const topology::StarGraph star(n);
+              const routing::StarTwoPhaseRouter router(star);
+              const emulation::EmulationFabric fabric(
+                  star.graph(), router, star.diameter(), star.name());
+              const analysis::TrialStats stats =
+                  ctx.trials([&](std::uint64_t seed) {
+                    pram::PermutationTraffic program(star.node_count(), 4,
+                                                     seed);
+                    emulation::EmulatorConfig config;
+                    config.hash_degree = degree;
+                    config.seed = seed;
+                    emulation::NetworkEmulator emulator(fabric, config);
+                    pram::SharedMemory memory;
+                    return emulator.run(program, memory);
+                  });
 
-  auto& table = bench::Report::instance().table(
-      "E13c / ablation: hash polynomial degree S (Lemma 2.2 wants S = cL)",
-      {"star n", "degree S", "steps/pram-step", "worst step", "linkQ"});
-  table.row()
-      .cell(std::uint64_t{n})
-      .cell(std::uint64_t{degree})
-      .cell(report.mean_step_network, 1)
-      .cell(std::uint64_t{report.max_step_network})
-      .cell(std::uint64_t{report.max_link_queue});
-}
+              auto& table = ctx.table(
+                  "E13c / ablation: hash polynomial degree S (Lemma 2.2 "
+                  "wants S = cL)",
+                  {"star n", "degree S", "steps/pram-step", "worst step",
+                   "linkQ"});
+              table.row()
+                  .cell(std::uint64_t{n})
+                  .cell(std::uint64_t{degree})
+                  .cell(stats.steps.mean, 1)
+                  .cell(stats.worst_step.max, 0)
+                  .cell(stats.max_link_queue.max, 0);
+            },
+    }};
 
 }  // namespace
-
-BENCHMARK(BM_DisciplineAblation)
-    ->Args({32, 0})
-    ->Args({32, 1})
-    ->Args({32, 2})
-    ->Args({64, 0})
-    ->Args({64, 1})
-    ->Args({64, 2})
-    ->Iterations(1);
-BENCHMARK(BM_SliceHeightAblation)
-    ->Args({64, 1})
-    ->Args({64, 4})
-    ->Args({64, 10})  // ~n/log n
-    ->Args({64, 16})
-    ->Args({64, 64})  // no randomization benefit: whole mesh is one slice
-    ->Iterations(1);
-BENCHMARK(BM_HashDegreeAblation)
-    ->Args({6, 1})
-    ->Args({6, 2})
-    ->Args({6, 4})
-    ->Args({6, 7})   // S = diameter
-    ->Args({6, 14})  // S = 2L
-    ->Iterations(1);
 
 LEVNET_BENCH_MAIN()

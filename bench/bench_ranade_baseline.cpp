@@ -13,58 +13,24 @@
 //    algorithm's ~4n — the "constant matters on a large-diameter network"
 //    argument motivating Section 3.
 
-#include <benchmark/benchmark.h>
-
 #include "bench_common.hpp"
 #include "emulation/emulator.hpp"
 #include "emulation/fabric.hpp"
 #include "pram/algorithms/access_patterns.hpp"
 #include "routing/mesh_router.hpp"
 #include "routing/two_phase.hpp"
-#include "support/bits.hpp"
-#include "support/stats.hpp"
 #include "topology/mesh.hpp"
 
 namespace {
 
 using namespace levnet;
 
+using bench::u32;
+
 constexpr std::uint32_t kPramSteps = 3;
 
-void BM_RanadeButterflyEmulation(benchmark::State& state) {
-  const auto levels = static_cast<std::uint32_t>(state.range(0));
-  const topology::WrappedButterfly bf(2, levels);
-  const routing::TwoPhaseButterflyRouter router(bf);
-  const emulation::EmulationFabric fabric(bf, router);
-  emulation::EmulatorConfig config;
-  config.combining = true;  // Ranade's scheme is a combining CRCW emulation
-  emulation::EmulationReport report;
-  for (auto _ : state) {
-    pram::PermutationTraffic program(bf.row_count(), kPramSteps, 31);
-    emulation::NetworkEmulator emulator(fabric, config);
-    pram::SharedMemory memory;
-    report = emulator.run(program, memory);
-    benchmark::DoNotOptimize(report.network_steps);
-  }
-  state.counters["steps_per_pram_step"] = report.mean_step_network;
-  state.counters["c_in_c_logN"] = report.mean_step_network / levels;
-
-  auto& table = bench::Report::instance().table(
-      "E11a / Ranade [13] baseline: combining emulation on the butterfly "
-      "(cost = c * log2 N)",
-      {"log2 N", "procs", "steps/pram-step", "worst", "c = steps/log2N",
-       "linkQ"});
-  table.row()
-      .cell(std::uint64_t{levels})
-      .cell(std::uint64_t{bf.row_count()})
-      .cell(report.mean_step_network, 1)
-      .cell(std::uint64_t{report.max_step_network})
-      .cell(report.mean_step_network / levels, 2)
-      .cell(std::uint64_t{report.max_link_queue});
-}
-
-void mesh_emulation_case(benchmark::State& state, std::uint32_t n,
-                         bool specialized) {
+void mesh_emulation_row(analysis::ScenarioContext& ctx, std::uint32_t n,
+                        bool specialized) {
   const topology::Mesh mesh(n, n);
   const routing::MeshThreeStageRouter staged(mesh);
   const routing::ValiantBrebnerMeshRouter generic(mesh);
@@ -73,54 +39,99 @@ void mesh_emulation_case(benchmark::State& state, std::uint32_t n,
                   : static_cast<const routing::Router&>(generic);
   const emulation::EmulationFabric fabric(mesh.graph(), router,
                                           mesh.diameter(), mesh.name());
-  emulation::EmulatorConfig config;
-  if (specialized) config.discipline = sim::QueueDiscipline::kFurthestFirst;
-  emulation::EmulationReport report;
-  for (auto _ : state) {
-    pram::PermutationTraffic program(mesh.node_count(), kPramSteps, 37);
+  const analysis::TrialStats stats = ctx.trials([&](std::uint64_t seed) {
+    pram::PermutationTraffic program(mesh.node_count(), kPramSteps, seed);
+    emulation::EmulatorConfig config;
+    if (specialized) config.discipline = sim::QueueDiscipline::kFurthestFirst;
+    config.seed = seed;
     emulation::NetworkEmulator emulator(fabric, config);
     pram::SharedMemory memory;
-    report = emulator.run(program, memory);
-    benchmark::DoNotOptimize(report.network_steps);
-  }
-  state.counters["per_n"] = report.mean_step_network / n;
+    return emulator.run(program, memory);
+  });
 
-  auto& table = bench::Report::instance().table(
+  auto& table = ctx.table(
       "E11b / Section 3 motivation: generic vs specialized emulation on the "
       "mesh (steps per PRAM step / n)",
       {"n", "scheme", "steps/pram-step", "worst", "per n"});
   table.row()
       .cell(std::uint64_t{n})
       .cell(std::string(specialized ? "3-stage (paper)" : "generic 2-phase"))
-      .cell(report.mean_step_network, 1)
-      .cell(std::uint64_t{report.max_step_network})
-      .cell(report.mean_step_network / n, 2);
+      .cell(stats.steps.mean, 1)
+      .cell(stats.worst_step.max, 0)
+      .cell(stats.steps.mean / n, 2);
 }
 
-void BM_MeshGenericEmulation(benchmark::State& state) {
-  mesh_emulation_case(state, static_cast<std::uint32_t>(state.range(0)),
-                      false);
-}
+[[maybe_unused]] const analysis::ScenarioRegistrar kRanadeButterfly{
+    analysis::Scenario{
+        .name = "E11a/ranade-butterfly",
+        .experiment = "E11a / Ranade [13] baseline",
+        .sweep = "(levels l); combining CRCW emulation on the radix-2 "
+                 "wrapped butterfly, cost = c * log2 N",
+        .points = {{4}, {6}, {8}, {10}, {12}},
+        .smoke_points = {{4}, {6}},
+        .seeds = 2,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto levels = u32(ctx.arg(0));
+              const topology::WrappedButterfly bf(2, levels);
+              const routing::TwoPhaseButterflyRouter router(bf);
+              const emulation::EmulationFabric fabric(bf, router);
+              const analysis::TrialStats stats =
+                  ctx.trials([&](std::uint64_t seed) {
+                    pram::PermutationTraffic program(bf.row_count(),
+                                                     kPramSteps, seed);
+                    emulation::EmulatorConfig config;
+                    // Ranade's scheme is a combining CRCW emulation.
+                    config.combining = true;
+                    config.seed = seed;
+                    emulation::NetworkEmulator emulator(fabric, config);
+                    pram::SharedMemory memory;
+                    return emulator.run(program, memory);
+                  });
 
-void BM_MeshSpecializedEmulation(benchmark::State& state) {
-  mesh_emulation_case(state, static_cast<std::uint32_t>(state.range(0)),
-                      true);
-}
+              auto& table = ctx.table(
+                  "E11a / Ranade [13] baseline: combining emulation on the "
+                  "butterfly (cost = c * log2 N)",
+                  {"log2 N", "procs", "steps/pram-step", "worst",
+                   "c = steps/log2N", "linkQ"});
+              table.row()
+                  .cell(std::uint64_t{levels})
+                  .cell(std::uint64_t{bf.row_count()})
+                  .cell(stats.steps.mean, 1)
+                  .cell(stats.worst_step.max, 0)
+                  .cell(stats.steps.mean / levels, 2)
+                  .cell(stats.max_link_queue.max, 0);
+            },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kMeshGeneric{
+    analysis::Scenario{
+        .name = "E11b/mesh-generic-emulation",
+        .experiment = "E11b / Section 3 motivation",
+        .sweep = "(n); Valiant-Brebner two-phase, no mesh staging",
+        .points = {{16}, {32}, {48}},
+        .smoke_points = {{16}},
+        .seeds = 2,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              mesh_emulation_row(ctx, u32(ctx.arg(0)), false);
+            },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kMeshSpecialized{
+    analysis::Scenario{
+        .name = "E11b/mesh-specialized-emulation",
+        .experiment = "E11b / Section 3 motivation",
+        .sweep = "(n); the paper's 3-stage mesh algorithm",
+        .points = {{16}, {32}, {48}},
+        .smoke_points = {{16}},
+        .seeds = 2,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              mesh_emulation_row(ctx, u32(ctx.arg(0)), true);
+            },
+    }};
 
 }  // namespace
-
-BENCHMARK(BM_RanadeButterflyEmulation)
-    ->Arg(4)
-    ->Arg(6)
-    ->Arg(8)
-    ->Arg(10)
-    ->Arg(12)
-    ->Iterations(1);
-BENCHMARK(BM_MeshGenericEmulation)->Arg(16)->Arg(32)->Arg(48)->Iterations(1);
-BENCHMARK(BM_MeshSpecializedEmulation)
-    ->Arg(16)
-    ->Arg(32)
-    ->Arg(48)
-    ->Iterations(1);
 
 LEVNET_BENCH_MAIN()

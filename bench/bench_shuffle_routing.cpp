@@ -5,9 +5,6 @@
 // Valiant's general d-way shuffle bound of Theta(n log n / log log n) —
 // and partial n-relations too.
 
-#include <benchmark/benchmark.h>
-
-#include "analysis/trials.hpp"
 #include "bench_common.hpp"
 #include "routing/driver.hpp"
 #include "routing/shuffle_router.hpp"
@@ -19,10 +16,10 @@ namespace {
 
 using namespace levnet;
 
-constexpr std::uint32_t kSeeds = 5;
+using bench::u32;
 
-void shuffle_case(benchmark::State& state, std::uint32_t d, std::uint32_t n,
-                  bool randomized, std::uint32_t relation_h) {
+void shuffle_row(analysis::ScenarioContext& ctx, std::uint32_t d,
+                 std::uint32_t n, bool randomized, std::uint32_t relation_h) {
   const topology::DWayShuffle net(d, n);
   const routing::ShuffleTwoPhaseRouter two_phase(net);
   const routing::ShuffleUniquePathRouter unique_path(net);
@@ -30,28 +27,16 @@ void shuffle_case(benchmark::State& state, std::uint32_t d, std::uint32_t n,
       randomized ? static_cast<const routing::Router&>(two_phase)
                  : static_cast<const routing::Router&>(unique_path);
 
-  const analysis::TrialStats stats = analysis::run_trials(
-      [&](std::uint64_t s) {
-        support::Rng rng(s);
-        const sim::Workload w =
-            relation_h <= 1
-                ? sim::permutation_workload(net.node_count(), rng)
-                : sim::h_relation_workload(net.node_count(), relation_h, rng);
-        return routing::run_workload(net.graph(), router, w, {}, rng);
-      },
-      kSeeds);
+  const analysis::TrialStats stats = ctx.trials([&](std::uint64_t seed) {
+    support::Rng rng(seed);
+    const sim::Workload w =
+        relation_h <= 1
+            ? sim::permutation_workload(net.node_count(), rng)
+            : sim::h_relation_workload(net.node_count(), relation_h, rng);
+    return routing::run_workload(net.graph(), router, w, {}, rng);
+  });
 
-  for (auto _ : state) {
-    support::Rng rng(7);
-    const sim::Workload w = sim::permutation_workload(net.node_count(), rng);
-    const auto outcome = routing::run_workload(net.graph(), router, w, {}, rng);
-    benchmark::DoNotOptimize(outcome.metrics.steps);
-  }
-  state.counters["steps_mean"] = stats.steps.mean;
-  state.counters["steps_per_n"] = stats.steps.mean / n;
-  state.counters["max_link_q"] = stats.max_link_queue.max;
-
-  auto& table = bench::Report::instance().table(
+  auto& table = ctx.table(
       relation_h <= 1
           ? "E3 / Theorem 2.3: permutation routing on the d-way shuffle"
           : "E4 / Corollary 2.2: partial n-relation routing on the shuffle",
@@ -70,38 +55,62 @@ void shuffle_case(benchmark::State& state, std::uint32_t d, std::uint32_t n,
       .cell(std::string(stats.all_complete ? "yes" : "NO"));
 }
 
-void BM_ShufflePermutationTwoPhase(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  shuffle_case(state, n, n, true, 1);  // the paper's n-way shuffle
-}
+[[maybe_unused]] const analysis::ScenarioRegistrar kTwoPhase{
+    analysis::Scenario{
+        .name = "E3/shuffle-permutation-two-phase",
+        .experiment = "E3 / Theorem 2.3",
+        .sweep = "(n); the paper's n-way shuffle (d = n), two-phase router",
+        .points = {{2}, {3}, {4}, {5}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              shuffle_row(ctx, n, n, true, 1);
+            },
+    }};
 
-void BM_ShufflePermutationUniquePath(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  shuffle_case(state, n, n, false, 1);
-}
+[[maybe_unused]] const analysis::ScenarioRegistrar kUniquePath{
+    analysis::Scenario{
+        .name = "E3/shuffle-permutation-unique-path",
+        .experiment = "E3 / Theorem 2.3 (baseline)",
+        .sweep = "(n); n-way shuffle, deterministic unique-path router",
+        .points = {{2}, {3}, {4}, {5}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              shuffle_row(ctx, n, n, false, 1);
+            },
+    }};
 
-void BM_ShuffleFixedRadixSweep(benchmark::State& state) {
-  // d fixed, n grows: the general d-way shuffle regime Valiant analyzed.
-  shuffle_case(state, static_cast<std::uint32_t>(state.range(0)),
-               static_cast<std::uint32_t>(state.range(1)), true, 1);
-}
+// d fixed, n grows: the general d-way shuffle regime Valiant analyzed.
+[[maybe_unused]] const analysis::ScenarioRegistrar kFixedRadix{
+    analysis::Scenario{
+        .name = "E3/shuffle-fixed-radix",
+        .experiment = "E3 / Theorem 2.3 (general d-way regime)",
+        .sweep = "(d, n); fixed radix d, growing length n",
+        .points = {{2, 6}, {2, 10}, {2, 14}, {4, 4}, {4, 6}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              shuffle_row(ctx, u32(ctx.arg(0)), u32(ctx.arg(1)), true, 1);
+            },
+    }};
 
-void BM_ShuffleNRelation(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  shuffle_case(state, n, n, true, n);
-}
+[[maybe_unused]] const analysis::ScenarioRegistrar kNRelation{
+    analysis::Scenario{
+        .name = "E4/shuffle-n-relation",
+        .experiment = "E4 / Corollary 2.2",
+        .sweep = "(n); partial n-relations on the n-way shuffle",
+        .points = {{2}, {3}, {4}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              shuffle_row(ctx, n, n, true, n);
+            },
+    }};
 
 }  // namespace
-
-BENCHMARK(BM_ShufflePermutationTwoPhase)->DenseRange(2, 5)->Iterations(2);
-BENCHMARK(BM_ShufflePermutationUniquePath)->DenseRange(2, 5)->Iterations(2);
-BENCHMARK(BM_ShuffleFixedRadixSweep)
-    ->Args({2, 6})
-    ->Args({2, 10})
-    ->Args({2, 14})
-    ->Args({4, 4})
-    ->Args({4, 6})
-    ->Iterations(2);
-BENCHMARK(BM_ShuffleNRelation)->DenseRange(2, 4)->Iterations(2);
 
 LEVNET_BENCH_MAIN()

@@ -6,9 +6,6 @@
 // n-relations do too. The deterministic greedy router is the oblivious
 // baseline.
 
-#include <benchmark/benchmark.h>
-
-#include "analysis/trials.hpp"
 #include "bench_common.hpp"
 #include "routing/driver.hpp"
 #include "routing/star_router.hpp"
@@ -20,10 +17,10 @@ namespace {
 
 using namespace levnet;
 
-constexpr std::uint32_t kSeeds = 5;
+using bench::u32;
 
-void star_case(benchmark::State& state, std::uint32_t n, bool randomized,
-               std::uint32_t relation_h) {
+void star_row(analysis::ScenarioContext& ctx, std::uint32_t n,
+              bool randomized, std::uint32_t relation_h) {
   const topology::StarGraph star(n);
   const routing::StarTwoPhaseRouter two_phase(star);
   const routing::StarGreedyRouter greedy(star);
@@ -31,29 +28,16 @@ void star_case(benchmark::State& state, std::uint32_t n, bool randomized,
       randomized ? static_cast<const routing::Router&>(two_phase)
                  : static_cast<const routing::Router&>(greedy);
 
-  const analysis::TrialStats stats = analysis::run_trials(
-      [&](std::uint64_t s) {
-        support::Rng rng(s);
-        const sim::Workload w =
-            relation_h <= 1
-                ? sim::permutation_workload(star.node_count(), rng)
-                : sim::h_relation_workload(star.node_count(), relation_h, rng);
-        return routing::run_workload(star.graph(), router, w, {}, rng);
-      },
-      kSeeds);
+  const analysis::TrialStats stats = ctx.trials([&](std::uint64_t seed) {
+    support::Rng rng(seed);
+    const sim::Workload w =
+        relation_h <= 1
+            ? sim::permutation_workload(star.node_count(), rng)
+            : sim::h_relation_workload(star.node_count(), relation_h, rng);
+    return routing::run_workload(star.graph(), router, w, {}, rng);
+  });
 
-  for (auto _ : state) {
-    support::Rng rng(99);
-    const sim::Workload w = sim::permutation_workload(star.node_count(), rng);
-    const auto outcome =
-        routing::run_workload(star.graph(), router, w, {}, rng);
-    benchmark::DoNotOptimize(outcome.metrics.steps);
-  }
-  state.counters["steps_mean"] = stats.steps.mean;
-  state.counters["steps_per_n"] = stats.steps.mean / n;
-  state.counters["max_link_q"] = stats.max_link_queue.max;
-
-  auto& table = bench::Report::instance().table(
+  auto& table = ctx.table(
       relation_h <= 1
           ? "E2 / Theorem 2.2: permutation routing on the n-star graph"
           : "E4 / Corollary 2.1: partial n-relation routing on the n-star",
@@ -73,24 +57,47 @@ void star_case(benchmark::State& state, std::uint32_t n, bool randomized,
       .cell(std::string(stats.all_complete ? "yes" : "NO"));
 }
 
-void BM_StarPermutationTwoPhase(benchmark::State& state) {
-  star_case(state, static_cast<std::uint32_t>(state.range(0)), true, 1);
-}
+[[maybe_unused]] const analysis::ScenarioRegistrar kTwoPhase{
+    analysis::Scenario{
+        .name = "E2/star-permutation-two-phase",
+        .experiment = "E2 / Theorem 2.2",
+        .sweep = "(n); n-star permutation routing, randomized two-phase",
+        .points = {{4}, {5}, {6}, {7}, {8}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              star_row(ctx, u32(ctx.arg(0)), true, 1);
+            },
+    }};
 
-void BM_StarPermutationGreedy(benchmark::State& state) {
-  star_case(state, static_cast<std::uint32_t>(state.range(0)), false, 1);
-}
+[[maybe_unused]] const analysis::ScenarioRegistrar kGreedy{
+    analysis::Scenario{
+        .name = "E2/star-permutation-greedy",
+        .experiment = "E2 / Theorem 2.2 (baseline)",
+        .sweep = "(n); n-star permutation routing, deterministic greedy",
+        .points = {{4}, {5}, {6}, {7}, {8}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              star_row(ctx, u32(ctx.arg(0)), false, 1);
+            },
+    }};
 
-void BM_StarNRelation(benchmark::State& state) {
-  star_case(state, static_cast<std::uint32_t>(state.range(0)), true,
-            static_cast<std::uint32_t>(state.range(0)));
-}
+// Corollary 2.1: h = n relations.
+[[maybe_unused]] const analysis::ScenarioRegistrar kNRelation{
+    analysis::Scenario{
+        .name = "E4/star-n-relation",
+        .experiment = "E4 / Corollary 2.1",
+        .sweep = "(n); partial n-relations on the n-star, two-phase",
+        .points = {{4}, {5}, {6}, {7}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              star_row(ctx, n, true, n);
+            },
+    }};
 
 }  // namespace
-
-BENCHMARK(BM_StarPermutationTwoPhase)->DenseRange(4, 8)->Iterations(2);
-BENCHMARK(BM_StarPermutationGreedy)->DenseRange(4, 8)->Iterations(2);
-// Corollary 2.1: h = n relations.
-BENCHMARK(BM_StarNRelation)->DenseRange(4, 7)->Iterations(2);
 
 LEVNET_BENCH_MAIN()

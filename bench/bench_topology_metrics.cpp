@@ -3,9 +3,8 @@
 // size, which is why sub-logarithmic emulation is possible there at all.
 //
 // Rows compare, at matched network sizes, degree, diameter, and
-// diameter / log2(N) (sub-logarithmic means the last column falls).
-
-#include <benchmark/benchmark.h>
+// diameter / log2(N) (sub-logarithmic means the last column falls). No
+// randomness here: seeds = 1 and the sweep is purely structural.
 
 #include <cmath>
 
@@ -18,68 +17,72 @@ namespace {
 
 using namespace levnet;
 
-void BM_StarMetrics(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  const topology::StarGraph star(n);
-  // Verify the closed-form diameter on sizes where all-pairs BFS is cheap.
-  std::uint32_t measured = star.diameter();
-  if (star.node_count() <= 720) {
-    measured = topology::exact_diameter(star.graph());
-  }
-  for (auto _ : state) benchmark::DoNotOptimize(measured);
-  const double log_size = std::log2(static_cast<double>(star.node_count()));
-  state.counters["diam_over_logN"] = star.diameter() / log_size;
+using bench::u32;
 
-  auto& table = bench::Report::instance().table(
-      "E12 / Section 2.3.4: star graph vs hypercube scaling",
-      {"network", "nodes", "degree", "diameter", "diam(measured)",
-       "log2 N", "diam/log2N"});
-  table.row()
-      .cell(star.name())
-      .cell(std::uint64_t{star.node_count()})
-      .cell(std::uint64_t{star.degree()})
-      .cell(std::uint64_t{star.diameter()})
+constexpr const char* kTableTitle =
+    "E12 / Section 2.3.4: star graph vs hypercube scaling";
+const std::vector<std::string> kHeader = {
+    "network", "nodes",  "degree",    "diameter",
+    "diam(measured)", "log2 N", "diam/log2N"};
+
+void metrics_row(analysis::ScenarioContext& ctx, const std::string& name,
+                 std::uint64_t nodes, std::uint32_t degree,
+                 std::uint32_t diameter, std::uint32_t measured) {
+  const double log_size = std::log2(static_cast<double>(nodes));
+  ctx.table(kTableTitle, kHeader)
+      .row()
+      .cell(name)
+      .cell(nodes)
+      .cell(std::uint64_t{degree})
+      .cell(std::uint64_t{diameter})
       .cell(std::uint64_t{measured})
       .cell(log_size, 1)
-      .cell(star.diameter() / log_size, 3);
+      .cell(diameter / log_size, 3);
 }
 
-void BM_HypercubeMetrics(benchmark::State& state) {
-  const auto dim = static_cast<std::uint32_t>(state.range(0));
-  const topology::Hypercube cube(dim);
-  std::uint32_t measured = cube.diameter();
-  if (cube.node_count() <= 1024) {
-    measured = topology::exact_diameter(cube.graph());
-  }
-  for (auto _ : state) benchmark::DoNotOptimize(measured);
-  const double log_size = std::log2(static_cast<double>(cube.node_count()));
-  state.counters["diam_over_logN"] = cube.diameter() / log_size;
+[[maybe_unused]] const analysis::ScenarioRegistrar kStarMetrics{
+    analysis::Scenario{
+        .name = "E12/star-metrics",
+        .experiment = "E12 / Section 2.3.4",
+        .sweep = "(n); n-star degree/diameter vs network size",
+        .points = {{3}, {4}, {5}, {6}, {7}, {8}, {9}},
+        .smoke_points = {{3}, {4}, {5}},
+        .seeds = 1,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              const topology::StarGraph star(n);
+              // Verify the closed-form diameter where all-pairs BFS is cheap.
+              std::uint32_t measured = star.diameter();
+              if (star.node_count() <= 720) {
+                measured = topology::exact_diameter(star.graph());
+              }
+              metrics_row(ctx, star.name(), star.node_count(), star.degree(),
+                          star.diameter(), measured);
+            },
+    }};
 
-  auto& table = bench::Report::instance().table(
-      "E12 / Section 2.3.4: star graph vs hypercube scaling",
-      {"network", "nodes", "degree", "diameter", "diam(measured)",
-       "log2 N", "diam/log2N"});
-  table.row()
-      .cell(cube.name())
-      .cell(std::uint64_t{cube.node_count()})
-      .cell(std::uint64_t{cube.degree()})
-      .cell(std::uint64_t{cube.diameter()})
-      .cell(std::uint64_t{measured})
-      .cell(log_size, 1)
-      .cell(cube.diameter() / log_size, 3);
-}
+[[maybe_unused]] const analysis::ScenarioRegistrar kHypercubeMetrics{
+    analysis::Scenario{
+        .name = "E12/hypercube-metrics",
+        .experiment = "E12 / Section 2.3.4 (baseline)",
+        .sweep = "(dim); hypercube degree/diameter vs network size",
+        .points = {{3}, {5}, {7}, {9}, {12}, {15}, {18}},
+        .smoke_points = {{3}, {5}},
+        .seeds = 1,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto dim = u32(ctx.arg(0));
+              const topology::Hypercube cube(dim);
+              std::uint32_t measured = cube.diameter();
+              if (cube.node_count() <= 1024) {
+                measured = topology::exact_diameter(cube.graph());
+              }
+              metrics_row(ctx, cube.name(), cube.node_count(), cube.degree(),
+                          cube.diameter(), measured);
+            },
+    }};
 
 }  // namespace
-
-BENCHMARK(BM_StarMetrics)->DenseRange(3, 9)->Iterations(1);
-BENCHMARK(BM_HypercubeMetrics)
-    ->Arg(3)
-    ->Arg(5)
-    ->Arg(7)
-    ->Arg(9)
-    ->Arg(12)
-    ->Arg(15)
-    ->Arg(18)
-    ->Iterations(1);
 
 LEVNET_BENCH_MAIN()

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Diffs fresh BENCH_*.json reports against committed baselines.
+
+The bench JSON (analysis::Report::write_json) is a list of tables with
+string cells. Simulated step counts are deterministic for a fixed seed
+set, so baseline and fresh rows should normally agree exactly; this
+script flags relative changes above a threshold in the cost columns
+(any header containing "steps") as regressions/improvements, and
+reports structural drift (new/missing tables or rows) informationally.
+
+Usage:
+  bench/compare_bench.py --baseline-dir bench/baselines --fresh-dir out
+  bench/compare_bench.py ... --threshold 0.2 --strict
+
+Exit code is 0 unless --strict is given and a regression was found
+(the CI smoke job runs it as a non-blocking report).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# A column is monitored when its header contains one of these (the cost
+# measurements scenarios report); configuration columns precede the first
+# monitored column in every table.
+COST_COLUMN_MARKERS = ("steps", "maxload", "windowload", "request(", "reply(",
+                       "roundtrip")
+
+
+def load_reports(directory):
+    reports = {}
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                reports[name] = json.load(handle)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"  [warn] cannot read {path}: {err}")
+    return reports
+
+
+def cost_columns(header):
+    return [
+        i
+        for i, title in enumerate(header)
+        if any(marker in title.lower() for marker in COST_COLUMN_MARKERS)
+    ]
+
+
+def to_float(cell):
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+def keyed_rows(rows, first_cost_column):
+    """Maps configuration key -> row.
+
+    The tables put sweep-configuration columns (n, d, algo, ...) before the
+    measurement columns, so the cells left of the first cost column identify
+    a sweep point; keying on them keeps the diff aligned when points are
+    added, removed or reordered. A duplicate-occurrence counter keeps
+    repeated configurations distinct.
+    """
+    keyed = {}
+    seen = {}
+    for row in rows:
+        config = tuple(row[:first_cost_column])
+        occurrence = seen.get(config, 0)
+        seen[config] = occurrence + 1
+        keyed[config + (occurrence,)] = row
+    return keyed
+
+
+def compare_tables(bench, base_table, fresh_table, threshold, findings):
+    header = base_table.get("header", [])
+    columns = cost_columns(header)
+    title = base_table.get("title", "?")
+    if not columns:
+        # Make the coverage gap visible rather than reading as "clean".
+        print(f"  [info] {bench} / '{title}': no monitored cost columns")
+        return
+    base_rows = keyed_rows(base_table.get("rows", []), columns[0])
+    fresh_rows = keyed_rows(fresh_table.get("rows", []), columns[0])
+    for key in sorted(set(base_rows) ^ set(fresh_rows), key=str):
+        which = "gone from fresh run" if key in base_rows else "new (no baseline)"
+        print(f"  [info] {bench} / '{title}' row {key[:-1]}: {which}")
+    for key in sorted(set(base_rows) & set(fresh_rows), key=str):
+        base_row = base_rows[key]
+        fresh_row = fresh_rows[key]
+        for col in columns:
+            if col >= len(base_row) or col >= len(fresh_row):
+                continue
+            base_value = to_float(base_row[col])
+            fresh_value = to_float(fresh_row[col])
+            if base_value is None or fresh_value is None:
+                continue
+            if base_value == 0.0:
+                continue
+            ratio = fresh_value / base_value - 1.0
+            if abs(ratio) > threshold:
+                kind = "REGRESSION" if ratio > 0 else "improvement"
+                findings.append(kind == "REGRESSION")
+                print(
+                    f"  [{kind}] {bench} / '{title}' row {key[:-1]} "
+                    f"({header[col]}): {base_value} -> {fresh_value} "
+                    f"({ratio:+.1%})"
+                )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("--fresh-dir", required=True)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="relative change in a steps column that counts as a finding",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when a regression is found (default: report only)",
+    )
+    args = parser.parse_args()
+
+    baselines = load_reports(args.baseline_dir)
+    fresh = load_reports(args.fresh_dir)
+    if not baselines:
+        print(f"no baselines in {args.baseline_dir}; nothing to compare")
+        return 0
+
+    findings = []
+    print(
+        f"comparing {len(fresh)} fresh report(s) against "
+        f"{len(baselines)} baseline(s), threshold {args.threshold:.0%}"
+    )
+    for name, baseline in sorted(baselines.items()):
+        if name not in fresh:
+            print(f"  [info] {name}: no fresh report (bench not run)")
+            continue
+        fresh_tables = {
+            table.get("title"): table for table in fresh[name].get("tables", [])
+        }
+        for base_table in baseline.get("tables", []):
+            title = base_table.get("title")
+            if title not in fresh_tables:
+                print(f"  [info] {name}: table '{title}' gone from fresh run")
+                continue
+            compare_tables(
+                name, base_table, fresh_tables[title], args.threshold, findings
+            )
+    for name in sorted(set(fresh) - set(baselines)):
+        print(f"  [info] {name}: new bench without a baseline")
+
+    regressions = sum(findings)
+    if not findings:
+        print("no cost changes above threshold")
+    else:
+        print(
+            f"{regressions} regression(s), "
+            f"{len(findings) - regressions} improvement(s)"
+        )
+    return 1 if (args.strict and regressions) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,204 @@
+#include "analysis/experiment.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace levnet::analysis {
+
+namespace {
+
+constexpr std::uint32_t kSmokeSeedCap = 2;
+constexpr std::uint32_t kMaxThreads = 256;
+
+std::string format_points(const std::vector<std::vector<std::int64_t>>& pts) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << '(';
+    for (std::size_t j = 0; j < pts[i].size(); ++j) {
+      if (j != 0) os << ',';
+      os << pts[i][j];
+    }
+    os << ')';
+  }
+  return os.str();
+}
+
+bool parse_u32(const char* text, std::uint32_t& out) {
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || value > 0xffffffffUL) return false;
+  out = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+}  // namespace
+
+std::int64_t ScenarioContext::arg(std::size_t i) const {
+  LEVNET_CHECK_MSG(args_ != nullptr && i < args_->size(),
+                   "scenario read a sweep argument it does not declare");
+  return (*args_)[i];
+}
+
+bool parse_run_options(int argc, const char* const* argv, RunOptions& options,
+                       std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        error = std::string(flag) + " needs a value";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      const char* value = need_value("--seeds");
+      if (value == nullptr) return false;
+      if (!parse_u32(value, options.seeds) || options.seeds == 0) {
+        error = "--seeds wants a positive integer, got '" +
+                std::string(value) + "'";
+        return false;
+      }
+    } else if (arg == "--threads") {
+      const char* value = need_value("--threads");
+      if (value == nullptr) return false;
+      std::uint32_t threads = 0;
+      // Bounded so a typo cannot ask the pool to spawn 500000 OS threads.
+      if (!parse_u32(value, threads) || threads > kMaxThreads) {
+        error = "--threads wants an integer in [0, " +
+                std::to_string(kMaxThreads) + "], got '" +
+                std::string(value) + "'";
+        return false;
+      }
+      options.threads = threads;
+    } else if (arg == "--scenario") {
+      const char* value = need_value("--scenario");
+      if (value == nullptr) return false;
+      options.scenario_filter = value;
+    } else if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--markdown") {
+      options.markdown = true;
+    } else if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else {
+      error = "unknown argument '" + arg + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string run_options_usage() {
+  return
+      "usage: bench_<name> [options]\n"
+      "  --seeds N       override every scenario's trial count\n"
+      "  --threads N     thread pool size (0/default = hardware cores)\n"
+      "  --scenario SUB  run only scenarios whose name contains SUB\n"
+      "  --smoke         smallest sweep points, at most 2 seeds\n"
+      "  --list          print the registered scenarios and exit\n"
+      "  --markdown      with --list: emit EXPERIMENTS.md table rows\n"
+      "  --help          this message\n";
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(Scenario scenario) {
+  LEVNET_CHECK_MSG(!scenario.name.empty(), "scenario needs a name");
+  LEVNET_CHECK_MSG(static_cast<bool>(scenario.run),
+                   "scenario needs a run body");
+  LEVNET_CHECK_MSG(scenario.seeds != 0, "scenario needs at least one seed");
+  for (const Scenario& existing : scenarios_) {
+    LEVNET_CHECK_MSG(existing.name != scenario.name,
+                     "duplicate scenario name");
+  }
+  if (scenario.points.empty()) scenario.points.push_back({});
+  scenarios_.push_back(std::move(scenario));
+}
+
+std::size_t Registry::run(const RunOptions& options, Report& report,
+                          std::ostream& log) const {
+  // Name order, not registration order: reports must not depend on link
+  // order or on which TU's static initializers ran first.
+  std::vector<const Scenario*> selected;
+  for (const Scenario& scenario : scenarios_) {
+    if (scenario.name.find(options.scenario_filter) != std::string::npos) {
+      selected.push_back(&scenario);
+    }
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const Scenario* a, const Scenario* b) {
+              return a->name < b->name;
+            });
+
+  support::ThreadPool pool(options.threads);
+  TrialRunner runner(pool);
+
+  for (const Scenario* scenario : selected) {
+    std::uint32_t seeds = options.seeds != 0 ? options.seeds : scenario->seeds;
+    if (options.smoke) seeds = std::min(seeds, kSmokeSeedCap);
+    // Smoke mode shrinks the sweep: the declared smoke points, or the
+    // first (smallest) full point when none were declared.
+    std::vector<std::vector<std::int64_t>> smoke_fallback;
+    const std::vector<std::vector<std::int64_t>>* points = &scenario->points;
+    if (options.smoke) {
+      if (scenario->smoke_points.empty()) {
+        smoke_fallback.push_back(scenario->points.front());
+        points = &smoke_fallback;
+      } else {
+        points = &scenario->smoke_points;
+      }
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    ScenarioContext context(*scenario, runner, report, seeds, options.smoke);
+    for (const auto& point : *points) {
+      context.args_ = &point;
+      scenario->run(context);
+    }
+    context.args_ = nullptr;
+    if (scenario->finish) scenario->finish(context);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    log << "[scenario] " << scenario->name << ": " << points->size()
+        << " point(s) x " << seeds << " seed(s), threads=" << pool.size()
+        << ", " << static_cast<double>(elapsed.count()) / 1000.0 << "s\n";
+  }
+  return selected.size();
+}
+
+void Registry::list(std::ostream& os, bool markdown,
+                    const std::string& bench_name) const {
+  std::vector<const Scenario*> sorted;
+  for (const Scenario& scenario : scenarios_) sorted.push_back(&scenario);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Scenario* a, const Scenario* b) {
+              return a->name < b->name;
+            });
+  if (markdown) {
+    for (const Scenario* s : sorted) {
+      os << "| `" << s->name << "` | `bench_" << bench_name << "` | "
+         << s->experiment << " | " << s->sweep << " | "
+         << format_points(s->points) << " | " << s->seeds << " |\n";
+    }
+    return;
+  }
+  for (const Scenario* s : sorted) {
+    os << s->name << "\n    " << s->experiment << "\n    sweep: " << s->sweep
+       << "\n    points: " << format_points(s->points)
+       << "\n    seeds: " << s->seeds << "\n";
+  }
+}
+
+}  // namespace levnet::analysis

@@ -1,0 +1,181 @@
+#pragma once
+// Experiment registry: the declarative layer every bench binary shares.
+//
+// Each paper experiment (E1..E13) is registered as one or more Scenarios.
+// A Scenario is the sweep-over-scales x trials-over-seeds x report-table
+// shape all benches used to hand-roll: a list of sweep points (argument
+// tuples), a default seed count, and a body that turns one point into one
+// or more table rows. The registry drives the sweep, hands the body a
+// ScenarioContext that runs seeds through a TrialRunner (parallel across a
+// ThreadPool, aggregated in seed order — results are independent of thread
+// count), and serves the common CLI:
+//
+//   --seeds N        override every scenario's trial count
+//   --threads N      pool size (0 = hardware concurrency)
+//   --scenario SUB   run only scenarios whose name contains SUB
+//   --smoke          smoke points + capped seeds: every scenario, tiny cost
+//   --list           print registered scenarios instead of running
+//   --markdown       with --list: emit the EXPERIMENTS.md table rows
+//
+// Adding a scenario is a ~10-line registration — see README.md.
+// Scenarios execute in name order regardless of registration order, so
+// reports are deterministic across link order and translation units.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "analysis/trials.hpp"
+#include "support/thread_pool.hpp"
+
+namespace levnet::analysis {
+
+class ScenarioContext;
+
+/// One registered experiment scenario (an aggregate so registrations can
+/// use designated initializers).
+struct Scenario {
+  /// Unique, filterable, and the sort key for run order ("E1/permutation").
+  std::string name;
+  /// Paper anchor for docs ("E1 / Theorem 2.1").
+  std::string experiment;
+  /// Human description of the sweep axes for EXPERIMENTS.md.
+  std::string sweep;
+  /// Sweep points; the body runs once per tuple. Empty means one run with
+  /// no arguments.
+  std::vector<std::vector<std::int64_t>> points;
+  /// Points used under --smoke; empty selects the first (smallest) point.
+  std::vector<std::vector<std::int64_t>> smoke_points;
+  /// Default trials per point (capped at 2 under --smoke).
+  std::uint32_t seeds = 5;
+  /// Body: turn the current point (ctx.arg(i)) into table rows.
+  std::function<void(ScenarioContext&)> run;
+  /// Optional epilogue after the sweep (e.g. a scaling fit over
+  /// ctx.recorded()).
+  std::function<void(ScenarioContext&)> finish;
+};
+
+/// Per-run knobs, typically parsed from the CLI.
+struct RunOptions {
+  std::uint32_t seeds = 0;      // 0 = scenario default
+  unsigned threads = 0;         // 0 = hardware concurrency
+  std::string scenario_filter;  // substring match on Scenario::name
+  bool smoke = false;
+  bool list = false;
+  bool markdown = false;
+  bool help = false;
+};
+
+/// Parses the common bench CLI. Returns true on success; on failure sets
+/// `error` to a message naming the offending argument.
+[[nodiscard]] bool parse_run_options(int argc, const char* const* argv,
+                                     RunOptions& options, std::string& error);
+
+/// Usage text for --help and parse errors.
+[[nodiscard]] std::string run_options_usage();
+
+/// Handed to scenario bodies: the current sweep point, the effective seed
+/// count, the trial runner, and the report sink.
+class ScenarioContext {
+ public:
+  ScenarioContext(const Scenario& scenario, TrialRunner& runner,
+                  Report& report, std::uint32_t seeds, bool smoke)
+      : scenario_(&scenario),
+        runner_(&runner),
+        report_(&report),
+        seeds_(seeds),
+        smoke_(smoke) {}
+
+  /// Current sweep point.
+  [[nodiscard]] std::int64_t arg(std::size_t i) const;
+  [[nodiscard]] std::size_t arg_count() const noexcept {
+    return args_ == nullptr ? 0 : args_->size();
+  }
+
+  [[nodiscard]] std::uint32_t seeds() const noexcept { return seeds_; }
+  [[nodiscard]] bool smoke() const noexcept { return smoke_; }
+  [[nodiscard]] const Scenario& scenario() const noexcept {
+    return *scenario_;
+  }
+  [[nodiscard]] TrialRunner& runner() const noexcept { return *runner_; }
+
+  /// Runs seeds() trials through the pool and aggregates in seed order.
+  [[nodiscard]] TrialStats trials(const TrialFn& trial) const {
+    return runner_->run(trial, seeds_);
+  }
+
+  /// Generic per-seed collection for trials whose result is not a
+  /// TrialMeasurement (hash-load draws, custom metrics).
+  template <typename Fn>
+  [[nodiscard]] auto collect(Fn&& fn) const {
+    return runner_->collect(seeds_, 1, std::forward<Fn>(fn));
+  }
+
+  /// Report table for this run (created on first use).
+  support::Table& table(const std::string& title,
+                        std::vector<std::string> header) const {
+    return report_->table(title, std::move(header));
+  }
+
+  /// Sweep memory for finish(): bodies record (scale, stats) per point.
+  void record(std::uint64_t scale, const TrialStats& stats) {
+    recorded_.emplace_back(scale, stats);
+  }
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, TrialStats>>&
+  recorded() const noexcept {
+    return recorded_;
+  }
+
+ private:
+  friend class Registry;
+
+  const Scenario* scenario_;
+  TrialRunner* runner_;
+  Report* report_;
+  const std::vector<std::int64_t>* args_ = nullptr;
+  std::uint32_t seeds_;
+  bool smoke_;
+  std::vector<std::pair<std::uint64_t, TrialStats>> recorded_;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide registry the bench binaries register into.
+  static Registry& global();
+
+  void add(Scenario scenario);
+  [[nodiscard]] const std::vector<Scenario>& scenarios() const noexcept {
+    return scenarios_;
+  }
+
+  /// Runs every scenario whose name contains options.scenario_filter, in
+  /// name order, appending rows to `report` and one timing line per
+  /// scenario to `log`. Returns the number of scenarios run.
+  std::size_t run(const RunOptions& options, Report& report,
+                  std::ostream& log) const;
+
+  /// Prints the scenario catalogue: aligned text, or EXPERIMENTS.md table
+  /// rows when markdown is set (bench_name labels the source binary).
+  void list(std::ostream& os, bool markdown,
+            const std::string& bench_name) const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+/// Static-initialization helper: file-scope registration in bench TUs.
+struct ScenarioRegistrar {
+  explicit ScenarioRegistrar(Scenario scenario) {
+    Registry::global().add(std::move(scenario));
+  }
+};
+
+}  // namespace levnet::analysis

@@ -1,0 +1,111 @@
+#include "analysis/report.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace levnet::analysis {
+
+namespace {
+
+std::string quoted(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void write_string_array(std::ostream& os,
+                        const std::vector<std::string>& values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << quoted(values[i]);
+  }
+  os << ']';
+}
+
+}  // namespace
+
+Report& Report::global() {
+  static Report report;
+  return report;
+}
+
+support::Table& Report::table(const std::string& title,
+                              std::vector<std::string> header) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : tables_) {
+    if (entry.title == title) return *entry.table;
+  }
+  tables_.push_back(
+      {title, std::make_unique<support::Table>(std::move(header))});
+  return *tables_.back().table;
+}
+
+void Report::print(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : tables_) {
+    os << "\n=== " << entry.title << " ===\n";
+    entry.table->print(os);
+  }
+  os.flush();
+}
+
+void Report::write_json(std::ostream& os, const std::string& bench_name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\n  \"bench\": " << quoted(bench_name) << ",\n  \"tables\": [";
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const auto& entry = tables_[t];
+    if (t != 0) os << ',';
+    os << "\n    {\n      \"title\": " << quoted(entry.title)
+       << ",\n      \"header\": ";
+    write_string_array(os, entry.table->header());
+    os << ",\n      \"rows\": [";
+    const auto& rows = entry.table->rows();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r != 0) os << ',';
+      os << "\n        ";
+      write_string_array(os, rows[r]);
+    }
+    os << (rows.empty() ? "]" : "\n      ]") << "\n    }";
+  }
+  os << (tables_.empty() ? "]" : "\n  ]") << "\n}\n";
+  os.flush();
+}
+
+void Report::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tables_.clear();
+}
+
+std::size_t Report::table_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tables_.size();
+}
+
+std::vector<Report::TableDump> Report::dump() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TableDump> out;
+  out.reserve(tables_.size());
+  for (const auto& entry : tables_) {
+    out.push_back({entry.title, entry.table->header(), entry.table->rows()});
+  }
+  return out;
+}
+
+}  // namespace levnet::analysis

@@ -1,0 +1,65 @@
+#pragma once
+// Collection of paper-style summary tables produced by an experiment run.
+//
+// Scenario bodies append rows through Report::table; after a run the report
+// prints the accumulated tables and/or serializes them as JSON so scripted
+// runs (bench/run_benches.sh, CI) can diff results across PRs. Reports are
+// ordinary objects — tests build private ones — with one process-wide
+// instance (Report::global) that the bench binaries share.
+
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/table.hpp"
+
+namespace levnet::analysis {
+
+class Report {
+ public:
+  Report() = default;
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  /// Process-wide report the bench main() prints and serializes.
+  static Report& global();
+
+  /// Returns the table with this title, creating it (with `header`) on
+  /// first use; later calls ignore `header`. Thread-safe lookup; row
+  /// appends are the caller's to serialize (scenario bodies run
+  /// sequentially).
+  support::Table& table(const std::string& title,
+                        std::vector<std::string> header);
+
+  void print(std::ostream& os) const;
+
+  /// Serializes the accumulated tables as {"bench": name, "tables": [...]}.
+  void write_json(std::ostream& os, const std::string& bench_name) const;
+
+  /// Drops all tables (tests reuse one report across registry runs).
+  void clear();
+
+  [[nodiscard]] std::size_t table_count() const;
+
+  /// Snapshot of (title, header, rows) triples for comparison in tests.
+  struct TableDump {
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+    bool operator==(const TableDump&) const = default;
+  };
+  [[nodiscard]] std::vector<TableDump> dump() const;
+
+ private:
+  struct Entry {
+    std::string title;
+    std::unique_ptr<support::Table> table;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> tables_;
+};
+
+}  // namespace levnet::analysis

@@ -2,33 +2,71 @@
 
 namespace levnet::analysis {
 
-TrialStats run_trials(
-    const std::function<routing::RoutingOutcome(std::uint64_t seed)>& trial,
-    std::uint32_t seeds, std::uint64_t first_seed) {
+TrialMeasurement::TrialMeasurement(const routing::RoutingOutcome& outcome) {
+  steps = static_cast<double>(outcome.metrics.steps);
+  worst_step = steps;
+  max_link_queue = static_cast<double>(outcome.metrics.max_link_queue);
+  max_node_queue = static_cast<double>(outcome.metrics.max_node_queue);
+  const double consumed = outcome.metrics.consumed == 0
+                              ? 1.0
+                              : static_cast<double>(outcome.metrics.consumed);
+  mean_delay = static_cast<double>(outcome.metrics.total_delay) / consumed;
+  complete = outcome.complete;
+}
+
+TrialMeasurement::TrialMeasurement(const emulation::EmulationReport& report) {
+  steps = report.mean_step_network;
+  worst_step = static_cast<double>(report.max_step_network);
+  max_link_queue = static_cast<double>(report.max_link_queue);
+  max_node_queue = static_cast<double>(report.max_node_queue);
+  combined = static_cast<double>(report.combined_requests);
+  rehashes = static_cast<double>(report.rehashes);
+  local_ops = static_cast<double>(report.local_ops);
+  complete = true;  // the emulator CHECK-fails rather than losing requests
+}
+
+TrialStats aggregate(const std::vector<TrialMeasurement>& runs) {
   std::vector<double> steps;
+  std::vector<double> worst;
   std::vector<double> link_queue;
   std::vector<double> node_queue;
   std::vector<double> delay;
+  steps.reserve(runs.size());
+  worst.reserve(runs.size());
+  link_queue.reserve(runs.size());
+  node_queue.reserve(runs.size());
+  delay.reserve(runs.size());
+
   TrialStats stats;
-  for (std::uint32_t s = 0; s < seeds; ++s) {
-    const routing::RoutingOutcome outcome = trial(first_seed + s);
-    stats.all_complete = stats.all_complete && outcome.complete;
-    steps.push_back(static_cast<double>(outcome.metrics.steps));
-    link_queue.push_back(static_cast<double>(outcome.metrics.max_link_queue));
-    node_queue.push_back(static_cast<double>(outcome.metrics.max_node_queue));
-    const double consumed =
-        outcome.metrics.consumed == 0
-            ? 1.0
-            : static_cast<double>(outcome.metrics.consumed);
-    delay.push_back(static_cast<double>(outcome.metrics.total_delay) /
-                    consumed);
+  for (const TrialMeasurement& m : runs) {
+    stats.all_complete = stats.all_complete && m.complete;
+    steps.push_back(m.steps);
+    worst.push_back(m.worst_step);
+    link_queue.push_back(m.max_link_queue);
+    node_queue.push_back(m.max_node_queue);
+    delay.push_back(m.mean_delay);
+    stats.combined_mean += m.combined;
+    stats.rehashes_mean += m.rehashes;
+    stats.local_ops_mean += m.local_ops;
     ++stats.runs;
   }
+  if (stats.runs != 0) {
+    const auto n = static_cast<double>(stats.runs);
+    stats.combined_mean /= n;
+    stats.rehashes_mean /= n;
+    stats.local_ops_mean /= n;
+  }
   stats.steps = support::summarize(steps);
+  stats.worst_step = support::summarize(worst);
   stats.max_link_queue = support::summarize(link_queue);
   stats.max_node_queue = support::summarize(node_queue);
   stats.mean_delay = support::summarize(delay);
   return stats;
+}
+
+TrialStats TrialRunner::run(const TrialFn& trial, std::uint32_t seeds,
+                            std::uint64_t first_seed) const {
+  return aggregate(collect(seeds, first_seed, trial));
 }
 
 ScalingPoint make_point(std::uint64_t scale, const TrialStats& stats) {

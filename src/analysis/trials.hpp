@@ -1,34 +1,111 @@
 #pragma once
 // Multi-seed trial harness: the paper's O~ bounds are "with high
 // probability" statements, so every experiment runs R independent seeds and
-// reports the max/mean over seeds. Benches and property tests share this
-// harness so EXPERIMENTS.md rows and CI assertions come from the same code.
+// reports the max/mean over seeds. Benches and tests share this harness so
+// EXPERIMENTS.md rows and CI assertions come from the same code.
+//
+// TrialRunner executes seeds concurrently on a support::ThreadPool while
+// aggregating in seed order, so the resulting TrialStats are bit-identical
+// for 1 thread and N threads. Trial callables must therefore be reentrant:
+// construct the engine / emulator / Rng per call from the given seed and
+// share only immutable state (graphs and routers are const after
+// construction — see routing/router.hpp).
 
 #include <cstdint>
 #include <functional>
-#include <string>
+#include <type_traits>
 #include <vector>
 
+#include "emulation/emulator.hpp"
 #include "routing/driver.hpp"
+#include "support/rng.hpp"
 #include "support/stats.hpp"
+#include "support/thread_pool.hpp"
 
 namespace levnet::analysis {
 
-/// Aggregated outcome of repeating one routing experiment over seeds.
+/// One seed's measurements, in the units the theorems bound. Converts from
+/// either harness result so routing and emulation trials share one
+/// aggregation path.
+struct TrialMeasurement {
+  double steps = 0.0;       // routing time / network steps per PRAM step
+  double worst_step = 0.0;  // slowest PRAM step (== steps for routing runs)
+  double max_link_queue = 0.0;
+  double max_node_queue = 0.0;
+  double mean_delay = 0.0;  // avg per-packet queueing delay (routing only)
+  double combined = 0.0;    // CRCW requests absorbed en route
+  double rehashes = 0.0;
+  double local_ops = 0.0;
+  bool complete = true;
+
+  TrialMeasurement() = default;
+  TrialMeasurement(const routing::RoutingOutcome& outcome);      // NOLINT
+  TrialMeasurement(const emulation::EmulationReport& report);    // NOLINT
+};
+
+/// Aggregated outcome of repeating one experiment over seeds.
 struct TrialStats {
-  support::Summary steps;           // engine routing time
+  support::Summary steps;
+  support::Summary worst_step;
   support::Summary max_link_queue;  // paper's "queue size"
   support::Summary max_node_queue;
-  support::Summary mean_delay;      // avg per-packet queueing delay
-  bool all_complete = true;         // every run delivered everything
+  support::Summary mean_delay;
+  double combined_mean = 0.0;
+  double rehashes_mean = 0.0;
+  double local_ops_mean = 0.0;
+  bool all_complete = true;  // every run delivered everything
   std::size_t runs = 0;
 };
 
-/// Runs `trial(seed)` for `seeds` consecutive seeds starting at
-/// `first_seed` and aggregates.
-[[nodiscard]] TrialStats run_trials(
-    const std::function<routing::RoutingOutcome(std::uint64_t seed)>& trial,
-    std::uint32_t seeds, std::uint64_t first_seed = 1);
+/// Folds per-seed measurements (in seed order) into TrialStats.
+[[nodiscard]] TrialStats aggregate(const std::vector<TrialMeasurement>& runs);
+
+using TrialFn = std::function<TrialMeasurement(std::uint64_t seed)>;
+
+/// Fans independent seeded trials across a thread pool. Seeds are derived
+/// from consecutive labels through SplitMix64 so neighbouring trials get
+/// decorrelated streams; results are collected into seed-indexed slots and
+/// aggregated sequentially, making the output independent of thread count
+/// and scheduling.
+class TrialRunner {
+ public:
+  explicit TrialRunner(support::ThreadPool& pool) : pool_(&pool) {}
+
+  /// The seed passed to trial index i (SplitMix64 of first_seed + i).
+  [[nodiscard]] static std::uint64_t trial_seed(std::uint64_t first_seed,
+                                                std::uint32_t index) noexcept {
+    std::uint64_t state = first_seed + index;
+    return support::splitmix64(state);
+  }
+
+  /// Runs fn once per seed and returns the per-seed results in seed order.
+  /// R only needs to be default-constructible and movable; use this for
+  /// trials whose result is not a TrialMeasurement (e.g. hash max-loads).
+  template <typename Fn>
+  [[nodiscard]] auto collect(std::uint32_t seeds, std::uint64_t first_seed,
+                             Fn&& fn) const {
+    using R = std::decay_t<decltype(fn(std::uint64_t{}))>;
+    // std::vector<bool> packs results, so concurrent writes to adjacent
+    // slots would race; return std::uint8_t (or a struct) instead.
+    static_assert(!std::is_same_v<R, bool>,
+                  "trial results must occupy distinct storage per seed");
+    std::vector<R> results(seeds);
+    pool_->parallel_for(seeds, [&](std::size_t i) {
+      results[i] =
+          fn(trial_seed(first_seed, static_cast<std::uint32_t>(i)));
+    });
+    return results;
+  }
+
+  /// Runs `trial(seed)` for `seeds` derived seeds and aggregates.
+  [[nodiscard]] TrialStats run(const TrialFn& trial, std::uint32_t seeds,
+                               std::uint64_t first_seed = 1) const;
+
+  [[nodiscard]] support::ThreadPool& pool() const noexcept { return *pool_; }
+
+ private:
+  support::ThreadPool* pool_;
+};
 
 /// Normalized cost rows: x = problem scale (n, l, d...), y = steps / x.
 /// The theorems predict y is bounded by a constant; `fit_line` over the raw

@@ -6,6 +6,11 @@
 // The interface enforces that shape — `prepare` draws the coins (e.g. the
 // random intermediate node of Valiant's scheme) into the packet, and
 // `next_hop` is a pure function of packet state and current position.
+//
+// Concurrency contract: routers must be immutable after construction (no
+// mutable members, all randomness via the caller-supplied Rng). The trial
+// harness (analysis::TrialRunner) shares one router instance across
+// concurrent seed trials, each with its own engine and Rng.
 
 #include <cstdint>
 

@@ -58,6 +58,9 @@ void SyncEngine::enqueue(Packet&& packet, NodeId at, NodeId next) {
   const EdgeId e = graph_.edge_between(at, next);
   LEVNET_CHECK_MSG(e != topology::kInvalidEdge,
                    "handler forwarded along a non-existent link");
+  if (config_.discipline != QueueDiscipline::kFifo) {
+    packet.priority = handler_.priority(packet, at);
+  }
   queues_[e].push(std::move(packet));
   metrics_.max_link_queue = std::max(
       metrics_.max_link_queue, static_cast<std::uint32_t>(queues_[e].size()));
@@ -69,15 +72,16 @@ void SyncEngine::enqueue(Packet&& packet, NodeId at, NodeId next) {
   }
 }
 
-Packet SyncEngine::pop_by_discipline(support::RingQueue<Packet>& queue,
-                                     NodeId tail) {
+Packet SyncEngine::pop_by_discipline(support::RingQueue<Packet>& queue) {
   if (config_.discipline == QueueDiscipline::kFifo || queue.size() == 1) {
     return queue.pop();
   }
+  // Keys were cached at enqueue time (Packet::priority), so the selection
+  // scan is a plain comparison loop with no handler round-trips.
   std::size_t best = 0;
-  std::uint32_t best_key = handler_.priority(queue.at(0), tail);
+  std::uint32_t best_key = queue.at(0).priority;
   for (std::size_t i = 1; i < queue.size(); ++i) {
-    const std::uint32_t key = handler_.priority(queue.at(i), tail);
+    const std::uint32_t key = queue.at(i).priority;
     const bool better = config_.discipline == QueueDiscipline::kFurthestFirst
                             ? key > best_key
                             : key < best_key;
@@ -104,7 +108,7 @@ std::size_t SyncEngine::step(support::Rng& rng) {
       next_active_.push_back(e);  // blocked; stays active
       continue;
     }
-    Packet packet = pop_by_discipline(queue, tail);
+    Packet packet = pop_by_discipline(queue);
     --node_load_[tail];
     packet.hops += 1;
     packet.came_from = tail;

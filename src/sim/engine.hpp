@@ -87,8 +87,7 @@ class SyncEngine {
 
   void route_from(Packet&& packet, NodeId at, support::Rng& rng);
   void enqueue(Packet&& packet, NodeId at, NodeId next);
-  [[nodiscard]] Packet pop_by_discipline(support::RingQueue<Packet>& queue,
-                                         NodeId tail);
+  [[nodiscard]] Packet pop_by_discipline(support::RingQueue<Packet>& queue);
 
   const topology::Graph& graph_;
   TrafficHandler& handler_;

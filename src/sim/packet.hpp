@@ -36,6 +36,11 @@ struct Packet {
   std::int64_t value = 0;         ///< Write payload or read reply value.
   std::uint32_t inject_step = 0;  ///< Simulation step of injection.
   std::uint32_t hops = 0;         ///< Links traversed so far.
+  /// Queue-discipline key, computed once by the engine when the packet is
+  /// enqueued (TrafficHandler::priority is a function of packet state and
+  /// the queue's tail node, both fixed while it waits) so non-FIFO pops
+  /// compare cached keys instead of re-querying the handler per comparison.
+  std::uint32_t priority = 0;
   /// Node the packet just crossed a link from; kInvalidNode right after
   /// injection. Maintained by the engine; CRCW combining records it.
   NodeId came_from = topology::kInvalidNode;

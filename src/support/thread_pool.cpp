@@ -1,0 +1,102 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace levnet::support {
+
+unsigned ThreadPool::hardware_threads() noexcept {
+  return std::max(1U, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads == 0 ? hardware_threads() : threads) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.count) return;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+      // Park the counter at the end so other threads stop picking up work.
+      job.next.store(job.count, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    drain(*job);
+    {
+      // Updating the done-count under the pool mutex pairs with the
+      // caller's predicate re-check, so the final notify cannot be lost
+      // between the caller's check and its wait.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job->workers_done.fetch_add(1, std::memory_order_acq_rel);
+    }
+    work_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  LEVNET_CHECK_MSG(static_cast<bool>(fn), "parallel_for needs a callable");
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.count = count;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    LEVNET_CHECK_MSG(job_ == nullptr, "parallel_for is not reentrant");
+    job_ = &job;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  drain(job);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [&] {
+      return job.workers_done.load(std::memory_order_acquire) ==
+             static_cast<unsigned>(workers_.size());
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace levnet::support

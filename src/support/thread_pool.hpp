@@ -1,0 +1,70 @@
+#pragma once
+// Fixed-size worker pool for embarrassingly parallel trial fan-out.
+//
+// The experiment harness repeats independent seeded simulations; the pool
+// runs them concurrently while the caller controls aggregation order, so
+// results stay bit-identical for 1 thread and N threads. parallel_for hands
+// out indices through an atomic counter: the assignment of index to thread
+// is scheduling-dependent, but every index runs exactly once and writes
+// only its own output slot, which is all determinism requires.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace levnet::support {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the calling thread;
+  /// 0 selects hardware_threads(). A pool of size 1 spawns no workers and
+  /// runs everything inline on the caller.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + caller).
+  [[nodiscard]] unsigned size() const noexcept { return threads_; }
+
+  /// Runs fn(0) .. fn(count-1), each exactly once, across the workers and
+  /// the calling thread; returns when all have finished. The first
+  /// exception thrown by any invocation is rethrown here (remaining
+  /// indices may be skipped). Not reentrant: one parallel_for at a time.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a sane floor of 1.
+  [[nodiscard]] static unsigned hardware_threads() noexcept;
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<unsigned> workers_done{0};
+    std::exception_ptr error;  // first failure, guarded by error_mutex
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  void drain(Job& job);
+
+  unsigned threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  Job* job_ = nullptr;          // current job, null when idle
+  std::uint64_t generation_ = 0;  // bumped per job so workers wake once each
+  bool stopping_ = false;
+};
+
+}  // namespace levnet::support

@@ -1,0 +1,323 @@
+// Parallel determinism suite for the experiment pipeline: the ThreadPool,
+// the TrialRunner (results must be bit-identical for 1, 2 and 8 threads,
+// for routing and emulation trials alike), and the Experiment registry
+// (reports must not depend on scenario registration order), plus the
+// common bench CLI parser.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/report.hpp"
+#include "analysis/trials.hpp"
+#include "emulation/emulator.hpp"
+#include "emulation/fabric.hpp"
+#include "pram/algorithms/access_patterns.hpp"
+#include "pram/memory.hpp"
+#include "routing/driver.hpp"
+#include "routing/star_router.hpp"
+#include "routing/two_phase.hpp"
+#include "sim/workload.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/star.hpp"
+
+namespace {
+
+using namespace levnet;
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1U, 2U, 8U}) {
+    support::ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoOp) {
+  support::ThreadPool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  support::ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 4950U);
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesTheFirstException) {
+  for (const unsigned threads : {1U, 4U}) {
+    support::ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(64,
+                          [&](std::size_t i) {
+                            if (i == 13) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    // The pool must still be usable after a failed job.
+    std::atomic<int> count{0};
+    pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 8);
+  }
+}
+
+// --------------------------------------------------------------- TrialRunner
+
+bool summaries_identical(const support::Summary& a,
+                         const support::Summary& b) {
+  return a.count == b.count && a.mean == b.mean && a.stddev == b.stddev &&
+         a.min == b.min && a.median == b.median && a.p95 == b.p95 &&
+         a.max == b.max;
+}
+
+bool stats_identical(const analysis::TrialStats& a,
+                     const analysis::TrialStats& b) {
+  return summaries_identical(a.steps, b.steps) &&
+         summaries_identical(a.worst_step, b.worst_step) &&
+         summaries_identical(a.max_link_queue, b.max_link_queue) &&
+         summaries_identical(a.max_node_queue, b.max_node_queue) &&
+         summaries_identical(a.mean_delay, b.mean_delay) &&
+         a.combined_mean == b.combined_mean &&
+         a.rehashes_mean == b.rehashes_mean &&
+         a.local_ops_mean == b.local_ops_mean &&
+         a.all_complete == b.all_complete && a.runs == b.runs;
+}
+
+analysis::TrialStats routing_trials(unsigned threads) {
+  const topology::WrappedButterfly bf(2, 6);
+  const routing::TwoPhaseButterflyRouter router(bf);
+  support::ThreadPool pool(threads);
+  const analysis::TrialRunner runner(pool);
+  return runner.run(
+      [&](std::uint64_t seed) -> analysis::TrialMeasurement {
+        support::Rng rng(seed);
+        const sim::Workload w = sim::permutation_workload(bf.row_count(), rng);
+        return routing::run_workload(bf.graph(), router, w, {}, rng);
+      },
+      /*seeds=*/8);
+}
+
+analysis::TrialStats emulation_trials(unsigned threads) {
+  const topology::StarGraph star(5);
+  const routing::StarTwoPhaseRouter router(star);
+  const emulation::EmulationFabric fabric(star.graph(), router,
+                                          star.diameter(), star.name());
+  support::ThreadPool pool(threads);
+  const analysis::TrialRunner runner(pool);
+  return runner.run(
+      [&](std::uint64_t seed) -> analysis::TrialMeasurement {
+        pram::PermutationTraffic program(star.node_count(), 2, seed);
+        emulation::EmulatorConfig config;
+        config.seed = seed;
+        emulation::NetworkEmulator emulator(fabric, config);
+        pram::SharedMemory memory;
+        return emulator.run(program, memory);
+      },
+      /*seeds=*/8);
+}
+
+TEST(TrialRunnerTest, RoutingTrialsAreBitIdenticalAcrossThreadCounts) {
+  const analysis::TrialStats one = routing_trials(1);
+  const analysis::TrialStats two = routing_trials(2);
+  const analysis::TrialStats eight = routing_trials(8);
+  EXPECT_TRUE(stats_identical(one, two));
+  EXPECT_TRUE(stats_identical(one, eight));
+  EXPECT_EQ(one.runs, 8U);
+  EXPECT_TRUE(one.all_complete);
+}
+
+TEST(TrialRunnerTest, EmulationTrialsAreBitIdenticalAcrossThreadCounts) {
+  const analysis::TrialStats one = emulation_trials(1);
+  const analysis::TrialStats two = emulation_trials(2);
+  const analysis::TrialStats eight = emulation_trials(8);
+  EXPECT_TRUE(stats_identical(one, two));
+  EXPECT_TRUE(stats_identical(one, eight));
+  EXPECT_GT(one.steps.mean, 0.0);
+}
+
+TEST(TrialRunnerTest, SeedStreamsAreSplitmixDerived) {
+  // Consecutive labels must not map to consecutive raw seeds.
+  const std::uint64_t s0 = analysis::TrialRunner::trial_seed(1, 0);
+  const std::uint64_t s1 = analysis::TrialRunner::trial_seed(1, 1);
+  EXPECT_NE(s0 + 1, s1);
+  std::uint64_t state = 1;
+  EXPECT_EQ(s0, support::splitmix64(state));
+}
+
+TEST(TrialRunnerTest, CollectReturnsResultsInSeedOrder) {
+  support::ThreadPool pool(4);
+  const analysis::TrialRunner runner(pool);
+  const auto seeds =
+      runner.collect(16, 7, [](std::uint64_t seed) { return seed; });
+  ASSERT_EQ(seeds.size(), 16U);
+  for (std::uint32_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(seeds[i], analysis::TrialRunner::trial_seed(7, i));
+  }
+}
+
+// ------------------------------------------------------------------ Registry
+
+analysis::Scenario make_scenario(const std::string& name,
+                                 std::uint32_t base) {
+  analysis::Scenario scenario;
+  scenario.name = name;
+  scenario.experiment = "test";
+  scenario.sweep = "(x)";
+  scenario.points = {{1}, {2}, {3}};
+  scenario.smoke_points = {{1}};
+  scenario.seeds = 4;
+  scenario.run = [base](analysis::ScenarioContext& ctx) {
+    const auto x = static_cast<std::uint32_t>(ctx.arg(0));
+    const topology::WrappedButterfly bf(2, 3 + x % 2);
+    const routing::TwoPhaseButterflyRouter router(bf);
+    const analysis::TrialStats stats = ctx.trials([&](std::uint64_t seed) {
+      support::Rng rng(seed + base);
+      const sim::Workload w = sim::permutation_workload(bf.row_count(), rng);
+      return routing::run_workload(bf.graph(), router, w, {}, rng);
+    });
+    ctx.table("shared table", {"scenario", "x", "steps", "seeds"})
+        .row()
+        .cell(ctx.scenario().name)
+        .cell(std::uint64_t{x})
+        .cell(stats.steps.mean, 2)
+        .cell(std::uint64_t{ctx.seeds()});
+  };
+  return scenario;
+}
+
+std::vector<analysis::Report::TableDump> run_ordered(
+    const std::vector<std::string>& order, const analysis::RunOptions& opts) {
+  analysis::Registry registry;
+  for (const std::string& name : order) {
+    // Distinct trial streams per scenario (base differs by name suffix).
+    registry.add(make_scenario(name, name.back()));
+  }
+  analysis::Report report;
+  std::ostringstream log;
+  EXPECT_EQ(registry.run(opts, report, log), order.size());
+  return report.dump();
+}
+
+TEST(RegistryTest, ReportIsIndependentOfRegistrationOrder) {
+  const analysis::RunOptions opts;
+  const auto sorted = run_ordered({"a-first", "b-mid", "c-last"}, opts);
+  const auto shuffled = run_ordered({"c-last", "a-first", "b-mid"}, opts);
+  const auto reversed = run_ordered({"c-last", "b-mid", "a-first"}, opts);
+  EXPECT_EQ(sorted, shuffled);
+  EXPECT_EQ(sorted, reversed);
+  ASSERT_EQ(sorted.size(), 1U);
+  EXPECT_EQ(sorted[0].rows.size(), 9U);  // 3 scenarios x 3 points
+}
+
+TEST(RegistryTest, ReportIsIndependentOfThreadCount) {
+  analysis::RunOptions one;
+  one.threads = 1;
+  analysis::RunOptions eight;
+  eight.threads = 8;
+  EXPECT_EQ(run_ordered({"a", "b"}, one), run_ordered({"a", "b"}, eight));
+}
+
+TEST(RegistryTest, FilterSelectsBySubstring) {
+  analysis::Registry registry;
+  registry.add(make_scenario("E1/alpha", 1));
+  registry.add(make_scenario("E2/beta", 2));
+  analysis::RunOptions opts;
+  opts.scenario_filter = "beta";
+  analysis::Report report;
+  std::ostringstream log;
+  EXPECT_EQ(registry.run(opts, report, log), 1U);
+  const auto dump = report.dump();
+  ASSERT_EQ(dump.size(), 1U);
+  for (const auto& row : dump[0].rows) EXPECT_EQ(row[0], "E2/beta");
+}
+
+TEST(RegistryTest, SmokeModeShrinksPointsAndSeeds) {
+  analysis::Registry registry;
+  registry.add(make_scenario("smoke-me", 3));
+  analysis::RunOptions opts;
+  opts.smoke = true;
+  analysis::Report report;
+  std::ostringstream log;
+  EXPECT_EQ(registry.run(opts, report, log), 1U);
+  const auto dump = report.dump();
+  ASSERT_EQ(dump.size(), 1U);
+  ASSERT_EQ(dump[0].rows.size(), 1U);  // only the smoke point
+  EXPECT_EQ(dump[0].rows[0][3], "2");  // seeds capped at 2
+}
+
+TEST(RegistryTest, FinishSeesRecordedSweep) {
+  analysis::Registry registry;
+  analysis::Scenario scenario;
+  scenario.name = "with-finish";
+  scenario.points = {{2}, {4}};
+  scenario.seeds = 2;
+  scenario.run = [](analysis::ScenarioContext& ctx) {
+    analysis::TrialStats stats;
+    stats.steps = support::summarize(
+        std::vector<double>{static_cast<double>(ctx.arg(0))});
+    ctx.record(static_cast<std::uint64_t>(ctx.arg(0)), stats);
+  };
+  scenario.finish = [](analysis::ScenarioContext& ctx) {
+    ASSERT_EQ(ctx.recorded().size(), 2U);
+    ctx.table("fit", {"points"})
+        .row()
+        .cell(std::uint64_t{ctx.recorded().size()});
+  };
+  registry.add(std::move(scenario));
+  analysis::Report report;
+  std::ostringstream log;
+  EXPECT_EQ(registry.run({}, report, log), 1U);
+  const auto dump = report.dump();
+  ASSERT_EQ(dump.size(), 1U);
+  EXPECT_EQ(dump[0].title, "fit");
+}
+
+// ----------------------------------------------------------------- CLI parse
+
+TEST(RunOptionsTest, ParsesTheCommonFlags) {
+  const char* argv[] = {"bench", "--seeds", "9",        "--threads", "3",
+                        "--scenario", "E1", "--smoke"};
+  analysis::RunOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_run_options(8, argv, opts, error)) << error;
+  EXPECT_EQ(opts.seeds, 9U);
+  EXPECT_EQ(opts.threads, 3U);
+  EXPECT_EQ(opts.scenario_filter, "E1");
+  EXPECT_TRUE(opts.smoke);
+  EXPECT_FALSE(opts.list);
+}
+
+TEST(RunOptionsTest, RejectsUnknownAndMalformedArguments) {
+  analysis::RunOptions opts;
+  std::string error;
+  {
+    const char* argv[] = {"bench", "--frobnicate"};
+    EXPECT_FALSE(analysis::parse_run_options(2, argv, opts, error));
+    EXPECT_NE(error.find("--frobnicate"), std::string::npos);
+  }
+  {
+    const char* argv[] = {"bench", "--seeds", "zero"};
+    EXPECT_FALSE(analysis::parse_run_options(3, argv, opts, error));
+  }
+  {
+    const char* argv[] = {"bench", "--seeds"};
+    EXPECT_FALSE(analysis::parse_run_options(2, argv, opts, error));
+  }
+}
+
+}  // namespace
