@@ -8,11 +8,18 @@ script flags relative changes above a threshold in the cost columns
 (any header containing "steps") as regressions/improvements, and
 reports structural drift (new/missing tables or rows) informationally.
 
+Reports also carry a per-scenario "wall_ms" object (wall-clock per
+scenario, machine-dependent). Wall-clock changes above --wall-threshold
+are printed as [WALL-REGRESSION]/[wall-improvement] but never affect the
+exit code, even under --strict: timing is noisy across CI hosts, so the
+wall log is a tripwire for reading, not a gate. Baselines recorded before
+wall_ms existed simply skip the comparison.
+
 Usage:
   bench/compare_bench.py --baseline-dir bench/baselines --fresh-dir out
   bench/compare_bench.py ... --threshold 0.2 --strict
 
-Exit code is 0 unless --strict is given and a regression was found
+Exit code is 0 unless --strict is given and a steps regression was found
 (the CI smoke job runs it as a non-blocking report).
 """
 
@@ -112,6 +119,32 @@ def compare_tables(bench, base_table, fresh_table, threshold, findings):
                 )
 
 
+def compare_wall_ms(bench, baseline, fresh, threshold, floor_ms=20.0):
+    """Prints wall-clock drift above `threshold`; never gates the exit code.
+
+    Scenarios faster than `floor_ms` in the baseline are skipped: at
+    millisecond scale the process and scheduler noise exceeds any signal.
+    """
+    base_wall = baseline.get("wall_ms") or {}
+    fresh_wall = fresh.get("wall_ms") or {}
+    if not base_wall or not fresh_wall:
+        return
+    for name in sorted(set(base_wall) & set(fresh_wall)):
+        base_value = to_float(base_wall[name])
+        fresh_value = to_float(fresh_wall[name])
+        if base_value is None or fresh_value is None:
+            continue
+        if base_value < floor_ms:
+            continue
+        ratio = fresh_value / base_value - 1.0
+        if abs(ratio) > threshold:
+            kind = "WALL-REGRESSION" if ratio > 0 else "wall-improvement"
+            print(
+                f"  [{kind}] {bench} scenario '{name}': "
+                f"{base_value:.0f}ms -> {fresh_value:.0f}ms ({ratio:+.1%})"
+            )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline-dir", required=True)
@@ -123,9 +156,16 @@ def main():
         help="relative change in a steps column that counts as a finding",
     )
     parser.add_argument(
+        "--wall-threshold",
+        type=float,
+        default=0.3,
+        help="relative wall-clock change per scenario worth reporting "
+        "(informational only; never affects the exit code)",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
-        help="exit 1 when a regression is found (default: report only)",
+        help="exit 1 when a steps regression is found (default: report only)",
     )
     args = parser.parse_args()
 
@@ -155,6 +195,7 @@ def main():
             compare_tables(
                 name, base_table, fresh_tables[title], args.threshold, findings
             )
+        compare_wall_ms(name, baseline, fresh[name], args.wall_threshold)
     for name in sorted(set(fresh) - set(baselines)):
         print(f"  [info] {name}: new bench without a baseline")
 

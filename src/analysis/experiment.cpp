@@ -171,6 +171,8 @@ std::size_t Registry::run(const RunOptions& options, Report& report,
     const auto elapsed =
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::steady_clock::now() - start);
+    report.set_wall_ms(scenario->name,
+                       static_cast<double>(elapsed.count()));
     log << "[scenario] " << scenario->name << ": " << points->size()
         << " point(s) x " << seeds << " seed(s), threads=" << pool.size()
         << ", " << static_cast<double>(elapsed.count()) / 1000.0 << "s\n";

@@ -66,6 +66,22 @@ void Report::print(std::ostream& os) const {
   os.flush();
 }
 
+void Report::set_wall_ms(const std::string& scenario, double ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, value] : wall_ms_) {
+    if (name == scenario) {
+      value = ms;
+      return;
+    }
+  }
+  wall_ms_.emplace_back(scenario, ms);
+}
+
+std::vector<std::pair<std::string, double>> Report::wall_ms() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return wall_ms_;
+}
+
 void Report::write_json(std::ostream& os, const std::string& bench_name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   os << "{\n  \"bench\": " << quoted(bench_name) << ",\n  \"tables\": [";
@@ -84,13 +100,24 @@ void Report::write_json(std::ostream& os, const std::string& bench_name) const {
     }
     os << (rows.empty() ? "]" : "\n      ]") << "\n    }";
   }
-  os << (tables_.empty() ? "]" : "\n  ]") << "\n}\n";
+  os << (tables_.empty() ? "]" : "\n  ]");
+  // Per-scenario wall clock: informational (machine-dependent), consumed by
+  // bench/compare_bench.py to flag large timing regressions.
+  os << ",\n  \"wall_ms\": {";
+  for (std::size_t i = 0; i < wall_ms_.size(); ++i) {
+    if (i != 0) os << ',';
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", wall_ms_[i].second);
+    os << "\n    " << quoted(wall_ms_[i].first) << ": " << buf;
+  }
+  os << (wall_ms_.empty() ? "}" : "\n  }") << "\n}\n";
   os.flush();
 }
 
 void Report::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   tables_.clear();
+  wall_ms_.clear();
 }
 
 std::size_t Report::table_count() const {

@@ -11,6 +11,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/table.hpp"
@@ -35,7 +36,18 @@ class Report {
 
   void print(std::ostream& os) const;
 
-  /// Serializes the accumulated tables as {"bench": name, "tables": [...]}.
+  /// Records the wall-clock cost of one scenario run (Registry::run calls
+  /// this with the same value it prints in the per-scenario timing log).
+  /// Re-recording a scenario overwrites its previous value.
+  void set_wall_ms(const std::string& scenario, double ms);
+
+  /// Per-scenario wall-clock log, in recording order.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> wall_ms() const;
+
+  /// Serializes the accumulated tables as {"bench": name, "tables": [...],
+  /// "wall_ms": {...}}. The wall_ms object carries the per-scenario
+  /// wall-clock log so CI can flag large timing regressions; unlike the
+  /// table rows it is machine-dependent and informational.
   void write_json(std::ostream& os, const std::string& bench_name) const;
 
   /// Drops all tables (tests reuse one report across registry runs).
@@ -60,6 +72,7 @@ class Report {
 
   mutable std::mutex mutex_;
   std::vector<Entry> tables_;
+  std::vector<std::pair<std::string, double>> wall_ms_;
 };
 
 }  // namespace levnet::analysis

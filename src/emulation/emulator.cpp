@@ -78,8 +78,9 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
         engine_->set_max_steps(base_budget << shift);
       }
       engine_->reset();
-      claims_.clear();
+      claims_.clear();       // O(1): epoch bump, capacity retained
       trails_.clear();
+      trail_nodes_.reset();  // arena rewind, not a free
       std::fill(pending_read_.begin(), pending_read_.end(), std::uint8_t{0});
       std::fill(read_served_.begin(), read_served_.end(), std::uint8_t{0});
       combined_this_step_ = 0;
@@ -148,7 +149,9 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
                          "a read request was never answered");
       }
     }
-    for (const auto& [addr, claim] : claims_) memory.write(addr, claim.value);
+    claims_.for_each([&memory](const Addr& addr, const pram::WriteClaim& claim) {
+      memory.write(addr, claim.value);
+    });
     for (ProcId p = 0; p < procs; ++p) {
       if (pending_read_[p] != 0) {
         program.receive(p, step, pending_value_[p]);
@@ -260,9 +263,13 @@ void NetworkEmulator::handle_reply_plain(Packet& p, NodeId at,
 
 void NetworkEmulator::handle_reply_combining(Packet& p, NodeId at,
                                              std::vector<sim::Forward>& out) {
-  const auto it = trails_.find(TrailKey{at, p.addr});
-  if (it == trails_.end()) return;  // stale flood branch; dies out
-  for (TrailEntry& entry : it->second) {
+  const TrailChain* chain = trails_.find(TrailKey{at, p.addr});
+  if (chain == nullptr) return;  // stale flood branch; dies out
+  // Walk the arena chain in insertion order — the same order the old
+  // per-key vector preserved, and part of the deterministic service order.
+  for (std::uint32_t i = chain->head;
+       i != support::Arena<TrailNode>::kNullIndex; i = trail_nodes_[i].next) {
+    TrailEntry& entry = trail_nodes_[i].entry;
     if (entry.serviced) continue;
     entry.serviced = true;
     if (entry.local) {
@@ -280,7 +287,9 @@ bool NetworkEmulator::try_merge_in_queue(Packet& p, NodeId at) {
   for (topology::EdgeId e = begin; e < end; ++e) {
     auto& queue = engine_->edge_queue(e);
     for (std::size_t i = 0; i < queue.size(); ++i) {
-      Packet& candidate = queue.at(i);
+      // Queues carry pool handles; the merge edits the pooled packet in
+      // place, with no copy in or out of the queue.
+      Packet& candidate = engine_->packet(queue.at(i));
       if (candidate.kind != PacketKind::kRequest ||
           candidate.addr != p.addr || candidate.op != p.op) {
         continue;
@@ -302,21 +311,30 @@ bool NetworkEmulator::try_merge_in_queue(Packet& p, NodeId at) {
 }
 
 void NetworkEmulator::record_trail(const Packet& p, NodeId at) {
-  TrailEntry entry;
+  TrailNode node;
   if (p.came_from == topology::kInvalidNode) {
-    entry.local = true;
-    entry.proc = p.proc;
+    node.entry.local = true;
+    node.entry.proc = p.proc;
   } else {
-    entry.from = p.came_from;
+    node.entry.from = p.came_from;
   }
-  trails_[TrailKey{at, p.addr}].push_back(entry);
+  const std::uint32_t index = trail_nodes_.push(node);
+  auto [chain, inserted] = trails_.find_or_insert(TrailKey{at, p.addr});
+  if (inserted) {
+    chain->head = index;
+  } else {
+    trail_nodes_[chain->tail].next = index;
+  }
+  chain->tail = index;
 }
 
 void NetworkEmulator::merge_claim(Addr addr, pram::WriteClaim claim) {
-  auto [it, inserted] = claims_.try_emplace(addr, claim);
-  if (!inserted) {
+  auto [slot, inserted] = claims_.find_or_insert(addr);
+  if (inserted) {
+    *slot = claim;
+  } else {
     bool violation = false;
-    it->second = pram::merge_claims(policy_, it->second, claim, &violation);
+    *slot = pram::merge_claims(policy_, *slot, claim, &violation);
   }
 }
 

@@ -27,7 +27,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "emulation/fabric.hpp"
@@ -37,6 +36,8 @@
 #include "pram/types.hpp"
 #include "sim/engine.hpp"
 #include "sim/traffic.hpp"
+#include "support/arena.hpp"
+#include "support/flat_hash.hpp"
 #include "support/rng.hpp"
 
 namespace levnet::emulation {
@@ -92,14 +93,20 @@ class NetworkEmulator final : public sim::TrafficHandler {
 
  private:
   struct TrailKey {
-    NodeId node;
-    pram::Addr addr;
+    NodeId node = 0;
+    pram::Addr addr = 0;
     bool operator==(const TrailKey&) const = default;
   };
   struct TrailKeyHash {
     std::size_t operator()(const TrailKey& k) const noexcept {
       std::uint64_t state =
           (static_cast<std::uint64_t>(k.node) << 1) ^ (k.addr * 0x9e3779b9ULL);
+      return static_cast<std::size_t>(support::splitmix64(state));
+    }
+  };
+  struct AddrHash {
+    std::size_t operator()(pram::Addr addr) const noexcept {
+      std::uint64_t state = addr;
       return static_cast<std::size_t>(support::splitmix64(state));
     }
   };
@@ -110,6 +117,17 @@ class NetworkEmulator final : public sim::TrafficHandler {
     bool serviced = false;
     pram::ProcId proc = 0;
     NodeId from = topology::kInvalidNode;
+  };
+  /// Trail entries for one (node, addr) key, chained through the step
+  /// arena in insertion order (the reply fan-out order is part of the
+  /// engine's deterministic service order and must not change).
+  struct TrailNode {
+    TrailEntry entry;
+    std::uint32_t next = support::Arena<TrailNode>::kNullIndex;
+  };
+  struct TrailChain {
+    std::uint32_t head = support::Arena<TrailNode>::kNullIndex;
+    std::uint32_t tail = support::Arena<TrailNode>::kNullIndex;
   };
 
   // sim::TrafficHandler
@@ -146,9 +164,12 @@ class NetworkEmulator final : public sim::TrafficHandler {
   std::unique_ptr<sim::SyncEngine> engine_;
   const pram::SharedMemory* memory_ = nullptr;  // pre-step state (reads)
 
-  // Per-PRAM-step state (cleared between steps and on rehash retries).
-  std::unordered_map<pram::Addr, pram::WriteClaim> claims_;
-  std::unordered_map<TrailKey, std::vector<TrailEntry>, TrailKeyHash> trails_;
+  // Per-PRAM-step state, all O(1)-cleared (not freed) between steps and on
+  // rehash retries: open-addressed flat tables plus a step-scoped arena
+  // instead of node-allocating std::unordered_maps rebuilt every step.
+  support::FlatMap<pram::Addr, pram::WriteClaim, AddrHash> claims_;
+  support::FlatMap<TrailKey, TrailChain, TrailKeyHash> trails_;
+  support::Arena<TrailNode> trail_nodes_;
   std::vector<pram::Word> pending_value_;
   std::vector<std::uint8_t> pending_read_;
   std::vector<std::uint8_t> read_served_;

@@ -13,12 +13,35 @@ SyncEngine::SyncEngine(const topology::Graph& graph, TrafficHandler& handler,
       config_(config),
       queues_(graph.edge_count()),
       edge_active_(graph.edge_count(), 0),
-      node_load_(graph.node_count(), 0) {}
+      edge_dirty_(graph.edge_count(), 0),
+      node_load_(graph.node_count(), 0) {
+  // Per-step scratch is sized for the worst step up front: at most one
+  // landing per directed edge, every edge active, and handler fan-out
+  // bounded by a node's degree in the common (non-combining) case. Growth
+  // past these marks is still legal — capacity then persists — but typical
+  // steady-state steps never touch the heap.
+  const std::size_t edges = graph.edge_count();
+  landings_.reserve(edges);
+  active_.reserve(edges);
+  next_active_.reserve(edges);
+  dirty_edges_.reserve(edges);
+  scratch_forwards_.reserve(graph.max_out_degree() + 1);
+}
 
 void SyncEngine::reset() {
-  for (EdgeId e : active_) queues_[e].clear();
-  std::fill(edge_active_.begin(), edge_active_.end(), 0);
+  // dirty_edges_ is every edge that queued a packet since the last reset —
+  // a strict superset of active_, so packets stranded on edges that were
+  // blocked out of active_ by a bounded-buffer deadlock or a mid-flight
+  // abort are cleared too (they used to leak into the next run).
+  for (const EdgeId e : dirty_edges_) {
+    queues_[e].clear();
+    edge_active_[e] = 0;
+    edge_dirty_[e] = 0;
+  }
+  dirty_edges_.clear();
   active_.clear();
+  landings_.clear();
+  pool_.clear();
   std::fill(node_load_.begin(), node_load_.end(), 0);
   metrics_.reset();
   now_ = 0;
@@ -28,40 +51,47 @@ void SyncEngine::inject(Packet packet, NodeId at, support::Rng& rng) {
   packet.inject_step = now_;
   packet.came_from = topology::kInvalidNode;
   ++metrics_.injected;
-  route_from(std::move(packet), at, rng);
+  const PacketRef ref = pool_.allocate();
+  pool_.get(ref) = packet;
+  route_from(ref, at, rng);
 }
 
-void SyncEngine::route_from(Packet&& packet, NodeId at, support::Rng& rng) {
+void SyncEngine::route_from(PacketRef ref, NodeId at, support::Rng& rng) {
   scratch_forwards_.clear();
-  handler_.on_packet(packet, at, now_, rng, scratch_forwards_);
+  handler_.on_packet(pool_.get(ref), at, now_, rng, scratch_forwards_);
   if (scratch_forwards_.empty()) {
+    const Packet& packet = pool_.get(ref);
     ++metrics_.consumed;
     metrics_.steps = std::max(metrics_.steps, now_);
     metrics_.total_hops += packet.hops;
     const std::uint32_t journey = now_ - packet.inject_step;
-    metrics_.total_delay += journey - std::min(journey, packet.hops);
+    metrics_.total_delay +=
+        journey - std::min<std::uint32_t>(journey, packet.hops);
+    pool_.release(ref);
     return;
   }
-  // Fan-out: the last forward moves the original, earlier ones take copies.
+  // Fan-out: the last forward keeps the original's pool slot, earlier ones
+  // take copies. (allocate() may move the pool, so re-fetch per copy.)
   const std::size_t fan = scratch_forwards_.size();
   for (std::size_t i = 0; i + 1 < fan; ++i) {
-    Packet copy{packet};
-    copy.route_state = scratch_forwards_[i].route_state;
-    enqueue(std::move(copy), at, scratch_forwards_[i].to);
+    const PacketRef copy = pool_.allocate();
+    pool_.get(copy) = pool_.get(ref);
+    pool_.get(copy).route_state = scratch_forwards_[i].route_state;
+    enqueue(copy, at, scratch_forwards_[i].to);
   }
-  packet.route_state = scratch_forwards_[fan - 1].route_state;
-  const NodeId last = scratch_forwards_[fan - 1].to;
-  enqueue(std::move(packet), at, last);
+  pool_.get(ref).route_state = scratch_forwards_[fan - 1].route_state;
+  enqueue(ref, at, scratch_forwards_[fan - 1].to);
 }
 
-void SyncEngine::enqueue(Packet&& packet, NodeId at, NodeId next) {
+void SyncEngine::enqueue(PacketRef ref, NodeId at, NodeId next) {
   const EdgeId e = graph_.edge_between(at, next);
   LEVNET_CHECK_MSG(e != topology::kInvalidEdge,
                    "handler forwarded along a non-existent link");
   if (config_.discipline != QueueDiscipline::kFifo) {
+    Packet& packet = pool_.get(ref);
     packet.priority = handler_.priority(packet, at);
   }
-  queues_[e].push(std::move(packet));
+  queues_[e].push(ref);
   metrics_.max_link_queue = std::max(
       metrics_.max_link_queue, static_cast<std::uint32_t>(queues_[e].size()));
   const std::uint32_t load = ++node_load_[at];
@@ -69,19 +99,25 @@ void SyncEngine::enqueue(Packet&& packet, NodeId at, NodeId next) {
   if (!edge_active_[e]) {
     edge_active_[e] = 1;
     active_.push_back(e);
+    // active_ is always a subset of dirty_edges_, so the dirty check only
+    // needs to run on the inactive -> active transition.
+    if (!edge_dirty_[e]) {
+      edge_dirty_[e] = 1;
+      dirty_edges_.push_back(e);
+    }
   }
 }
 
-Packet SyncEngine::pop_by_discipline(support::RingQueue<Packet>& queue) {
+PacketRef SyncEngine::pop_by_discipline(support::RingQueue<PacketRef>& queue) {
   if (config_.discipline == QueueDiscipline::kFifo || queue.size() == 1) {
     return queue.pop();
   }
   // Keys were cached at enqueue time (Packet::priority), so the selection
-  // scan is a plain comparison loop with no handler round-trips.
+  // scan is a comparison loop over pooled keys with no handler round-trips.
   std::size_t best = 0;
-  std::uint32_t best_key = queue.at(0).priority;
+  std::uint32_t best_key = pool_.get(queue.at(0)).priority;
   for (std::size_t i = 1; i < queue.size(); ++i) {
-    const std::uint32_t key = queue.at(i).priority;
+    const std::uint32_t key = pool_.get(queue.at(i)).priority;
     const bool better = config_.discipline == QueueDiscipline::kFurthestFirst
                             ? key > best_key
                             : key < best_key;
@@ -108,11 +144,13 @@ std::size_t SyncEngine::step(support::Rng& rng) {
       next_active_.push_back(e);  // blocked; stays active
       continue;
     }
-    Packet packet = pop_by_discipline(queue);
+    const PacketRef ref = pop_by_discipline(queue);
     --node_load_[tail];
+    Packet& packet = pool_.get(ref);
     packet.hops += 1;
+    LEVNET_DCHECK(packet.hops != 0);  // 16-bit hop counter must not wrap
     packet.came_from = tail;
-    landings_.push_back(Landing{std::move(packet), head});
+    landings_.push_back(Landing{ref, head});
     if (!queue.empty()) {
       next_active_.push_back(e);
     } else {
@@ -123,8 +161,8 @@ std::size_t SyncEngine::step(support::Rng& rng) {
   // Landing phase: consumed or forwarded; new enqueues become eligible for
   // transmission from the next step (they are appended to active_ now, but
   // this step's transmission loop has already finished).
-  for (auto& landing : landings_) {
-    route_from(std::move(landing.packet), landing.at, rng);
+  for (const Landing& landing : landings_) {
+    route_from(landing.ref, landing.at, rng);
   }
   return landings_.size();
 }

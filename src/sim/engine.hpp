@@ -13,6 +13,14 @@
 // An optional per-node buffer bound models constant-queue hardware: a link
 // refuses to transmit while the receiving node's aggregate occupancy is at
 // the bound (used by the O(1)-queue variants of Section 3.4).
+//
+// Data plane: every in-flight Packet lives in an ObjectPool and all queues
+// (per-link rings, the landing staging buffer) carry 32-bit PacketRef
+// handles, so a transmission moves 4 bytes instead of a 56-byte struct and
+// the CRCW combining layer edits queued packets in place through the pool.
+// After a warm-up pass the pool, the queues and the per-step scratch
+// vectors all sit at their high-water capacities and step() performs no
+// heap allocation (asserted by tests/perf_alloc_test.cpp).
 
 #include <cstdint>
 #include <vector>
@@ -20,6 +28,7 @@
 #include "sim/metrics.hpp"
 #include "sim/packet.hpp"
 #include "sim/traffic.hpp"
+#include "support/object_pool.hpp"
 #include "support/ring_queue.hpp"
 #include "support/rng.hpp"
 #include "topology/graph.hpp"
@@ -63,14 +72,33 @@ class SyncEngine {
   [[nodiscard]] std::uint32_t now() const noexcept { return now_; }
   [[nodiscard]] bool idle() const noexcept { return active_.empty(); }
 
-  /// Direct access to a directed link's queue. The CRCW combining layer
-  /// (Theorem 2.6) scans and edits packets still queued at a node to merge
-  /// same-address requests before they depart.
-  [[nodiscard]] support::RingQueue<Packet>& edge_queue(EdgeId e) noexcept {
+  /// Packets currently alive inside the engine (queued or mid-landing);
+  /// zero whenever the engine is drained or freshly reset.
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return pool_.live();
+  }
+
+  /// Direct access to a directed link's queue of packet handles. The CRCW
+  /// combining layer (Theorem 2.6) scans a node's queues and edits pooled
+  /// packets in place (via packet()) to merge same-address requests before
+  /// they depart.
+  [[nodiscard]] support::RingQueue<PacketRef>& edge_queue(EdgeId e) noexcept {
     return queues_[e];
   }
 
-  /// Clears queues and metrics for a fresh run on the same graph.
+  /// Pooled packet behind a handle obtained from edge_queue().
+  [[nodiscard]] Packet& packet(PacketRef ref) noexcept {
+    return pool_.get(ref);
+  }
+  [[nodiscard]] const Packet& packet(PacketRef ref) const noexcept {
+    return pool_.get(ref);
+  }
+
+  /// Clears queues, the pool and metrics for a fresh run on the same graph.
+  /// Covers *every* queue populated since the last reset — including edges
+  /// that were blocked out of the active list when a bounded-buffer run
+  /// deadlocked or a budgeted run aborted mid-flight — so no packet can
+  /// leak into the next run.
   void reset();
 
   /// Adjusts the step budget (0 = unlimited). The emulator grows it across
@@ -81,22 +109,28 @@ class SyncEngine {
 
  private:
   struct Landing {
-    Packet packet;
+    PacketRef ref;
     NodeId at;
   };
 
-  void route_from(Packet&& packet, NodeId at, support::Rng& rng);
-  void enqueue(Packet&& packet, NodeId at, NodeId next);
-  [[nodiscard]] Packet pop_by_discipline(support::RingQueue<Packet>& queue);
+  void route_from(PacketRef ref, NodeId at, support::Rng& rng);
+  void enqueue(PacketRef ref, NodeId at, NodeId next);
+  [[nodiscard]] PacketRef pop_by_discipline(
+      support::RingQueue<PacketRef>& queue);
 
   const topology::Graph& graph_;
   TrafficHandler& handler_;
   EngineConfig config_;
 
-  std::vector<support::RingQueue<Packet>> queues_;  // one per directed edge
+  support::ObjectPool<Packet> pool_;                   // every in-flight packet
+  std::vector<support::RingQueue<PacketRef>> queues_;  // one per directed edge
   std::vector<std::uint8_t> edge_active_;
   std::vector<EdgeId> active_;
   std::vector<EdgeId> next_active_;
+  /// Edges whose queue received at least one packet since the last reset;
+  /// superset of active_ at all times, and the set reset() must drain.
+  std::vector<EdgeId> dirty_edges_;
+  std::vector<std::uint8_t> edge_dirty_;
   std::vector<Landing> landings_;
   std::vector<Forward> scratch_forwards_;
   std::vector<std::uint32_t> node_load_;

@@ -11,6 +11,11 @@ namespace levnet::sim {
 using topology::EdgeId;
 using topology::NodeId;
 
+/// Handle into the engine's packet pool (support::ObjectPool<Packet>::Ref).
+/// All hot-path containers (link queues, landing staging, combining scans)
+/// move these 4-byte refs; the packet bodies stay put in the pool.
+using PacketRef = std::uint32_t;
+
 enum class PacketKind : std::uint8_t {
   kData = 0,     // plain routing payload (permutation / h-relation studies)
   kRequest = 1,  // PRAM memory request travelling processor -> module
@@ -23,19 +28,22 @@ enum class MemOpKind : std::uint8_t {
   kWrite = 2,
 };
 
+/// Field order is part of the hot-path contract: the two 8-byte payload
+/// words lead so nothing pads up to their alignment, the 4-byte fields pack
+/// behind them, and the sub-word tail (16-bit hop counter plus the two
+/// enum bytes, grouped next to priority/came_from) closes the struct flush
+/// with its 8-byte alignment. The static_assert below locks the resulting
+/// size so a careless new field cannot silently re-inflate every queue.
 struct Packet {
+  std::uint64_t addr = 0;         ///< Shared-memory address (PRAM traffic).
+  std::int64_t value = 0;         ///< Write payload or read reply value.
   std::uint32_t id = 0;           ///< Unique within a run (injection order).
   NodeId src = 0;                 ///< Origin of the current journey.
   NodeId dst = 0;                 ///< Destination of the current journey.
   NodeId intermediate = 0;        ///< Phase-1 target chosen by two-phase routers.
   std::uint32_t route_state = 0;  ///< Router scratch: phase / hops-in-pass.
   std::uint32_t proc = 0;         ///< Issuing PRAM processor (requests/replies).
-  PacketKind kind = PacketKind::kData;
-  MemOpKind op = MemOpKind::kNone;
-  std::uint64_t addr = 0;         ///< Shared-memory address (PRAM traffic).
-  std::int64_t value = 0;         ///< Write payload or read reply value.
   std::uint32_t inject_step = 0;  ///< Simulation step of injection.
-  std::uint32_t hops = 0;         ///< Links traversed so far.
   /// Queue-discipline key, computed once by the engine when the packet is
   /// enqueued (TrafficHandler::priority is a function of packet state and
   /// the queue's tail node, both fixed while it waits) so non-FIFO pops
@@ -44,7 +52,18 @@ struct Packet {
   /// Node the packet just crossed a link from; kInvalidNode right after
   /// injection. Maintained by the engine; CRCW combining records it.
   NodeId came_from = topology::kInvalidNode;
+  /// Links traversed so far. 16 bits mirrors route_state's in-pass hop
+  /// field; the engine checks for wrap-around in debug builds.
+  std::uint16_t hops = 0;
+  PacketKind kind = PacketKind::kData;
+  MemOpKind op = MemOpKind::kNone;
 };
+
+// 2x8-byte payload words + 9x4-byte routing words + (hops, kind, op) in the
+// final 4 bytes. A padding regression (or an accidentally widened field)
+// fails right here instead of quietly taxing every queue move.
+static_assert(sizeof(Packet) == 56, "Packet layout regressed (was 64 pre-pool)");
+static_assert(alignof(Packet) == 8);
 
 /// Router scratch encoding shared by the two-phase routers: low 16 bits hop
 /// counter within the current pass, high bits the phase number.

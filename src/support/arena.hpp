@@ -1,0 +1,57 @@
+#pragma once
+// Step-scoped typed arena: append-only storage with O(1) reset.
+//
+// The emulator's per-PRAM-step bookkeeping (combining-trail entries) lives
+// here: entries are appended during a step and the whole arena is rewound —
+// not freed — between steps and rehash retries, so steady-state steps do no
+// heap work. Indices (not pointers) are the stable names for entries; the
+// backing vector may move while it grows toward its high-water size.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace levnet::support {
+
+template <typename T>
+class Arena {
+ public:
+  using Index = std::uint32_t;
+  static constexpr Index kNullIndex = ~Index{0};
+
+  /// Appends a value and returns its index.
+  [[nodiscard]] Index push(T value) {
+    LEVNET_CHECK_MSG(used_ < kNullIndex, "arena exhausted");
+    if (used_ < items_.size()) {
+      items_[used_] = std::move(value);
+    } else {
+      items_.push_back(std::move(value));
+    }
+    return used_++;
+  }
+
+  [[nodiscard]] T& operator[](Index i) noexcept {
+    LEVNET_DCHECK(i < used_);
+    return items_[i];
+  }
+  [[nodiscard]] const T& operator[](Index i) const noexcept {
+    LEVNET_DCHECK(i < used_);
+    return items_[i];
+  }
+
+  /// Rewinds to empty without releasing storage.
+  void reset() noexcept { used_ = 0; }
+
+  void reserve(std::size_t capacity) { items_.reserve(capacity); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return used_; }
+  [[nodiscard]] bool empty() const noexcept { return used_ == 0; }
+
+ private:
+  std::vector<T> items_;
+  Index used_ = 0;
+};
+
+}  // namespace levnet::support

@@ -1,0 +1,123 @@
+#pragma once
+// Open-addressed hash map with O(1) epoch-stamped clear.
+//
+// Purpose-built for the emulator's per-PRAM-step tables (write claims,
+// combining trails), which node-allocating std::unordered_maps used to
+// rebuild from scratch every step. Here keys and values sit in one flat
+// power-of-two slot array probed linearly; clear() bumps a generation
+// counter instead of touching the slots, so between PRAM steps and rehash
+// retries the table is emptied for the cost of one increment while its
+// capacity (and therefore steady-state allocation-freedom) persists.
+//
+// Deliberately minimal: insert-or-find, find, clear, insertion-order
+// iteration. No erase — per-step state only ever grows within a step.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace levnet::support {
+
+template <typename Key, typename Value, typename Hash>
+class FlatMap {
+ public:
+  explicit FlatMap(std::size_t min_capacity = 16) {
+    std::size_t capacity = 16;
+    while (capacity < min_capacity) capacity *= 2;
+    slots_.resize(capacity);
+    entries_.reserve(capacity / 2);
+  }
+
+  /// Returns (value slot, inserted) for `key`, creating a default Value on
+  /// first sight. The reference is invalidated by the next *successful*
+  /// insertion (a lookup that finds an existing key never rehashes).
+  std::pair<Value*, bool> find_or_insert(const Key& key) {
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash{}(key) & mask;
+    while (slots_[i].epoch == epoch_) {
+      if (slots_[i].key == key) return {&slots_[i].value, false};
+      i = (i + 1) & mask;
+    }
+    // Not present: grow first if this insert would push load past 1/2, so
+    // probes stay short and pointers are only invalidated on inserts.
+    if ((entries_.size() + 1) * 2 > slots_.size()) {
+      grow();
+      mask = slots_.size() - 1;
+      i = Hash{}(key) & mask;
+      while (slots_[i].epoch == epoch_) i = (i + 1) & mask;
+    }
+    Slot& slot = slots_[i];
+    slot.epoch = epoch_;
+    slot.key = key;
+    slot.value = Value{};
+    entries_.push_back(static_cast<std::uint32_t>(i));
+    return {&slot.value, true};
+  }
+
+  /// Value for `key`, or nullptr. The pointer is invalidated by insertion.
+  [[nodiscard]] Value* find(const Key& key) noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash{}(key) & mask;
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.epoch != epoch_) return nullptr;
+      if (slot.key == key) return &slot.value;
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// O(1): invalidates every slot by moving to a fresh epoch. Storage (and
+  /// capacity) is retained.
+  void clear() noexcept {
+    entries_.clear();
+    if (++epoch_ == 0) {  // epoch wrapped: stamp 0 is in the slots again
+      for (Slot& slot : slots_) slot.epoch = 0;
+      epoch_ = 1;
+    }
+  }
+
+  /// Visits (key, value&) pairs in insertion order — deterministic, unlike
+  /// std::unordered_map iteration.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (const std::uint32_t i : entries_) {
+      fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  struct Slot {
+    Key key{};
+    Value value{};
+    std::uint32_t epoch = 0;  // live iff == map's current epoch
+  };
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    std::vector<std::uint32_t> order = std::move(entries_);
+    slots_.assign(old.size() * 2, Slot{});
+    entries_.clear();
+    entries_.reserve(slots_.size() / 2);
+    epoch_ = 1;
+    const std::size_t mask = slots_.size() - 1;
+    for (const std::uint32_t from : order) {  // order only lists live slots
+      std::size_t i = Hash{}(old[from].key) & mask;
+      while (slots_[i].epoch == epoch_) i = (i + 1) & mask;
+      slots_[i].epoch = epoch_;
+      slots_[i].key = old[from].key;
+      slots_[i].value = std::move(old[from].value);
+      entries_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  std::vector<Slot> slots_;            // size is always a power of two
+  std::vector<std::uint32_t> entries_; // live slot indices, insertion order
+  std::uint32_t epoch_ = 1;
+};
+
+}  // namespace levnet::support

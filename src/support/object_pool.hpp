@@ -1,0 +1,88 @@
+#pragma once
+// Contiguous object pool addressed by 32-bit handles.
+//
+// The simulator's data plane keeps every in-flight Packet in one of these
+// pools and moves 4-byte handles through the link queues instead of copying
+// 56-byte structs (the Graphite-style "packets live in a pool, queues
+// shuffle handles" discipline). Slots are recycled through a LIFO free list
+// plus a fresh-slot cursor, so after the first drain of a workload the pool
+// reaches its high-water capacity and stops touching the heap; clear()
+// rewinds the cursor without releasing storage.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace levnet::support {
+
+template <typename T>
+class ObjectPool {
+ public:
+  using Ref = std::uint32_t;
+  static constexpr Ref kNullRef = ~Ref{0};
+
+  /// Hands out a slot whose contents are unspecified (a recycled slot keeps
+  /// its previous value); the caller must assign before reading. The
+  /// returned handle stays valid until release()/clear().
+  [[nodiscard]] Ref allocate() {
+    ++live_;
+    if (!free_.empty()) {
+      const Ref ref = free_.back();
+      free_.pop_back();
+      return ref;
+    }
+    if (fresh_ == slots_.size()) {
+      LEVNET_CHECK_MSG(slots_.size() < kNullRef, "object pool exhausted");
+      // resize rather than emplace_back: identical growth, but it avoids a
+      // GCC 12 -Warray-bounds false positive when allocate() is inlined.
+      slots_.resize(slots_.size() + 1);
+    }
+    return fresh_++;
+  }
+
+  void release(Ref ref) {
+    LEVNET_DCHECK(ref < fresh_);
+    LEVNET_DCHECK(live_ > 0);
+    --live_;
+    free_.push_back(ref);
+  }
+
+  /// Slot access. References are invalidated by allocate() (the backing
+  /// vector may grow) — hold handles, not references, across allocations.
+  [[nodiscard]] T& get(Ref ref) noexcept {
+    LEVNET_DCHECK(ref < fresh_);
+    return slots_[ref];
+  }
+  [[nodiscard]] const T& get(Ref ref) const noexcept {
+    LEVNET_DCHECK(ref < fresh_);
+    return slots_[ref];
+  }
+
+  /// Forgets every live object but keeps the storage, so the next fill of
+  /// the pool is allocation-free up to the previous high-water mark.
+  void clear() noexcept {
+    free_.clear();
+    fresh_ = 0;
+    live_ = 0;
+  }
+
+  void reserve(std::size_t capacity) {
+    slots_.reserve(capacity);
+    free_.reserve(capacity);
+  }
+
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_.size();
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::vector<Ref> free_;
+  std::size_t fresh_ = 0;  // next never-yet-handed-out slot since clear()
+  std::size_t live_ = 0;
+};
+
+}  // namespace levnet::support

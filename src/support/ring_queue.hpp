@@ -1,9 +1,11 @@
 #pragma once
-// Growable ring-buffer FIFO used for per-link packet queues.
+// Growable ring-buffer FIFO used for per-link packet-handle queues.
 //
 // The simulator allocates one queue per directed link; most stay tiny
 // (the paper proves O(1)..O(l) occupancy), so the structure favours a
 // small footprint when empty and amortized O(1) push/pop when active.
+// Capacity is kept a power of two so every index computation is a mask,
+// not a division — these queues sit on the innermost simulation loop.
 
 #include <cstddef>
 #include <utility>
@@ -21,7 +23,7 @@ class RingQueue {
 
   void push(T value) {
     if (size_ == buffer_.size()) grow();
-    buffer_[(head_ + size_) % buffer_.size()] = std::move(value);
+    buffer_[(head_ + size_) & mask_] = std::move(value);
     ++size_;
   }
 
@@ -39,18 +41,18 @@ class RingQueue {
   /// to scan the queue; occupancies are small by the paper's bounds.
   [[nodiscard]] T& at(std::size_t i) {
     LEVNET_DCHECK(i < size_);
-    return buffer_[(head_ + i) % buffer_.size()];
+    return buffer_[(head_ + i) & mask_];
   }
 
   [[nodiscard]] const T& at(std::size_t i) const {
     LEVNET_DCHECK(i < size_);
-    return buffer_[(head_ + i) % buffer_.size()];
+    return buffer_[(head_ + i) & mask_];
   }
 
   T pop() {
     LEVNET_DCHECK(!empty());
     T value = std::move(buffer_[head_]);
-    head_ = (head_ + 1) % buffer_.size();
+    head_ = (head_ + 1) & mask_;
     --size_;
     return value;
   }
@@ -60,11 +62,11 @@ class RingQueue {
   T extract(std::size_t i) {
     LEVNET_DCHECK(i < size_);
     if (i == 0) return pop();
-    const std::size_t cap = buffer_.size();
-    T value = std::move(buffer_[(head_ + i) % cap]);
+    T value = std::move(buffer_[(head_ + i) & mask_]);
     // Shift elements (i, size_) left by one slot.
     for (std::size_t k = i; k + 1 < size_; ++k) {
-      buffer_[(head_ + k) % cap] = std::move(buffer_[(head_ + k + 1) % cap]);
+      buffer_[(head_ + k) & mask_] =
+          std::move(buffer_[(head_ + k + 1) & mask_]);
     }
     --size_;
     return value;
@@ -77,18 +79,21 @@ class RingQueue {
 
  private:
   void grow() {
+    // Doubling from 4 keeps the capacity a power of two (mask_ correct).
     const std::size_t new_cap = buffer_.empty() ? 4 : buffer_.size() * 2;
     std::vector<T> next;
     next.reserve(new_cap);
     for (std::size_t i = 0; i < size_; ++i) {
-      next.push_back(std::move(buffer_[(head_ + i) % buffer_.size()]));
+      next.push_back(std::move(buffer_[(head_ + i) & mask_]));
     }
     next.resize(new_cap);
     buffer_ = std::move(next);
+    mask_ = new_cap - 1;
     head_ = 0;
   }
 
-  std::vector<T> buffer_;
+  std::vector<T> buffer_;  // size always zero or a power of two
+  std::size_t mask_ = 0;   // buffer_.size() - 1 once allocated
   std::size_t head_ = 0;
   std::size_t size_ = 0;
 };

@@ -17,11 +17,21 @@ StarGraph::StarGraph(std::uint32_t n) : n_(n) {
   }
   count_ = factorial_[n_];
 
+  // Decode every node once; the hot path (greedy_step, distance) then never
+  // runs Lehmer arithmetic again.
+  perms_.resize(count_);
+  for (NodeId u = 0; u < count_; ++u) perms_[u] = lehmer_unrank(u);
+
   std::vector<std::pair<NodeId, NodeId>> edges;
   edges.reserve(static_cast<std::size_t>(count_) * (n_ - 1));
+  swap_neighbors_.resize(static_cast<std::size_t>(count_) * (n_ - 1));
   for (NodeId u = 0; u < count_; ++u) {
     for (std::uint32_t j = 1; j < n_; ++j) {
-      edges.emplace_back(u, swap_neighbor(u, j));
+      StarPerm p = perms_[u];
+      std::swap(p[0], p[j]);
+      const NodeId v = rank(p);
+      swap_neighbors_[static_cast<std::size_t>(u) * (n_ - 1) + (j - 1)] = v;
+      edges.emplace_back(u, v);
     }
   }
   graph_ = Graph::from_edges(count_, std::move(edges));
@@ -45,7 +55,7 @@ NodeId StarGraph::rank(const StarPerm& p) const noexcept {
   return r;
 }
 
-StarPerm StarGraph::unrank(NodeId id) const noexcept {
+StarPerm StarGraph::lehmer_unrank(NodeId id) const noexcept {
   StarPerm p{};
   std::array<std::uint8_t, kMaxStarSymbols> pool{};
   for (std::uint32_t i = 0; i < n_; ++i) {
@@ -63,16 +73,9 @@ StarPerm StarGraph::unrank(NodeId id) const noexcept {
   return p;
 }
 
-NodeId StarGraph::swap_neighbor(NodeId u, std::uint32_t j) const noexcept {
-  LEVNET_DCHECK(j >= 1 && j < n_);
-  StarPerm p = unrank(u);
-  std::swap(p[0], p[j]);
-  return rank(p);
-}
-
 StarPerm StarGraph::relative(NodeId u, NodeId v) const noexcept {
-  const StarPerm pu = unrank(u);
-  const StarPerm pv = unrank(v);
+  const StarPerm& pu = perms_[u];
+  const StarPerm& pv = perms_[v];
   std::array<std::uint8_t, kMaxStarSymbols + 1> pos_in_v{};
   for (std::uint32_t i = 0; i < n_; ++i) {
     pos_in_v[pv[i]] = static_cast<std::uint8_t>(i + 1);  // 1-based position
@@ -112,6 +115,8 @@ std::uint32_t StarGraph::distance(NodeId u, NodeId v) const noexcept {
 
 NodeId StarGraph::greedy_step(NodeId u, NodeId v) const noexcept {
   LEVNET_DCHECK(u != v);
+  // relative() and swap_neighbor() are table-backed, so one greedy hop is
+  // a handful of O(n) scans with no Lehmer decode.
   const StarPerm rho = relative(u, v);
   std::uint32_t j = 0;
   if (rho[0] != 1) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "support/check.hpp"
 #include "topology/graph.hpp"
 
 namespace levnet::topology {
@@ -50,11 +51,18 @@ class StarGraph {
 
   /// Lehmer rank of a permutation (id of the node).
   [[nodiscard]] NodeId rank(const StarPerm& p) const noexcept;
-  /// Permutation with the given rank.
-  [[nodiscard]] StarPerm unrank(NodeId id) const noexcept;
+  /// Permutation with the given rank. O(1): served from the table built at
+  /// construction (the routing hot path hits this once per link crossing).
+  [[nodiscard]] const StarPerm& unrank(NodeId id) const noexcept {
+    return perms_[id];
+  }
 
   /// Node reached from `u` by SWAP_j, j in [1, n-1] (swap positions 0 and j).
-  [[nodiscard]] NodeId swap_neighbor(NodeId u, std::uint32_t j) const noexcept;
+  /// O(1) table lookup; the table is a byproduct of edge construction.
+  [[nodiscard]] NodeId swap_neighbor(NodeId u, std::uint32_t j) const noexcept {
+    LEVNET_DCHECK(j >= 1 && j < n_);
+    return swap_neighbors_[static_cast<std::size_t>(u) * (n_ - 1) + (j - 1)];
+  }
 
   /// Exact star-graph distance between u and v (cycle-structure formula,
   /// validated against BFS in tests).
@@ -74,10 +82,21 @@ class StarGraph {
   /// u[i] within v. Sorting rho to the identity by star swaps routes u to v.
   [[nodiscard]] StarPerm relative(NodeId u, NodeId v) const noexcept;
 
+  /// The O(n^2) Lehmer decode; construction-time only (unrank() serves the
+  /// memoized table).
+  [[nodiscard]] StarPerm lehmer_unrank(NodeId id) const noexcept;
+
   std::uint32_t n_;
   NodeId count_;
   std::array<NodeId, kMaxStarSymbols + 1> factorial_{};
   Graph graph_;
+  /// Memoized decode/step tables, filled at construction. They cost the
+  /// same O(n! * n) as the CSR edge lists the constructor already builds,
+  /// and turn greedy_step/distance from O(n^2) rank/unrank arithmetic per
+  /// link crossing into O(n) table walks — the emulation benches spend the
+  /// majority of their time in these two calls.
+  std::vector<StarPerm> perms_;          // perms_[u] == lehmer-unrank(u)
+  std::vector<NodeId> swap_neighbors_;   // [u * (n-1) + (j-1)] == SWAP_j(u)
 };
 
 }  // namespace levnet::topology

@@ -287,6 +287,37 @@ TEST(RegistryTest, FinishSeesRecordedSweep) {
   EXPECT_EQ(dump[0].title, "fit");
 }
 
+TEST(RegistryTest, RunRecordsPerScenarioWallClock) {
+  analysis::Registry registry;
+  registry.add(make_scenario("timed-a", 1));
+  registry.add(make_scenario("timed-b", 2));
+  analysis::Report report;
+  std::ostringstream log;
+  EXPECT_EQ(registry.run({}, report, log), 2U);
+  const auto wall = report.wall_ms();
+  ASSERT_EQ(wall.size(), 2U);
+  EXPECT_EQ(wall[0].first, "timed-a");  // name-sorted run order
+  EXPECT_EQ(wall[1].first, "timed-b");
+  for (const auto& [name, ms] : wall) EXPECT_GE(ms, 0.0);
+}
+
+TEST(ReportTest, WallClockSerializesAndOverwrites) {
+  analysis::Report report;
+  report.set_wall_ms("E1/x", 12.5);
+  report.set_wall_ms("E2/y", 3.0);
+  report.set_wall_ms("E1/x", 14.0);  // re-run overwrites, no duplicate
+  const auto wall = report.wall_ms();
+  ASSERT_EQ(wall.size(), 2U);
+  EXPECT_DOUBLE_EQ(wall[0].second, 14.0);
+  std::ostringstream json;
+  report.write_json(json, "demo");
+  EXPECT_NE(json.str().find("\"wall_ms\": {"), std::string::npos);
+  EXPECT_NE(json.str().find("\"E1/x\": 14.000"), std::string::npos);
+  EXPECT_NE(json.str().find("\"E2/y\": 3.000"), std::string::npos);
+  report.clear();
+  EXPECT_TRUE(report.wall_ms().empty());
+}
+
 // ----------------------------------------------------------------- CLI parse
 
 TEST(RunOptionsTest, ParsesTheCommonFlags) {

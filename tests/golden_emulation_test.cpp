@@ -1,0 +1,344 @@
+// Golden-equivalence suite for the simulation hot path.
+//
+// The packet-pool / flat-state refactor must not change *any* observable of
+// an emulation run: the RNG stream, the per-link service order, every
+// EmulationReport counter (including the per-step cost vector) and the
+// final shared memory are all required to stay bit-identical. This suite
+// pins that contract against fixtures recorded from the pre-refactor tree:
+// 3 topologies x {EREW, CRCW-combining} x {FIFO, furthest-first}, each with
+// a read-heavy and a write-heavy program.
+//
+// Fixtures live in tests/golden/emulation_golden.txt. To regenerate after
+// an *intentional* behaviour change (and only then), run:
+//
+//   LEVNET_GOLDEN_REGEN=1 ./golden_emulation_test
+//
+// and commit the rewritten file together with an explanation of why the
+// service order was allowed to move.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "emulation/emulator.hpp"
+#include "emulation/fabric.hpp"
+#include "pram/algorithms/access_patterns.hpp"
+#include "pram/algorithms/histogram.hpp"
+#include "pram/algorithms/prefix_sum.hpp"
+#include "routing/mesh_router.hpp"
+#include "routing/shuffle_router.hpp"
+#include "routing/star_router.hpp"
+#include "support/rng.hpp"
+#include "topology/mesh.hpp"
+#include "topology/shuffle.hpp"
+#include "topology/star.hpp"
+
+#ifndef LEVNET_TEST_DATA_DIR
+#error "LEVNET_TEST_DATA_DIR must point at the tests/ source directory"
+#endif
+
+namespace levnet::emulation {
+namespace {
+
+using pram::Addr;
+using pram::ProcId;
+using pram::SharedMemory;
+using pram::Word;
+
+std::vector<Word> random_words(std::size_t n, std::uint64_t seed,
+                               std::uint64_t bound = 1000) {
+  support::Rng rng(seed);
+  std::vector<Word> v(n);
+  for (auto& w : v) w = static_cast<Word>(rng.below(bound));
+  return v;
+}
+
+/// Order-independent fingerprint of the final memory: FNV-1a over the
+/// (addr, value) pairs in ascending address order.
+std::uint64_t memory_fingerprint(const SharedMemory& memory) {
+  std::map<Addr, Word> sorted(memory.cells().begin(), memory.cells().end());
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (v >> (8 * byte)) & 0xffU;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto& [addr, value] : sorted) {
+    mix(addr);
+    mix(static_cast<std::uint64_t>(value));
+  }
+  return hash;
+}
+
+/// Everything a run observably produces, in fixture form.
+struct GoldenRecord {
+  std::uint64_t pram_steps = 0;
+  std::uint64_t network_steps = 0;
+  std::uint64_t max_step_network = 0;
+  std::uint64_t max_link_queue = 0;
+  std::uint64_t max_node_queue = 0;
+  std::uint64_t request_packets = 0;
+  std::uint64_t reply_packets = 0;
+  std::uint64_t combined_requests = 0;
+  std::uint64_t local_ops = 0;
+  std::uint64_t rehashes = 0;
+  std::uint64_t memory_cells = 0;
+  std::uint64_t memory_hash = 0;
+  std::vector<std::uint64_t> step_costs;
+
+  bool operator==(const GoldenRecord&) const = default;
+};
+
+GoldenRecord record_of(const EmulationReport& report,
+                       const SharedMemory& memory) {
+  GoldenRecord r;
+  r.pram_steps = report.pram_steps;
+  r.network_steps = report.network_steps;
+  r.max_step_network = report.max_step_network;
+  r.max_link_queue = report.max_link_queue;
+  r.max_node_queue = report.max_node_queue;
+  r.request_packets = report.request_packets;
+  r.reply_packets = report.reply_packets;
+  r.combined_requests = report.combined_requests;
+  r.local_ops = report.local_ops;
+  r.rehashes = report.rehashes;
+  r.memory_cells = memory.nonzero_cells();
+  r.memory_hash = memory_fingerprint(memory);
+  r.step_costs.assign(report.step_costs.begin(), report.step_costs.end());
+  return r;
+}
+
+constexpr char kFixturePath[] =
+    LEVNET_TEST_DATA_DIR "/golden/emulation_golden.txt";
+
+std::map<std::string, GoldenRecord> load_fixtures() {
+  std::map<std::string, GoldenRecord> fixtures;
+  std::ifstream in(kFixturePath);
+  if (!in) return fixtures;
+  std::string line;
+  std::string config;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "config") {
+      fields >> config;
+      fixtures[config] = GoldenRecord{};
+      continue;
+    }
+    GoldenRecord& r = fixtures[config];
+    if (key == "pram_steps") fields >> r.pram_steps;
+    else if (key == "network_steps") fields >> r.network_steps;
+    else if (key == "max_step_network") fields >> r.max_step_network;
+    else if (key == "max_link_queue") fields >> r.max_link_queue;
+    else if (key == "max_node_queue") fields >> r.max_node_queue;
+    else if (key == "request_packets") fields >> r.request_packets;
+    else if (key == "reply_packets") fields >> r.reply_packets;
+    else if (key == "combined_requests") fields >> r.combined_requests;
+    else if (key == "local_ops") fields >> r.local_ops;
+    else if (key == "rehashes") fields >> r.rehashes;
+    else if (key == "memory_cells") fields >> r.memory_cells;
+    else if (key == "memory_hash") fields >> std::hex >> r.memory_hash;
+    else if (key == "step_costs") {
+      std::uint64_t cost = 0;
+      while (fields >> cost) r.step_costs.push_back(cost);
+    } else {
+      ADD_FAILURE() << "unknown fixture key '" << key << "'";
+    }
+  }
+  return fixtures;
+}
+
+void write_fixtures(const std::map<std::string, GoldenRecord>& fixtures) {
+  std::ofstream out(kFixturePath);
+  ASSERT_TRUE(out) << "cannot write " << kFixturePath
+                   << " (does tests/golden/ exist?)";
+  out << "# Recorded emulation observables; see golden_emulation_test.cpp.\n"
+      << "# Regenerate with LEVNET_GOLDEN_REGEN=1 only for intentional\n"
+      << "# service-order changes.\n";
+  for (const auto& [config, r] : fixtures) {
+    out << "\nconfig " << config << "\n"
+        << "pram_steps " << r.pram_steps << "\n"
+        << "network_steps " << r.network_steps << "\n"
+        << "max_step_network " << r.max_step_network << "\n"
+        << "max_link_queue " << r.max_link_queue << "\n"
+        << "max_node_queue " << r.max_node_queue << "\n"
+        << "request_packets " << r.request_packets << "\n"
+        << "reply_packets " << r.reply_packets << "\n"
+        << "combined_requests " << r.combined_requests << "\n"
+        << "local_ops " << r.local_ops << "\n"
+        << "rehashes " << r.rehashes << "\n"
+        << "memory_cells " << r.memory_cells << "\n"
+        << "memory_hash " << std::hex << r.memory_hash << std::dec << "\n"
+        << "step_costs";
+    for (const std::uint64_t cost : r.step_costs) out << ' ' << cost;
+    out << "\n";
+  }
+}
+
+// ------------------------------------------------------------- run matrix
+
+/// Owns a topology + router + fabric triple for one grid point.
+struct Fabric {
+  virtual ~Fabric() = default;
+  virtual const EmulationFabric& fabric() const = 0;
+};
+
+struct StarFabric final : Fabric {
+  explicit StarFabric(std::uint32_t n)
+      : star(n),
+        router(star),
+        fab(star.graph(), router, star.diameter(), star.name()) {}
+  topology::StarGraph star;
+  routing::StarTwoPhaseRouter router;
+  EmulationFabric fab;
+  const EmulationFabric& fabric() const override { return fab; }
+};
+
+struct ShuffleFabric final : Fabric {
+  explicit ShuffleFabric(std::uint32_t n)
+      : shuffle(topology::DWayShuffle::n_way(n)),
+        router(shuffle),
+        fab(shuffle.graph(), router, shuffle.route_length(), shuffle.name()) {}
+  topology::DWayShuffle shuffle;
+  routing::ShuffleTwoPhaseRouter router;
+  EmulationFabric fab;
+  const EmulationFabric& fabric() const override { return fab; }
+};
+
+struct MeshFabric final : Fabric {
+  explicit MeshFabric(std::uint32_t n)
+      : mesh(n, n),
+        router(mesh),
+        fab(mesh.graph(), router, mesh.diameter(), mesh.name()) {}
+  topology::Mesh mesh;
+  routing::MeshThreeStageRouter router;
+  EmulationFabric fab;
+  const EmulationFabric& fabric() const override { return fab; }
+};
+
+std::unique_ptr<Fabric> make_fabric(const std::string& name) {
+  if (name == "star5") return std::make_unique<StarFabric>(5);
+  if (name == "shuffle3") return std::make_unique<ShuffleFabric>(3);
+  if (name == "mesh6") return std::make_unique<MeshFabric>(6);
+  return nullptr;
+}
+
+std::unique_ptr<pram::PramProgram> make_program(const std::string& name,
+                                                ProcId processors) {
+  if (name == "perm") {
+    return std::make_unique<pram::PermutationTraffic>(processors, 4, 0xA11CE);
+  }
+  if (name == "prefix") {
+    const ProcId procs = std::min<ProcId>(24, processors);
+    return std::make_unique<pram::PrefixSumErew>(random_words(procs, 41));
+  }
+  if (name == "hotspot") {
+    return std::make_unique<pram::HotSpotReadTraffic>(processors, 3, 777);
+  }
+  if (name == "histogram") {
+    const ProcId procs = std::min<ProcId>(20, processors / 2);
+    return std::make_unique<pram::HistogramCrcwSum>(random_words(procs, 42, 4),
+                                                    4);
+  }
+  return nullptr;
+}
+
+struct GridPoint {
+  const char* topology;
+  const char* mode;        // "erew" or "crcw" (combining on)
+  const char* discipline;  // "fifo" or "furthest"
+  const char* program;
+};
+
+std::vector<GridPoint> grid() {
+  std::vector<GridPoint> points;
+  for (const char* topo : {"star5", "shuffle3", "mesh6"}) {
+    for (const char* disc : {"fifo", "furthest"}) {
+      for (const char* program : {"perm", "prefix"}) {
+        points.push_back({topo, "erew", disc, program});
+      }
+      for (const char* program : {"hotspot", "histogram"}) {
+        points.push_back({topo, "crcw", disc, program});
+      }
+    }
+  }
+  return points;
+}
+
+std::string config_name(const GridPoint& point) {
+  return std::string(point.topology) + "/" + point.mode + "/" +
+         point.discipline + "/" + point.program;
+}
+
+GoldenRecord run_point(const GridPoint& point) {
+  const auto fabric = make_fabric(point.topology);
+  EXPECT_NE(fabric, nullptr);
+  const auto program =
+      make_program(point.program, fabric->fabric().processors());
+  EXPECT_NE(program, nullptr);
+
+  EmulatorConfig config;
+  config.combining = std::string(point.mode) == "crcw";
+  config.discipline = std::string(point.discipline) == "furthest"
+                          ? sim::QueueDiscipline::kFurthestFirst
+                          : sim::QueueDiscipline::kFifo;
+  config.seed = 0x901de2ULL;
+  NetworkEmulator emulator(fabric->fabric(), config);
+  SharedMemory memory;
+  const EmulationReport report = emulator.run(*program, memory);
+  EXPECT_TRUE(program->validate(memory)) << config_name(point);
+  return record_of(report, memory);
+}
+
+/// Printable diff for the fixture comparison below.
+void PrintTo(const GoldenRecord& r, std::ostream* os) {
+  *os << "{steps=" << r.network_steps << " worst=" << r.max_step_network
+      << " linkQ=" << r.max_link_queue << " nodeQ=" << r.max_node_queue
+      << " req=" << r.request_packets << " rep=" << r.reply_packets
+      << " comb=" << r.combined_requests << " local=" << r.local_ops
+      << " rehash=" << r.rehashes << " cells=" << r.memory_cells << " hash=0x"
+      << std::hex << r.memory_hash << std::dec << " costs=[";
+  for (std::size_t i = 0; i < r.step_costs.size(); ++i) {
+    *os << (i != 0 ? " " : "") << r.step_costs[i];
+  }
+  *os << "]}";
+}
+
+TEST(GoldenEmulation, BitIdenticalToRecordedFixtures) {
+  const bool regen = std::getenv("LEVNET_GOLDEN_REGEN") != nullptr;
+  const auto fixtures = load_fixtures();
+  std::map<std::string, GoldenRecord> actual;
+  for (const GridPoint& point : grid()) {
+    actual[config_name(point)] = run_point(point);
+  }
+  if (regen) {
+    write_fixtures(actual);
+    GTEST_SKIP() << "fixtures regenerated at " << kFixturePath;
+  }
+  ASSERT_FALSE(fixtures.empty())
+      << "no fixtures at " << kFixturePath
+      << "; run once with LEVNET_GOLDEN_REGEN=1 and commit the file";
+  EXPECT_EQ(fixtures.size(), actual.size());
+  for (const auto& [config, want] : fixtures) {
+    const auto it = actual.find(config);
+    if (it == actual.end()) {
+      ADD_FAILURE() << "fixture '" << config << "' has no matching run";
+      continue;
+    }
+    const GoldenRecord& got = it->second;
+    EXPECT_EQ(want, got) << "service order drifted for " << config;
+  }
+}
+
+}  // namespace
+}  // namespace levnet::emulation

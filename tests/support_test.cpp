@@ -9,8 +9,11 @@
 #include <sstream>
 #include <vector>
 
+#include "support/arena.hpp"
 #include "support/bits.hpp"
+#include "support/flat_hash.hpp"
 #include "support/modmath.hpp"
+#include "support/object_pool.hpp"
 #include "support/primes.hpp"
 #include "support/ring_queue.hpp"
 #include "support/rng.hpp"
@@ -255,6 +258,129 @@ TEST(RingQueue, AtIndexesFromFront) {
   EXPECT_EQ(q.at(0), 20);
   EXPECT_EQ(q.at(1), 30);
   EXPECT_EQ(q.at(2), 40);
+}
+
+TEST(ObjectPool, RecyclesSlotsLifo) {
+  ObjectPool<int> pool;
+  const auto a = pool.allocate();
+  const auto b = pool.allocate();
+  pool.get(a) = 1;
+  pool.get(b) = 2;
+  EXPECT_EQ(pool.live(), 2U);
+  pool.release(a);
+  const auto c = pool.allocate();  // LIFO free list hands back a's slot
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(pool.live(), 2U);
+  pool.release(b);
+  pool.release(c);
+  EXPECT_EQ(pool.live(), 0U);
+}
+
+TEST(ObjectPool, ClearKeepsCapacityAndRewinds) {
+  ObjectPool<int> pool;
+  for (int i = 0; i < 32; ++i) pool.get(pool.allocate()) = i;
+  const std::size_t capacity = pool.capacity();
+  pool.clear();
+  EXPECT_EQ(pool.live(), 0U);
+  EXPECT_EQ(pool.capacity(), capacity);
+  // Refilling reuses the same slots: ids restart from 0 and capacity is
+  // untouched (the allocation-free steady-state contract).
+  for (std::uint32_t i = 0; i < 32; ++i) EXPECT_EQ(pool.allocate(), i);
+  EXPECT_EQ(pool.capacity(), capacity);
+}
+
+TEST(Arena, PushResetReuse) {
+  Arena<int> arena;
+  EXPECT_TRUE(arena.empty());
+  const auto a = arena.push(5);
+  const auto b = arena.push(7);
+  EXPECT_EQ(arena[a], 5);
+  EXPECT_EQ(arena[b], 7);
+  EXPECT_EQ(arena.size(), 2U);
+  arena.reset();
+  EXPECT_TRUE(arena.empty());
+  // Indices restart after reset; old storage is reused in place.
+  EXPECT_EQ(arena.push(9), 0U);
+  EXPECT_EQ(arena[0], 9);
+}
+
+namespace {
+struct IdentityHash {
+  std::size_t operator()(std::uint64_t k) const noexcept {
+    return static_cast<std::size_t>(k);
+  }
+};
+}  // namespace
+
+TEST(FlatMap, InsertFindAndInsertionOrderIteration) {
+  FlatMap<std::uint64_t, int, IdentityHash> map;
+  for (std::uint64_t k : {9ULL, 3ULL, 7ULL}) {
+    auto [value, inserted] = map.find_or_insert(k);
+    EXPECT_TRUE(inserted);
+    *value = static_cast<int>(k) * 10;
+  }
+  auto [again, inserted_again] = map.find_or_insert(3);
+  EXPECT_FALSE(inserted_again);
+  EXPECT_EQ(*again, 30);
+  EXPECT_EQ(map.size(), 3U);
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), 70);
+  EXPECT_EQ(map.find(8), nullptr);
+  // for_each walks in insertion order, not hash order.
+  std::vector<std::uint64_t> keys;
+  map.for_each([&keys](const std::uint64_t& k, int&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{9, 3, 7}));
+}
+
+TEST(FlatMap, ClearIsEpochBasedAndCapacityPersists) {
+  FlatMap<std::uint64_t, int, IdentityHash> map;
+  for (std::uint64_t k = 0; k < 6; ++k) *map.find_or_insert(k).first = 1;
+  const std::size_t capacity = map.capacity();
+  map.clear();
+  EXPECT_EQ(map.size(), 0U);
+  EXPECT_EQ(map.capacity(), capacity);
+  EXPECT_EQ(map.find(3), nullptr);  // stale epochs are invisible
+  // Many clear cycles (the per-PRAM-step pattern) keep working.
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    *map.find_or_insert(42).first = cycle;
+    ASSERT_NE(map.find(42), nullptr);
+    map.clear();
+  }
+  EXPECT_EQ(map.find(42), nullptr);
+}
+
+TEST(FlatMap, GrowsPastInitialCapacityAndKeepsEverything) {
+  FlatMap<std::uint64_t, int, IdentityHash> map(16);
+  constexpr std::uint64_t kCount = 3000;
+  for (std::uint64_t k = 0; k < kCount; ++k) {
+    *map.find_or_insert(k * 0x9e3779b9ULL).first = static_cast<int>(k);
+  }
+  EXPECT_EQ(map.size(), kCount);
+  for (std::uint64_t k = 0; k < kCount; ++k) {
+    int* value = map.find(k * 0x9e3779b9ULL);
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(*value, static_cast<int>(k));
+  }
+  // Insertion order survives rehashing.
+  std::uint64_t expected = 0;
+  map.for_each([&expected](const std::uint64_t&, int& v) {
+    EXPECT_EQ(v, static_cast<int>(expected));
+    ++expected;
+  });
+  EXPECT_EQ(expected, kCount);
+}
+
+TEST(FlatMap, CollidingKeysProbeLinearly) {
+  // IdentityHash + same low bits forces collisions in one probe chain.
+  FlatMap<std::uint64_t, int, IdentityHash> map(16);
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    *map.find_or_insert(k << 32).first = static_cast<int>(k);
+  }
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    ASSERT_NE(map.find(k << 32), nullptr);
+    EXPECT_EQ(*map.find(k << 32), static_cast<int>(k));
+  }
+  EXPECT_EQ(map.find(99), nullptr);
 }
 
 TEST(Table, AlignsAndCounts) {
