@@ -10,7 +10,8 @@
 // after the per-scenario timing log.
 //
 // Common CLI (also in analysis::run_options_usage):
-//   --seeds N --threads N --scenario SUBSTR --smoke --list [--markdown]
+//   --seeds N --threads N --scenario SUBSTR --json DIR --smoke --list
+//   [--markdown]
 
 #include <cstdlib>
 #include <fstream>
@@ -48,13 +49,20 @@ inline std::string bench_name_from_argv0(const std::string& argv0) {
   return name;
 }
 
-/// When LEVNET_BENCH_JSON_DIR is set, writes the accumulated report tables
-/// to <dir>/BENCH_<name>.json. Returns false on I/O failure.
-inline bool maybe_write_json_report(const std::string& argv0) {
-  const char* dir = std::getenv("LEVNET_BENCH_JSON_DIR");
-  if (dir == nullptr || *dir == '\0') return true;
+/// Writes the accumulated report tables to <dir>/BENCH_<name>.json, where
+/// <dir> is the --json flag when given, else the LEVNET_BENCH_JSON_DIR
+/// environment variable; no-op (returning true) when neither is set.
+/// Returns false on I/O failure.
+inline bool maybe_write_json_report(const std::string& argv0,
+                                    const std::string& json_dir) {
+  std::string dir = json_dir;
+  if (dir.empty()) {
+    const char* env = std::getenv("LEVNET_BENCH_JSON_DIR");
+    if (env != nullptr) dir = env;
+  }
+  if (dir.empty()) return true;
   const std::string name = bench_name_from_argv0(argv0);
-  const std::string path = std::string(dir) + "/BENCH_" + name + ".json";
+  const std::string path = dir + "/BENCH_" + name + ".json";
   std::ofstream out(path);
   if (!out) {
     std::cerr << "levnet bench: cannot open " << path << " for writing\n";
@@ -98,7 +106,7 @@ inline int bench_main(int argc, char** argv) {
     return 2;
   }
   report.print(std::cout);
-  return maybe_write_json_report(argv[0]) ? 0 : 1;
+  return maybe_write_json_report(argv[0], options.json_dir) ? 0 : 1;
 }
 
 }  // namespace levnet::bench

@@ -1,0 +1,359 @@
+// F-series (beyond the paper): degraded-mode emulation under injected
+// faults (src/faults/). The paper's w.h.p. machinery — hashed memory with
+// a rehash escape hatch, congestion-tolerant randomized routing — is
+// exactly what a degraded network stresses; these scenarios measure how
+// gracefully it bends: completion rate, slowdown versus the fault-free run
+// of the same seed, detour hops per request, and the extra rehashes that
+// module deaths force.
+//
+// Every trial builds its topology, plan and injector per seed: a faulted
+// graph carries a mutable liveness mask and must not be shared across
+// concurrent trials (see faults/injector.hpp).
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "emulation/emulator.hpp"
+#include "emulation/fabric.hpp"
+#include "faults/injector.hpp"
+#include "faults/plan.hpp"
+#include "pram/algorithms/access_patterns.hpp"
+#include "routing/shuffle_router.hpp"
+#include "routing/star_router.hpp"
+#include "routing/two_phase.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/shuffle.hpp"
+#include "topology/star.hpp"
+
+namespace {
+
+using namespace levnet;
+
+using bench::u32;
+
+constexpr std::uint32_t kPramSteps = 4;
+/// Budget factor for every fault run (and its fault-free twin, so the
+/// slowdown ratio compares like with like): the rehash escape hatch must
+/// be live when detour storms blow a step budget.
+constexpr std::uint32_t kBudgetFactor = 64;
+
+/// One seed's degraded-vs-pristine outcome.
+struct FaultOutcome {
+  double steps = 0.0;          // faulty network steps per PRAM step
+  double slowdown = 1.0;       // faulty / fault-free network steps
+  double detours_per_req = 0.0;
+  double extra_rehashes = 0.0;  // budget + fault rehashes beyond baseline
+  bool complete = false;
+};
+
+/// Owned topology + router + fabric + injector for one degraded star.
+struct StarNet {
+  StarNet(std::uint32_t n, const faults::FaultSpec& spec, std::uint64_t seed)
+      : star(n),
+        router(star),
+        fab(star.graph(), router, star.diameter(), star.name()),
+        plan(faults::FaultPlan::sample(star.graph(), star.node_count(),
+                                       star.node_count(), spec, seed)),
+        injector(star.graph_mut(), star.node_count(), plan) {}
+  topology::StarGraph star;
+  routing::StarTwoPhaseRouter router;
+  emulation::EmulationFabric fab;
+  faults::FaultPlan plan;
+  faults::FaultInjector injector;
+};
+
+struct ShuffleNet {
+  ShuffleNet(std::uint32_t n, const faults::FaultSpec& spec,
+             std::uint64_t seed)
+      : net(topology::DWayShuffle::n_way(n)),
+        router(net),
+        fab(net.graph(), router, net.route_length(), net.name()),
+        plan(faults::FaultPlan::sample(net.graph(), net.node_count(),
+                                       net.node_count(), spec, seed)),
+        injector(net.graph_mut(), net.node_count(), plan) {}
+  topology::DWayShuffle net;
+  routing::ShuffleTwoPhaseRouter router;
+  emulation::EmulationFabric fab;
+  faults::FaultPlan plan;
+  faults::FaultInjector injector;
+};
+
+struct ButterflyNet {
+  ButterflyNet(std::uint32_t levels, const faults::FaultSpec& spec,
+               std::uint64_t seed)
+      : bf(2, levels),
+        router(bf),
+        fab(bf, router),
+        plan(faults::FaultPlan::sample(bf.graph(), bf.row_count(),
+                                       bf.row_count(), spec, seed)),
+        injector(bf.graph_mut(), bf.row_count(), plan) {}
+  topology::WrappedButterfly bf;
+  routing::TwoPhaseButterflyRouter router;
+  emulation::EmulationFabric fab;
+  faults::FaultPlan plan;
+  faults::FaultInjector injector;
+};
+
+emulation::EmulationReport run_emulation(
+    const emulation::EmulationFabric& fab, faults::FaultInjector* injector,
+    pram::PramProgram& program, std::uint64_t seed,
+    sim::QueueDiscipline discipline, bool combining) {
+  emulation::EmulatorConfig config;
+  config.combining = combining;
+  config.discipline = discipline;
+  config.seed = seed;
+  config.step_budget_factor = kBudgetFactor;
+  // Fewer attempts than the default 16: a seed the plan defeats should
+  // report complete=false in milliseconds, not burn 2^16x budgets first.
+  config.max_rehash_attempts = 10;
+  config.faults = injector;
+  emulation::NetworkEmulator emulator(fab, config);
+  pram::SharedMemory memory;
+  return emulator.run(program, memory);
+}
+
+/// Degraded run + fault-free twin of the same seed -> one FaultOutcome.
+template <typename Net, typename MakeProgram>
+FaultOutcome fault_trial(std::uint32_t scale, const faults::FaultSpec& spec,
+                         std::uint64_t seed, MakeProgram make_program,
+                         sim::QueueDiscipline discipline, bool combining) {
+  Net degraded(scale, spec, seed);
+  auto program = make_program(degraded.fab.processors(), seed);
+  const emulation::EmulationReport faulty =
+      run_emulation(degraded.fab, &degraded.injector, *program, seed,
+                    discipline, combining);
+
+  Net pristine(scale, faults::FaultSpec{}, seed);  // empty plan: inert
+  auto baseline_program = make_program(pristine.fab.processors(), seed);
+  const emulation::EmulationReport clean =
+      run_emulation(pristine.fab, nullptr, *baseline_program, seed,
+                    discipline, combining);
+
+  FaultOutcome outcome;
+  outcome.complete = faulty.complete;
+  outcome.steps = faulty.mean_step_network;
+  outcome.slowdown = static_cast<double>(faulty.network_steps) /
+                     static_cast<double>(std::max<std::uint64_t>(
+                         clean.network_steps, 1));
+  outcome.detours_per_req =
+      static_cast<double>(faulty.detour_hops) /
+      static_cast<double>(std::max<std::uint64_t>(faulty.request_packets, 1));
+  outcome.extra_rehashes =
+      static_cast<double>(faulty.rehashes + faulty.fault_rehashes) -
+      static_cast<double>(clean.rehashes);
+  return outcome;
+}
+
+void fault_row(analysis::ScenarioContext& ctx, const std::string& title,
+               const std::vector<std::string>& config_cells,
+               const std::vector<FaultOutcome>& outcomes) {
+  // Degraded-cost columns average over *completed* seeds only: a defeated
+  // seed stops mid-program with truncated step counts, so folding it in
+  // would understate slowdown exactly when the faults win. The defeats
+  // themselves are what complete% reports.
+  double complete = 0, steps = 0, slowdown = 0, detours = 0, rehashes = 0;
+  for (const FaultOutcome& o : outcomes) {
+    if (!o.complete) continue;
+    complete += 1.0;
+    steps += o.steps;
+    slowdown += o.slowdown;
+    detours += o.detours_per_req;
+    rehashes += o.extra_rehashes;
+  }
+  const auto n = static_cast<double>(outcomes.size());
+  const double done = complete > 0.0 ? complete : 1.0;  // all-defeated: 0s
+  auto& table = ctx.table(
+      title, {"network", "fault config", "complete%", "steps/pram-step",
+              "slowdown", "detour/req", "extra rehash"});
+  table.row()
+      .cell(config_cells.at(0))
+      .cell(config_cells.at(1))
+      .cell(100.0 * complete / n, 0)
+      .cell(steps / done, 1)
+      .cell(slowdown / done, 2)
+      .cell(detours / done, 2)
+      .cell(rehashes / done, 1);
+}
+
+faults::FaultSpec link_spec(std::int64_t percent) {
+  faults::FaultSpec spec;
+  spec.link_fraction = static_cast<double>(percent) / 100.0;
+  return spec;
+}
+
+std::unique_ptr<pram::PramProgram> permutation_program(std::uint32_t procs,
+                                                       std::uint64_t seed) {
+  return std::make_unique<pram::PermutationTraffic>(procs, kPramSteps, seed);
+}
+
+constexpr char kLinksTitle[] =
+    "F1: EREW permutation emulation under dead links";
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kLinksStar{
+    analysis::Scenario{
+        .name = "F1/degraded-links-star",
+        .experiment = "F1 / degraded-mode routing (beyond the paper)",
+        .sweep = "(n, link%); dead physical links, EREW permutation reads",
+        .points = {{5, 0}, {5, 5}, {5, 10}, {5, 15}, {6, 10}},
+        .smoke_points = {{5, 10}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              const faults::FaultSpec spec = link_spec(ctx.arg(1));
+              const auto outcomes = ctx.collect([&](std::uint64_t seed) {
+                return fault_trial<StarNet>(n, spec, seed,
+                                            permutation_program,
+                                            sim::QueueDiscipline::kFifo,
+                                            false);
+              });
+              fault_row(ctx, kLinksTitle,
+                        {"star(n=" + std::to_string(n) + ")",
+                         "links " + std::to_string(ctx.arg(1)) + "%"},
+                        outcomes);
+            },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kLinksShuffle{
+    analysis::Scenario{
+        .name = "F1/degraded-links-shuffle",
+        .experiment = "F1 / degraded-mode routing (beyond the paper)",
+        .sweep = "(n, link%); n-way shuffle, dead links, EREW permutations",
+        .points = {{3, 5}, {3, 10}, {4, 10}},
+        .smoke_points = {{3, 10}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              const faults::FaultSpec spec = link_spec(ctx.arg(1));
+              const auto outcomes = ctx.collect([&](std::uint64_t seed) {
+                return fault_trial<ShuffleNet>(n, spec, seed,
+                                               permutation_program,
+                                               sim::QueueDiscipline::kFifo,
+                                               false);
+              });
+              fault_row(ctx, kLinksTitle,
+                        {"shuffle(n=" + std::to_string(n) + ")",
+                         "links " + std::to_string(ctx.arg(1)) + "%"},
+                        outcomes);
+            },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kModulesStar{
+    analysis::Scenario{
+        .name = "F2/degraded-modules-star",
+        .experiment = "F2 / memory remap under module faults (Hanlon-style)",
+        .sweep = "(n, module%); dead memory modules, survivor remap + rehash",
+        .points = {{5, 10}, {5, 20}, {6, 10}},
+        .smoke_points = {{5, 10}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              faults::FaultSpec spec;
+              spec.module_fraction =
+                  static_cast<double>(ctx.arg(1)) / 100.0;
+              const auto outcomes = ctx.collect([&](std::uint64_t seed) {
+                return fault_trial<StarNet>(n, spec, seed,
+                                            permutation_program,
+                                            sim::QueueDiscipline::kFifo,
+                                            false);
+              });
+              fault_row(ctx,
+                        "F2: EREW permutation emulation under dead modules",
+                        {"star(n=" + std::to_string(n) + ")",
+                         "modules " + std::to_string(ctx.arg(1)) + "%"},
+                        outcomes);
+            },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kNodesButterfly{
+    analysis::Scenario{
+        .name = "F3/degraded-nodes-butterfly",
+        .experiment = "F3 / dead interior switches on the leveled network",
+        .sweep = "(levels l, node%); radix-2 butterfly, endpoint column "
+                 "protected",
+        .points = {{4, 10}, {5, 10}, {6, 10}},
+        .smoke_points = {{4, 10}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto levels = u32(ctx.arg(0));
+              faults::FaultSpec spec;
+              spec.node_fraction = static_cast<double>(ctx.arg(1)) / 100.0;
+              spec.link_fraction = 0.05;
+              const auto outcomes = ctx.collect([&](std::uint64_t seed) {
+                return fault_trial<ButterflyNet>(levels, spec, seed,
+                                                 permutation_program,
+                                                 sim::QueueDiscipline::kFifo,
+                                                 false);
+              });
+              fault_row(ctx,
+                        "F3: EREW permutation emulation under dead switches",
+                        {"butterfly(d=2,l=" + std::to_string(levels) + ")",
+                         "nodes " + std::to_string(ctx.arg(1)) +
+                             "% links 5%"},
+                        outcomes);
+            },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kDiscipline{
+    analysis::Scenario{
+        .name = "F4/degraded-discipline-star",
+        .experiment = "F4 / queue discipline under faults (ablation)",
+        .sweep = "(n, link%, discipline 0=fifo 1=furthest); dead links",
+        .points = {{5, 10, 0}, {5, 10, 1}, {5, 15, 0}, {5, 15, 1}},
+        .smoke_points = {{5, 10, 0}, {5, 10, 1}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              const faults::FaultSpec spec = link_spec(ctx.arg(1));
+              const auto discipline =
+                  ctx.arg(2) != 0 ? sim::QueueDiscipline::kFurthestFirst
+                                  : sim::QueueDiscipline::kFifo;
+              const auto outcomes = ctx.collect([&](std::uint64_t seed) {
+                return fault_trial<StarNet>(n, spec, seed,
+                                            permutation_program, discipline,
+                                            false);
+              });
+              fault_row(ctx, "F4: queue discipline under dead links",
+                        {"star(n=" + std::to_string(n) + ")",
+                         "links " + std::to_string(ctx.arg(1)) + "% " +
+                             (ctx.arg(2) != 0 ? "furthest" : "fifo")},
+                        outcomes);
+            },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kCrcwStar{
+    analysis::Scenario{
+        .name = "F5/degraded-crcw-star",
+        .experiment = "F5 / combining CRCW under faults",
+        .sweep = "(n, link%); hot-spot reads, en-route combining, dead links",
+        .points = {{5, 5}, {5, 10}},
+        .smoke_points = {{5, 10}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              const faults::FaultSpec spec = link_spec(ctx.arg(1));
+              const auto outcomes = ctx.collect([&](std::uint64_t seed) {
+                return fault_trial<StarNet>(
+                    n, spec, seed,
+                    [](std::uint32_t procs, std::uint64_t)
+                        -> std::unique_ptr<pram::PramProgram> {
+                      return std::make_unique<pram::HotSpotReadTraffic>(
+                          procs, kPramSteps, 99);
+                    },
+                    sim::QueueDiscipline::kFifo, true);
+              });
+              fault_row(ctx, "F5: combining CRCW hot spot under dead links",
+                        {"star(n=" + std::to_string(n) + ")",
+                         "links " + std::to_string(ctx.arg(1)) + "%"},
+                        outcomes);
+            },
+    }};
+
+}  // namespace
+
+LEVNET_BENCH_MAIN()

@@ -30,9 +30,13 @@ import sys
 
 # A column is monitored when its header contains one of these (the cost
 # measurements scenarios report); configuration columns precede the first
-# monitored column in every table.
+# monitored column in every table. The degraded-mode columns of the fault
+# bench (complete%, slowdown, detour/req, extra rehash) are deterministic
+# per seed set like every steps column, so they gate too — and listing
+# complete% here keeps it out of the configuration row key.
 COST_COLUMN_MARKERS = ("steps", "maxload", "windowload", "request(", "reply(",
-                       "roundtrip")
+                       "roundtrip", "complete%", "slowdown", "detour",
+                       "rehash")
 
 
 def load_reports(directory):
@@ -129,6 +133,15 @@ def compare_wall_ms(bench, baseline, fresh, threshold, floor_ms=20.0):
     fresh_wall = fresh.get("wall_ms") or {}
     if not base_wall or not fresh_wall:
         return
+    # Scenario-set drift is informational, never a KeyError: new scenarios
+    # land before their baseline is recorded, and retired ones linger in
+    # baselines until the next refresh.
+    for name in sorted(set(fresh_wall) - set(base_wall)):
+        print(f"  [NEW-SCENARIO] {bench} scenario '{name}': in this run "
+              "but not in the baselines")
+    for name in sorted(set(base_wall) - set(fresh_wall)):
+        print(f"  [GONE] {bench} scenario '{name}': in the baselines "
+              "but not in this run")
     for name in sorted(set(base_wall) & set(fresh_wall)):
         base_value = to_float(base_wall[name])
         fresh_value = to_float(fresh_wall[name])

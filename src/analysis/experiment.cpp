@@ -80,6 +80,14 @@ bool parse_run_options(int argc, const char* const* argv, RunOptions& options,
       const char* value = need_value("--scenario");
       if (value == nullptr) return false;
       options.scenario_filter = value;
+    } else if (arg == "--json") {
+      const char* value = need_value("--json");
+      if (value == nullptr) return false;
+      if (*value == '\0') {
+        error = "--json wants a directory path";
+        return false;
+      }
+      options.json_dir = value;
     } else if (arg == "--smoke") {
       options.smoke = true;
     } else if (arg == "--list") {
@@ -102,6 +110,8 @@ std::string run_options_usage() {
       "  --seeds N       override every scenario's trial count\n"
       "  --threads N     thread pool size (0/default = hardware cores)\n"
       "  --scenario SUB  run only scenarios whose name contains SUB\n"
+      "  --json DIR      write BENCH_<name>.json into DIR after the run\n"
+      "                  (overrides the LEVNET_BENCH_JSON_DIR env var)\n"
       "  --smoke         smallest sweep points, at most 2 seeds\n"
       "  --list          print the registered scenarios and exit\n"
       "  --markdown      with --list: emit EXPERIMENTS.md table rows\n"

@@ -64,6 +64,9 @@ struct RunOptions {
   std::uint32_t seeds = 0;      // 0 = scenario default
   unsigned threads = 0;         // 0 = hardware concurrency
   std::string scenario_filter;  // substring match on Scenario::name
+  /// Directory for BENCH_<name>.json emission (--json); empty falls back
+  /// to the LEVNET_BENCH_JSON_DIR environment variable.
+  std::string json_dir;
   bool smoke = false;
   bool list = false;
   bool markdown = false;

@@ -22,7 +22,12 @@ TrialMeasurement::TrialMeasurement(const emulation::EmulationReport& report) {
   combined = static_cast<double>(report.combined_requests);
   rehashes = static_cast<double>(report.rehashes);
   local_ops = static_cast<double>(report.local_ops);
-  complete = true;  // the emulator CHECK-fails rather than losing requests
+  detours = static_cast<double>(report.detour_hops);
+  dropped = static_cast<double>(report.dropped_packets);
+  fault_rehashes = static_cast<double>(report.fault_rehashes);
+  // Fault-free the emulator CHECK-fails rather than losing requests, so
+  // this is always true there; degraded runs report what happened.
+  complete = report.complete;
 }
 
 TrialStats aggregate(const std::vector<TrialMeasurement>& runs) {
@@ -40,6 +45,7 @@ TrialStats aggregate(const std::vector<TrialMeasurement>& runs) {
   TrialStats stats;
   for (const TrialMeasurement& m : runs) {
     stats.all_complete = stats.all_complete && m.complete;
+    if (m.complete) ++stats.complete_runs;
     steps.push_back(m.steps);
     worst.push_back(m.worst_step);
     link_queue.push_back(m.max_link_queue);
@@ -48,6 +54,9 @@ TrialStats aggregate(const std::vector<TrialMeasurement>& runs) {
     stats.combined_mean += m.combined;
     stats.rehashes_mean += m.rehashes;
     stats.local_ops_mean += m.local_ops;
+    stats.detours_mean += m.detours;
+    stats.dropped_mean += m.dropped;
+    stats.fault_rehashes_mean += m.fault_rehashes;
     ++stats.runs;
   }
   if (stats.runs != 0) {
@@ -55,6 +64,9 @@ TrialStats aggregate(const std::vector<TrialMeasurement>& runs) {
     stats.combined_mean /= n;
     stats.rehashes_mean /= n;
     stats.local_ops_mean /= n;
+    stats.detours_mean /= n;
+    stats.dropped_mean /= n;
+    stats.fault_rehashes_mean /= n;
   }
   stats.steps = support::summarize(steps);
   stats.worst_step = support::summarize(worst);

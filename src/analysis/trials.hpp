@@ -36,6 +36,9 @@ struct TrialMeasurement {
   double combined = 0.0;    // CRCW requests absorbed en route
   double rehashes = 0.0;
   double local_ops = 0.0;
+  double detours = 0.0;         // fault-detour hops (degraded mode)
+  double dropped = 0.0;         // packets lost to faults
+  double fault_rehashes = 0.0;  // rehashes forced by module deaths
   bool complete = true;
 
   TrialMeasurement() = default;
@@ -53,7 +56,12 @@ struct TrialStats {
   double combined_mean = 0.0;
   double rehashes_mean = 0.0;
   double local_ops_mean = 0.0;
+  double detours_mean = 0.0;
+  double dropped_mean = 0.0;
+  double fault_rehashes_mean = 0.0;
   bool all_complete = true;  // every run delivered everything
+  /// Runs that completed (== runs unless faults defeated some seeds).
+  std::size_t complete_runs = 0;
   std::size_t runs = 0;
 };
 

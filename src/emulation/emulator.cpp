@@ -20,7 +20,11 @@ constexpr std::uint32_t kMaxPramSteps = 1U << 24;
 
 NetworkEmulator::NetworkEmulator(const EmulationFabric& fabric,
                                  EmulatorConfig config)
-    : fabric_(fabric), config_(config), rng_(config.seed) {}
+    : fabric_(fabric), config_(config), rng_(config.seed) {
+  LEVNET_CHECK_MSG(config_.faults == nullptr ||
+                       &config_.faults->graph() == &fabric.graph(),
+                   "fault injector must be bound to the fabric's graph");
+}
 
 NetworkEmulator::~NetworkEmulator() = default;
 
@@ -36,6 +40,23 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
   pending_value_.assign(procs, 0);
   pending_read_.assign(procs, 0);
   read_served_.assign(procs, 0);
+
+  faults::FaultInjector* injector = config_.faults;
+  if (injector != nullptr) {
+    for (const faults::FaultEvent& event : injector->plan().events()) {
+      // A dead processor cannot be emulated around (that needs the
+      // Chlebus-style processor-simulation layer); FaultPlan::sample
+      // protects [0, endpoints) when given the right endpoint count, and
+      // this guards against hand-built plans.
+      LEVNET_CHECK_MSG(event.kind != faults::FaultKind::kNode ||
+                           event.id >= fabric_.processors(),
+                       "node faults must not hit processor-hosting nodes");
+    }
+    injector->reset();
+    // Static faults (epoch 0) are active before anything runs, so the
+    // initial hash draw already composes with the survivor remap.
+    injector->advance_to(0);
+  }
 
   const std::uint32_t degree = config_.hash_degree != 0
                                    ? config_.hash_degree
@@ -63,13 +84,39 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
   std::uint64_t requests_this_step = 0;
   std::uint64_t replies_this_step = 0;
 
-  for (std::uint32_t step = 0; !program.finished(step); ++step) {
+  bool defeated = false;  // faults ended the run early (complete=false)
+  for (std::uint32_t step = 0; !program.finished(step) && !defeated; ++step) {
     LEVNET_CHECK_MSG(step < kMaxPramSteps, "PRAM program did not terminate");
+    if (injector != nullptr) {
+      // One fault epoch per PRAM step. Module deaths rebuild the survivor
+      // remap inside the injector and additionally ride the existing
+      // rehash path: a fresh polynomial re-balances the load that the
+      // remap just concentrated onto survivors.
+      const faults::FaultInjector::Applied applied =
+          injector->advance_to(step);
+      if (applied.modules != 0) {
+        ++report.fault_rehashes;
+        hash_ = std::make_unique<hashing::PolynomialHash>(
+            hashing::PolynomialHash::sample(degree, address_space,
+                                            fabric_.modules(), rng_));
+      }
+    }
     for (ProcId p = 0; p < procs; ++p) ops[p] = program.issue(p, step);
 
     for (std::uint32_t attempt = 0;; ++attempt) {
-      LEVNET_CHECK_MSG(attempt <= config_.max_rehash_attempts,
-                       "rehash budget exhausted; raise step_budget_factor");
+      if (attempt > config_.max_rehash_attempts) {
+        // Under faults this is a scenario outcome (the plan defeated the
+        // budget), not a bug: report an incomplete run instead of dying.
+        LEVNET_CHECK_MSG(injector != nullptr,
+                         "rehash budget exhausted; raise step_budget_factor");
+        report.complete = false;
+        defeated = true;
+        // The defeated attempt's degraded-mode counters still matter —
+        // they describe exactly why the plan won.
+        report.detour_hops += engine_->metrics().detours;
+        report.dropped_packets += engine_->metrics().dropped;
+        break;
+      }
       // Exponential backoff on the step budget: a freshly drawn hash plus a
       // doubled budget guarantees termination even if the configured budget
       // was below the feasible cost of the step.
@@ -91,8 +138,7 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
       for (ProcId p = 0; p < procs; ++p) {
         const MemOp& op = ops[p];
         if (op.kind == OpKind::kNone) continue;
-        const auto module =
-            static_cast<std::uint32_t>((*hash_)(op.addr));
+        const std::uint32_t module = module_of(op.addr);
         const NodeId module_node = fabric_.module_node(module);
         const NodeId proc_node = fabric_.proc_node(p);
         if (op.kind == OpKind::kRead) pending_read_[p] = 1;
@@ -130,8 +176,18 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
       replies_counter_ = nullptr;
       if (drained) break;
       const sim::RunMetrics& metrics = engine_->metrics();
-      LEVNET_CHECK_MSG(!metrics.deadlocked,
-                       "bounded-buffer deadlock during emulation");
+      if (metrics.deadlocked) {
+        // Degraded detour traffic can wedge bounded buffers in patterns
+        // the two-phase analysis never produces; under faults that is a
+        // defeat outcome like budget exhaustion, not a bug.
+        LEVNET_CHECK_MSG(injector != nullptr,
+                         "bounded-buffer deadlock during emulation");
+        report.complete = false;
+        defeated = true;
+        report.detour_hops += metrics.detours;
+        report.dropped_packets += metrics.dropped;
+        break;
+      }
       // Over budget: choose a new hash function and re-run the step
       // (Section 2.1's rehashing rule). Memory is untouched mid-step, so
       // the retry is exact.
@@ -141,13 +197,25 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
                                           fabric_.modules(), rng_));
     }
 
+    if (defeated) break;
+
     // Step epilogue: every read must have been answered, writes land under
     // the machine policy, results are delivered.
     for (ProcId p = 0; p < procs; ++p) {
-      if (pending_read_[p] != 0) {
-        LEVNET_CHECK_MSG(read_served_[p] != 0,
+      if (pending_read_[p] != 0 && read_served_[p] == 0) {
+        // Only a fault can lose a request (a connectivity-preserving plan
+        // never does); fault-free this is a routing bug.
+        LEVNET_CHECK_MSG(injector != nullptr,
                          "a read request was never answered");
+        report.complete = false;
+        defeated = true;
       }
+    }
+    if (defeated) {
+      // Keep the fatal step's detour/drop evidence before bailing out.
+      report.detour_hops += engine_->metrics().detours;
+      report.dropped_packets += engine_->metrics().dropped;
+      break;  // cannot deliver results; stop with partial state
     }
     claims_.for_each([&memory](const Addr& addr, const pram::WriteClaim& claim) {
       memory.write(addr, claim.value);
@@ -171,14 +239,51 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
     report.reply_packets += replies_this_step;
     report.combined_requests += combined_this_step_;
     report.local_ops += local_this_step;
+    report.detour_hops += metrics.detours;
+    report.dropped_packets += metrics.dropped;
+    if (metrics.dropped != 0) {
+      // A dropped write is silently absent from memory; the run keeps
+      // going (degraded completion) but can no longer claim correctness.
+      report.complete = false;
+    }
   }
 
   if (report.pram_steps != 0) {
     report.mean_step_network = static_cast<double>(report.network_steps) /
                                static_cast<double>(report.pram_steps);
   }
+  if (injector != nullptr) {
+    report.dead_links = injector->dead_links();
+    report.dead_nodes = injector->dead_nodes();
+    report.dead_modules = injector->dead_modules();
+  }
   memory_ = nullptr;
   return report;
+}
+
+std::uint32_t NetworkEmulator::module_of(pram::Addr addr) const {
+  const auto module = static_cast<std::uint32_t>((*hash_)(addr));
+  // remap . h: identity without faults (and bit-identical code path — the
+  // injector pointer is the only branch), survivor-redirect under module
+  // deaths, so no address can reach a dead module (hashing/exclusion.hpp).
+  return config_.faults == nullptr ? module
+                                   : config_.faults->remap_module(module);
+}
+
+NodeId NetworkEmulator::on_fault(sim::Packet& p, NodeId at, NodeId blocked,
+                                 support::Rng& rng) {
+  (void)blocked;
+  if (config_.faults == nullptr) return topology::kInvalidNode;
+  // Uniformly random surviving out-link of `at` — the degraded analogue of
+  // phase 1's random link choice, so repeated detours around one obstacle
+  // spread over distinct survivors instead of hammering one.
+  const NodeId next = fabric_.graph().random_live_neighbor(at, rng);
+  if (next == topology::kInvalidNode) return next;  // cut off: drop
+  // Re-aim the journey to resume from the detour target. Position-based
+  // routers restart greedily from there; the butterfly router switches to
+  // its recovery phase (Router::reroute).
+  fabric_.router().reroute(p, next, rng);
+  return next;
 }
 
 void NetworkEmulator::on_packet(Packet& p, NodeId at, std::uint32_t step,

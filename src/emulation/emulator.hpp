@@ -24,12 +24,24 @@
 // The emulator produces exactly the same final memory as ReferencePram for
 // any legal program — the library's core correctness oracle — while the
 // returned report carries the cost measurements the theorems bound.
+//
+// Degraded mode (EmulatorConfig::faults): a FaultInjector advances a
+// FaultPlan one epoch per PRAM step. Dead links/nodes are routed around by
+// detouring through surviving neighbors (Router::reroute keeps any
+// oblivious router progressing after a detour); dead memory modules are
+// remapped through a survivor remap composed with the hash, and module
+// deaths additionally trigger the rehash path. The same final memory is
+// still produced whenever the plan preserves endpoint connectivity — the
+// theorems' w.h.p. machinery degrades gracefully instead of failing — and
+// the report gains detour/drop/fault-rehash observables plus a `complete`
+// flag for runs the plan defeated.
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "emulation/fabric.hpp"
+#include "faults/injector.hpp"
 #include "hashing/poly_hash.hpp"
 #include "pram/memory.hpp"
 #include "pram/program.hpp"
@@ -57,6 +69,15 @@ struct EmulatorConfig {
   /// Bounded-buffer mode forwarded to the engine (0 = unbounded).
   std::uint32_t node_buffer_bound = 0;
   std::uint64_t seed = 0x1991'06ULL;
+  /// Degraded-mode emulation: an injector bound to the fabric's graph (the
+  /// caller owns graph mutability; see faults/injector.hpp). The emulator
+  /// advances the fault plan one epoch per PRAM step, routes around dead
+  /// links/nodes via detours, and remaps dead memory modules through the
+  /// survivor remap (composed with the hash, so the existing rehash path
+  /// still applies). Node faults must not touch processor-hosting nodes.
+  /// nullptr (or an injector with an empty plan) is guaranteed inert:
+  /// behaviour is bit-identical to the fault-free emulator.
+  faults::FaultInjector* faults = nullptr;
 };
 
 struct EmulationReport {
@@ -77,6 +98,25 @@ struct EmulationReport {
   std::uint32_t rehashes = 0;
   /// Per-PRAM-step network cost (for distribution plots).
   std::vector<std::uint32_t> step_costs;
+
+  // Degraded-mode observables; all zero / true when no faults are
+  // configured (the fields exist unconditionally so reports stay uniform).
+  /// Hops taken around dead links/nodes via surviving neighbors.
+  std::uint64_t detour_hops = 0;
+  /// Packets lost to faults with no detour available (0 under a
+  /// connectivity-preserving plan).
+  std::uint64_t dropped_packets = 0;
+  /// Rehashes forced by memory-module deaths (survivor remap rebuilds),
+  /// not counted in `rehashes` (which stays budget-triggered only).
+  std::uint32_t fault_rehashes = 0;
+  /// Final degraded-state snapshot.
+  std::uint32_t dead_links = 0;
+  std::uint32_t dead_nodes = 0;
+  std::uint32_t dead_modules = 0;
+  /// False when faults defeated the run: a read went unanswered, packets
+  /// dropped, or the rehash budget ran out. Fault-free runs CHECK-fail
+  /// instead (a lost request there is a bug, not a scenario).
+  bool complete = true;
 };
 
 class NetworkEmulator final : public sim::TrafficHandler {
@@ -135,6 +175,14 @@ class NetworkEmulator final : public sim::TrafficHandler {
                  support::Rng& rng, std::vector<sim::Forward>& out) override;
   [[nodiscard]] std::uint32_t priority(const sim::Packet& p,
                                        NodeId at) const override;
+  /// Degraded-mode detour: picks a uniformly random surviving out-link of
+  /// `at` and re-prepares the packet's route to resume from there
+  /// (Router::reroute), so any oblivious router keeps making progress.
+  [[nodiscard]] NodeId on_fault(sim::Packet& p, NodeId at, NodeId blocked,
+                                support::Rng& rng) override;
+
+  /// h(addr) composed with the survivor remap when faults are active.
+  [[nodiscard]] std::uint32_t module_of(pram::Addr addr) const;
 
   void handle_request(sim::Packet& p, NodeId at, support::Rng& rng,
                       std::vector<sim::Forward>& out);

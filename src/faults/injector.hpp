@@ -1,0 +1,81 @@
+#pragma once
+// FaultInjector: applies a FaultPlan onto a live topology, epoch by epoch.
+//
+// The injector owns the mutable view of degradation: it flips the graph's
+// liveness mask for link/node events, tracks memory-module liveness, and
+// keeps the survivor remap (hashing::ExclusionRemap) current so that
+// remap(h(addr)) never lands on a dead module. One injector serves one
+// run on one graph instance — it mutates the graph, so a faulted graph
+// must not be shared across concurrent trials (construct topology + plan +
+// injector per seed inside the trial body; see analysis/trials.hpp).
+//
+// Epochs are abstract: the emulator calls advance_to(pram_step) before
+// each PRAM step, a routing harness may advance per network step. reset()
+// rewinds everything (graph revived, modules revived, cursor at 0) so the
+// same injector can replay the plan for a fresh run.
+
+#include <cstdint>
+
+#include "faults/plan.hpp"
+#include "hashing/exclusion.hpp"
+#include "topology/graph.hpp"
+
+namespace levnet::faults {
+
+class FaultInjector {
+ public:
+  /// Binds plan to a graph and a module space. The plan must outlive the
+  /// injector. The survivor-remap salt is derived from the plan seed, so
+  /// the whole degradation is one-seed deterministic.
+  FaultInjector(topology::Graph& graph, std::uint32_t modules,
+                const FaultPlan& plan);
+
+  /// What advance_to just changed; module changes require a remap/rehash.
+  struct Applied {
+    std::uint32_t links = 0;
+    std::uint32_t nodes = 0;
+    std::uint32_t modules = 0;
+    [[nodiscard]] bool any() const noexcept {
+      return links + nodes + modules != 0;
+    }
+  };
+
+  /// Revives everything and rewinds the plan cursor.
+  void reset();
+
+  /// Applies every not-yet-applied event with event.epoch <= epoch, in
+  /// plan order. Rebuilds the survivor remap when a module died.
+  Applied advance_to(std::uint32_t epoch);
+
+  [[nodiscard]] bool module_live(std::uint32_t m) const noexcept {
+    return module_live_[m] != 0;
+  }
+  /// Survivor module for hash bucket m (identity while m is live).
+  [[nodiscard]] std::uint32_t remap_module(std::uint32_t m) const noexcept {
+    return remap_(m);
+  }
+
+  [[nodiscard]] std::uint32_t dead_links() const noexcept {
+    return dead_links_;
+  }
+  [[nodiscard]] std::uint32_t dead_nodes() const noexcept {
+    return dead_nodes_;
+  }
+  [[nodiscard]] std::uint32_t dead_modules() const noexcept {
+    return remap_.excluded();
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return *plan_; }
+  [[nodiscard]] topology::Graph& graph() noexcept { return *graph_; }
+
+ private:
+  topology::Graph* graph_;
+  const FaultPlan* plan_;
+  std::vector<std::uint8_t> module_live_;
+  hashing::ExclusionRemap remap_;
+  std::size_t cursor_ = 0;  // first unapplied plan event
+  std::uint32_t dead_links_ = 0;
+  std::uint32_t dead_nodes_ = 0;
+};
+
+}  // namespace levnet::faults

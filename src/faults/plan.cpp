@@ -1,0 +1,222 @@
+#include "faults/plan.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace levnet::faults {
+
+namespace {
+
+/// Scratch degraded graph used only while sampling: the plan must not
+/// mutate the real graph, but connectivity screening needs to look at the
+/// network as it will be once every accepted kill has landed.
+struct Scratch {
+  explicit Scratch(const topology::Graph& g)
+      : graph(&g),
+        edge_live(g.edge_count(), 1),
+        node_live(g.node_count(), 1) {
+    // Symmetric graphs (every edge paired with its reverse, which
+    // kill_link/kill_node preserve) only need one forward BFS: reach-from
+    // implies reach-to. With unpaired one-way edges that implication
+    // fails, so the screen must also check the transpose; build the
+    // in-edge lists once in that case.
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (g.reverse_edge(e) == topology::kInvalidEdge) {
+        asymmetric = true;
+        break;
+      }
+    }
+    if (asymmetric) {
+      in_edges.resize(g.node_count());
+      for (EdgeId e = 0; e < g.edge_count(); ++e) {
+        in_edges[g.edge_head(e)].push_back(e);
+      }
+    }
+  }
+
+  void kill_link(EdgeId e) {
+    edge_live[e] = 0;
+    const EdgeId rev = graph->reverse_edge(e);
+    if (rev != topology::kInvalidEdge) edge_live[rev] = 0;
+  }
+
+  void revive_link(EdgeId e) {
+    edge_live[e] = 1;
+    const EdgeId rev = graph->reverse_edge(e);
+    if (rev != topology::kInvalidEdge) edge_live[rev] = 1;
+  }
+
+  void kill_node(NodeId v, std::vector<EdgeId>& killed_edges) {
+    killed_edges.clear();
+    node_live[v] = 0;
+    for (EdgeId e = 0; e < graph->edge_count(); ++e) {
+      if ((graph->edge_tail(e) == v || graph->edge_head(e) == v) &&
+          edge_live[e] != 0) {
+        edge_live[e] = 0;
+        killed_edges.push_back(e);
+      }
+    }
+  }
+
+  void revive_node(NodeId v, const std::vector<EdgeId>& killed_edges) {
+    node_live[v] = 1;
+    for (const EdgeId e : killed_edges) edge_live[e] = 1;
+  }
+
+  /// BFS from endpoint 0 over live edges and nodes; `backward` walks the
+  /// transpose. Returns true iff every endpoint was reached.
+  [[nodiscard]] bool endpoints_reachable(std::uint32_t endpoints,
+                                         bool backward,
+                                         std::vector<NodeId>& queue,
+                                         std::vector<std::uint8_t>& seen) const {
+    queue.clear();
+    seen.assign(graph->node_count(), 0);
+    queue.push_back(0);
+    seen[0] = 1;
+    std::size_t head = 0;
+    std::uint32_t endpoints_seen = 1;
+    while (head < queue.size()) {
+      const NodeId u = queue[head++];
+      const auto visit = [&](EdgeId e, NodeId v) {
+        if (edge_live[e] == 0 || node_live[v] == 0 || seen[v] != 0) return;
+        seen[v] = 1;
+        queue.push_back(v);
+        if (v < endpoints) ++endpoints_seen;
+      };
+      if (backward) {
+        for (const EdgeId e : in_edges[u]) visit(e, graph->edge_tail(e));
+      } else {
+        for (std::uint32_t k = 0; k < graph->out_degree(u); ++k) {
+          const EdgeId e = graph->out_edge(u, k);
+          visit(e, graph->edge_head(e));
+        }
+      }
+      if (endpoints_seen == endpoints) return true;
+    }
+    return endpoints_seen == endpoints;
+  }
+
+  /// True iff every live endpoint can both reach and be reached by
+  /// endpoint 0 over live edges/nodes — with endpoints never killed, the
+  /// "every processor can still talk to every module, both ways"
+  /// requirement. Symmetric graphs need only the forward pass.
+  [[nodiscard]] bool endpoints_connected(std::uint32_t endpoints,
+                                         std::vector<NodeId>& queue,
+                                         std::vector<std::uint8_t>& seen) const {
+    if (endpoints <= 1) return true;
+    if (!endpoints_reachable(endpoints, false, queue, seen)) return false;
+    return !asymmetric ||
+           endpoints_reachable(endpoints, true, queue, seen);
+  }
+
+  const topology::Graph* graph;
+  std::vector<std::uint8_t> edge_live;
+  std::vector<std::uint8_t> node_live;
+  bool asymmetric = false;
+  std::vector<std::vector<EdgeId>> in_edges;  // built only when asymmetric
+};
+
+std::uint32_t target_count(double fraction, std::size_t candidates) {
+  LEVNET_CHECK_MSG(fraction >= 0.0 && fraction < 1.0,
+                   "fault fraction must lie in [0, 1)");
+  return static_cast<std::uint32_t>(fraction *
+                                    static_cast<double>(candidates));
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::sample(const topology::Graph& graph,
+                            std::uint32_t endpoints, std::uint32_t modules,
+                            const FaultSpec& spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed_ = seed;
+  if (spec.link_fraction == 0.0 && spec.node_fraction == 0.0 &&
+      spec.module_fraction == 0.0) {
+    // Nothing to sample: skip the candidate shuffles and scratch arrays
+    // entirely (fault-free twins in A/B benches take this path per seed).
+    return plan;
+  }
+  // Decorrelate from the emulator/router streams that share the same
+  // user-facing seed.
+  std::uint64_t mix = seed ^ 0xFA17'FA17'FA17'FA17ULL;
+  support::Rng rng(support::splitmix64(mix));
+
+  Scratch scratch(graph);
+  std::vector<NodeId> bfs_queue;
+  std::vector<std::uint8_t> bfs_seen;
+  const auto draw_epoch = [&]() -> std::uint32_t {
+    return spec.onset_epochs <= 1
+               ? 0
+               : static_cast<std::uint32_t>(rng.below(spec.onset_epochs));
+  };
+
+  // Links: one candidate per physical link (the lower-id directed edge of
+  // each reverse pair; one-way edges stand alone).
+  std::vector<EdgeId> links;
+  for (EdgeId e = 0; e < graph.edge_count(); ++e) {
+    const EdgeId rev = graph.reverse_edge(e);
+    if (rev == topology::kInvalidEdge || e < rev) links.push_back(e);
+  }
+  support::shuffle(links, rng);
+  const std::uint32_t link_target = target_count(spec.link_fraction,
+                                                 links.size());
+  std::uint32_t accepted = 0;
+  for (const EdgeId e : links) {
+    if (accepted == link_target) break;
+    scratch.kill_link(e);
+    if (spec.preserve_connectivity &&
+        !scratch.endpoints_connected(endpoints, bfs_queue, bfs_seen)) {
+      scratch.revive_link(e);
+      ++plan.skipped_;
+      continue;
+    }
+    plan.events_.push_back({FaultKind::kLink, e, draw_epoch()});
+    ++accepted;
+  }
+
+  // Nodes: endpoints host processors and are protected.
+  std::vector<NodeId> nodes;
+  for (NodeId v = endpoints; v < graph.node_count(); ++v) nodes.push_back(v);
+  support::shuffle(nodes, rng);
+  const std::uint32_t node_target = target_count(spec.node_fraction,
+                                                 nodes.size());
+  accepted = 0;
+  std::vector<EdgeId> killed_edges;
+  for (const NodeId v : nodes) {
+    if (accepted == node_target) break;
+    scratch.kill_node(v, killed_edges);
+    if (spec.preserve_connectivity &&
+        !scratch.endpoints_connected(endpoints, bfs_queue, bfs_seen)) {
+      scratch.revive_node(v, killed_edges);
+      ++plan.skipped_;
+      continue;
+    }
+    plan.events_.push_back({FaultKind::kNode, v, draw_epoch()});
+    ++accepted;
+  }
+
+  // Modules: no connectivity interplay, but at least one must survive.
+  std::vector<std::uint32_t> mods;
+  for (std::uint32_t m = 0; m < modules; ++m) mods.push_back(m);
+  support::shuffle(mods, rng);
+  std::uint32_t module_target = target_count(spec.module_fraction,
+                                             mods.size());
+  if (modules != 0) {
+    module_target = std::min(module_target, modules - 1);
+  }
+  for (std::uint32_t i = 0; i < module_target; ++i) {
+    plan.events_.push_back({FaultKind::kModule, mods[i], draw_epoch()});
+  }
+
+  std::sort(plan.events_.begin(), plan.events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.epoch != b.epoch) return a.epoch < b.epoch;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.id < b.id;
+            });
+  return plan;
+}
+
+}  // namespace levnet::faults

@@ -1,0 +1,36 @@
+#include "hashing/exclusion.hpp"
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace levnet::hashing {
+
+ExclusionRemap ExclusionRemap::build(const std::vector<std::uint8_t>& live,
+                                     std::uint64_t salt) {
+  ExclusionRemap remap;
+  std::vector<std::uint32_t> survivors;
+  survivors.reserve(live.size());
+  for (std::uint32_t b = 0; b < live.size(); ++b) {
+    if (live[b] != 0) survivors.push_back(b);
+  }
+  if (survivors.size() == live.size()) return remap;  // identity
+  LEVNET_CHECK_MSG(!survivors.empty(),
+                   "every memory module is dead; nothing to remap onto");
+  remap.table_.resize(live.size());
+  for (std::uint32_t b = 0; b < live.size(); ++b) {
+    if (live[b] != 0) {
+      remap.table_[b] = b;
+      continue;
+    }
+    ++remap.excluded_;
+    // Stateless salted draw: deterministic per (salt, bucket), independent
+    // across dead buckets so their load spreads over the survivors.
+    std::uint64_t state = salt ^ (0x9e3779b97f4a7c15ULL * (b + 1));
+    const std::uint64_t draw = support::splitmix64(state);
+    remap.table_[b] =
+        survivors[static_cast<std::size_t>(draw % survivors.size())];
+  }
+  return remap;
+}
+
+}  // namespace levnet::hashing

@@ -1,0 +1,51 @@
+#pragma once
+// Survivor remap over a bucket space with an exclusion set — the hashing
+// half of degraded-mode emulation.
+//
+// When memory modules fail, Section 2.1's rehashing rule alone cannot save
+// the step: for any useful address-space size every bucket of the
+// Karlin-Upfal family is hit, so "resample h until no live address maps to
+// a dead module" never terminates by retrying h alone. The practical escape
+// hatch (Hanlon-style memory remapping: emulate a large memory on the
+// surviving small ones) is to compose h with a deterministic survivor
+// remap: live buckets map to themselves, and every dead bucket is
+// redirected to a live bucket chosen by a salted SplitMix64 draw. The
+// composition remap . h is again a fixed function of the address, so the
+// emulator's existing rehash machinery (resample h, keep the remap) still
+// applies verbatim, and by construction no address can reach a dead module.
+//
+// The salted draw spreads each dead bucket's load across survivors
+// independently, so the expected extra load per survivor is the dead
+// fraction — degraded, not catastrophic (cf. Lemma 2.2's tolerance for
+// O(S) overload per module).
+
+#include <cstdint>
+#include <vector>
+
+namespace levnet::hashing {
+
+class ExclusionRemap {
+ public:
+  /// Identity remap (no exclusions).
+  ExclusionRemap() = default;
+
+  /// Builds the remap for `live[b] != 0` liveness over live.size() buckets.
+  /// At least one bucket must be live. When every bucket is live the remap
+  /// stores nothing and stays identity.
+  [[nodiscard]] static ExclusionRemap build(
+      const std::vector<std::uint8_t>& live, std::uint64_t salt);
+
+  /// Survivor bucket for `bucket` (identity when the bucket is live).
+  [[nodiscard]] std::uint32_t operator()(std::uint32_t bucket) const noexcept {
+    return table_.empty() ? bucket : table_[bucket];
+  }
+
+  [[nodiscard]] bool identity() const noexcept { return table_.empty(); }
+  [[nodiscard]] std::uint32_t excluded() const noexcept { return excluded_; }
+
+ private:
+  std::vector<std::uint32_t> table_;  // empty == identity
+  std::uint32_t excluded_ = 0;
+};
+
+}  // namespace levnet::hashing

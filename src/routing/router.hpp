@@ -45,6 +45,19 @@ class Router {
     (void)at;
     return 0;
   }
+
+  /// Degraded-mode recovery: a fault detour is about to move p to
+  /// `resume_at`, off its planned path; re-initialize the routing state so
+  /// next_hop makes progress toward p.dst from there. The default restarts
+  /// the journey (src := resume_at, prepare), which is correct for
+  /// position-based routers (star greedy/two-phase, shuffle, mesh).
+  /// Hop-counted routers whose phases assume a fixed start column
+  /// (butterfly) must override with a position-based recovery mode.
+  virtual void reroute(Packet& p, NodeId resume_at,
+                       support::Rng& rng) const {
+    p.src = resume_at;
+    prepare(p, rng);
+  }
 };
 
 }  // namespace levnet::routing

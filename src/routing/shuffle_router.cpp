@@ -48,6 +48,19 @@ NodeId ShuffleTwoPhaseRouter::next_hop(Packet& p, NodeId at,
   std::uint32_t hops = sim::route_state_hops(p.route_state);
   const std::uint32_t n = net_.digits();
 
+  if (net_.graph().has_faults() && phase != kPhaseDone && at != p.dst) {
+    // Degraded last hop: all d forward (shift) entries into the
+    // destination can be dead while a backward (un-shift) link survives —
+    // forward-only restarts would then never deliver. Grab the
+    // destination whenever it is a live direct neighbor, whichever
+    // direction the link points, and finish the journey there.
+    const topology::EdgeId direct = net_.graph().edge_between(at, p.dst);
+    if (direct != topology::kInvalidEdge && net_.graph().edge_live(direct)) {
+      p.route_state = sim::route_state_pack(kPhaseDone, 0);
+      return p.dst;
+    }
+  }
+
   for (;;) {
     if (phase == kPhaseDone) return kInvalidNode;
     if (phase == kPhaseRandom && hops == n) {
@@ -64,6 +77,18 @@ NodeId ShuffleTwoPhaseRouter::next_hop(Packet& p, NodeId at,
     if (phase == kPhaseRandom) {
       next = net_.shift_inject(
           at, static_cast<std::uint32_t>(rng.below(net_.radix())));
+      if (net_.graph().has_faults()) {
+        // Degraded mode: prefer a live shift link (self-loop shifts stay
+        // put and need no link). Bounded redraws; the engine's on_fault
+        // detour is the backstop for badly cut-off nodes.
+        for (std::uint32_t tries = 0; tries < 2 * net_.radix(); ++tries) {
+          if (next == at) break;
+          const topology::EdgeId e = net_.graph().edge_between(at, next);
+          if (e != topology::kInvalidEdge && net_.graph().edge_live(e)) break;
+          next = net_.shift_inject(
+              at, static_cast<std::uint32_t>(rng.below(net_.radix())));
+        }
+      }
     } else {
       next = net_.forward_toward(at, p.dst, hops);
     }

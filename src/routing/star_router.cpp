@@ -21,6 +21,14 @@ std::uint32_t StarGreedyRouter::remaining(const Packet& p, NodeId at) const {
 
 void StarTwoPhaseRouter::prepare(Packet& p, support::Rng& rng) const {
   p.intermediate = static_cast<NodeId>(rng.below(star_.node_count()));
+  if (star_.graph().has_faults()) {
+    // Degraded mode: a dead intermediate would aim the greedy phase into a
+    // hole it can never enter; rejection-sample over survivors (uniform on
+    // live nodes, same single draw as the pristine path when all are live).
+    while (!star_.graph().node_live(p.intermediate)) {
+      p.intermediate = static_cast<NodeId>(rng.below(star_.node_count()));
+    }
+  }
   p.route_state = sim::route_state_pack(kPhaseToIntermediate, 0);
 }
 

@@ -27,11 +27,25 @@ class TwoPhaseButterflyRouter final : public Router {
                                 support::Rng& rng) const override;
   [[nodiscard]] std::uint32_t remaining(const Packet& p,
                                         NodeId at) const override;
+  /// Fault recovery cannot restart the two hop-counted phases from an
+  /// interior column (phase 2 assumes exactly l forward hops from a
+  /// column-0 start), so a detoured packet switches to a position-based
+  /// recovery phase: follow forward_toward until it stands on p.dst,
+  /// escaping dead planned links via l-hop random scrambles (see
+  /// next_hop's recover branch for why greedy correction alone livelocks).
+  void reroute(Packet& p, NodeId resume_at,
+               support::Rng& rng) const override;
 
  private:
   static constexpr std::uint32_t kPhaseRandom = 1;
   static constexpr std::uint32_t kPhaseFixed = 2;
   static constexpr std::uint32_t kPhaseDone = 3;
+  static constexpr std::uint32_t kPhaseRecover = 4;
+
+  /// One hop of the degraded-mode scramble walk: a uniformly random live
+  /// out-link of `at`, backward links included (see the .cpp for why
+  /// forward-only scrambling is not ergodic).
+  [[nodiscard]] NodeId random_live_step(NodeId at, support::Rng& rng) const;
 
   const topology::WrappedButterfly& net_;
 };
@@ -48,6 +62,14 @@ class UniquePathButterflyRouter final : public Router {
                                 support::Rng& rng) const override;
   [[nodiscard]] std::uint32_t remaining(const Packet& p,
                                         NodeId at) const override;
+  /// No degraded mode: the default reroute (src := resume_at + prepare)
+  /// would silently misdeliver — the hop-counted pass assumes a column-0
+  /// start — and this router's whole point is determinism, which fault
+  /// recovery necessarily breaks (see TwoPhaseButterflyRouter's recovery
+  /// phase). Fails loudly instead; use the two-phase router for fault
+  /// scenarios.
+  void reroute(Packet& p, NodeId resume_at,
+               support::Rng& rng) const override;
 
  private:
   const topology::WrappedButterfly& net_;

@@ -41,6 +41,7 @@ void SyncEngine::reset() {
   dirty_edges_.clear();
   active_.clear();
   landings_.clear();
+  redirects_.clear();
   pool_.clear();
   std::fill(node_load_.begin(), node_load_.end(), 0);
   metrics_.reset();
@@ -58,7 +59,15 @@ void SyncEngine::inject(Packet packet, NodeId at, support::Rng& rng) {
 
 void SyncEngine::route_from(PacketRef ref, NodeId at, support::Rng& rng) {
   scratch_forwards_.clear();
+  scratch_forward_edges_.clear();
   handler_.on_packet(pool_.get(ref), at, now_, rng, scratch_forwards_);
+  if (graph_.has_faults() && !scratch_forwards_.empty() &&
+      !resolve_faulted_forwards(ref, at, rng)) {
+    // Every forward was blocked by a fault and the handler had no detour:
+    // the packet is lost (counted, never silently).
+    pool_.release(ref);
+    return;
+  }
   if (scratch_forwards_.empty()) {
     const Packet& packet = pool_.get(ref);
     ++metrics_.consumed;
@@ -73,18 +82,75 @@ void SyncEngine::route_from(PacketRef ref, NodeId at, support::Rng& rng) {
   // Fan-out: the last forward keeps the original's pool slot, earlier ones
   // take copies. (allocate() may move the pool, so re-fetch per copy.)
   const std::size_t fan = scratch_forwards_.size();
+  const bool hinted = scratch_forward_edges_.size() == fan;  // degraded mode
   for (std::size_t i = 0; i + 1 < fan; ++i) {
     const PacketRef copy = pool_.allocate();
     pool_.get(copy) = pool_.get(ref);
     pool_.get(copy).route_state = scratch_forwards_[i].route_state;
-    enqueue(copy, at, scratch_forwards_[i].to);
+    enqueue(copy, at, scratch_forwards_[i].to,
+            hinted ? scratch_forward_edges_[i] : topology::kInvalidEdge);
   }
   pool_.get(ref).route_state = scratch_forwards_[fan - 1].route_state;
-  enqueue(ref, at, scratch_forwards_[fan - 1].to);
+  enqueue(ref, at, scratch_forwards_[fan - 1].to,
+          hinted ? scratch_forward_edges_[fan - 1] : topology::kInvalidEdge);
 }
 
-void SyncEngine::enqueue(PacketRef ref, NodeId at, NodeId next) {
-  const EdgeId e = graph_.edge_between(at, next);
+bool SyncEngine::try_detour(PacketRef ref, NodeId at, NodeId blocked,
+                            support::Rng& rng, NodeId& next, EdgeId& edge) {
+  const std::uint32_t max_tries = graph_.out_degree(at) + 1;
+  for (std::uint32_t tries = 0; tries < max_tries; ++tries) {
+    const NodeId detour = handler_.on_fault(pool_.get(ref), at, blocked, rng);
+    if (detour == topology::kInvalidNode) return false;
+    const EdgeId e = graph_.edge_between(at, detour);
+    if (e != topology::kInvalidEdge && graph_.edge_live(e)) {
+      ++metrics_.detours;
+      next = detour;
+      edge = e;
+      return true;
+    }
+    blocked = detour;  // that one is dead too; negotiate again
+  }
+  return false;
+}
+
+bool SyncEngine::resolve_faulted_forwards(PacketRef ref, NodeId at,
+                                          support::Rng& rng) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < scratch_forwards_.size(); ++i) {
+    Forward f = scratch_forwards_[i];
+    EdgeId edge = graph_.edge_between(at, f.to);
+    LEVNET_CHECK_MSG(edge != topology::kInvalidEdge,
+                     "handler forwarded along a non-existent link");
+    bool live = graph_.edge_live(edge);
+    if (!live) {
+      NodeId detour = topology::kInvalidNode;
+      live = try_detour(ref, at, f.to, rng, detour, edge);
+      if (live) {
+        f.to = detour;
+        f.route_state = pool_.get(ref).route_state;  // on_fault re-prepared
+      }
+    }
+    if (live) {
+      scratch_forwards_[kept] = f;
+      // Remember the resolved edge so the enqueue in route_from skips the
+      // second adjacency scan.
+      scratch_forward_edges_.resize(kept + 1);
+      scratch_forward_edges_[kept] = edge;
+      ++kept;
+    } else {
+      ++metrics_.dropped;
+    }
+  }
+  scratch_forwards_.resize(kept);
+  return kept != 0;
+}
+
+void SyncEngine::enqueue(PacketRef ref, NodeId at, NodeId next,
+                         EdgeId edge_hint) {
+  const EdgeId e = edge_hint != topology::kInvalidEdge
+                       ? edge_hint
+                       : graph_.edge_between(at, next);
+  LEVNET_DCHECK(e == graph_.edge_between(at, next));
   LEVNET_CHECK_MSG(e != topology::kInvalidEdge,
                    "handler forwarded along a non-existent link");
   if (config_.discipline != QueueDiscipline::kFifo) {
@@ -129,16 +195,45 @@ PacketRef SyncEngine::pop_by_discipline(support::RingQueue<PacketRef>& queue) {
   return queue.extract(best);
 }
 
+void SyncEngine::drain_dead_edge(EdgeId e, support::Rng& rng) {
+  // The link died while packets sat on it (time-triggered fault mid-run).
+  // Each queued packet is re-aimed from the link's tail by the handler's
+  // on_fault and re-enqueued after the transmission loop (eligible from
+  // the next step, like any fresh enqueue); packets without a detour drop.
+  auto& queue = queues_[e];
+  const NodeId tail = graph_.edge_tail(e);
+  const NodeId head = graph_.edge_head(e);
+  while (!queue.empty()) {
+    const PacketRef ref = queue.pop();
+    --node_load_[tail];
+    NodeId next = topology::kInvalidNode;
+    EdgeId detour = topology::kInvalidEdge;
+    if (try_detour(ref, tail, head, rng, next, detour)) {
+      redirects_.push_back(Redirect{ref, tail, next, detour});
+    } else {
+      ++metrics_.dropped;
+      pool_.release(ref);
+    }
+  }
+}
+
 std::size_t SyncEngine::step(support::Rng& rng) {
   ++now_;
   landings_.clear();
+  redirects_.clear();
   next_active_.clear();
+  const std::uint64_t dropped_before = metrics_.dropped;
   // Transmission phase: every active directed link moves one packet, unless
   // bounded-buffer mode blocks it.
   for (const EdgeId e : active_) {
     auto& queue = queues_[e];
     const NodeId tail = graph_.edge_tail(e);
     const NodeId head = graph_.edge_head(e);
+    if (graph_.has_faults() && !graph_.edge_live(e)) {
+      drain_dead_edge(e, rng);
+      edge_active_[e] = 0;  // queue is empty now; redirects re-activate
+      continue;
+    }
     if (config_.node_buffer_bound != 0 &&
         node_load_[head] >= config_.node_buffer_bound) {
       next_active_.push_back(e);  // blocked; stays active
@@ -158,13 +253,29 @@ std::size_t SyncEngine::step(support::Rng& rng) {
     }
   }
   std::swap(active_, next_active_);
+  // Evacuation accounting must happen before the landing phase: drops
+  // during landings belong to packets that did move this step (they are
+  // already in landings_), while transmission-phase drops are the only
+  // trace a drained dead link leaves.
+  const std::size_t evacuation_drops =
+      static_cast<std::size_t>(metrics_.dropped - dropped_before);
+  // Refugees from dead links re-join their new queues ahead of this step's
+  // landings (a fixed, deterministic order).
+  const std::size_t redirected = redirects_.size();
+  for (const Redirect& redirect : redirects_) {
+    enqueue(redirect.ref, redirect.at, redirect.next, redirect.edge);
+  }
+  redirects_.clear();
   // Landing phase: consumed or forwarded; new enqueues become eligible for
   // transmission from the next step (they are appended to active_ now, but
   // this step's transmission loop has already finished).
   for (const Landing& landing : landings_) {
     route_from(landing.ref, landing.at, rng);
   }
-  return landings_.size();
+  // Evacuated packets — redirected *or* dropped — count as movement: a
+  // step that only cleared a dead link changed state and must not read as
+  // a bounded-buffer deadlock.
+  return landings_.size() + redirected + evacuation_drops;
 }
 
 bool SyncEngine::run(support::Rng& rng) {

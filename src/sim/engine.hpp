@@ -21,6 +21,16 @@
 // After a warm-up pass the pool, the queues and the per-step scratch
 // vectors all sit at their high-water capacities and step() performs no
 // heap allocation (asserted by tests/perf_alloc_test.cpp).
+//
+// Degraded mode (src/faults/): when the graph carries a fault overlay
+// (Graph::has_faults()), every forward is validated against the liveness
+// mask; blocked forwards go through TrafficHandler::on_fault, which either
+// supplies a detour via a surviving neighbor (counted in
+// RunMetrics::detours) or gives up (the packet drops, counted in
+// RunMetrics::dropped). Links that die mid-run with packets queued are
+// evacuated through the same hook. With no faults every one of these
+// branches is short-circuited by a single bool, and behaviour is
+// bit-identical to the fault-free engine (pinned by the golden suite).
 
 #include <cstdint>
 #include <vector>
@@ -112,11 +122,45 @@ class SyncEngine {
     PacketRef ref;
     NodeId at;
   };
+  /// A packet pulled off a dead link mid-run, re-aimed by on_fault; it is
+  /// re-enqueued after the transmission loop so it becomes eligible from
+  /// the next step, like any other enqueue.
+  struct Redirect {
+    PacketRef ref;
+    NodeId at;
+    NodeId next;
+    EdgeId edge;  // at->next, already resolved during the drain
+  };
 
   void route_from(PacketRef ref, NodeId at, support::Rng& rng);
-  void enqueue(PacketRef ref, NodeId at, NodeId next);
+  /// `edge_hint` carries an already-resolved at->next edge id (degraded
+  /// mode validates forwards before enqueueing and should not pay the
+  /// adjacency scan twice); kInvalidEdge means "look it up here".
+  void enqueue(PacketRef ref, NodeId at, NodeId next,
+               EdgeId edge_hint = topology::kInvalidEdge);
   [[nodiscard]] PacketRef pop_by_discipline(
       support::RingQueue<PacketRef>& queue);
+
+  /// Degraded mode (graph_.has_faults()): rewrites scratch_forwards_ so
+  /// every forward targets a live link, asking the handler's on_fault for
+  /// detours; forwards with no detour are removed (counted as dropped).
+  /// Returns false when nothing survived.
+  [[nodiscard]] bool resolve_faulted_forwards(PacketRef ref, NodeId at,
+                                              support::Rng& rng);
+
+  /// Bounded on_fault negotiation for the packet at `at` whose next hop
+  /// `blocked` crosses a dead link: asks the handler for replacements (up
+  /// to degree+1 tries so a handler that only proposes dead hops cannot
+  /// spin) and resolves `next`/`edge` to a live link. False = the handler
+  /// gave up; the caller drops the packet.
+  [[nodiscard]] bool try_detour(PacketRef ref, NodeId at, NodeId blocked,
+                                support::Rng& rng, NodeId& next,
+                                EdgeId& edge);
+
+  /// Degraded mode: empties the queue of a dead link by asking on_fault to
+  /// re-aim each queued packet from the link's tail (time-triggered faults
+  /// can strand packets on a link that was live when they joined it).
+  void drain_dead_edge(EdgeId e, support::Rng& rng);
 
   const topology::Graph& graph_;
   TrafficHandler& handler_;
@@ -132,7 +176,12 @@ class SyncEngine {
   std::vector<EdgeId> dirty_edges_;
   std::vector<std::uint8_t> edge_dirty_;
   std::vector<Landing> landings_;
+  std::vector<Redirect> redirects_;
   std::vector<Forward> scratch_forwards_;
+  /// Edge ids of the surviving scratch_forwards_, filled by
+  /// resolve_faulted_forwards so the enqueue below reuses them; empty in
+  /// fault-free runs.
+  std::vector<EdgeId> scratch_forward_edges_;
   std::vector<std::uint32_t> node_load_;
 
   RunMetrics metrics_;

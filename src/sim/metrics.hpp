@@ -20,6 +20,12 @@ struct RunMetrics {
   std::uint32_t max_link_queue = 0;
   /// Maximum total occupancy across one node's outgoing-link queues.
   std::uint32_t max_node_queue = 0;
+  /// Detour hops taken around dead links/nodes (degraded mode only; the
+  /// handler's on_fault supplied a surviving replacement hop).
+  std::uint64_t detours = 0;
+  /// Packets dropped because a fault blocked them and on_fault had no
+  /// detour to offer (degraded mode only).
+  std::uint64_t dropped = 0;
   /// True if the run hit the step budget before draining (triggers a rehash
   /// in the emulator, Section 2.1).
   bool aborted = false;

@@ -1,0 +1,560 @@
+// Fault-injection subsystem tests (src/faults/).
+//
+// Three layers are pinned here:
+//   * the plan/injector mechanics — deterministic sampling, endpoint
+//     protection, connectivity preservation, epoch replay, the graph
+//     liveness mask and the survivor remap;
+//   * the engine's degraded mode — forwards detour around dead links via
+//     TrafficHandler::on_fault, stranded queues are evacuated, drops are
+//     counted, and a zero-fault overlay is perfectly inert;
+//   * end-to-end degraded emulation — PRAM programs (prefix sum,
+//     histogram, odd-even sort) still produce reference-identical final
+//     memory under <=10% dead links/modules on multiple topologies, EREW
+//     and CRCW-combining, with fault trials bit-identical across thread
+//     counts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/trials.hpp"
+#include "emulation/emulator.hpp"
+#include "emulation/fabric.hpp"
+#include "faults/injector.hpp"
+#include "faults/plan.hpp"
+#include "hashing/exclusion.hpp"
+#include "pram/algorithms/access_patterns.hpp"
+#include "pram/algorithms/histogram.hpp"
+#include "pram/algorithms/prefix_sum.hpp"
+#include "pram/algorithms/sorting.hpp"
+#include "pram/reference.hpp"
+#include "routing/shuffle_router.hpp"
+#include "routing/star_router.hpp"
+#include "routing/two_phase.hpp"
+#include "sim/engine.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/linear_array.hpp"
+#include "topology/shuffle.hpp"
+#include "topology/star.hpp"
+
+namespace levnet::faults {
+namespace {
+
+using pram::SharedMemory;
+using pram::Word;
+using topology::EdgeId;
+using topology::NodeId;
+
+std::vector<Word> random_words(std::size_t n, std::uint64_t seed,
+                               std::uint64_t bound = 1000) {
+  support::Rng rng(seed);
+  std::vector<Word> v(n);
+  for (auto& w : v) w = static_cast<Word>(rng.below(bound));
+  return v;
+}
+
+std::size_t count_kind(const FaultPlan& plan, FaultKind kind) {
+  std::size_t n = 0;
+  for (const FaultEvent& e : plan.events()) n += e.kind == kind ? 1 : 0;
+  return n;
+}
+
+// ------------------------------------------------------------ plan layer
+
+TEST(FaultPlan, SamplingIsDeterministicInSeedAndSpec) {
+  const topology::StarGraph star(5);
+  FaultSpec spec;
+  spec.link_fraction = 0.10;
+  spec.module_fraction = 0.10;
+  const FaultPlan a =
+      FaultPlan::sample(star.graph(), star.node_count(), star.node_count(),
+                        spec, 42);
+  const FaultPlan b =
+      FaultPlan::sample(star.graph(), star.node_count(), star.node_count(),
+                        spec, 42);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].id, b.events()[i].id);
+    EXPECT_EQ(a.events()[i].epoch, b.events()[i].epoch);
+  }
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(count_kind(a, FaultKind::kNode), 0U);  // fraction 0
+  // ~10% of the 240 physical links and of the 120 modules.
+  EXPECT_EQ(count_kind(a, FaultKind::kLink) + a.skipped_for_connectivity(),
+            24U);
+  EXPECT_EQ(count_kind(a, FaultKind::kModule), 12U);
+
+  const FaultPlan other =
+      FaultPlan::sample(star.graph(), star.node_count(), star.node_count(),
+                        spec, 43);
+  bool identical = other.events().size() == a.events().size();
+  for (std::size_t i = 0; identical && i < a.events().size(); ++i) {
+    identical = a.events()[i].id == other.events()[i].id;
+  }
+  EXPECT_FALSE(identical) << "different seeds drew the same plan";
+}
+
+TEST(FaultPlan, NodeFaultsSpareEndpointsAndKeepThemConnected) {
+  topology::WrappedButterfly bf(2, 4);  // 16 rows x 4 columns
+  const std::uint32_t endpoints = bf.row_count();
+  FaultSpec spec;
+  spec.node_fraction = 0.20;
+  spec.link_fraction = 0.10;
+  const FaultPlan plan =
+      FaultPlan::sample(bf.graph(), endpoints, endpoints, spec, 7);
+  EXPECT_GT(count_kind(plan, FaultKind::kNode), 0U);
+  for (const FaultEvent& e : plan.events()) {
+    if (e.kind == FaultKind::kNode) {
+      EXPECT_GE(e.id, endpoints);
+    }
+  }
+
+  // Apply everything and verify all endpoints still reach each other.
+  FaultInjector injector(bf.graph_mut(), endpoints, plan);
+  injector.advance_to(~0U);
+  const topology::Graph& g = bf.graph();
+  std::vector<std::uint8_t> seen(g.node_count(), 0);
+  std::vector<NodeId> queue{0};
+  seen[0] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (std::uint32_t k = 0; k < g.out_degree(u); ++k) {
+      const EdgeId e = g.out_edge(u, k);
+      if (!g.edge_live(e)) continue;
+      const NodeId v = g.edge_head(e);
+      if (!seen[v]) {
+        seen[v] = 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  for (NodeId v = 0; v < endpoints; ++v) {
+    EXPECT_TRUE(seen[v]) << "endpoint " << v << " cut off";
+  }
+}
+
+TEST(FaultPlan, ConnectivityGuardRejectsEveryCutOfALine) {
+  // On a line every link is a bridge between endpoints, so a
+  // connectivity-preserving plan must reject every candidate.
+  const topology::LinearArray line(16);
+  FaultSpec spec;
+  spec.link_fraction = 0.5;
+  const FaultPlan plan =
+      FaultPlan::sample(line.graph(), line.node_count(), line.node_count(),
+                        spec, 3);
+  EXPECT_EQ(count_kind(plan, FaultKind::kLink), 0U);
+  EXPECT_EQ(plan.skipped_for_connectivity(), 15U);  // every physical link
+}
+
+TEST(GraphLiveness, MaskSemantics) {
+  topology::StarGraph star(4);
+  topology::Graph& g = star.graph_mut();
+  EXPECT_FALSE(g.has_faults());
+  ASSERT_GT(g.edge_count(), 0U);
+  const EdgeId e = 0;
+  const EdgeId rev = g.reverse_edge(e);
+  ASSERT_NE(rev, topology::kInvalidEdge);
+  g.kill_link(e);
+  EXPECT_TRUE(g.has_faults());
+  EXPECT_FALSE(g.edge_live(e));
+  EXPECT_FALSE(g.edge_live(rev));
+  EXPECT_EQ(g.dead_edge_count(), 2U);
+
+  const NodeId victim = g.edge_head(e) == 0 ? g.edge_tail(e) : g.edge_head(e);
+  const std::uint32_t before = g.live_out_degree(victim);
+  g.kill_node(victim);
+  EXPECT_FALSE(g.node_live(victim));
+  EXPECT_EQ(g.live_out_degree(victim), 0U);
+  EXPECT_GT(before, 0U);
+  // Every edge into the dead node died too.
+  for (EdgeId edge = 0; edge < g.edge_count(); ++edge) {
+    if (g.edge_head(edge) == victim || g.edge_tail(edge) == victim) {
+      EXPECT_FALSE(g.edge_live(edge));
+    }
+  }
+
+  g.revive_all();
+  EXPECT_FALSE(g.has_faults());
+  EXPECT_TRUE(g.edge_live(e));
+  EXPECT_TRUE(g.node_live(victim));
+  EXPECT_EQ(g.dead_edge_count(), 0U);
+  EXPECT_EQ(g.dead_node_count(), 0U);
+}
+
+TEST(ExclusionRemap, RedirectsDeadBucketsOntoSurvivors) {
+  std::vector<std::uint8_t> live(10, 1);
+  live[2] = live[7] = live[9] = 0;
+  const hashing::ExclusionRemap remap = hashing::ExclusionRemap::build(live, 5);
+  EXPECT_FALSE(remap.identity());
+  EXPECT_EQ(remap.excluded(), 3U);
+  for (std::uint32_t b = 0; b < live.size(); ++b) {
+    const std::uint32_t target = remap(b);
+    EXPECT_TRUE(live[target]) << "bucket " << b << " remapped to dead "
+                              << target;
+    if (live[b]) {
+      EXPECT_EQ(target, b);
+    }
+  }
+  const hashing::ExclusionRemap again = hashing::ExclusionRemap::build(live, 5);
+  for (std::uint32_t b = 0; b < live.size(); ++b) EXPECT_EQ(remap(b), again(b));
+
+  const hashing::ExclusionRemap identity =
+      hashing::ExclusionRemap::build(std::vector<std::uint8_t>(4, 1), 5);
+  EXPECT_TRUE(identity.identity());
+  EXPECT_EQ(identity(3), 3U);
+}
+
+TEST(FaultInjector, EpochAdvanceAndReplay) {
+  topology::StarGraph star(4);
+  FaultSpec spec;
+  spec.link_fraction = 0.15;
+  spec.module_fraction = 0.2;
+  spec.onset_epochs = 3;
+  const FaultPlan plan = FaultPlan::sample(
+      star.graph(), star.node_count(), star.node_count(), spec, 11);
+  ASSERT_FALSE(plan.empty());
+
+  FaultInjector injector(star.graph_mut(), star.node_count(), plan);
+  std::uint32_t applied_total = 0;
+  for (std::uint32_t epoch = 0; epoch < spec.onset_epochs; ++epoch) {
+    const FaultInjector::Applied applied = injector.advance_to(epoch);
+    applied_total += applied.links + applied.nodes + applied.modules;
+  }
+  EXPECT_EQ(applied_total, plan.events().size());
+  const std::uint32_t links_first = injector.dead_links();
+  const std::uint32_t modules_first = injector.dead_modules();
+  EXPECT_GT(links_first + modules_first, 0U);
+  // Every dead module remaps to a live one.
+  for (std::uint32_t m = 0; m < star.node_count(); ++m) {
+    EXPECT_TRUE(injector.module_live(injector.remap_module(m)));
+  }
+
+  injector.reset();
+  EXPECT_FALSE(star.graph().has_faults());
+  EXPECT_EQ(injector.dead_links(), 0U);
+  injector.advance_to(spec.onset_epochs);
+  EXPECT_EQ(injector.dead_links(), links_first);
+  EXPECT_EQ(injector.dead_modules(), modules_first);
+}
+
+// ----------------------------------------------------- engine fault hook
+
+/// Three-node clique handler: data packets walk 0 -> 1 -> 2 unless a fault
+/// forces the scenic route 1 -> 0 -> 2.
+struct DetourHandler final : sim::TrafficHandler {
+  bool offer_detour = false;
+  bool rerouted = false;
+
+  void on_packet(sim::Packet& p, NodeId at, std::uint32_t, support::Rng&,
+                 std::vector<sim::Forward>& out) override {
+    if (at == p.dst) return;  // consumed
+    const NodeId next = (rerouted && at == 0) ? p.dst
+                        : at == 0             ? 1
+                                              : p.dst;
+    out.push_back(sim::Forward{next, 0});
+  }
+
+  NodeId on_fault(sim::Packet&, NodeId, NodeId, support::Rng&) override {
+    if (!offer_detour) return topology::kInvalidNode;
+    rerouted = true;
+    return 0;  // back up, then go direct
+  }
+};
+
+topology::Graph clique3() {
+  return topology::Graph::from_edges(
+      3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2}, {2, 0}});
+}
+
+TEST(EngineFaults, StrandedQueueIsDroppedWithoutADetour) {
+  topology::Graph g = clique3();
+  DetourHandler handler;
+  sim::SyncEngine engine(g, handler, {});
+  support::Rng rng(1);
+
+  sim::Packet p;
+  p.src = 0;
+  p.dst = 2;
+  engine.inject(p, 0, rng);
+  ASSERT_EQ(engine.step(rng), 1U);  // crossed 0->1; now queued on 1->2
+  g.kill_link(g.edge_between(1, 2));
+  EXPECT_TRUE(engine.run(rng));
+  EXPECT_EQ(engine.metrics().dropped, 1U);
+  EXPECT_EQ(engine.metrics().detours, 0U);
+  EXPECT_EQ(engine.in_flight(), 0U);  // dropped packets release their slot
+}
+
+TEST(EngineFaults, StrandedQueueEvacuatesThroughOnFault) {
+  topology::Graph g = clique3();
+  DetourHandler handler;
+  handler.offer_detour = true;
+  sim::SyncEngine engine(g, handler, {});
+  support::Rng rng(1);
+
+  sim::Packet p;
+  p.src = 0;
+  p.dst = 2;
+  engine.inject(p, 0, rng);
+  ASSERT_EQ(engine.step(rng), 1U);
+  g.kill_link(g.edge_between(1, 2));
+  EXPECT_TRUE(engine.run(rng));
+  EXPECT_EQ(engine.metrics().dropped, 0U);
+  EXPECT_EQ(engine.metrics().detours, 1U);
+  EXPECT_EQ(engine.metrics().consumed, 1U);
+}
+
+TEST(EngineFaults, FreshForwardsDetourAroundADeadLink) {
+  topology::Graph g = clique3();
+  g.kill_link(g.edge_between(1, 2));  // dead before anything moves
+  DetourHandler handler;
+  handler.offer_detour = true;
+  sim::SyncEngine engine(g, handler, {});
+  support::Rng rng(1);
+
+  sim::Packet p;
+  p.src = 0;
+  p.dst = 2;
+  engine.inject(p, 0, rng);  // 0 -> 1 is live; the forward out of 1 detours
+  EXPECT_TRUE(engine.run(rng));
+  EXPECT_EQ(engine.metrics().detours, 1U);
+  EXPECT_EQ(engine.metrics().dropped, 0U);
+  EXPECT_EQ(engine.metrics().consumed, 1U);
+}
+
+// ----------------------------------------------- degraded-mode emulation
+
+/// Topology + router + fabric + plan + injector, owned together so fault
+/// trials can construct everything per seed (faulted graphs are mutable
+/// and must not be shared across concurrent trials).
+struct DegradedStar {
+  DegradedStar(std::uint32_t n, const FaultSpec& spec, std::uint64_t seed)
+      : star(n),
+        router(star),
+        fab(star.graph(), router, star.diameter(), star.name()),
+        plan(FaultPlan::sample(star.graph(), star.node_count(),
+                               star.node_count(), spec, seed)),
+        injector(star.graph_mut(), star.node_count(), plan) {}
+  topology::StarGraph star;
+  routing::StarTwoPhaseRouter router;
+  emulation::EmulationFabric fab;
+  FaultPlan plan;
+  FaultInjector injector;
+};
+
+struct DegradedShuffle {
+  DegradedShuffle(std::uint32_t n, const FaultSpec& spec, std::uint64_t seed)
+      : shuffle(topology::DWayShuffle::n_way(n)),
+        router(shuffle),
+        fab(shuffle.graph(), router, shuffle.route_length(), shuffle.name()),
+        plan(FaultPlan::sample(shuffle.graph(), shuffle.node_count(),
+                               shuffle.node_count(), spec, seed)),
+        injector(shuffle.graph_mut(), shuffle.node_count(), plan) {}
+  topology::DWayShuffle shuffle;
+  routing::ShuffleTwoPhaseRouter router;
+  emulation::EmulationFabric fab;
+  FaultPlan plan;
+  FaultInjector injector;
+};
+
+struct DegradedButterfly {
+  DegradedButterfly(std::uint32_t radix, std::uint32_t levels,
+                    const FaultSpec& spec, std::uint64_t seed)
+      : bf(radix, levels),
+        router(bf),
+        fab(bf, router),
+        plan(FaultPlan::sample(bf.graph(), bf.row_count(), bf.row_count(),
+                               spec, seed)),
+        injector(bf.graph_mut(), bf.row_count(), plan) {}
+  topology::WrappedButterfly bf;
+  routing::TwoPhaseButterflyRouter router;
+  emulation::EmulationFabric fab;
+  FaultPlan plan;
+  FaultInjector injector;
+};
+
+FaultSpec ten_percent_links_and_modules() {
+  FaultSpec spec;
+  spec.link_fraction = 0.10;
+  spec.module_fraction = 0.10;
+  return spec;
+}
+
+/// Reference run, then a degraded emulation of the same program; final
+/// memory must match bit for bit and the run must complete.
+void expect_degraded_matches(pram::PramProgram& program,
+                             const emulation::EmulationFabric& fabric,
+                             FaultInjector& injector, bool combining,
+                             std::uint64_t seed) {
+  SharedMemory reference_memory;
+  pram::ReferencePram::for_program(program).run(program, reference_memory);
+  program.reset();
+
+  emulation::EmulatorConfig config;
+  config.combining = combining;
+  config.seed = seed;
+  // The rehash escape hatch must be live under faults: transient detour
+  // storms can blow a step budget, and a fresh hash plus a doubled budget
+  // is the paper's way out.
+  config.step_budget_factor = 64;
+  config.faults = &injector;
+  emulation::NetworkEmulator emulator(fabric, config);
+  SharedMemory memory;
+  const emulation::EmulationReport report = emulator.run(program, memory);
+
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.dropped_packets, 0U);  // connectivity-preserving plan
+  EXPECT_TRUE(reference_memory == memory) << "degraded memory mismatch";
+  EXPECT_TRUE(program.validate(memory));
+}
+
+TEST(DegradedEmulation, PrefixSumOnStarUnderLinkAndModuleFaults) {
+  DegradedStar net(5, ten_percent_links_and_modules(), 0xFA01);
+  pram::PrefixSumErew program(random_words(24, 41));
+  expect_degraded_matches(program, net.fab, net.injector, false, 0x5eed1);
+}
+
+TEST(DegradedEmulation, OddEvenSortOnStarUnderLinkAndModuleFaults) {
+  DegradedStar net(5, ten_percent_links_and_modules(), 0xFA02);
+  pram::OddEvenSortErew program(random_words(16, 99));
+  expect_degraded_matches(program, net.fab, net.injector, false, 0x5eed2);
+}
+
+TEST(DegradedEmulation, HistogramCrcwOnStarUnderLinkAndModuleFaults) {
+  DegradedStar net(5, ten_percent_links_and_modules(), 0xFA03);
+  pram::HistogramCrcwSum program(random_words(20, 42, 4), 4);
+  expect_degraded_matches(program, net.fab, net.injector, true, 0x5eed3);
+}
+
+TEST(DegradedEmulation, PrefixSumOnShuffleUnderLinkAndModuleFaults) {
+  DegradedShuffle net(3, ten_percent_links_and_modules(), 0xFA04);
+  pram::PrefixSumErew program(random_words(24, 41));
+  expect_degraded_matches(program, net.fab, net.injector, false, 0x5eed4);
+}
+
+TEST(DegradedEmulation, OddEvenSortOnShuffleUnderLinkAndModuleFaults) {
+  DegradedShuffle net(3, ten_percent_links_and_modules(), 0xFA05);
+  pram::OddEvenSortErew program(random_words(16, 98));
+  expect_degraded_matches(program, net.fab, net.injector, false, 0x5eed5);
+}
+
+TEST(DegradedEmulation, HistogramCrcwOnShuffleUnderLinkAndModuleFaults) {
+  DegradedShuffle net(3, ten_percent_links_and_modules(), 0xFA06);
+  pram::HistogramCrcwSum program(random_words(20, 43, 4), 4);
+  expect_degraded_matches(program, net.fab, net.injector, true, 0x5eed6);
+}
+
+TEST(DegradedEmulation, ButterflySurvivesInteriorNodeFaults) {
+  FaultSpec spec;
+  spec.link_fraction = 0.05;
+  spec.node_fraction = 0.10;  // interior switches only (endpoints protected)
+  DegradedButterfly net(2, 4, spec, 0xFA07);
+  EXPECT_GT(count_kind(net.plan, FaultKind::kNode), 0U);
+  pram::PrefixSumErew program(random_words(16, 40));
+  expect_degraded_matches(program, net.fab, net.injector, false, 0x5eed7);
+}
+
+TEST(DegradedEmulation, TimeTriggeredFaultsLandAcrossEpochs) {
+  FaultSpec spec = ten_percent_links_and_modules();
+  spec.onset_epochs = 4;  // faults fall during the program, not before it
+  DegradedStar net(5, spec, 0xFA08);
+  pram::PrefixSumErew program(random_words(24, 44));
+  expect_degraded_matches(program, net.fab, net.injector, false, 0x5eed8);
+  EXPECT_EQ(net.injector.dead_links() + net.injector.dead_modules() +
+                net.injector.dead_nodes(),
+            net.plan.events().size());
+}
+
+TEST(DegradedEmulation, EmptyPlanIsBitIdenticalToNoInjector) {
+  // The golden suite pins fault-free behaviour against recorded fixtures;
+  // this pins the stronger claim that *attaching* an empty plan changes
+  // nothing either.
+  const auto run = [](bool attach_injector) {
+    topology::StarGraph star(5);
+    routing::StarTwoPhaseRouter router(star);
+    emulation::EmulationFabric fab(star.graph(), router, star.diameter(),
+                                   star.name());
+    FaultPlan plan;  // empty
+    FaultInjector injector(star.graph_mut(), star.node_count(), plan);
+    pram::PermutationTraffic program(star.node_count(), 3, 0xA11CE);
+    emulation::EmulatorConfig config;
+    config.seed = 0x901de2;
+    config.combining = true;
+    if (attach_injector) config.faults = &injector;
+    emulation::NetworkEmulator emulator(fab, config);
+    SharedMemory memory;
+    const emulation::EmulationReport report = emulator.run(program, memory);
+    return std::make_pair(report, memory);
+  };
+  const auto [with, mem_with] = run(true);
+  const auto [without, mem_without] = run(false);
+  EXPECT_EQ(with.network_steps, without.network_steps);
+  EXPECT_EQ(with.step_costs, without.step_costs);
+  EXPECT_EQ(with.request_packets, without.request_packets);
+  EXPECT_EQ(with.reply_packets, without.reply_packets);
+  EXPECT_EQ(with.combined_requests, without.combined_requests);
+  EXPECT_EQ(with.rehashes, without.rehashes);
+  EXPECT_EQ(with.detour_hops, 0U);
+  EXPECT_EQ(with.dropped_packets, 0U);
+  EXPECT_EQ(with.fault_rehashes, 0U);
+  EXPECT_TRUE(with.complete && without.complete);
+  EXPECT_TRUE(mem_with == mem_without);
+}
+
+// ------------------------------------------------ thread-count identity
+
+bool summaries_identical(const support::Summary& a,
+                         const support::Summary& b) {
+  return a.count == b.count && a.mean == b.mean && a.stddev == b.stddev &&
+         a.min == b.min && a.median == b.median && a.p95 == b.p95 &&
+         a.max == b.max;
+}
+
+bool stats_identical(const analysis::TrialStats& a,
+                     const analysis::TrialStats& b) {
+  return summaries_identical(a.steps, b.steps) &&
+         summaries_identical(a.worst_step, b.worst_step) &&
+         summaries_identical(a.max_link_queue, b.max_link_queue) &&
+         summaries_identical(a.max_node_queue, b.max_node_queue) &&
+         a.combined_mean == b.combined_mean &&
+         a.rehashes_mean == b.rehashes_mean &&
+         a.detours_mean == b.detours_mean &&
+         a.dropped_mean == b.dropped_mean &&
+         a.fault_rehashes_mean == b.fault_rehashes_mean &&
+         a.all_complete == b.all_complete &&
+         a.complete_runs == b.complete_runs && a.runs == b.runs;
+}
+
+analysis::TrialStats fault_trials(unsigned threads) {
+  support::ThreadPool pool(threads);
+  const analysis::TrialRunner runner(pool);
+  return runner.run(
+      [](std::uint64_t seed) -> analysis::TrialMeasurement {
+        // Everything mutable is per-seed: a faulted graph cannot be shared
+        // across concurrent trials, so each seed builds its own network.
+        DegradedStar net(5, ten_percent_links_and_modules(), seed);
+        pram::PermutationTraffic program(net.star.node_count(), 2, seed);
+        emulation::EmulatorConfig config;
+        config.seed = seed;
+        config.step_budget_factor = 64;
+        config.faults = &net.injector;
+        emulation::NetworkEmulator emulator(net.fab, config);
+        SharedMemory memory;
+        return emulator.run(program, memory);
+      },
+      /*seeds=*/8);
+}
+
+TEST(DegradedEmulation, FaultTrialsAreBitIdenticalAcrossThreadCounts) {
+  const analysis::TrialStats one = fault_trials(1);
+  const analysis::TrialStats eight = fault_trials(8);
+  EXPECT_TRUE(stats_identical(one, eight));
+  EXPECT_TRUE(one.all_complete);
+  EXPECT_GT(one.detours_mean, 0.0) << "10% link faults caused no detours?";
+}
+
+}  // namespace
+}  // namespace levnet::faults

@@ -383,6 +383,136 @@ TEST(FlatMap, CollidingKeysProbeLinearly) {
   EXPECT_EQ(map.find(99), nullptr);
 }
 
+TEST(FlatMap, GrowthWhileIteratingForEachSeesAStableSnapshot) {
+  // for_each visits the entries recorded at call time in insertion order;
+  // reads and value mutations during the walk are legal (key lookups do
+  // not rehash), and insertions performed *after* a walk — including ones
+  // that trigger growth — extend the order without disturbing it.
+  FlatMap<std::uint64_t, int, IdentityHash> map(16);
+  for (std::uint64_t k = 0; k < 7; ++k) {  // load 7/16: next insert grows
+    *map.find_or_insert(k * 0x9e3779b9ULL).first = static_cast<int>(k);
+  }
+  const std::size_t before = map.capacity();
+  std::vector<std::uint64_t> first_walk;
+  map.for_each([&](const std::uint64_t& k, int& v) {
+    first_walk.push_back(k);
+    ASSERT_NE(map.find(k), nullptr);  // lookups mid-walk are fine
+    v += 100;                         // value mutation mid-walk is fine
+  });
+  EXPECT_EQ(first_walk.size(), 7U);
+  // Push the table through growth, then walk again: the old prefix (with
+  // the mutated values) leads, the new entries follow in insertion order.
+  for (std::uint64_t k = 7; k < 40; ++k) {
+    *map.find_or_insert(k * 0x9e3779b9ULL).first = static_cast<int>(k);
+  }
+  EXPECT_GT(map.capacity(), before);
+  std::size_t index = 0;
+  map.for_each([&](const std::uint64_t& k, int& v) {
+    if (index < 7) {
+      EXPECT_EQ(k, first_walk[index]);
+      EXPECT_EQ(v, static_cast<int>(index) + 100);
+    } else {
+      EXPECT_EQ(v, static_cast<int>(index));
+    }
+    ++index;
+  });
+  EXPECT_EQ(index, 40U);
+}
+
+TEST(FlatMap, ClearThenReinsertIdenticalKeys) {
+  // The per-PRAM-step pattern at its worst: the same key set re-enters
+  // after every O(1) clear. Each cycle must report fresh insertions (no
+  // stale epoch can make a key look present), return default-initialized
+  // values, and leave capacity untouched.
+  FlatMap<std::uint64_t, int, IdentityHash> map(32);
+  const std::vector<std::uint64_t> keys{5, 21, 37, 53, 69};  // one chain
+  for (int cycle = 0; cycle < 64; ++cycle) {
+    for (const std::uint64_t k : keys) {
+      auto [value, inserted] = map.find_or_insert(k);
+      EXPECT_TRUE(inserted) << "stale epoch leaked key " << k;
+      EXPECT_EQ(*value, 0) << "recycled slot leaked a value";
+      *value = cycle + 1;
+    }
+    EXPECT_EQ(map.size(), keys.size());
+    for (const std::uint64_t k : keys) {
+      ASSERT_NE(map.find(k), nullptr);
+      EXPECT_EQ(*map.find(k), cycle + 1);
+    }
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    for (const std::uint64_t k : keys) EXPECT_EQ(map.find(k), nullptr);
+  }
+  EXPECT_EQ(map.capacity(), 32U);
+}
+
+TEST(FlatMap, NearCapacityLoadStaysAtHalfAndThenGrows) {
+  // The table grows when an insert would push load past 1/2, so exactly
+  // capacity/2 entries must fit without growth (pointers stay valid at the
+  // boundary) and entry capacity/2 + 1 doubles the table.
+  FlatMap<std::uint64_t, int, IdentityHash> map(64);
+  ASSERT_EQ(map.capacity(), 64U);
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    *map.find_or_insert(k * 0x9e3779b9ULL).first = static_cast<int>(k);
+  }
+  EXPECT_EQ(map.capacity(), 64U);
+  EXPECT_EQ(map.size(), 32U);
+  *map.find_or_insert(0xdeadULL).first = -1;
+  EXPECT_EQ(map.capacity(), 128U);
+  EXPECT_EQ(map.size(), 33U);
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    ASSERT_NE(map.find(k * 0x9e3779b9ULL), nullptr);
+    EXPECT_EQ(*map.find(k * 0x9e3779b9ULL), static_cast<int>(k));
+  }
+  EXPECT_EQ(*map.find(0xdeadULL), -1);
+  // Clear after growth: the grown table's epoch machinery still empties.
+  map.clear();
+  EXPECT_EQ(map.find(0xdeadULL), nullptr);
+  EXPECT_EQ(map.capacity(), 128U);
+}
+
+TEST(ObjectPool, ReleaseOrderStress) {
+  // Random allocate/release interleavings must never hand out a live ref
+  // twice, keep live() exact, and cap capacity at the high-water mark.
+  ObjectPool<std::uint64_t> pool;
+  Rng rng(0xFEED);
+  std::set<ObjectPool<std::uint64_t>::Ref> live;
+  std::size_t high_water = 0;
+  for (int round = 0; round < 5000; ++round) {
+    const bool allocate = live.empty() || rng.below(100) < 55;
+    if (allocate) {
+      const auto ref = pool.allocate();
+      EXPECT_TRUE(live.insert(ref).second) << "live ref handed out twice";
+      pool.get(ref) = ref * 1000ULL;
+      high_water = std::max(high_water, live.size());
+    } else {
+      // Release a pseudo-random victim, not the most recent — exercises
+      // LIFO-free-list recycling under arbitrary release order.
+      auto it = live.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.below(live.size())));
+      EXPECT_EQ(pool.get(*it), *it * 1000ULL) << "slot clobbered while live";
+      pool.release(*it);
+      live.erase(it);
+    }
+    EXPECT_EQ(pool.live(), live.size());
+  }
+  EXPECT_EQ(pool.capacity(), high_water)
+      << "pool grew beyond its high-water mark";
+  // Drain in a scrambled order and confirm full reuse afterwards.
+  while (!live.empty()) {
+    auto it = live.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(rng.below(live.size())));
+    pool.release(*it);
+    live.erase(it);
+  }
+  EXPECT_EQ(pool.live(), 0U);
+  const std::size_t capacity = pool.capacity();
+  for (std::size_t i = 0; i < capacity; ++i) {
+    const auto ref = pool.allocate();
+    EXPECT_LT(ref, capacity) << "refill allocated a fresh slot";
+  }
+  EXPECT_EQ(pool.capacity(), capacity);
+}
+
 TEST(Table, AlignsAndCounts) {
   Table t({"net", "steps", "ratio"});
   t.row().cell(std::string("star")).cell(std::uint64_t{42}).cell(3.14159, 2);
