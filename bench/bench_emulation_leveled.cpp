@@ -7,16 +7,14 @@
 //    steps/diameter stays a small constant while N explodes (E6);
 //  * CRCW steps (all processors reading or writing one cell) cost about the
 //    same *with combining*; without it the module serializes (E7).
+//
+// Machines are assembled from spec strings (machine/spec.hpp); the trial
+// bodies construct program + emulator per seed exactly as before, so all
+// measured values are bit-identical to the hand-wired assembly.
 
 #include "bench_common.hpp"
-#include "emulation/emulator.hpp"
-#include "emulation/fabric.hpp"
+#include "machine/machine.hpp"
 #include "pram/algorithms/access_patterns.hpp"
-#include "routing/shuffle_router.hpp"
-#include "routing/star_router.hpp"
-#include "routing/two_phase.hpp"
-#include "topology/shuffle.hpp"
-#include "topology/star.hpp"
 
 namespace {
 
@@ -27,30 +25,26 @@ using bench::u32;
 constexpr std::uint32_t kPramSteps = 4;
 
 /// One seeded EREW emulation trial: a fresh permutation program and a fresh
-/// emulator (per-trial engine + RNG — reentrant across pool threads).
+/// emulator stream (per-trial engine + RNG — reentrant across pool threads).
 analysis::TrialStats erew_trials(analysis::ScenarioContext& ctx,
-                                 const emulation::EmulationFabric& fabric,
-                                 std::uint32_t procs) {
+                                 const machine::Machine& m) {
   return ctx.trials([&](std::uint64_t seed) {
-    pram::PermutationTraffic program(procs, kPramSteps, seed);
-    emulation::EmulatorConfig config;
-    config.seed = seed;
-    emulation::NetworkEmulator emulator(fabric, config);
+    pram::PermutationTraffic program(m.processors(), kPramSteps, seed);
     pram::SharedMemory memory;
-    return emulator.run(program, memory);
+    return m.run_seeded(seed, program, memory);
   });
 }
 
-void erew_row(analysis::ScenarioContext& ctx, const std::string& network,
-              std::uint64_t processors, std::uint32_t diameter,
+void erew_row(analysis::ScenarioContext& ctx, const machine::Machine& m,
               const analysis::TrialStats& stats) {
+  const std::uint32_t diameter = m.route_scale();
   auto& table = ctx.table(
       "E6 / Theorem 2.5 + Cor 2.3-2.4: EREW emulation cost per PRAM step",
       {"network", "procs", "diam", "steps/pram-step", "worst step",
        "per diam", "linkQ", "rehash"});
   table.row()
-      .cell(network)
-      .cell(processors)
+      .cell(m.name())
+      .cell(std::uint64_t{m.processors()})
       .cell(std::uint64_t{diameter})
       .cell(stats.steps.mean, 1)
       .cell(stats.worst_step.max, 0)
@@ -61,22 +55,17 @@ void erew_row(analysis::ScenarioContext& ctx, const std::string& network,
 
 void crcw_row(analysis::ScenarioContext& ctx, std::uint32_t n, bool write,
               bool combining) {
-  const topology::StarGraph star(n);
-  const routing::StarTwoPhaseRouter router(star);
-  const emulation::EmulationFabric fabric(star.graph(), router,
-                                          star.diameter(), star.name());
+  const machine::Machine m = machine::Machine::build(
+      "star:" + std::to_string(n) + "/two-phase" +
+      (combining ? "/crcw-combining" : "/crcw"));
   const analysis::TrialStats stats = ctx.trials([&](std::uint64_t seed) {
-    emulation::EmulatorConfig config;
-    config.combining = combining;
-    config.seed = seed;
-    emulation::NetworkEmulator emulator(fabric, config);
     pram::SharedMemory memory;
     if (write) {
-      pram::HotSpotWriteTraffic program(star.node_count(), kPramSteps);
-      return emulator.run(program, memory);
+      pram::HotSpotWriteTraffic program(m.processors(), kPramSteps);
+      return m.run_seeded(seed, program, memory);
     }
-    pram::HotSpotReadTraffic program(star.node_count(), kPramSteps, 99);
-    return emulator.run(program, memory);
+    pram::HotSpotReadTraffic program(m.processors(), kPramSteps, 99);
+    return m.run_seeded(seed, program, memory);
   });
 
   auto& table = ctx.table(
@@ -85,14 +74,14 @@ void crcw_row(analysis::ScenarioContext& ctx, std::uint32_t n, bool write,
        "worst step", "combined reqs", "per diam"});
   table.row()
       .cell(std::uint64_t{n})
-      .cell(std::uint64_t{star.node_count()})
-      .cell(std::uint64_t{star.diameter()})
+      .cell(std::uint64_t{m.processors()})
+      .cell(std::uint64_t{m.route_scale()})
       .cell(std::string(write ? "write" : "read"))
       .cell(std::string(combining ? "yes" : "no"))
       .cell(stats.steps.mean, 1)
       .cell(stats.worst_step.max, 0)
       .cell(stats.combined_mean, 1)
-      .cell(stats.steps.mean / star.diameter(), 2);
+      .cell(stats.steps.mean / m.route_scale(), 2);
 }
 
 [[maybe_unused]] const analysis::ScenarioRegistrar kErewStar{
@@ -104,13 +93,9 @@ void crcw_row(analysis::ScenarioContext& ctx, std::uint32_t n, bool write,
         .seeds = 3,
         .run =
             [](analysis::ScenarioContext& ctx) {
-              const auto n = u32(ctx.arg(0));
-              const topology::StarGraph star(n);
-              const routing::StarTwoPhaseRouter router(star);
-              const emulation::EmulationFabric fabric(
-                  star.graph(), router, star.diameter(), star.name());
-              erew_row(ctx, star.name(), star.node_count(), star.diameter(),
-                       erew_trials(ctx, fabric, star.node_count()));
+              const machine::Machine m = machine::Machine::build(
+                  "star:" + std::to_string(ctx.arg(0)) + "/two-phase");
+              erew_row(ctx, m, erew_trials(ctx, m));
             },
     }};
 
@@ -123,13 +108,9 @@ void crcw_row(analysis::ScenarioContext& ctx, std::uint32_t n, bool write,
         .seeds = 3,
         .run =
             [](analysis::ScenarioContext& ctx) {
-              const auto n = u32(ctx.arg(0));
-              const topology::DWayShuffle net = topology::DWayShuffle::n_way(n);
-              const routing::ShuffleTwoPhaseRouter router(net);
-              const emulation::EmulationFabric fabric(
-                  net.graph(), router, net.route_length(), net.name());
-              erew_row(ctx, net.name(), net.node_count(), net.route_length(),
-                       erew_trials(ctx, fabric, net.node_count()));
+              const machine::Machine m = machine::Machine::build(
+                  "nshuffle:" + std::to_string(ctx.arg(0)) + "/two-phase");
+              erew_row(ctx, m, erew_trials(ctx, m));
             },
     }};
 
@@ -142,12 +123,9 @@ void crcw_row(analysis::ScenarioContext& ctx, std::uint32_t n, bool write,
         .seeds = 3,
         .run =
             [](analysis::ScenarioContext& ctx) {
-              const auto levels = u32(ctx.arg(0));
-              const topology::WrappedButterfly bf(2, levels);
-              const routing::TwoPhaseButterflyRouter router(bf);
-              const emulation::EmulationFabric fabric(bf, router);
-              erew_row(ctx, bf.name(), bf.row_count(), bf.levels(),
-                       erew_trials(ctx, fabric, bf.row_count()));
+              const machine::Machine m = machine::Machine::build(
+                  "butterfly:" + std::to_string(ctx.arg(0)) + "/two-phase");
+              erew_row(ctx, m, erew_trials(ctx, m));
             },
     }};
 

@@ -6,24 +6,19 @@
 // of the same seed, detour hops per request, and the extra rehashes that
 // module deaths force.
 //
-// Every trial builds its topology, plan and injector per seed: a faulted
-// graph carries a mutable liveness mask and must not be shared across
-// concurrent trials (see faults/injector.hpp).
+// Every trial owns its Machine (a faulted graph carries a mutable liveness
+// mask and must not be shared across concurrent trials): the base
+// MachineSpec carries the fault fractions, and stamping the trial seed into
+// the spec derives plan and emulator stream together — one seed names one
+// exact degraded history, as before the Machine API. The fault-free twin
+// is the same spec with the faults knob cleared.
 
+#include <algorithm>
 #include <memory>
 
 #include "bench_common.hpp"
-#include "emulation/emulator.hpp"
-#include "emulation/fabric.hpp"
-#include "faults/injector.hpp"
-#include "faults/plan.hpp"
+#include "machine/machine.hpp"
 #include "pram/algorithms/access_patterns.hpp"
-#include "routing/shuffle_router.hpp"
-#include "routing/star_router.hpp"
-#include "routing/two_phase.hpp"
-#include "topology/butterfly.hpp"
-#include "topology/shuffle.hpp"
-#include "topology/star.hpp"
 
 namespace {
 
@@ -32,10 +27,24 @@ using namespace levnet;
 using bench::u32;
 
 constexpr std::uint32_t kPramSteps = 4;
-/// Budget factor for every fault run (and its fault-free twin, so the
-/// slowdown ratio compares like with like): the rehash escape hatch must
-/// be live when detour storms blow a step budget.
-constexpr std::uint32_t kBudgetFactor = 64;
+
+/// Base spec shared by the F-series: two-phase router, a live rehash
+/// escape hatch (the budget must be armed when detour storms blow a step),
+/// and few retry attempts — a seed the plan defeats should report
+/// complete=false in milliseconds, not burn 2^16x budgets first.
+machine::MachineSpec fault_spec(const std::string& topology, double links,
+                                double nodes, double modules,
+                                sim::QueueDiscipline discipline,
+                                bool combining) {
+  machine::MachineSpec spec =
+      machine::parse_spec(topology + "/two-phase/budget=64/rehash=10");
+  spec.mode = combining ? machine::Mode::kCrcwCombining : machine::Mode::kErew;
+  spec.discipline = discipline;
+  spec.faults.links = links;
+  spec.faults.nodes = nodes;
+  spec.faults.modules = modules;
+  return spec;
+}
 
 /// One seed's degraded-vs-pristine outcome.
 struct FaultOutcome {
@@ -46,88 +55,21 @@ struct FaultOutcome {
   bool complete = false;
 };
 
-/// Owned topology + router + fabric + injector for one degraded star.
-struct StarNet {
-  StarNet(std::uint32_t n, const faults::FaultSpec& spec, std::uint64_t seed)
-      : star(n),
-        router(star),
-        fab(star.graph(), router, star.diameter(), star.name()),
-        plan(faults::FaultPlan::sample(star.graph(), star.node_count(),
-                                       star.node_count(), spec, seed)),
-        injector(star.graph_mut(), star.node_count(), plan) {}
-  topology::StarGraph star;
-  routing::StarTwoPhaseRouter router;
-  emulation::EmulationFabric fab;
-  faults::FaultPlan plan;
-  faults::FaultInjector injector;
-};
-
-struct ShuffleNet {
-  ShuffleNet(std::uint32_t n, const faults::FaultSpec& spec,
-             std::uint64_t seed)
-      : net(topology::DWayShuffle::n_way(n)),
-        router(net),
-        fab(net.graph(), router, net.route_length(), net.name()),
-        plan(faults::FaultPlan::sample(net.graph(), net.node_count(),
-                                       net.node_count(), spec, seed)),
-        injector(net.graph_mut(), net.node_count(), plan) {}
-  topology::DWayShuffle net;
-  routing::ShuffleTwoPhaseRouter router;
-  emulation::EmulationFabric fab;
-  faults::FaultPlan plan;
-  faults::FaultInjector injector;
-};
-
-struct ButterflyNet {
-  ButterflyNet(std::uint32_t levels, const faults::FaultSpec& spec,
-               std::uint64_t seed)
-      : bf(2, levels),
-        router(bf),
-        fab(bf, router),
-        plan(faults::FaultPlan::sample(bf.graph(), bf.row_count(),
-                                       bf.row_count(), spec, seed)),
-        injector(bf.graph_mut(), bf.row_count(), plan) {}
-  topology::WrappedButterfly bf;
-  routing::TwoPhaseButterflyRouter router;
-  emulation::EmulationFabric fab;
-  faults::FaultPlan plan;
-  faults::FaultInjector injector;
-};
-
-emulation::EmulationReport run_emulation(
-    const emulation::EmulationFabric& fab, faults::FaultInjector* injector,
-    pram::PramProgram& program, std::uint64_t seed,
-    sim::QueueDiscipline discipline, bool combining) {
-  emulation::EmulatorConfig config;
-  config.combining = combining;
-  config.discipline = discipline;
-  config.seed = seed;
-  config.step_budget_factor = kBudgetFactor;
-  // Fewer attempts than the default 16: a seed the plan defeats should
-  // report complete=false in milliseconds, not burn 2^16x budgets first.
-  config.max_rehash_attempts = 10;
-  config.faults = injector;
-  emulation::NetworkEmulator emulator(fab, config);
-  pram::SharedMemory memory;
-  return emulator.run(program, memory);
-}
-
 /// Degraded run + fault-free twin of the same seed -> one FaultOutcome.
-template <typename Net, typename MakeProgram>
-FaultOutcome fault_trial(std::uint32_t scale, const faults::FaultSpec& spec,
-                         std::uint64_t seed, MakeProgram make_program,
-                         sim::QueueDiscipline discipline, bool combining) {
-  Net degraded(scale, spec, seed);
-  auto program = make_program(degraded.fab.processors(), seed);
-  const emulation::EmulationReport faulty =
-      run_emulation(degraded.fab, &degraded.injector, *program, seed,
-                    discipline, combining);
+template <typename MakeProgram>
+FaultOutcome fault_trial(const machine::MachineSpec& base, std::uint64_t seed,
+                         MakeProgram make_program) {
+  machine::MachineSpec degraded_spec = base;
+  degraded_spec.seed = seed;
+  machine::Machine degraded = machine::Machine::build(degraded_spec);
+  const auto program = make_program(degraded.processors(), seed);
+  const emulation::EmulationReport faulty = degraded.run(*program);
 
-  Net pristine(scale, faults::FaultSpec{}, seed);  // empty plan: inert
-  auto baseline_program = make_program(pristine.fab.processors(), seed);
-  const emulation::EmulationReport clean =
-      run_emulation(pristine.fab, nullptr, *baseline_program, seed,
-                    discipline, combining);
+  machine::MachineSpec pristine_spec = degraded_spec;
+  pristine_spec.faults = machine::FaultKnobs{};  // empty plan: inert
+  machine::Machine pristine = machine::Machine::build(pristine_spec);
+  const auto baseline_program = make_program(pristine.processors(), seed);
+  const emulation::EmulationReport clean = pristine.run(*baseline_program);
 
   FaultOutcome outcome;
   outcome.complete = faulty.complete;
@@ -175,12 +117,6 @@ void fault_row(analysis::ScenarioContext& ctx, const std::string& title,
       .cell(rehashes / done, 1);
 }
 
-faults::FaultSpec link_spec(std::int64_t percent) {
-  faults::FaultSpec spec;
-  spec.link_fraction = static_cast<double>(percent) / 100.0;
-  return spec;
-}
-
 std::unique_ptr<pram::PramProgram> permutation_program(std::uint32_t procs,
                                                        std::uint64_t seed) {
   return std::make_unique<pram::PermutationTraffic>(procs, kPramSteps, seed);
@@ -200,12 +136,12 @@ constexpr char kLinksTitle[] =
         .run =
             [](analysis::ScenarioContext& ctx) {
               const auto n = u32(ctx.arg(0));
-              const faults::FaultSpec spec = link_spec(ctx.arg(1));
+              const machine::MachineSpec base = fault_spec(
+                  "star:" + std::to_string(n),
+                  static_cast<double>(ctx.arg(1)) / 100.0, 0.0, 0.0,
+                  sim::QueueDiscipline::kFifo, false);
               const auto outcomes = ctx.collect([&](std::uint64_t seed) {
-                return fault_trial<StarNet>(n, spec, seed,
-                                            permutation_program,
-                                            sim::QueueDiscipline::kFifo,
-                                            false);
+                return fault_trial(base, seed, permutation_program);
               });
               fault_row(ctx, kLinksTitle,
                         {"star(n=" + std::to_string(n) + ")",
@@ -225,12 +161,12 @@ constexpr char kLinksTitle[] =
         .run =
             [](analysis::ScenarioContext& ctx) {
               const auto n = u32(ctx.arg(0));
-              const faults::FaultSpec spec = link_spec(ctx.arg(1));
+              const machine::MachineSpec base = fault_spec(
+                  "nshuffle:" + std::to_string(n),
+                  static_cast<double>(ctx.arg(1)) / 100.0, 0.0, 0.0,
+                  sim::QueueDiscipline::kFifo, false);
               const auto outcomes = ctx.collect([&](std::uint64_t seed) {
-                return fault_trial<ShuffleNet>(n, spec, seed,
-                                               permutation_program,
-                                               sim::QueueDiscipline::kFifo,
-                                               false);
+                return fault_trial(base, seed, permutation_program);
               });
               fault_row(ctx, kLinksTitle,
                         {"shuffle(n=" + std::to_string(n) + ")",
@@ -250,14 +186,12 @@ constexpr char kLinksTitle[] =
         .run =
             [](analysis::ScenarioContext& ctx) {
               const auto n = u32(ctx.arg(0));
-              faults::FaultSpec spec;
-              spec.module_fraction =
-                  static_cast<double>(ctx.arg(1)) / 100.0;
+              const machine::MachineSpec base = fault_spec(
+                  "star:" + std::to_string(n), 0.0, 0.0,
+                  static_cast<double>(ctx.arg(1)) / 100.0,
+                  sim::QueueDiscipline::kFifo, false);
               const auto outcomes = ctx.collect([&](std::uint64_t seed) {
-                return fault_trial<StarNet>(n, spec, seed,
-                                            permutation_program,
-                                            sim::QueueDiscipline::kFifo,
-                                            false);
+                return fault_trial(base, seed, permutation_program);
               });
               fault_row(ctx,
                         "F2: EREW permutation emulation under dead modules",
@@ -279,14 +213,12 @@ constexpr char kLinksTitle[] =
         .run =
             [](analysis::ScenarioContext& ctx) {
               const auto levels = u32(ctx.arg(0));
-              faults::FaultSpec spec;
-              spec.node_fraction = static_cast<double>(ctx.arg(1)) / 100.0;
-              spec.link_fraction = 0.05;
+              const machine::MachineSpec base = fault_spec(
+                  "butterfly:" + std::to_string(levels), 0.05,
+                  static_cast<double>(ctx.arg(1)) / 100.0, 0.0,
+                  sim::QueueDiscipline::kFifo, false);
               const auto outcomes = ctx.collect([&](std::uint64_t seed) {
-                return fault_trial<ButterflyNet>(levels, spec, seed,
-                                                 permutation_program,
-                                                 sim::QueueDiscipline::kFifo,
-                                                 false);
+                return fault_trial(base, seed, permutation_program);
               });
               fault_row(ctx,
                         "F3: EREW permutation emulation under dead switches",
@@ -308,14 +240,15 @@ constexpr char kLinksTitle[] =
         .run =
             [](analysis::ScenarioContext& ctx) {
               const auto n = u32(ctx.arg(0));
-              const faults::FaultSpec spec = link_spec(ctx.arg(1));
               const auto discipline =
                   ctx.arg(2) != 0 ? sim::QueueDiscipline::kFurthestFirst
                                   : sim::QueueDiscipline::kFifo;
+              const machine::MachineSpec base = fault_spec(
+                  "star:" + std::to_string(n),
+                  static_cast<double>(ctx.arg(1)) / 100.0, 0.0, 0.0,
+                  discipline, false);
               const auto outcomes = ctx.collect([&](std::uint64_t seed) {
-                return fault_trial<StarNet>(n, spec, seed,
-                                            permutation_program, discipline,
-                                            false);
+                return fault_trial(base, seed, permutation_program);
               });
               fault_row(ctx, "F4: queue discipline under dead links",
                         {"star(n=" + std::to_string(n) + ")",
@@ -336,16 +269,18 @@ constexpr char kLinksTitle[] =
         .run =
             [](analysis::ScenarioContext& ctx) {
               const auto n = u32(ctx.arg(0));
-              const faults::FaultSpec spec = link_spec(ctx.arg(1));
+              const machine::MachineSpec base = fault_spec(
+                  "star:" + std::to_string(n),
+                  static_cast<double>(ctx.arg(1)) / 100.0, 0.0, 0.0,
+                  sim::QueueDiscipline::kFifo, true);
               const auto outcomes = ctx.collect([&](std::uint64_t seed) {
-                return fault_trial<StarNet>(
-                    n, spec, seed,
+                return fault_trial(
+                    base, seed,
                     [](std::uint32_t procs, std::uint64_t)
                         -> std::unique_ptr<pram::PramProgram> {
                       return std::make_unique<pram::HotSpotReadTraffic>(
                           procs, kPramSteps, 99);
-                    },
-                    sim::QueueDiscipline::kFifo, true);
+                    });
               });
               fault_row(ctx, "F5: combining CRCW hot spot under dead links",
                         {"star(n=" + std::to_string(n) + ")",

@@ -6,11 +6,10 @@
 // O(l); partial l-relations also finish in O~(l).
 
 #include "bench_common.hpp"
+#include "machine/machine.hpp"
 #include "routing/driver.hpp"
-#include "routing/two_phase.hpp"
 #include "sim/workload.hpp"
 #include "support/rng.hpp"
-#include "topology/butterfly.hpp"
 
 namespace {
 
@@ -20,15 +19,16 @@ using bench::u32;
 
 void leveled_row(analysis::ScenarioContext& ctx, std::uint32_t radix,
                  std::uint32_t levels, std::uint32_t relation_h) {
-  const topology::WrappedButterfly bf(radix, levels);
-  const routing::TwoPhaseButterflyRouter router(bf);
+  const machine::Machine m = machine::Machine::build(
+      "butterfly:" + std::to_string(radix) + "x" + std::to_string(levels) +
+      "/two-phase");
   const analysis::TrialStats stats = ctx.trials([&](std::uint64_t seed) {
     support::Rng rng(seed);
     const sim::Workload w =
         relation_h <= 1
-            ? sim::permutation_workload(bf.row_count(), rng)
-            : sim::h_relation_workload(bf.row_count(), relation_h, rng);
-    return routing::run_workload(bf.graph(), router, w, {}, rng);
+            ? sim::permutation_workload(m.processors(), rng)
+            : sim::h_relation_workload(m.processors(), relation_h, rng);
+    return routing::run_workload(m.graph(), m.router(), w, {}, rng);
   });
 
   auto& table = ctx.table(
@@ -40,7 +40,7 @@ void leveled_row(analysis::ScenarioContext& ctx, std::uint32_t radix,
   table.row()
       .cell(std::uint64_t{radix})
       .cell(std::uint64_t{levels})
-      .cell(std::uint64_t{bf.row_count()})
+      .cell(std::uint64_t{m.processors()})
       .cell(std::uint64_t{relation_h == 0 ? 1 : relation_h})
       .cell(stats.steps.mean, 1)
       .cell(stats.steps.max, 0)

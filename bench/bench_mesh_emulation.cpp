@@ -7,12 +7,9 @@
 // motivation).
 
 #include "bench_common.hpp"
-#include "emulation/emulator.hpp"
-#include "emulation/fabric.hpp"
+#include "machine/machine.hpp"
 #include "pram/algorithms/access_patterns.hpp"
-#include "routing/mesh_router.hpp"
 #include "support/stats.hpp"
-#include "topology/mesh.hpp"
 
 namespace {
 
@@ -33,20 +30,15 @@ constexpr std::uint32_t kPramSteps = 3;
         .run =
             [](analysis::ScenarioContext& ctx) {
               const auto n = u32(ctx.arg(0));
-              const topology::Mesh mesh(n, n);
-              const routing::MeshThreeStageRouter router(mesh);
-              const emulation::EmulationFabric fabric(
-                  mesh.graph(), router, mesh.diameter(), mesh.name());
+              const machine::Machine m = machine::Machine::build(
+                  "mesh:" + std::to_string(n) +
+                  "/three-stage/erew/furthest-first");
               const analysis::TrialStats stats =
                   ctx.trials([&](std::uint64_t seed) {
-                    pram::PermutationTraffic program(mesh.node_count(),
+                    pram::PermutationTraffic program(m.processors(),
                                                      kPramSteps, seed);
-                    emulation::EmulatorConfig config;
-                    config.discipline = sim::QueueDiscipline::kFurthestFirst;
-                    config.seed = seed;
-                    emulation::NetworkEmulator emulator(fabric, config);
                     pram::SharedMemory memory;
-                    return emulator.run(program, memory);
+                    return m.run_seeded(seed, program, memory);
                   });
 
               auto& table = ctx.table(
@@ -56,7 +48,7 @@ constexpr std::uint32_t kPramSteps = 3;
                    "worst per n", "linkQ", "nodeQ"});
               table.row()
                   .cell(std::uint64_t{n})
-                  .cell(std::uint64_t{mesh.node_count()})
+                  .cell(std::uint64_t{m.processors()})
                   .cell(stats.steps.mean, 1)
                   .cell(stats.worst_step.max, 0)
                   .cell(stats.steps.mean / n, 2)

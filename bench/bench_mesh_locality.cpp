@@ -4,19 +4,17 @@
 //
 // The hypothesis is about where memory lives, so the experiment constructs
 // the local layout directly (request to a module within distance d, reply
-// back) and scales the stage-1 slice height with d rather than n. Total
-// time per PRAM step = request round + reply round, each 3 stages of at
-// most ~d links: the 6d budget.
+// back) and scales the stage-1 slice height with d rather than n: the
+// slice height rides the three-stage router's spec parameter.
 
 #include <algorithm>
 
 #include "bench_common.hpp"
+#include "machine/machine.hpp"
 #include "routing/driver.hpp"
-#include "routing/mesh_router.hpp"
 #include "sim/workload.hpp"
 #include "support/bits.hpp"
 #include "support/rng.hpp"
-#include "topology/mesh.hpp"
 
 namespace {
 
@@ -27,35 +25,34 @@ using bench::u32;
 /// One emulation step under the locality hypothesis: request to a module
 /// within distance d, then the reply retraces (an independent routing of
 /// the inverse demands). Each phase is one routing run.
-routing::RoutingOutcome locality_round(const topology::Mesh& mesh,
-                                       const routing::Router& router,
-                                       std::uint32_t d, std::uint64_t seed,
-                                       bool reply_phase) {
+routing::RoutingOutcome locality_round(const machine::Machine& m,
+                                       std::uint32_t n, std::uint32_t d,
+                                       std::uint64_t seed, bool reply_phase) {
   support::Rng rng(seed);
-  sim::Workload w = sim::local_mesh_workload(mesh.rows(), d, rng);
+  sim::Workload w = sim::local_mesh_workload(n, d, rng);
   if (reply_phase) {
     for (auto& demand : w) std::swap(demand.source, demand.destination);
   }
-  sim::EngineConfig config;
-  config.discipline = sim::QueueDiscipline::kFurthestFirst;
-  return routing::run_workload(mesh.graph(), router, w, config, rng);
+  return routing::run_workload(m.graph(), m.router(), w, m.engine_config(),
+                               rng);
 }
 
 void locality_row(analysis::ScenarioContext& ctx, std::uint32_t n,
                   std::uint32_t d) {
-  const topology::Mesh mesh(n, n);
   // Slice height scaled to the locality radius: d / log2(d) (>= 1).
   const std::uint32_t slice =
       std::max(1U, d / std::max(1U, support::ceil_log2(d)));
-  const routing::MeshThreeStageRouter router(mesh, slice);
+  const machine::Machine m = machine::Machine::build(
+      "mesh:" + std::to_string(n) + "/three-stage:" + std::to_string(slice) +
+      "/erew/furthest-first");
 
   const analysis::TrialStats request_stats =
       ctx.trials([&](std::uint64_t seed) {
-        return locality_round(mesh, router, d, seed, false);
+        return locality_round(m, n, d, seed, false);
       });
   const analysis::TrialStats reply_stats =
       ctx.trials([&](std::uint64_t seed) {
-        return locality_round(mesh, router, d, seed, true);
+        return locality_round(m, n, d, seed, true);
       });
 
   const double round_trip = request_stats.steps.mean + reply_stats.steps.mean;

@@ -12,11 +12,10 @@
 //    the finishing time.
 
 #include "bench_common.hpp"
+#include "machine/machine.hpp"
 #include "routing/driver.hpp"
-#include "routing/mesh_router.hpp"
 #include "sim/workload.hpp"
 #include "support/rng.hpp"
-#include "topology/mesh.hpp"
 
 namespace {
 
@@ -44,30 +43,30 @@ const char* algo_name(MeshAlgo algo) {
 
 void mesh_row(analysis::ScenarioContext& ctx, std::uint32_t n, MeshAlgo algo,
               std::uint32_t relation_h, std::uint32_t buffer_bound) {
-  const topology::Mesh mesh(n, n);
-  const routing::MeshThreeStageRouter staged(mesh);
-  const routing::ValiantBrebnerMeshRouter valiant(mesh);
-  const routing::GreedyXYMeshRouter greedy(mesh);
-  const routing::Router& router =
-      algo == MeshAlgo::kThreeStage
-          ? static_cast<const routing::Router&>(staged)
-          : (algo == MeshAlgo::kValiantBrebner
-                 ? static_cast<const routing::Router&>(valiant)
-                 : static_cast<const routing::Router&>(greedy));
-  sim::EngineConfig config;
   // The paper's discipline for its own algorithm; FIFO for baselines.
-  if (algo == MeshAlgo::kThreeStage) {
-    config.discipline = sim::QueueDiscipline::kFurthestFirst;
+  std::string spec = "mesh:" + std::to_string(n);
+  switch (algo) {
+    case MeshAlgo::kThreeStage:
+      spec += "/three-stage/erew/furthest-first";
+      break;
+    case MeshAlgo::kValiantBrebner:
+      spec += "/valiant/erew/fifo";
+      break;
+    case MeshAlgo::kGreedyXY:
+      spec += "/xy/erew/fifo";
+      break;
   }
-  config.node_buffer_bound = buffer_bound;
+  if (buffer_bound != 0) spec += "/buffer=" + std::to_string(buffer_bound);
+  const machine::Machine m = machine::Machine::build(spec);
 
   const analysis::TrialStats stats = ctx.trials([&](std::uint64_t seed) {
     support::Rng rng(seed);
     const sim::Workload w =
         relation_h <= 1
-            ? sim::permutation_workload(mesh.node_count(), rng)
-            : sim::h_relation_workload(mesh.node_count(), relation_h, rng);
-    return routing::run_workload(mesh.graph(), router, w, config, rng);
+            ? sim::permutation_workload(m.processors(), rng)
+            : sim::h_relation_workload(m.processors(), relation_h, rng);
+    return routing::run_workload(m.graph(), m.router(), w, m.engine_config(),
+                                 rng);
   });
 
   auto& table = ctx.table(

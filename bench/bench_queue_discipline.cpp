@@ -6,18 +6,17 @@
 //    sweep the height and watch stage-1 overhead vs randomization benefit;
 //  * hash polynomial degree S = cL: Lemma 2.2 wants S ~ cL; degree 1-2
 //    (weaker universality) vs S = L on emulation cost.
+//
+// All machines come from spec strings: the discipline is a spec segment,
+// the slice height is the three-stage router's `:param`, and the hash
+// degree is the `hash-degree=` knob.
 
 #include "bench_common.hpp"
-#include "emulation/emulator.hpp"
-#include "emulation/fabric.hpp"
+#include "machine/machine.hpp"
 #include "pram/algorithms/access_patterns.hpp"
 #include "routing/driver.hpp"
-#include "routing/mesh_router.hpp"
-#include "routing/star_router.hpp"
 #include "sim/workload.hpp"
 #include "support/rng.hpp"
-#include "topology/mesh.hpp"
-#include "topology/star.hpp"
 
 namespace {
 
@@ -25,13 +24,13 @@ using namespace levnet;
 
 using bench::u32;
 
-const char* discipline_name(sim::QueueDiscipline d) {
+const char* discipline_name(std::int64_t d) {
   switch (d) {
-    case sim::QueueDiscipline::kFifo:
+    case 0:
       return "fifo";
-    case sim::QueueDiscipline::kFurthestFirst:
+    case 1:
       return "furthest-first";
-    case sim::QueueDiscipline::kNearestFirst:
+    case 2:
       return "nearest-first";
   }
   return "?";
@@ -49,20 +48,17 @@ const char* discipline_name(sim::QueueDiscipline d) {
         .run =
             [](analysis::ScenarioContext& ctx) {
               const auto n = u32(ctx.arg(0));
-              const auto discipline =
-                  static_cast<sim::QueueDiscipline>(ctx.arg(1));
-              const topology::Mesh mesh(n, n);
-              const routing::MeshThreeStageRouter router(mesh);
-              sim::EngineConfig config;
-              config.discipline = discipline;
+              const machine::Machine m = machine::Machine::build(
+                  "mesh:" + std::to_string(n) + "/three-stage/erew/" +
+                  discipline_name(ctx.arg(1)));
 
               const analysis::TrialStats stats =
                   ctx.trials([&](std::uint64_t seed) {
                     support::Rng rng(seed);
                     const sim::Workload w =
-                        sim::permutation_workload(mesh.node_count(), rng);
-                    return routing::run_workload(mesh.graph(), router, w,
-                                                 config, rng);
+                        sim::permutation_workload(m.processors(), rng);
+                    return routing::run_workload(m.graph(), m.router(), w,
+                                                 m.engine_config(), rng);
                   });
 
               auto& table = ctx.table(
@@ -72,7 +68,7 @@ const char* discipline_name(sim::QueueDiscipline d) {
                    "nodeQ(max)"});
               table.row()
                   .cell(std::uint64_t{n})
-                  .cell(std::string(discipline_name(discipline)))
+                  .cell(std::string(discipline_name(ctx.arg(1))))
                   .cell(stats.steps.mean, 1)
                   .cell(stats.steps.max, 0)
                   .cell(stats.steps.mean / n, 2)
@@ -93,10 +89,9 @@ const char* discipline_name(sim::QueueDiscipline d) {
             [](analysis::ScenarioContext& ctx) {
               const auto n = u32(ctx.arg(0));
               const auto slice = u32(ctx.arg(1));
-              const topology::Mesh mesh(n, n);
-              const routing::MeshThreeStageRouter router(mesh, slice);
-              sim::EngineConfig config;
-              config.discipline = sim::QueueDiscipline::kFurthestFirst;
+              const machine::Machine m = machine::Machine::build(
+                  "mesh:" + std::to_string(n) + "/three-stage:" +
+                  std::to_string(slice) + "/erew/furthest-first");
 
               const analysis::TrialStats stats =
                   ctx.trials([&](std::uint64_t seed) {
@@ -104,9 +99,9 @@ const char* discipline_name(sim::QueueDiscipline d) {
                     // Bursty relation: where stage-1 randomization earns
                     // its keep.
                     const sim::Workload w =
-                        sim::h_relation_workload(mesh.node_count(), 4, rng);
-                    return routing::run_workload(mesh.graph(), router, w,
-                                                 config, rng);
+                        sim::h_relation_workload(m.processors(), 4, rng);
+                    return routing::run_workload(m.graph(), m.router(), w,
+                                                 m.engine_config(), rng);
                   });
 
               auto& table = ctx.table(
@@ -136,20 +131,15 @@ const char* discipline_name(sim::QueueDiscipline d) {
             [](analysis::ScenarioContext& ctx) {
               const auto n = u32(ctx.arg(0));
               const auto degree = u32(ctx.arg(1));
-              const topology::StarGraph star(n);
-              const routing::StarTwoPhaseRouter router(star);
-              const emulation::EmulationFabric fabric(
-                  star.graph(), router, star.diameter(), star.name());
+              const machine::Machine m = machine::Machine::build(
+                  "star:" + std::to_string(n) +
+                  "/two-phase/erew/fifo/hash-degree=" +
+                  std::to_string(degree));
               const analysis::TrialStats stats =
                   ctx.trials([&](std::uint64_t seed) {
-                    pram::PermutationTraffic program(star.node_count(), 4,
-                                                     seed);
-                    emulation::EmulatorConfig config;
-                    config.hash_degree = degree;
-                    config.seed = seed;
-                    emulation::NetworkEmulator emulator(fabric, config);
+                    pram::PermutationTraffic program(m.processors(), 4, seed);
                     pram::SharedMemory memory;
-                    return emulator.run(program, memory);
+                    return m.run_seeded(seed, program, memory);
                   });
 
               auto& table = ctx.table(

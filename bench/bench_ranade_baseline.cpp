@@ -14,12 +14,8 @@
 //    argument motivating Section 3.
 
 #include "bench_common.hpp"
-#include "emulation/emulator.hpp"
-#include "emulation/fabric.hpp"
+#include "machine/machine.hpp"
 #include "pram/algorithms/access_patterns.hpp"
-#include "routing/mesh_router.hpp"
-#include "routing/two_phase.hpp"
-#include "topology/mesh.hpp"
 
 namespace {
 
@@ -29,25 +25,22 @@ using bench::u32;
 
 constexpr std::uint32_t kPramSteps = 3;
 
+analysis::TrialStats permutation_trials(analysis::ScenarioContext& ctx,
+                                        const machine::Machine& m) {
+  return ctx.trials([&](std::uint64_t seed) {
+    pram::PermutationTraffic program(m.processors(), kPramSteps, seed);
+    pram::SharedMemory memory;
+    return m.run_seeded(seed, program, memory);
+  });
+}
+
 void mesh_emulation_row(analysis::ScenarioContext& ctx, std::uint32_t n,
                         bool specialized) {
-  const topology::Mesh mesh(n, n);
-  const routing::MeshThreeStageRouter staged(mesh);
-  const routing::ValiantBrebnerMeshRouter generic(mesh);
-  const routing::Router& router =
-      specialized ? static_cast<const routing::Router&>(staged)
-                  : static_cast<const routing::Router&>(generic);
-  const emulation::EmulationFabric fabric(mesh.graph(), router,
-                                          mesh.diameter(), mesh.name());
-  const analysis::TrialStats stats = ctx.trials([&](std::uint64_t seed) {
-    pram::PermutationTraffic program(mesh.node_count(), kPramSteps, seed);
-    emulation::EmulatorConfig config;
-    if (specialized) config.discipline = sim::QueueDiscipline::kFurthestFirst;
-    config.seed = seed;
-    emulation::NetworkEmulator emulator(fabric, config);
-    pram::SharedMemory memory;
-    return emulator.run(program, memory);
-  });
+  const machine::Machine m = machine::Machine::build(
+      "mesh:" + std::to_string(n) +
+      (specialized ? "/three-stage/erew/furthest-first"
+                   : "/valiant/erew/fifo"));
+  const analysis::TrialStats stats = permutation_trials(ctx, m);
 
   auto& table = ctx.table(
       "E11b / Section 3 motivation: generic vs specialized emulation on the "
@@ -73,21 +66,11 @@ void mesh_emulation_row(analysis::ScenarioContext& ctx, std::uint32_t n,
         .run =
             [](analysis::ScenarioContext& ctx) {
               const auto levels = u32(ctx.arg(0));
-              const topology::WrappedButterfly bf(2, levels);
-              const routing::TwoPhaseButterflyRouter router(bf);
-              const emulation::EmulationFabric fabric(bf, router);
-              const analysis::TrialStats stats =
-                  ctx.trials([&](std::uint64_t seed) {
-                    pram::PermutationTraffic program(bf.row_count(),
-                                                     kPramSteps, seed);
-                    emulation::EmulatorConfig config;
-                    // Ranade's scheme is a combining CRCW emulation.
-                    config.combining = true;
-                    config.seed = seed;
-                    emulation::NetworkEmulator emulator(fabric, config);
-                    pram::SharedMemory memory;
-                    return emulator.run(program, memory);
-                  });
+              // Ranade's scheme is a combining CRCW emulation.
+              const machine::Machine m = machine::Machine::build(
+                  "butterfly:" + std::to_string(levels) +
+                  "/two-phase/crcw-combining");
+              const analysis::TrialStats stats = permutation_trials(ctx, m);
 
               auto& table = ctx.table(
                   "E11a / Ranade [13] baseline: combining emulation on the "
@@ -96,7 +79,7 @@ void mesh_emulation_row(analysis::ScenarioContext& ctx, std::uint32_t n,
                    "c = steps/log2N", "linkQ"});
               table.row()
                   .cell(std::uint64_t{levels})
-                  .cell(std::uint64_t{bf.row_count()})
+                  .cell(std::uint64_t{m.processors()})
                   .cell(stats.steps.mean, 1)
                   .cell(stats.worst_step.max, 0)
                   .cell(stats.steps.mean / levels, 2)

@@ -6,11 +6,10 @@
 // and partial n-relations too.
 
 #include "bench_common.hpp"
+#include "machine/machine.hpp"
 #include "routing/driver.hpp"
-#include "routing/shuffle_router.hpp"
 #include "sim/workload.hpp"
 #include "support/rng.hpp"
-#include "topology/shuffle.hpp"
 
 namespace {
 
@@ -20,20 +19,20 @@ using bench::u32;
 
 void shuffle_row(analysis::ScenarioContext& ctx, std::uint32_t d,
                  std::uint32_t n, bool randomized, std::uint32_t relation_h) {
-  const topology::DWayShuffle net(d, n);
-  const routing::ShuffleTwoPhaseRouter two_phase(net);
-  const routing::ShuffleUniquePathRouter unique_path(net);
-  const routing::Router& router =
-      randomized ? static_cast<const routing::Router&>(two_phase)
-                 : static_cast<const routing::Router&>(unique_path);
+  const std::string router_key = randomized ? "two-phase" : "unique-path";
+  const std::string topology =
+      d == n ? "nshuffle:" + std::to_string(n)
+             : "shuffle:" + std::to_string(d) + "x" + std::to_string(n);
+  const machine::Machine m =
+      machine::Machine::build(topology + "/" + router_key);
 
   const analysis::TrialStats stats = ctx.trials([&](std::uint64_t seed) {
     support::Rng rng(seed);
     const sim::Workload w =
         relation_h <= 1
-            ? sim::permutation_workload(net.node_count(), rng)
-            : sim::h_relation_workload(net.node_count(), relation_h, rng);
-    return routing::run_workload(net.graph(), router, w, {}, rng);
+            ? sim::permutation_workload(m.processors(), rng)
+            : sim::h_relation_workload(m.processors(), relation_h, rng);
+    return routing::run_workload(m.graph(), m.router(), w, {}, rng);
   });
 
   auto& table = ctx.table(
@@ -45,8 +44,8 @@ void shuffle_row(analysis::ScenarioContext& ctx, std::uint32_t d,
   table.row()
       .cell(std::uint64_t{d})
       .cell(std::uint64_t{n})
-      .cell(std::uint64_t{net.node_count()})
-      .cell(std::string(randomized ? "two-phase" : "unique-path"))
+      .cell(std::uint64_t{m.processors()})
+      .cell(router_key)
       .cell(std::uint64_t{relation_h == 0 ? 1 : relation_h})
       .cell(stats.steps.mean, 1)
       .cell(stats.steps.max, 0)

@@ -7,11 +7,10 @@
 // baseline.
 
 #include "bench_common.hpp"
+#include "machine/machine.hpp"
 #include "routing/driver.hpp"
-#include "routing/star_router.hpp"
 #include "sim/workload.hpp"
 #include "support/rng.hpp"
-#include "topology/star.hpp"
 
 namespace {
 
@@ -21,20 +20,17 @@ using bench::u32;
 
 void star_row(analysis::ScenarioContext& ctx, std::uint32_t n,
               bool randomized, std::uint32_t relation_h) {
-  const topology::StarGraph star(n);
-  const routing::StarTwoPhaseRouter two_phase(star);
-  const routing::StarGreedyRouter greedy(star);
-  const routing::Router& router =
-      randomized ? static_cast<const routing::Router&>(two_phase)
-                 : static_cast<const routing::Router&>(greedy);
+  const std::string router_key = randomized ? "two-phase" : "greedy";
+  const machine::Machine m = machine::Machine::build(
+      "star:" + std::to_string(n) + "/" + router_key);
 
   const analysis::TrialStats stats = ctx.trials([&](std::uint64_t seed) {
     support::Rng rng(seed);
     const sim::Workload w =
         relation_h <= 1
-            ? sim::permutation_workload(star.node_count(), rng)
-            : sim::h_relation_workload(star.node_count(), relation_h, rng);
-    return routing::run_workload(star.graph(), router, w, {}, rng);
+            ? sim::permutation_workload(m.processors(), rng)
+            : sim::h_relation_workload(m.processors(), relation_h, rng);
+    return routing::run_workload(m.graph(), m.router(), w, {}, rng);
   });
 
   auto& table = ctx.table(
@@ -45,14 +41,14 @@ void star_row(analysis::ScenarioContext& ctx, std::uint32_t n,
        "steps/n", "steps/diam", "linkQ(max)", "ok"});
   table.row()
       .cell(std::uint64_t{n})
-      .cell(std::uint64_t{star.node_count()})
-      .cell(std::uint64_t{star.diameter()})
-      .cell(std::string(randomized ? "two-phase" : "greedy"))
+      .cell(std::uint64_t{m.processors()})
+      .cell(std::uint64_t{m.route_scale()})
+      .cell(router_key)
       .cell(std::uint64_t{relation_h == 0 ? 1 : relation_h})
       .cell(stats.steps.mean, 1)
       .cell(stats.steps.max, 0)
       .cell(stats.steps.mean / n, 2)
-      .cell(stats.steps.mean / star.diameter(), 2)
+      .cell(stats.steps.mean / m.route_scale(), 2)
       .cell(stats.max_link_queue.max, 0)
       .cell(std::string(stats.all_complete ? "yes" : "NO"));
 }

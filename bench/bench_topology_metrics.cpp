@@ -4,14 +4,17 @@
 //
 // Rows compare, at matched network sizes, degree, diameter, and
 // diameter / log2(N) (sub-logarithmic means the last column falls). No
-// randomness here: seeds = 1 and the sweep is purely structural.
+// randomness here: seeds = 1 and the sweep is purely structural. The
+// topologies come from the machine registry (machine::build_topology), the
+// same catalogue `levnet_run --list` prints.
 
 #include <cmath>
 
 #include "bench_common.hpp"
+#include "machine/registry.hpp"
+#include "machine/spec.hpp"
+#include "support/check.hpp"
 #include "topology/checks.hpp"
-#include "topology/hypercube.hpp"
-#include "topology/star.hpp"
 
 namespace {
 
@@ -25,19 +28,32 @@ const std::vector<std::string> kHeader = {
     "network", "nodes",  "degree",    "diameter",
     "diam(measured)", "log2 N", "diam/log2N"};
 
-void metrics_row(analysis::ScenarioContext& ctx, const std::string& name,
-                 std::uint64_t nodes, std::uint32_t degree,
-                 std::uint32_t diameter, std::uint32_t measured) {
+void metrics_row(analysis::ScenarioContext& ctx, const std::string& family,
+                 std::uint32_t param, std::uint64_t bfs_node_cap) {
+  machine::MachineSpec spec;
+  spec.topology = family;
+  spec.param0 = param;
+  std::string error;
+  const auto topo = machine::build_topology(spec, error);
+  LEVNET_CHECK_MSG(topo != nullptr, error);
+
+  // route_scale is the closed-form diameter for both families; verify it
+  // against all-pairs BFS where that is cheap.
+  const std::uint64_t nodes = topo->graph().node_count();
+  std::uint32_t measured = topo->route_scale();
+  if (nodes <= bfs_node_cap) {
+    measured = topology::exact_diameter(topo->graph());
+  }
   const double log_size = std::log2(static_cast<double>(nodes));
   ctx.table(kTableTitle, kHeader)
       .row()
-      .cell(name)
+      .cell(topo->name())
       .cell(nodes)
-      .cell(std::uint64_t{degree})
-      .cell(std::uint64_t{diameter})
+      .cell(std::uint64_t{topo->graph().max_out_degree()})
+      .cell(std::uint64_t{topo->route_scale()})
       .cell(std::uint64_t{measured})
       .cell(log_size, 1)
-      .cell(diameter / log_size, 3);
+      .cell(topo->route_scale() / log_size, 3);
 }
 
 [[maybe_unused]] const analysis::ScenarioRegistrar kStarMetrics{
@@ -50,15 +66,7 @@ void metrics_row(analysis::ScenarioContext& ctx, const std::string& name,
         .seeds = 1,
         .run =
             [](analysis::ScenarioContext& ctx) {
-              const auto n = u32(ctx.arg(0));
-              const topology::StarGraph star(n);
-              // Verify the closed-form diameter where all-pairs BFS is cheap.
-              std::uint32_t measured = star.diameter();
-              if (star.node_count() <= 720) {
-                measured = topology::exact_diameter(star.graph());
-              }
-              metrics_row(ctx, star.name(), star.node_count(), star.degree(),
-                          star.diameter(), measured);
+              metrics_row(ctx, "star", u32(ctx.arg(0)), 720);
             },
     }};
 
@@ -72,14 +80,7 @@ void metrics_row(analysis::ScenarioContext& ctx, const std::string& name,
         .seeds = 1,
         .run =
             [](analysis::ScenarioContext& ctx) {
-              const auto dim = u32(ctx.arg(0));
-              const topology::Hypercube cube(dim);
-              std::uint32_t measured = cube.diameter();
-              if (cube.node_count() <= 1024) {
-                measured = topology::exact_diameter(cube.graph());
-              }
-              metrics_row(ctx, cube.name(), cube.node_count(), cube.degree(),
-                          cube.diameter(), measured);
+              metrics_row(ctx, "hypercube", u32(ctx.arg(0)), 1024);
             },
     }};
 

@@ -182,11 +182,30 @@ def main():
     )
     args = parser.parse_args()
 
+    # A missing or empty baseline directory is a caller error (wrong path,
+    # forgotten checkout), not a clean diff: exit nonzero so CI cannot
+    # silently "pass" while comparing against nothing.
+    if not os.path.isdir(args.baseline_dir):
+        print(
+            f"error: baseline dir '{args.baseline_dir}' does not exist\n"
+            f"usage: {parser.prog} --baseline-dir DIR --fresh-dir DIR "
+            "[--threshold F] [--strict]\n"
+            "       DIR must hold the committed BENCH_*.json baselines "
+            "(e.g. bench/baselines)",
+            file=sys.stderr,
+        )
+        return 2
     baselines = load_reports(args.baseline_dir)
     fresh = load_reports(args.fresh_dir)
     if not baselines:
-        print(f"no baselines in {args.baseline_dir}; nothing to compare")
-        return 0
+        print(
+            f"error: no BENCH_*.json baselines in '{args.baseline_dir}' — "
+            "nothing to compare against\n"
+            f"usage: {parser.prog} --baseline-dir DIR --fresh-dir DIR "
+            "[--threshold F] [--strict]",
+            file=sys.stderr,
+        )
+        return 2
 
     findings = []
     print(

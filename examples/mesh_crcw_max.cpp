@@ -3,29 +3,23 @@
 // this example runs the O(1)-step CRCW maximum (n^2 processors) and the
 // CRCW logical-OR on an emulated mesh PRAM, with and without message
 // combining, showing why Theorem 2.6 needs combining: the concurrent
-// accesses of CRCW programs otherwise serialize at memory modules.
+// accesses of CRCW programs otherwise serialize at memory modules. The
+// with/without ablation is one token in the machine spec.
 
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
-#include "emulation/emulator.hpp"
-#include "emulation/fabric.hpp"
+#include "machine/machine.hpp"
 #include "pram/algorithms/max_find.hpp"
 #include "pram/memory.hpp"
-#include "routing/mesh_router.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
-#include "topology/mesh.hpp"
 
 int main() {
   using namespace levnet;
 
   const std::uint32_t mesh_n = 12;  // 144 processors >= 12^2 for ConstantMax
-  const topology::Mesh mesh(mesh_n, mesh_n);
-  const routing::MeshThreeStageRouter router(mesh);
-  const emulation::EmulationFabric fabric(mesh.graph(), router,
-                                          mesh.diameter(), mesh.name());
 
   support::Rng rng(2024);
   std::vector<pram::Word> values(12);
@@ -35,16 +29,17 @@ int main() {
                         "net steps/step", "worst step", "combined reqs",
                         "valid"});
 
+  std::string network_name;
   for (const bool combining : {false, true}) {
-    emulation::EmulatorConfig config;
-    config.combining = combining;
-    config.discipline = sim::QueueDiscipline::kFurthestFirst;
+    machine::Machine m = machine::Machine::build(
+        "mesh:" + std::to_string(mesh_n) + "/three-stage/" +
+        (combining ? "crcw-combining" : "crcw") + "/furthest-first");
+    network_name = m.name();
 
     {
       pram::ConstantMaxCrcw program(values);
-      emulation::NetworkEmulator emulator(fabric, config);
       pram::SharedMemory memory;
-      const auto report = emulator.run(program, memory);
+      const auto report = m.run(program, memory);
       table.row()
           .cell(std::string("max (5-step CRCW)"))
           .cell(std::string(combining ? "yes" : "no"))
@@ -55,12 +50,11 @@ int main() {
           .cell(std::string(program.validate(memory) ? "yes" : "NO"));
     }
     {
-      std::vector<pram::Word> bits(fabric.processors());
+      std::vector<pram::Word> bits(m.processors());
       for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = i == 37 ? 1 : 0;
       pram::LogicalOrCrcw program(bits);
-      emulation::NetworkEmulator emulator(fabric, config);
       pram::SharedMemory memory;
-      const auto report = emulator.run(program, memory);
+      const auto report = m.run(program, memory);
       table.row()
           .cell(std::string("logical OR (2-step CRCW)"))
           .cell(std::string(combining ? "yes" : "no"))

@@ -1,70 +1,34 @@
-// Quickstart: emulate a CRCW PRAM program on a star graph in ~30 lines.
-//
-// Build:  cmake -B build -G Ninja && cmake --build build
-// Run:    ./build/examples/quickstart
-//
-// The example runs a parallel prefix sum (an EREW PRAM algorithm) on a
-// 5-star graph (120 processors) and prints what the ideal PRAM cannot
-// show: the network cost per PRAM step, which Theorem 2.5 bounds by
-// O~(diameter).
-
+// Quickstart: one spec string -> an emulated PRAM -> a report. The Machine
+// owns the whole stack; the ideal reference PRAM is the oracle.
 #include <cstdio>
 #include <vector>
 
-#include "emulation/emulator.hpp"
-#include "emulation/fabric.hpp"
+#include "machine/machine.hpp"
 #include "pram/algorithms/prefix_sum.hpp"
-#include "pram/memory.hpp"
 #include "pram/reference.hpp"
-#include "routing/star_router.hpp"
-#include "topology/star.hpp"
 
 int main() {
   using namespace levnet;
+  machine::Machine m = machine::Machine::build("star:5/two-phase/erew/fifo");
 
-  // 1. The interconnection network: a 5-star graph (120 nodes, degree 4,
-  //    diameter 6 — sub-logarithmic in the network size).
-  const topology::StarGraph star(5);
-
-  // 2. The paper's randomized oblivious router (Algorithm 2.2).
-  const routing::StarTwoPhaseRouter router(star);
-
-  // 3. Bind network + router into an emulation fabric: every node hosts a
-  //    processor and a memory module.
-  const emulation::EmulationFabric fabric(star.graph(), router,
-                                          star.diameter(), star.name());
-
-  // 4. A PRAM program: inclusive prefix sum over 120 values.
-  std::vector<pram::Word> input(120);
+  std::vector<pram::Word> input(m.processors());  // one value per processor
   for (std::size_t i = 0; i < input.size(); ++i) {
     input[i] = static_cast<pram::Word>(i % 7);
   }
   pram::PrefixSumErew program(input);
 
-  // 5. Run it on the ideal PRAM (unit-time shared memory)...
-  pram::SharedMemory ideal;
-  const auto reference =
-      pram::ReferencePram::for_program(program).run(program, ideal);
-
-  // 6. ...and on the emulated PRAM (every access becomes routed packets,
-  //    addresses spread by a Karlin-Upfal polynomial hash).
+  pram::SharedMemory ideal;  // ideal PRAM run (unit-time shared memory)
+  pram::ReferencePram::for_program(program).run(program, ideal);
   program.reset();
-  emulation::NetworkEmulator emulator(fabric, emulation::EmulatorConfig{});
-  pram::SharedMemory emulated;
-  const emulation::EmulationReport report = emulator.run(program, emulated);
+  pram::SharedMemory memory;  // emulated run: every access becomes packets
+  const emulation::EmulationReport report = m.run(program, memory);
 
-  std::printf("network            : %s\n", fabric.name().c_str());
-  std::printf("processors         : %u\n", fabric.processors());
-  std::printf("diameter           : %u\n", star.diameter());
-  std::printf("PRAM steps         : %u\n", report.pram_steps);
-  std::printf("network steps/step : %.1f  (Theorem 2.5: O~(diameter))\n",
-              report.mean_step_network);
-  std::printf("worst step         : %u\n", report.max_step_network);
-  std::printf("max link queue     : %u\n", report.max_link_queue);
-  std::printf("memories identical : %s\n",
-              ideal == emulated ? "yes" : "NO (bug!)");
-  std::printf("result valid       : %s\n",
-              program.validate(emulated) ? "yes" : "NO (bug!)");
-  std::printf("reference steps    : %u (ideal PRAM)\n", reference.steps);
-  return ideal == emulated && program.validate(emulated) ? 0 : 1;
+  const bool ok = ideal == memory && program.validate(memory);
+  std::printf("network            : %s (%u processors)\n", m.name().c_str(),
+              m.processors());
+  std::printf("network steps/step : %.1f over %u PRAM steps (O~(diameter "
+              "%u))\n", report.mean_step_network, report.pram_steps,
+              m.route_scale());
+  std::printf("memories identical : %s\n", ok ? "yes" : "NO (bug!)");
+  return ok ? 0 : 1;
 }

@@ -2,34 +2,31 @@
 // the classic "PRAM beats message passing" workload — the access pattern is
 // data-dependent and changes every round (pointer jumping), exactly what
 // shared-memory programming abstracts away and what the emulation must pay
-// for. Runs on the 4-way shuffle (256 processors, diameter 4) and cross-
-// checks the emulated result against the ideal PRAM.
+// for. Runs on the 4-way shuffle (256 processors, diameter 4) as a CREW
+// machine with en-route combining, and cross-checks the emulated result
+// against the ideal PRAM.
 
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
-#include "emulation/emulator.hpp"
-#include "emulation/fabric.hpp"
+#include "machine/machine.hpp"
 #include "pram/algorithms/list_ranking.hpp"
 #include "pram/memory.hpp"
 #include "pram/reference.hpp"
-#include "routing/shuffle_router.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
-#include "topology/shuffle.hpp"
 
 int main() {
   using namespace levnet;
 
-  const topology::DWayShuffle net = topology::DWayShuffle::n_way(4);
-  const routing::ShuffleTwoPhaseRouter router(net);
-  const emulation::EmulationFabric fabric(net.graph(), router,
-                                          net.route_length(), net.name());
+  // Pointer convergence creates concurrent reads: combine them en route.
+  machine::Machine m =
+      machine::Machine::build("nshuffle:4/two-phase/crcw-combining/fifo");
 
   // A random linked list over half the processors (each list node needs a
   // successor cell and a rank cell).
-  const std::uint32_t list_nodes = net.node_count() / 2;
+  const std::uint32_t list_nodes = m.processors() / 2;
   support::Rng rng(7);
   const auto order = support::random_permutation(list_nodes, rng);
   std::vector<std::uint32_t> successor(list_nodes);
@@ -45,14 +42,11 @@ int main() {
       pram::ReferencePram::for_program(program).run(program, ideal);
 
   program.reset();
-  emulation::EmulatorConfig config;
-  config.combining = true;  // pointer convergence creates concurrent reads
-  emulation::NetworkEmulator emulator(fabric, config);
   pram::SharedMemory emulated;
-  const auto report = emulator.run(program, emulated);
+  const auto report = m.run(program, emulated);
 
   std::printf("List ranking (pointer jumping, CREW) on %s\n\n",
-              fabric.name().c_str());
+              m.name().c_str());
   support::Table table({"metric", "value"});
   table.row().cell(std::string("list nodes")).cell(std::uint64_t{list_nodes});
   table.row()

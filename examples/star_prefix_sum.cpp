@@ -1,20 +1,16 @@
 // Scenario: the paper's headline — PRAM algorithms on sub-logarithmic
 // diameter networks. Sweeps star-graph sizes, runs prefix sum on each, and
 // shows the emulation cost per PRAM step tracking the diameter (3(n-1)/2),
-// not log2(N) and not N.
+// not log2(N) and not N. Machines come from spec strings.
 
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
-#include "emulation/emulator.hpp"
-#include "emulation/fabric.hpp"
+#include "machine/machine.hpp"
 #include "pram/algorithms/prefix_sum.hpp"
-#include "pram/memory.hpp"
-#include "routing/star_router.hpp"
 #include "support/table.hpp"
-#include "topology/star.hpp"
 
 int main() {
   using namespace levnet;
@@ -23,29 +19,26 @@ int main() {
                         "net steps/step", "per diameter", "valid"});
 
   for (std::uint32_t n = 4; n <= 7; ++n) {
-    const topology::StarGraph star(n);
-    const routing::StarTwoPhaseRouter router(star);
-    const emulation::EmulationFabric fabric(star.graph(), router,
-                                            star.diameter(), star.name());
+    machine::Machine m = machine::Machine::build(
+        "star:" + std::to_string(n) + "/two-phase/erew/fifo");
 
-    std::vector<pram::Word> input(star.node_count());
+    std::vector<pram::Word> input(m.processors());
     for (std::size_t i = 0; i < input.size(); ++i) {
       input[i] = static_cast<pram::Word>((i * 31) % 11);
     }
     pram::PrefixSumErew program(input);
 
-    emulation::NetworkEmulator emulator(fabric, emulation::EmulatorConfig{});
     pram::SharedMemory memory;
-    const emulation::EmulationReport report = emulator.run(program, memory);
+    const emulation::EmulationReport report = m.run(program, memory);
 
     table.row()
         .cell(std::uint64_t{n})
-        .cell(std::uint64_t{star.node_count()})
-        .cell(std::uint64_t{star.diameter()})
-        .cell(std::log2(static_cast<double>(star.node_count())), 1)
+        .cell(std::uint64_t{m.processors()})
+        .cell(std::uint64_t{m.route_scale()})
+        .cell(std::log2(static_cast<double>(m.processors())), 1)
         .cell(std::uint64_t{report.pram_steps})
         .cell(report.mean_step_network, 1)
-        .cell(report.mean_step_network / star.diameter(), 2)
+        .cell(report.mean_step_network / m.route_scale(), 2)
         .cell(std::string(program.validate(memory) ? "yes" : "NO"));
   }
 

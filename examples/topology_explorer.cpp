@@ -1,4 +1,6 @@
-// Reproduces the paper's five figures structurally (F1-F5 in DESIGN.md):
+// Walks the machine registry's topology catalogue (the same one
+// `levnet_run --list` and every spec string draw from), then reproduces
+// the paper's five figures structurally (F1-F5 in DESIGN.md):
 //   Figure 1 — a leveled network of l levels with degree d;
 //   Figure 2 — the 3-star and 4-star graphs (adjacency listing);
 //   Figure 3 — the logical leveled view of star routing stages;
@@ -10,6 +12,9 @@
 #include <cstdio>
 #include <string>
 
+#include "machine/registry.hpp"
+#include "machine/spec.hpp"
+#include "support/check.hpp"
 #include "topology/butterfly.hpp"
 #include "topology/checks.hpp"
 #include "topology/mesh.hpp"
@@ -19,6 +24,28 @@
 namespace {
 
 using namespace levnet::topology;
+
+/// The registry catalogue, instantiated at each family's smoke size: the
+/// string keys here are exactly what machine specs accept.
+void machine_catalogue() {
+  namespace machine = levnet::machine;
+  std::printf("== Machine registry: the 9 spec-addressable topology "
+              "families ==\n");
+  for (const machine::TopologyInfo& info : machine::topology_families()) {
+    machine::MachineSpec spec;
+    spec.topology = std::string(info.key);
+    spec.param0 = info.smoke_param0;
+    spec.param1 = info.smoke_param1;
+    std::string error;
+    const auto topo = machine::build_topology(spec, error);
+    LEVNET_CHECK_MSG(topo != nullptr, error);
+    std::printf("  %-12s %-22s %7u nodes, degree %2u, route scale %2u\n",
+                std::string(info.key).c_str(), topo->name().c_str(),
+                topo->graph().node_count(), topo->graph().max_out_degree(),
+                topo->route_scale());
+  }
+  std::printf("\n");
+}
 
 void figure1_leveled_network() {
   std::printf("== Figure 1: a leveled network (wrapped radix-2 butterfly, "
@@ -121,6 +148,7 @@ void figure5_mesh_slices() {
 }  // namespace
 
 int main() {
+  machine_catalogue();
   figure1_leveled_network();
   figure2_star_graphs();
   figure3_logical_leveled_star();

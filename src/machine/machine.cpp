@@ -1,0 +1,213 @@
+#include "machine/machine.hpp"
+
+#include <iterator>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "faults/plan.hpp"
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace levnet::machine {
+
+struct Machine::Impl {
+  MachineSpec spec;
+  std::string name;
+  std::unique_ptr<TopologyBox> topo;
+  std::unique_ptr<routing::Router> router;
+  std::optional<emulation::EmulationFabric> fabric;
+  // Declaration order is the lifetime order: the injector borrows the plan
+  // and the box's graph, both of which live above it.
+  faults::FaultPlan plan;
+  std::unique_ptr<faults::FaultInjector> injector;
+};
+
+Machine::Machine(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Machine::Machine(Machine&&) noexcept = default;
+Machine& Machine::operator=(Machine&&) noexcept = default;
+Machine::~Machine() = default;
+
+Machine Machine::build(const MachineSpec& spec) {
+  auto impl = std::make_unique<Impl>();
+  impl->spec = spec;
+  std::string error;
+  impl->topo = build_topology(spec, error);
+  LEVNET_CHECK_MSG(impl->topo != nullptr, error);
+  impl->router =
+      impl->topo->make_router(spec.router, spec.router_param, error);
+  LEVNET_CHECK_MSG(impl->router != nullptr, error);
+  impl->fabric.emplace(impl->topo->make_fabric(*impl->router));
+  impl->name = impl->topo->name();
+  if (spec.faults != FaultKnobs{}) {
+    faults::FaultSpec fault_spec;
+    fault_spec.link_fraction = spec.faults.links;
+    fault_spec.node_fraction = spec.faults.nodes;
+    fault_spec.module_fraction = spec.faults.modules;
+    fault_spec.onset_epochs = spec.faults.onset_epochs;
+    fault_spec.preserve_connectivity = spec.faults.preserve_connectivity;
+    const std::uint32_t endpoints = impl->topo->endpoints();
+    impl->plan = faults::FaultPlan::sample(impl->topo->graph(), endpoints,
+                                           endpoints, fault_spec, spec.seed);
+    impl->injector = std::make_unique<faults::FaultInjector>(
+        impl->topo->graph_mut(), endpoints, impl->plan);
+  }
+  return Machine(std::move(impl));
+}
+
+Machine Machine::build(std::string_view spec_text) {
+  return build(parse_spec(spec_text));
+}
+
+bool Machine::validate(const MachineSpec& spec, std::string& error) {
+  // Shape-only: key membership and parameter ranges, no construction.
+  const TopologyInfo* info = find_topology(spec.topology);
+  if (info == nullptr) {
+    error = "unknown topology family '" + spec.topology +
+            "' (valid: " + topology_keys_joined() + ")";
+    return false;
+  }
+  // Reuse the builder's range checks against a throwaway instance only for
+  // small parameters; large ones are rejected by the same range logic
+  // before any allocation happens inside build_topology.
+  MachineSpec probe = spec;
+  probe.faults = FaultKnobs{};  // plan sampling is not a shape question
+  std::string build_error;
+  const std::unique_ptr<TopologyBox> topo =
+      build_topology(probe, build_error);
+  if (topo == nullptr) {
+    error = build_error;
+    return false;
+  }
+  const std::unique_ptr<routing::Router> router =
+      topo->make_router(spec.router, spec.router_param, build_error);
+  if (router == nullptr) {
+    error = build_error;
+    return false;
+  }
+  return true;
+}
+
+const MachineSpec& Machine::spec() const noexcept { return impl_->spec; }
+const std::string& Machine::name() const noexcept { return impl_->name; }
+const topology::Graph& Machine::graph() const noexcept {
+  return impl_->topo->graph();
+}
+const routing::Router& Machine::router() const noexcept {
+  return *impl_->router;
+}
+const emulation::EmulationFabric& Machine::fabric() const noexcept {
+  return *impl_->fabric;
+}
+std::uint32_t Machine::processors() const noexcept {
+  return impl_->topo->endpoints();
+}
+std::uint32_t Machine::route_scale() const noexcept {
+  return impl_->topo->route_scale();
+}
+faults::FaultInjector* Machine::injector() noexcept {
+  return impl_->injector.get();
+}
+
+emulation::EmulatorConfig Machine::emulator_config(
+    std::uint64_t seed) const noexcept {
+  emulation::EmulatorConfig config;
+  config.combining = impl_->spec.mode == Mode::kCrcwCombining;
+  config.hash_degree = impl_->spec.hash_degree;
+  config.step_budget_factor = impl_->spec.step_budget_factor;
+  config.max_rehash_attempts = impl_->spec.max_rehash_attempts;
+  config.discipline = impl_->spec.discipline;
+  config.node_buffer_bound = impl_->spec.node_buffer_bound;
+  config.seed = seed;
+  config.faults = impl_->injector.get();
+  return config;
+}
+
+sim::EngineConfig Machine::engine_config() const noexcept {
+  sim::EngineConfig config;
+  config.discipline = impl_->spec.discipline;
+  config.node_buffer_bound = impl_->spec.node_buffer_bound;
+  return config;
+}
+
+emulation::EmulationReport Machine::run(pram::PramProgram& program,
+                                        pram::SharedMemory& memory) {
+  emulation::NetworkEmulator emulator(*impl_->fabric,
+                                      emulator_config(impl_->spec.seed));
+  return emulator.run(program, memory);
+}
+
+emulation::EmulationReport Machine::run(pram::PramProgram& program) {
+  pram::SharedMemory memory;
+  return run(program, memory);
+}
+
+emulation::EmulationReport Machine::run_seeded(
+    std::uint64_t seed, pram::PramProgram& program,
+    pram::SharedMemory& memory) const {
+  LEVNET_CHECK_MSG(impl_->injector == nullptr,
+                   "run_seeded is for fault-free machines; a faulted trial "
+                   "must own its Machine (build one with the trial seed in "
+                   "the spec)");
+  emulation::NetworkEmulator emulator(*impl_->fabric, emulator_config(seed));
+  return emulator.run(program, memory);
+}
+
+ProgramFactory program_factory(std::string_view key,
+                               std::uint32_t pram_steps) {
+  LEVNET_CHECK_MSG(find_program(key) != nullptr,
+                   ("unknown program family '" + std::string(key) +
+                    "' (valid: " + program_keys_joined() + ")")
+                       .c_str());
+  return [key = std::string(key), pram_steps](
+             std::uint32_t processors,
+             std::uint64_t seed) -> std::unique_ptr<pram::PramProgram> {
+    std::string make_error;
+    auto program =
+        make_program(key, processors, seed, pram_steps, make_error);
+    LEVNET_CHECK_MSG(program != nullptr, make_error);
+    return program;
+  };
+}
+
+analysis::TrialStats run_trials(
+    const MachineSpec& spec, const ProgramFactory& factory,
+    std::uint32_t seeds, unsigned threads,
+    std::vector<emulation::EmulationReport>* reports) {
+  LEVNET_CHECK_MSG(seeds > 0, "run_trials needs at least one seed");
+  support::ThreadPool pool(threads);
+  const analysis::TrialRunner runner(pool);
+  std::vector<emulation::EmulationReport> per_seed;
+  if (spec.faults == FaultKnobs{}) {
+    // Fault-free: one shared machine, per-trial emulator streams — the
+    // same sharing the hand-written benches used (routers are immutable).
+    const Machine machine = Machine::build(spec);
+    per_seed = runner.collect(seeds, 1, [&](std::uint64_t seed) {
+      const auto program = factory(machine.processors(), seed);
+      pram::SharedMemory memory;
+      return machine.run_seeded(seed, *program, memory);
+    });
+  } else {
+    // Faulted: the liveness overlay is mutable state, so every trial owns
+    // its machine; the trial seed drives plan sampling and the emulator
+    // stream together (one seed == one exact degraded history).
+    per_seed = runner.collect(seeds, 1, [&](std::uint64_t seed) {
+      MachineSpec trial_spec = spec;
+      trial_spec.seed = seed;
+      Machine machine = Machine::build(trial_spec);
+      const auto program = factory(machine.processors(), seed);
+      pram::SharedMemory memory;
+      return machine.run(*program, memory);
+    });
+  }
+  const std::vector<analysis::TrialMeasurement> measurements(
+      per_seed.begin(), per_seed.end());
+  if (reports != nullptr) {
+    reports->insert(reports->end(),
+                    std::make_move_iterator(per_seed.begin()),
+                    std::make_move_iterator(per_seed.end()));
+  }
+  return analysis::aggregate(measurements);
+}
+
+}  // namespace levnet::machine

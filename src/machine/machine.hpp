@@ -1,0 +1,124 @@
+#pragma once
+// Machine: one owning handle over the whole emulation stack.
+//
+// Hand-assembling an emulated PRAM takes five objects whose raw-pointer
+// lifetimes the caller must order correctly (graph <- router <- fabric,
+// plan <- injector bound to the same graph, emulator borrowing fabric and
+// injector). A Machine is built from a MachineSpec and owns all of it:
+//
+//   auto m = machine::Machine::build("star:5/two-phase/crcw-combining/fifo");
+//   pram::HistogramCrcwSum program(keys, buckets);
+//   pram::SharedMemory memory;
+//   emulation::EmulationReport report = m.run(program, memory);
+//
+// The low-level constructors stay public and untouched — golden fixtures
+// and baselines are recorded against them — and a spec-built Machine is
+// pinned bit-equal to the equivalent hand assembly in tests/machine_test.
+//
+// Concurrency contract: a fault-free Machine is immutable after build()
+// (graph and router const), so one instance can serve concurrent trials
+// through run_seeded(). A faulted Machine owns a mutable liveness overlay
+// and must not be shared across threads — run_trials() therefore builds
+// one Machine per seed when the spec carries faults, exactly like the
+// hand-written fault benches did.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "analysis/trials.hpp"
+#include "emulation/emulator.hpp"
+#include "emulation/fabric.hpp"
+#include "faults/injector.hpp"
+#include "machine/registry.hpp"
+#include "machine/spec.hpp"
+#include "pram/memory.hpp"
+#include "pram/program.hpp"
+#include "sim/engine.hpp"
+
+namespace levnet::machine {
+
+class Machine {
+ public:
+  /// Builds the machine a spec describes; CHECK-fails with the validation
+  /// message on an invalid spec (use validate() first for user input).
+  [[nodiscard]] static Machine build(const MachineSpec& spec);
+  /// Convenience: parse + build a spec literal.
+  [[nodiscard]] static Machine build(std::string_view spec_text);
+
+  /// True iff build() would succeed; on failure `error` names the bad
+  /// token and lists the valid alternatives.
+  [[nodiscard]] static bool validate(const MachineSpec& spec,
+                                     std::string& error);
+
+  Machine(Machine&&) noexcept;
+  Machine& operator=(Machine&&) noexcept;
+  ~Machine();
+
+  [[nodiscard]] const MachineSpec& spec() const noexcept;
+  /// The topology's display name ("star-5", ...).
+  [[nodiscard]] const std::string& name() const noexcept;
+  [[nodiscard]] const topology::Graph& graph() const noexcept;
+  [[nodiscard]] const routing::Router& router() const noexcept;
+  [[nodiscard]] const emulation::EmulationFabric& fabric() const noexcept;
+  /// Processor == memory-module count.
+  [[nodiscard]] std::uint32_t processors() const noexcept;
+  /// The diameter scale L of the theorems.
+  [[nodiscard]] std::uint32_t route_scale() const noexcept;
+  /// The owned fault injector, or nullptr for a fault-free spec.
+  [[nodiscard]] faults::FaultInjector* injector() noexcept;
+
+  /// EmulatorConfig the spec denotes, with the RNG stream seeded by `seed`
+  /// (and `faults` pointing at the owned injector).
+  [[nodiscard]] emulation::EmulatorConfig emulator_config(
+      std::uint64_t seed) const noexcept;
+  /// EngineConfig for driving the router directly (routing experiments):
+  /// the spec's discipline and buffer bound, no step budget.
+  [[nodiscard]] sim::EngineConfig engine_config() const noexcept;
+
+  /// Runs `program` to completion against `memory` with the spec's seed.
+  /// Replays the fault plan from epoch 0 on every call.
+  emulation::EmulationReport run(pram::PramProgram& program,
+                                 pram::SharedMemory& memory);
+  /// run() into a scratch memory (reports only).
+  emulation::EmulationReport run(pram::PramProgram& program);
+
+  /// Per-trial entry point: same machine, an explicit emulator seed.
+  /// Restricted to fault-free machines (const — safe to call concurrently
+  /// from trial threads); a faulted trial wants its own Machine with the
+  /// trial seed in the spec, so plan and stream move together.
+  emulation::EmulationReport run_seeded(std::uint64_t seed,
+                                        pram::PramProgram& program,
+                                        pram::SharedMemory& memory) const;
+
+ private:
+  struct Impl;
+  explicit Machine(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Builds one program instance per trial: `processors` is the machine's
+/// endpoint count, `seed` the trial's derived seed.
+using ProgramFactory = std::function<std::unique_ptr<pram::PramProgram>(
+    std::uint32_t processors, std::uint64_t seed)>;
+
+/// A registry-backed factory for program family `key` (CHECK-fails on an
+/// unknown key). `pram_steps` bounds the synthetic-traffic families.
+[[nodiscard]] ProgramFactory program_factory(std::string_view key,
+                                             std::uint32_t pram_steps = 4);
+
+/// Batched trials: runs `seeds` independent emulations of the machine the
+/// spec describes across `threads` pool workers (0 = hardware concurrency),
+/// with the same SplitMix64 seed fan-out and seed-order aggregation as
+/// analysis::TrialRunner — results are bit-identical for 1 and N threads.
+/// Fault-free specs share one Machine across workers; faulted specs build
+/// one per seed (plan + stream derived from the trial seed). When
+/// `reports` is non-null the per-seed EmulationReports are appended in
+/// seed order.
+[[nodiscard]] analysis::TrialStats run_trials(
+    const MachineSpec& spec, const ProgramFactory& factory,
+    std::uint32_t seeds, unsigned threads,
+    std::vector<emulation::EmulationReport>* reports = nullptr);
+
+}  // namespace levnet::machine

@@ -1,0 +1,111 @@
+#pragma once
+// MachineSpec: a whole emulated PRAM machine as one typed, string-round-
+// trippable value.
+//
+// The paper's machine is a tuple (network, router, PRAM mode, queue
+// discipline, fault scenario, seed); standing one up by hand takes five
+// objects with raw-pointer lifetimes (graph <- router <- fabric <- injector
+// <- emulator). A MachineSpec names that tuple in one line of text,
+//
+//   star:5/two-phase/crcw-combining/fifo/faults:links=0.05
+//
+// so benches, examples, tests and the `levnet_run` CLI can cross scenarios
+// without recompiling. The grammar (segments separated by '/'):
+//
+//   spec       := topology '/' router { '/' segment }
+//   topology   := family ':' param [ 'x' param ]     e.g. star:5, mesh:8x16
+//   router     := key [ ':' param ]                  e.g. three-stage:10
+//   segment    := mode | discipline | faults | knob
+//   mode       := erew | crew | crcw | crcw-combining
+//   discipline := fifo | furthest-first | nearest-first
+//   faults     := 'faults:' kv { ',' kv }   kv in links= nodes= modules=
+//                 (fractions in [0,1)), onsets= (epoch count),
+//                 allow-cut=0|1 (drop the connectivity guard)
+//   knob       := ('seed'|'budget'|'rehash'|'hash-degree'|'buffer') '=' uint
+//
+// Segments after the router may appear in any order; the canonical form
+// printed by to_string() is topology/router/mode/discipline followed by
+// faults and any non-default knobs, omitting nothing that differs from the
+// defaults, so parse(to_string(s)) == s for every valid spec.
+//
+// The registered family/router/program keys live in machine/registry.hpp;
+// parsing only validates shape and key spelling (with "did you mean"
+// listings), construction happens in Machine::build.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/engine.hpp"
+
+namespace levnet::machine {
+
+/// PRAM access mode of the emulated machine. kCrcwCombining is kCrcw plus
+/// the en-route combining of Theorem 2.6 (EmulatorConfig::combining).
+enum class Mode : std::uint8_t {
+  kErew = 0,
+  kCrew = 1,
+  kCrcw = 2,
+  kCrcwCombining = 3,
+};
+
+[[nodiscard]] std::string_view mode_key(Mode mode) noexcept;
+
+/// Fault-scenario knobs; mirrors faults::FaultSpec (see faults/plan.hpp)
+/// with the spec defaults.
+struct FaultKnobs {
+  double links = 0.0;    // fraction of physical links to kill
+  double nodes = 0.0;    // fraction of non-endpoint nodes to kill
+  double modules = 0.0;  // fraction of memory modules to kill
+  std::uint32_t onset_epochs = 1;      // 1 = all faults static
+  bool preserve_connectivity = true;   // allow-cut=1 disables the guard
+
+  [[nodiscard]] bool any() const noexcept {
+    return links > 0.0 || nodes > 0.0 || modules > 0.0;
+  }
+  bool operator==(const FaultKnobs&) const = default;
+};
+
+struct MachineSpec {
+  /// Topology family key ("star", "mesh", ...; see registry.hpp) and its
+  /// one or two construction parameters (param1 == 0 means "not given":
+  /// square mesh/torus, radix-2 butterfly/shuffle).
+  std::string topology;
+  std::uint32_t param0 = 0;
+  std::uint32_t param1 = 0;
+
+  /// Router key within the family ("two-phase", "greedy", ...) plus an
+  /// optional parameter (the 3-stage mesh router's slice height).
+  std::string router;
+  std::uint32_t router_param = 0;
+
+  Mode mode = Mode::kErew;
+  sim::QueueDiscipline discipline = sim::QueueDiscipline::kFifo;
+  FaultKnobs faults;
+
+  /// Base seed: the emulator RNG stream and the fault plan draw are both
+  /// derived from it, so one seed names one exact degraded history.
+  std::uint64_t seed = 0x1991'06ULL;
+
+  // Emulator knobs (EmulatorConfig); defaults match EmulatorConfig's.
+  std::uint32_t step_budget_factor = 0;  // budget=
+  std::uint32_t max_rehash_attempts = 16;  // rehash=
+  std::uint32_t hash_degree = 0;           // hash-degree=
+  std::uint32_t node_buffer_bound = 0;     // buffer=
+
+  bool operator==(const MachineSpec&) const = default;
+
+  /// Canonical text form; parse_spec(to_string()) reproduces the spec.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses `text` into `out`. On failure returns false and sets `error` to a
+/// message that names the offending token and lists the valid alternatives.
+[[nodiscard]] bool parse_spec(std::string_view text, MachineSpec& out,
+                              std::string& error);
+
+/// Parsing that CHECK-fails (with the same message) on invalid input — for
+/// literals in benches/examples where a typo is a programming error.
+[[nodiscard]] MachineSpec parse_spec(std::string_view text);
+
+}  // namespace levnet::machine

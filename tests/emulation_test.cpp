@@ -1,14 +1,19 @@
 // Differential tests of the network emulator against the reference PRAM:
-// for every algorithm, every fabric, with and without combining, the final
+// for every algorithm, every machine, with and without combining, the final
 // shared memory must be bit-identical and the program's own postcondition
 // must hold. Also covers rehashing, hot spots, locality, and report sanity.
+//
+// Machines are assembled from spec strings (machine/machine.hpp) — the
+// Machine owns topology, router and fabric, so the old hand-wired fixture
+// structs are gone; the emulator behaviour under test is unchanged.
 
 #include <gtest/gtest.h>
 
 #include <memory>
 
 #include "emulation/emulator.hpp"
-#include "emulation/fabric.hpp"
+#include "machine/machine.hpp"
+#include "machine/spec.hpp"
 #include "pram/algorithms/access_patterns.hpp"
 #include "pram/algorithms/broadcast.hpp"
 #include "pram/algorithms/histogram.hpp"
@@ -18,14 +23,7 @@
 #include "pram/algorithms/prefix_sum.hpp"
 #include "pram/algorithms/sorting.hpp"
 #include "pram/reference.hpp"
-#include "routing/mesh_router.hpp"
-#include "routing/shuffle_router.hpp"
-#include "routing/star_router.hpp"
-#include "routing/two_phase.hpp"
 #include "support/rng.hpp"
-#include "topology/mesh.hpp"
-#include "topology/shuffle.hpp"
-#include "topology/star.hpp"
 
 namespace levnet::emulation {
 namespace {
@@ -42,183 +40,140 @@ std::vector<Word> random_words(std::size_t n, std::uint64_t seed,
   return v;
 }
 
-/// Bundles a topology + router + fabric with owned lifetimes.
-struct FabricFixture {
-  virtual ~FabricFixture() = default;
-  virtual const EmulationFabric& fabric() const = 0;
-  virtual std::string label() const = 0;
-};
+/// Builds a machine from a spec literal, with combining riding the mode.
+machine::Machine make_machine(const std::string& spec_text, bool combining) {
+  machine::MachineSpec spec = machine::parse_spec(spec_text);
+  if (combining) spec.mode = machine::Mode::kCrcwCombining;
+  return machine::Machine::build(spec);
+}
 
-struct StarFixture final : FabricFixture {
-  explicit StarFixture(std::uint32_t n)
-      : star(n),
-        router(star),
-        fab(star.graph(), router, star.diameter(), star.name()) {}
-  topology::StarGraph star;
-  routing::StarTwoPhaseRouter router;
-  EmulationFabric fab;
-  const EmulationFabric& fabric() const override { return fab; }
-  std::string label() const override { return star.name(); }
-};
-
-struct ShuffleFixture final : FabricFixture {
-  explicit ShuffleFixture(std::uint32_t n)
-      : shuffle(topology::DWayShuffle::n_way(n)),
-        router(shuffle),
-        fab(shuffle.graph(), router, shuffle.route_length(), shuffle.name()) {}
-  topology::DWayShuffle shuffle;
-  routing::ShuffleTwoPhaseRouter router;
-  EmulationFabric fab;
-  const EmulationFabric& fabric() const override { return fab; }
-  std::string label() const override { return shuffle.name(); }
-};
-
-struct ButterflyFixture final : FabricFixture {
-  ButterflyFixture(std::uint32_t radix, std::uint32_t levels)
-      : butterfly(radix, levels), router(butterfly), fab(butterfly, router) {}
-  topology::WrappedButterfly butterfly;
-  routing::TwoPhaseButterflyRouter router;
-  EmulationFabric fab;
-  const EmulationFabric& fabric() const override { return fab; }
-  std::string label() const override { return butterfly.name(); }
-};
-
-struct MeshFixture final : FabricFixture {
-  explicit MeshFixture(std::uint32_t n)
-      : mesh(n, n),
-        router(mesh),
-        fab(mesh.graph(), router, mesh.diameter(), mesh.name()) {}
-  topology::Mesh mesh;
-  routing::MeshThreeStageRouter router;
-  EmulationFabric fab;
-  const EmulationFabric& fabric() const override { return fab; }
-  std::string label() const override { return mesh.name(); }
-};
-
-/// Runs `program` on the reference machine and on the given fabric; expects
-/// identical memories and a passing validate().
+/// Runs `program` on the reference machine and on the spec-built machine;
+/// expects identical memories and a passing validate().
 void expect_emulation_matches(pram::PramProgram& program,
-                              const EmulationFabric& fabric, bool combining,
+                              const machine::Machine& m,
                               std::uint64_t seed = 0x5eedULL) {
   SharedMemory reference_memory;
   pram::ReferencePram::for_program(program).run(program, reference_memory);
   EXPECT_TRUE(program.validate(reference_memory));
 
   program.reset();
-  EmulatorConfig config;
-  config.combining = combining;
-  config.seed = seed;
-  NetworkEmulator emulator(fabric, config);
   SharedMemory emulated_memory;
-  const EmulationReport report = emulator.run(program, emulated_memory);
+  const EmulationReport report =
+      m.run_seeded(seed, program, emulated_memory);
 
   EXPECT_TRUE(reference_memory == emulated_memory)
-      << "memory mismatch, combining=" << combining;
+      << "memory mismatch on " << m.spec().to_string();
   EXPECT_TRUE(program.validate(emulated_memory));
   EXPECT_GT(report.pram_steps, 0U);
   EXPECT_EQ(report.rehashes, 0U);  // no budget configured
 }
 
-// ---------------------------------------------- per-fabric differential set
+// --------------------------------------------- per-machine differential set
 
 class EmulationDifferential
     : public ::testing::TestWithParam<std::tuple<std::string, bool>> {
  protected:
-  static std::unique_ptr<FabricFixture> make_fixture(const std::string& name) {
-    if (name == "star4") return std::make_unique<StarFixture>(4);
-    if (name == "star5") return std::make_unique<StarFixture>(5);
-    if (name == "shuffle3") return std::make_unique<ShuffleFixture>(3);
-    if (name == "butterfly2x5") return std::make_unique<ButterflyFixture>(2, 5);
-    if (name == "mesh6") return std::make_unique<MeshFixture>(6);
-    return nullptr;
+  static machine::Machine make_fixture(const std::string& name,
+                                       bool combining) {
+    if (name == "star4") return make_machine("star:4/two-phase", combining);
+    if (name == "star5") return make_machine("star:5/two-phase", combining);
+    if (name == "shuffle3") {
+      return make_machine("nshuffle:3/two-phase", combining);
+    }
+    if (name == "butterfly2x5") {
+      return make_machine("butterfly:2x5/two-phase", combining);
+    }
+    if (name == "mesh6") return make_machine("mesh:6/three-stage", combining);
+    ADD_FAILURE() << "unknown fixture '" << name << "'";
+    return make_machine("star:4/two-phase", combining);
   }
 };
 
 TEST_P(EmulationDifferential, PrefixSum) {
   const auto [net, combining] = GetParam();
-  const auto fixture = make_fixture(net);
+  const machine::Machine m = make_fixture(net, combining);
   const ProcId procs =
-      std::min<ProcId>(24, fixture->fabric().processors());
+      std::min<ProcId>(24, m.processors());
   pram::PrefixSumErew program(random_words(procs, 1));
-  expect_emulation_matches(program, fixture->fabric(), combining);
+  expect_emulation_matches(program, m);
 }
 
 TEST_P(EmulationDifferential, BroadcastErew) {
   const auto [net, combining] = GetParam();
-  const auto fixture = make_fixture(net);
+  const machine::Machine m = make_fixture(net, combining);
   const ProcId procs =
-      std::min<ProcId>(24, fixture->fabric().processors());
+      std::min<ProcId>(24, m.processors());
   pram::BroadcastErew program(procs, 4242);
-  expect_emulation_matches(program, fixture->fabric(), combining);
+  expect_emulation_matches(program, m);
 }
 
 TEST_P(EmulationDifferential, BroadcastCrew) {
   const auto [net, combining] = GetParam();
-  const auto fixture = make_fixture(net);
+  const machine::Machine m = make_fixture(net, combining);
   const ProcId procs =
-      std::min<ProcId>(24, fixture->fabric().processors());
+      std::min<ProcId>(24, m.processors());
   pram::BroadcastCrew program(procs, -7);
-  expect_emulation_matches(program, fixture->fabric(), combining);
+  expect_emulation_matches(program, m);
 }
 
 TEST_P(EmulationDifferential, TournamentMax) {
   const auto [net, combining] = GetParam();
-  const auto fixture = make_fixture(net);
+  const machine::Machine m = make_fixture(net, combining);
   const ProcId procs =
-      std::min<ProcId>(24, fixture->fabric().processors());
+      std::min<ProcId>(24, m.processors());
   pram::TournamentMaxErew program(random_words(procs, 2));
-  expect_emulation_matches(program, fixture->fabric(), combining);
+  expect_emulation_matches(program, m);
 }
 
 TEST_P(EmulationDifferential, LogicalOr) {
   const auto [net, combining] = GetParam();
-  const auto fixture = make_fixture(net);
+  const machine::Machine m = make_fixture(net, combining);
   const ProcId procs =
-      std::min<ProcId>(24, fixture->fabric().processors());
+      std::min<ProcId>(24, m.processors());
   auto input = random_words(procs, 3, 2);  // zeros and ones
   pram::LogicalOrCrcw program(input);
-  expect_emulation_matches(program, fixture->fabric(), combining);
+  expect_emulation_matches(program, m);
 }
 
 TEST_P(EmulationDifferential, ListRanking) {
   const auto [net, combining] = GetParam();
-  const auto fixture = make_fixture(net);
+  const machine::Machine m = make_fixture(net, combining);
   const ProcId procs =
-      std::min<ProcId>(16, fixture->fabric().processors() / 2);
+      std::min<ProcId>(16, m.processors() / 2);
   support::Rng rng(9);
   const auto order = support::random_permutation(procs, rng);
   std::vector<std::uint32_t> succ(procs);
   for (std::uint32_t i = 0; i + 1 < procs; ++i) succ[order[i]] = order[i + 1];
   succ[order[procs - 1]] = order[procs - 1];
   pram::ListRankingCrew program(succ);
-  expect_emulation_matches(program, fixture->fabric(), combining);
+  expect_emulation_matches(program, m);
 }
 
 TEST_P(EmulationDifferential, Histogram) {
   const auto [net, combining] = GetParam();
-  const auto fixture = make_fixture(net);
+  const machine::Machine m = make_fixture(net, combining);
   const ProcId procs =
-      std::min<ProcId>(20, fixture->fabric().processors() / 2);
+      std::min<ProcId>(20, m.processors() / 2);
   pram::HistogramCrcwSum program(random_words(procs, 4, 4), 4);
-  expect_emulation_matches(program, fixture->fabric(), combining);
+  expect_emulation_matches(program, m);
 }
 
 TEST_P(EmulationDifferential, HotSpotWrite) {
   const auto [net, combining] = GetParam();
-  const auto fixture = make_fixture(net);
+  const machine::Machine m = make_fixture(net, combining);
   const ProcId procs =
-      std::min<ProcId>(24, fixture->fabric().processors());
+      std::min<ProcId>(24, m.processors());
   pram::HotSpotWriteTraffic program(procs, 3);
-  expect_emulation_matches(program, fixture->fabric(), combining);
+  expect_emulation_matches(program, m);
 }
 
 TEST_P(EmulationDifferential, HotSpotRead) {
   const auto [net, combining] = GetParam();
-  const auto fixture = make_fixture(net);
+  const machine::Machine m = make_fixture(net, combining);
   const ProcId procs =
-      std::min<ProcId>(24, fixture->fabric().processors());
+      std::min<ProcId>(24, m.processors());
   pram::HotSpotReadTraffic program(procs, 3, 777);
-  expect_emulation_matches(program, fixture->fabric(), combining);
+  expect_emulation_matches(program, m);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -234,43 +189,42 @@ INSTANTIATE_TEST_SUITE_P(
 // ----------------------------------------------------------- bigger programs
 
 TEST(Emulation, SortOnMesh) {
-  MeshFixture fixture(6);  // 36 processors
-  pram::OddEvenSortErew program(random_words(36, 5));
-  expect_emulation_matches(program, fixture.fabric(), false);
+  const machine::Machine m = make_machine("mesh:6/three-stage", false);
+  pram::OddEvenSortErew program(random_words(36, 5));  // 36 processors
+  expect_emulation_matches(program, m);
 }
 
 TEST(Emulation, MatMulOnButterflyWithSumCombining) {
-  ButterflyFixture fixture(2, 6);  // 64 endpoints >= 4^3 processors
+  // 64 endpoints >= 4^3 processors
+  const machine::Machine m = make_machine("butterfly:2x6/two-phase", true);
   pram::MatMulCrcwSum program(random_words(16, 6, 10),
                               random_words(16, 7, 10), 4);
-  expect_emulation_matches(program, fixture.fabric(), true);
+  expect_emulation_matches(program, m);
 }
 
 TEST(Emulation, ConstantMaxOnStarWithCombining) {
-  StarFixture fixture(5);  // 120 processors >= 10^2
+  // 120 processors >= 10^2
+  const machine::Machine m = make_machine("star:5/two-phase", true);
   pram::ConstantMaxCrcw program(random_words(10, 8));
-  expect_emulation_matches(program, fixture.fabric(), true);
+  expect_emulation_matches(program, m);
 }
 
 // ------------------------------------------------------------------ rehash
 
 TEST(Emulation, RehashTriggersAndStaysCorrect) {
-  StarFixture fixture(4);
+  // One diameter of budget is below the cost of any two-phase round trip,
+  // so the first attempt of every step must abort and rehash; the
+  // exponential budget backoff then guarantees termination.
+  machine::Machine m =
+      machine::Machine::build("star:4/two-phase/erew/fifo/budget=1");
   pram::PrefixSumErew program(random_words(24, 10));
 
   SharedMemory reference_memory;
   pram::ReferencePram::for_program(program).run(program, reference_memory);
   program.reset();
 
-  EmulatorConfig config;
-  // One diameter of budget is below the cost of any two-phase round trip,
-  // so the first attempt of every step must abort and rehash; the
-  // exponential budget backoff then guarantees termination.
-  config.step_budget_factor = 1;
-  config.max_rehash_attempts = 16;
-  NetworkEmulator emulator(fixture.fabric(), config);
   SharedMemory emulated_memory;
-  const EmulationReport report = emulator.run(program, emulated_memory);
+  const EmulationReport report = m.run(program, emulated_memory);
   EXPECT_TRUE(reference_memory == emulated_memory);
   EXPECT_TRUE(program.validate(emulated_memory));
   EXPECT_GT(report.rehashes, 0U);
@@ -280,12 +234,10 @@ TEST(Emulation, RehashTriggersAndStaysCorrect) {
 // --------------------------------------------------------------- reporting
 
 TEST(Emulation, ReportAccountsTraffic) {
-  StarFixture fixture(4);
+  machine::Machine m = machine::Machine::build("star:4/two-phase");
   pram::PermutationTraffic program(24, 5, 123);
-  EmulatorConfig config;
-  NetworkEmulator emulator(fixture.fabric(), config);
   SharedMemory memory;
-  const EmulationReport report = emulator.run(program, memory);
+  const EmulationReport report = m.run(program, memory);
   EXPECT_EQ(report.pram_steps, 5U);
   EXPECT_EQ(report.step_costs.size(), 5U);
   // Every op is a read: requests ~ procs minus local hits; replies match
@@ -298,20 +250,15 @@ TEST(Emulation, ReportAccountsTraffic) {
 }
 
 TEST(Emulation, CombiningReducesHotSpotCost) {
-  StarFixture fixture(5);  // 120 processors
-  const ProcId procs = 120;
+  const ProcId procs = 120;  // every star:5 node hosts a processor
 
+  machine::Machine plain = make_machine("star:5/two-phase", false);
   pram::HotSpotReadTraffic plain_program(procs, 3, 9);
-  EmulatorConfig plain_config;
-  plain_config.combining = false;
-  NetworkEmulator plain(fixture.fabric(), plain_config);
   SharedMemory m1;
   const EmulationReport plain_report = plain.run(plain_program, m1);
 
+  machine::Machine combining = make_machine("star:5/two-phase", true);
   pram::HotSpotReadTraffic combining_program(procs, 3, 9);
-  EmulatorConfig combining_config;
-  combining_config.combining = true;
-  NetworkEmulator combining(fixture.fabric(), combining_config);
   SharedMemory m2;
   const EmulationReport combining_report =
       combining.run(combining_program, m2);
@@ -328,23 +275,20 @@ TEST(Emulation, CombiningReducesHotSpotCost) {
 TEST(Emulation, EmulationCostScalesWithDiameterNotSize) {
   // Theorem 2.5's point: per-step cost is O~(diameter). Compare the
   // max per-step cost to the network diameter on a star graph.
-  StarFixture fixture(5);
+  machine::Machine m = machine::Machine::build("star:5/two-phase");
   pram::PermutationTraffic program(120, 4, 321);
-  NetworkEmulator emulator(fixture.fabric(), {});
   SharedMemory memory;
-  const EmulationReport report = emulator.run(program, memory);
+  const EmulationReport report = m.run(program, memory);
   // Two routed journeys of <= 2*diameter links each plus queueing slack.
-  EXPECT_LE(report.max_step_network, 12 * fixture.star.diameter());
+  EXPECT_LE(report.max_step_network, 12 * m.route_scale());
 }
 
 TEST(Emulation, DisciplineOverrideWorks) {
-  MeshFixture fixture(6);
+  machine::Machine m = machine::Machine::build(
+      "mesh:6/three-stage/erew/furthest-first");
   pram::PermutationTraffic program(36, 3, 55);
-  EmulatorConfig config;
-  config.discipline = sim::QueueDiscipline::kFurthestFirst;
-  NetworkEmulator emulator(fixture.fabric(), config);
   SharedMemory memory;
-  const EmulationReport report = emulator.run(program, memory);
+  const EmulationReport report = m.run(program, memory);
   EXPECT_TRUE(program.validate(memory));
   EXPECT_GT(report.network_steps, 0U);
 }

@@ -11,7 +11,12 @@
 //     histogram, odd-even sort) still produce reference-identical final
 //     memory under <=10% dead links/modules on multiple topologies, EREW
 //     and CRCW-combining, with fault trials bit-identical across thread
-//     counts.
+//     counts. Degraded machines are assembled from MachineSpecs
+//     (machine/machine.hpp): the spec seed derives plan and emulator
+//     stream together, and machine::run_trials owns the per-seed
+//     construction that a mutable liveness overlay demands.
+//   * the lifetime footgun — NetworkEmulator CHECK-rejects a FaultInjector
+//     bound to a different topology::Graph than the fabric's.
 
 #include <gtest/gtest.h>
 
@@ -24,17 +29,16 @@
 #include "faults/injector.hpp"
 #include "faults/plan.hpp"
 #include "hashing/exclusion.hpp"
+#include "machine/machine.hpp"
+#include "machine/spec.hpp"
 #include "pram/algorithms/access_patterns.hpp"
 #include "pram/algorithms/histogram.hpp"
 #include "pram/algorithms/prefix_sum.hpp"
 #include "pram/algorithms/sorting.hpp"
 #include "pram/reference.hpp"
-#include "routing/shuffle_router.hpp"
 #include "routing/star_router.hpp"
-#include "routing/two_phase.hpp"
 #include "sim/engine.hpp"
 #include "support/rng.hpp"
-#include "support/thread_pool.hpp"
 #include "topology/butterfly.hpp"
 #include "topology/linear_array.hpp"
 #include "topology/shuffle.hpp"
@@ -327,83 +331,41 @@ TEST(EngineFaults, FreshForwardsDetourAroundADeadLink) {
 
 // ----------------------------------------------- degraded-mode emulation
 
-/// Topology + router + fabric + plan + injector, owned together so fault
-/// trials can construct everything per seed (faulted graphs are mutable
-/// and must not be shared across concurrent trials).
-struct DegradedStar {
-  DegradedStar(std::uint32_t n, const FaultSpec& spec, std::uint64_t seed)
-      : star(n),
-        router(star),
-        fab(star.graph(), router, star.diameter(), star.name()),
-        plan(FaultPlan::sample(star.graph(), star.node_count(),
-                               star.node_count(), spec, seed)),
-        injector(star.graph_mut(), star.node_count(), plan) {}
-  topology::StarGraph star;
-  routing::StarTwoPhaseRouter router;
-  emulation::EmulationFabric fab;
-  FaultPlan plan;
-  FaultInjector injector;
-};
-
-struct DegradedShuffle {
-  DegradedShuffle(std::uint32_t n, const FaultSpec& spec, std::uint64_t seed)
-      : shuffle(topology::DWayShuffle::n_way(n)),
-        router(shuffle),
-        fab(shuffle.graph(), router, shuffle.route_length(), shuffle.name()),
-        plan(FaultPlan::sample(shuffle.graph(), shuffle.node_count(),
-                               shuffle.node_count(), spec, seed)),
-        injector(shuffle.graph_mut(), shuffle.node_count(), plan) {}
-  topology::DWayShuffle shuffle;
-  routing::ShuffleTwoPhaseRouter router;
-  emulation::EmulationFabric fab;
-  FaultPlan plan;
-  FaultInjector injector;
-};
-
-struct DegradedButterfly {
-  DegradedButterfly(std::uint32_t radix, std::uint32_t levels,
-                    const FaultSpec& spec, std::uint64_t seed)
-      : bf(radix, levels),
-        router(bf),
-        fab(bf, router),
-        plan(FaultPlan::sample(bf.graph(), bf.row_count(), bf.row_count(),
-                               spec, seed)),
-        injector(bf.graph_mut(), bf.row_count(), plan) {}
-  topology::WrappedButterfly bf;
-  routing::TwoPhaseButterflyRouter router;
-  emulation::EmulationFabric fab;
-  FaultPlan plan;
-  FaultInjector injector;
-};
-
-FaultSpec ten_percent_links_and_modules() {
-  FaultSpec spec;
-  spec.link_fraction = 0.10;
-  spec.module_fraction = 0.10;
+/// Spec for a degraded machine: the fault fractions ride the spec, the
+/// seed derives plan and emulator stream together, and the rehash escape
+/// hatch is live (budget=64 — transient detour storms can blow a step
+/// budget, and a fresh hash plus a doubled budget is the paper's way out).
+machine::MachineSpec degraded_spec(const std::string& topology, double links,
+                                   double nodes, double modules,
+                                   bool combining, std::uint64_t seed) {
+  machine::MachineSpec spec =
+      machine::parse_spec(topology + "/two-phase/budget=64");
+  if (combining) spec.mode = machine::Mode::kCrcwCombining;
+  spec.faults.links = links;
+  spec.faults.nodes = nodes;
+  spec.faults.modules = modules;
+  spec.seed = seed;
   return spec;
 }
 
-/// Reference run, then a degraded emulation of the same program; final
-/// memory must match bit for bit and the run must complete.
+machine::MachineSpec ten_percent_links_and_modules(const std::string& topology,
+                                                   bool combining,
+                                                   std::uint64_t seed) {
+  return degraded_spec(topology, 0.10, 0.0, 0.10, combining, seed);
+}
+
+/// Reference run, then a degraded emulation of the same program on the
+/// spec-built machine; final memory must match bit for bit and the run
+/// must complete.
 void expect_degraded_matches(pram::PramProgram& program,
-                             const emulation::EmulationFabric& fabric,
-                             FaultInjector& injector, bool combining,
-                             std::uint64_t seed) {
+                             const machine::MachineSpec& spec) {
   SharedMemory reference_memory;
   pram::ReferencePram::for_program(program).run(program, reference_memory);
   program.reset();
 
-  emulation::EmulatorConfig config;
-  config.combining = combining;
-  config.seed = seed;
-  // The rehash escape hatch must be live under faults: transient detour
-  // storms can blow a step budget, and a fresh hash plus a doubled budget
-  // is the paper's way out.
-  config.step_budget_factor = 64;
-  config.faults = &injector;
-  emulation::NetworkEmulator emulator(fabric, config);
+  machine::Machine m = machine::Machine::build(spec);
   SharedMemory memory;
-  const emulation::EmulationReport report = emulator.run(program, memory);
+  const emulation::EmulationReport report = m.run(program, memory);
 
   EXPECT_TRUE(report.complete);
   EXPECT_EQ(report.dropped_packets, 0U);  // connectivity-preserving plan
@@ -412,60 +374,88 @@ void expect_degraded_matches(pram::PramProgram& program,
 }
 
 TEST(DegradedEmulation, PrefixSumOnStarUnderLinkAndModuleFaults) {
-  DegradedStar net(5, ten_percent_links_and_modules(), 0xFA01);
   pram::PrefixSumErew program(random_words(24, 41));
-  expect_degraded_matches(program, net.fab, net.injector, false, 0x5eed1);
+  expect_degraded_matches(program,
+                          ten_percent_links_and_modules("star:5", false, 0xFA01));
 }
 
 TEST(DegradedEmulation, OddEvenSortOnStarUnderLinkAndModuleFaults) {
-  DegradedStar net(5, ten_percent_links_and_modules(), 0xFA02);
   pram::OddEvenSortErew program(random_words(16, 99));
-  expect_degraded_matches(program, net.fab, net.injector, false, 0x5eed2);
+  expect_degraded_matches(program,
+                          ten_percent_links_and_modules("star:5", false, 0xFA02));
 }
 
 TEST(DegradedEmulation, HistogramCrcwOnStarUnderLinkAndModuleFaults) {
-  DegradedStar net(5, ten_percent_links_and_modules(), 0xFA03);
   pram::HistogramCrcwSum program(random_words(20, 42, 4), 4);
-  expect_degraded_matches(program, net.fab, net.injector, true, 0x5eed3);
+  expect_degraded_matches(program,
+                          ten_percent_links_and_modules("star:5", true, 0xFA03));
 }
 
 TEST(DegradedEmulation, PrefixSumOnShuffleUnderLinkAndModuleFaults) {
-  DegradedShuffle net(3, ten_percent_links_and_modules(), 0xFA04);
   pram::PrefixSumErew program(random_words(24, 41));
-  expect_degraded_matches(program, net.fab, net.injector, false, 0x5eed4);
+  expect_degraded_matches(
+      program, ten_percent_links_and_modules("nshuffle:3", false, 0xFA04));
 }
 
 TEST(DegradedEmulation, OddEvenSortOnShuffleUnderLinkAndModuleFaults) {
-  DegradedShuffle net(3, ten_percent_links_and_modules(), 0xFA05);
   pram::OddEvenSortErew program(random_words(16, 98));
-  expect_degraded_matches(program, net.fab, net.injector, false, 0x5eed5);
+  expect_degraded_matches(
+      program, ten_percent_links_and_modules("nshuffle:3", false, 0xFA05));
 }
 
 TEST(DegradedEmulation, HistogramCrcwOnShuffleUnderLinkAndModuleFaults) {
-  DegradedShuffle net(3, ten_percent_links_and_modules(), 0xFA06);
   pram::HistogramCrcwSum program(random_words(20, 43, 4), 4);
-  expect_degraded_matches(program, net.fab, net.injector, true, 0x5eed6);
+  expect_degraded_matches(
+      program, ten_percent_links_and_modules("nshuffle:3", true, 0xFA06));
 }
 
 TEST(DegradedEmulation, ButterflySurvivesInteriorNodeFaults) {
-  FaultSpec spec;
-  spec.link_fraction = 0.05;
-  spec.node_fraction = 0.10;  // interior switches only (endpoints protected)
-  DegradedButterfly net(2, 4, spec, 0xFA07);
-  EXPECT_GT(count_kind(net.plan, FaultKind::kNode), 0U);
+  // Interior switches only (endpoints protected).
+  const machine::MachineSpec spec =
+      degraded_spec("butterfly:4", 0.05, 0.10, 0.0, false, 0xFA07);
+  machine::Machine m = machine::Machine::build(spec);
+  ASSERT_NE(m.injector(), nullptr);
+  EXPECT_GT(count_kind(m.injector()->plan(), FaultKind::kNode), 0U);
   pram::PrefixSumErew program(random_words(16, 40));
-  expect_degraded_matches(program, net.fab, net.injector, false, 0x5eed7);
+  expect_degraded_matches(program, spec);
 }
 
 TEST(DegradedEmulation, TimeTriggeredFaultsLandAcrossEpochs) {
-  FaultSpec spec = ten_percent_links_and_modules();
-  spec.onset_epochs = 4;  // faults fall during the program, not before it
-  DegradedStar net(5, spec, 0xFA08);
+  machine::MachineSpec spec =
+      ten_percent_links_and_modules("star:5", false, 0xFA08);
+  spec.faults.onset_epochs = 4;  // faults fall during the program
   pram::PrefixSumErew program(random_words(24, 44));
-  expect_degraded_matches(program, net.fab, net.injector, false, 0x5eed8);
-  EXPECT_EQ(net.injector.dead_links() + net.injector.dead_modules() +
-                net.injector.dead_nodes(),
-            net.plan.events().size());
+  expect_degraded_matches(program, spec);
+
+  machine::Machine m = machine::Machine::build(spec);
+  pram::PrefixSumErew replay(random_words(24, 44));
+  (void)m.run(replay);
+  const FaultInjector* injector = m.injector();
+  ASSERT_NE(injector, nullptr);
+  EXPECT_EQ(m.injector()->dead_links() + m.injector()->dead_modules() +
+                m.injector()->dead_nodes(),
+            injector->plan().events().size());
+}
+
+// The faults-lifetime footgun, closed: an injector bound to any graph
+// other than the fabric's would silently corrupt the liveness overlay, so
+// the emulator must refuse the binding outright — even for an empty plan.
+TEST(DegradedEmulationDeathTest, EmulatorRejectsInjectorOnDifferentGraph) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  topology::StarGraph fabric_star(4);
+  topology::StarGraph other_star(4);  // same shape, different instance
+  const routing::StarTwoPhaseRouter router(fabric_star);
+  const emulation::EmulationFabric fab(fabric_star.graph(), router,
+                                       fabric_star.diameter(),
+                                       fabric_star.name());
+  const FaultPlan plan;  // empty: the binding is wrong regardless of events
+  FaultInjector injector(other_star.graph_mut(), other_star.node_count(),
+                         plan);
+  emulation::EmulatorConfig config;
+  config.faults = &injector;
+  EXPECT_DEATH(
+      { emulation::NetworkEmulator emulator(fab, config); },
+      "bound to the fabric's graph");
 }
 
 TEST(DegradedEmulation, EmptyPlanIsBitIdenticalToNoInjector) {
@@ -529,23 +519,13 @@ bool stats_identical(const analysis::TrialStats& a,
 }
 
 analysis::TrialStats fault_trials(unsigned threads) {
-  support::ThreadPool pool(threads);
-  const analysis::TrialRunner runner(pool);
-  return runner.run(
-      [](std::uint64_t seed) -> analysis::TrialMeasurement {
-        // Everything mutable is per-seed: a faulted graph cannot be shared
-        // across concurrent trials, so each seed builds its own network.
-        DegradedStar net(5, ten_percent_links_and_modules(), seed);
-        pram::PermutationTraffic program(net.star.node_count(), 2, seed);
-        emulation::EmulatorConfig config;
-        config.seed = seed;
-        config.step_budget_factor = 64;
-        config.faults = &net.injector;
-        emulation::NetworkEmulator emulator(net.fab, config);
-        SharedMemory memory;
-        return emulator.run(program, memory);
-      },
-      /*seeds=*/8);
+  // machine::run_trials owns the per-seed construction a faulted spec
+  // demands (the trial seed is stamped into the spec, so plan and stream
+  // are derived together; nothing mutable is shared across workers).
+  const machine::MachineSpec spec =
+      ten_percent_links_and_modules("star:5", false, /*seed=*/0);
+  return machine::run_trials(spec, machine::program_factory("permutation", 2),
+                             /*seeds=*/8, threads);
 }
 
 TEST(DegradedEmulation, FaultTrialsAreBitIdenticalAcrossThreadCounts) {

@@ -1,0 +1,451 @@
+// levnet_run — one emulated PRAM machine from a spec string, no recompile.
+//
+//   levnet_run 'star:5/two-phase/crcw-combining/fifo' \ ...
+//       --program histogram --seeds 5 --threads 8 --json out/
+//   levnet_run --spec-file scenario.json
+//   levnet_run --list
+//
+// The spec grammar lives in machine/spec.hpp; --list prints the registered
+// topology families (with their routers), program families, modes,
+// disciplines and knobs. The run fans the seeds across a thread pool with
+// the same bit-identical seed derivation as the bench harness and emits a
+// report JSON (aggregate stats + per-seed EmulationReports).
+//
+// A --spec-file is a flat JSON object; string values for "spec"/"program",
+// numbers for "seeds"/"threads"/"steps":
+//
+//   {"spec": "shuffle:9/two-phase/crcw-combining/furthest-first",
+//    "program": "histogram", "seeds": 5, "threads": 8}
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "analysis/trials.hpp"
+#include "machine/machine.hpp"
+#include "machine/registry.hpp"
+#include "machine/spec.hpp"
+
+namespace {
+
+using namespace levnet;
+
+/// Strict unsigned decimal parse: digits only (no sign, no trailing
+/// junk), range-checked — `--seeds -1` must be a usage error, not a
+/// 4-billion-trial allocation.
+bool parse_count(const std::string& value, unsigned long& out) {
+  if (value.empty() || value.size() > 9) return false;
+  for (const char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  out = std::strtoul(value.c_str(), nullptr, 10);
+  return true;
+}
+
+struct Options {
+  std::string spec_text;
+  std::string spec_file;
+  std::string program = "permutation";
+  std::string json_path;
+  std::uint32_t seeds = 5;
+  std::uint32_t steps = 4;  // PRAM steps for the synthetic-traffic programs
+  unsigned threads = 0;
+  bool list = false;
+  bool help = false;
+};
+
+constexpr const char kUsage[] =
+    "usage: levnet_run SPEC [options]\n"
+    "       levnet_run --spec-file FILE.json [options]\n"
+    "       levnet_run --list\n"
+    "\n"
+    "  SPEC                 machine spec, e.g. "
+    "star:5/two-phase/crcw-combining/fifo\n"
+    "  --program KEY        PRAM program family (default: permutation)\n"
+    "  --steps N            PRAM steps for the traffic programs (default 4)\n"
+    "  --seeds N            independent trials (default 5)\n"
+    "  --threads N          pool size, 0 = hardware concurrency (default)\n"
+    "  --json PATH          write the report JSON to PATH (a directory gets\n"
+    "                       an auto-named RUN_<spec>__<program>.json; '-'\n"
+    "                       writes to stdout)\n"
+    "  --spec-file FILE     read spec/program/seeds/threads/steps from a\n"
+    "                       flat JSON object instead of the command line\n"
+    "  --list               print every registered topology, router,\n"
+    "                       program family, mode, discipline and knob\n";
+
+bool parse_args(int argc, char** argv, Options& options, std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](std::string& out) {
+      if (i + 1 >= argc) {
+        error = arg + " needs a value";
+        return false;
+      }
+      out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--program") {
+      if (!next(options.program)) return false;
+    } else if (arg == "--json") {
+      if (!next(options.json_path)) return false;
+    } else if (arg == "--spec-file") {
+      if (!next(options.spec_file)) return false;
+    } else if (arg == "--seeds" || arg == "--steps" || arg == "--threads") {
+      if (!next(value)) return false;
+      unsigned long parsed = 0;
+      if (!parse_count(value, parsed)) {
+        error = "bad number '" + value + "' for " + arg +
+                " (expected an unsigned integer)";
+        return false;
+      }
+      if (arg == "--seeds") {
+        options.seeds = static_cast<std::uint32_t>(parsed);
+      } else if (arg == "--steps") {
+        options.steps = static_cast<std::uint32_t>(parsed);
+      } else {
+        options.threads = static_cast<unsigned>(parsed);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      error = "unknown flag '" + arg + "'";
+      return false;
+    } else if (options.spec_text.empty()) {
+      options.spec_text = arg;
+    } else {
+      error = "unexpected extra argument '" + arg + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ JSON helpers
+
+/// Parses a flat JSON object of string/number values — exactly the
+/// --spec-file shape. Not a general JSON parser by design.
+bool parse_flat_json(const std::string& text,
+                     std::map<std::string, std::string>& out,
+                     std::string& error) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  };
+  const auto parse_string = [&](std::string& value) {
+    if (i >= text.size() || text[i] != '"') return false;
+    ++i;
+    value.clear();
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) ++i;
+      value += text[i++];
+    }
+    if (i >= text.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') {
+    error = "spec file must be a JSON object";
+    return false;
+  }
+  ++i;
+  skip_ws();
+  if (i < text.size() && text[i] == '}') return true;  // empty object
+  while (true) {
+    skip_ws();
+    std::string key;
+    if (!parse_string(key)) {
+      error = "expected a string key in the spec file";
+      return false;
+    }
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') {
+      error = "expected ':' after key '" + key + "'";
+      return false;
+    }
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < text.size() && text[i] == '"') {
+      if (!parse_string(value)) {
+        error = "unterminated string value for key '" + key + "'";
+        return false;
+      }
+    } else {
+      while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+             !std::isspace(static_cast<unsigned char>(text[i]))) {
+        value += text[i++];
+      }
+      if (value.empty()) {
+        error = "missing value for key '" + key + "'";
+        return false;
+      }
+    }
+    out[key] = value;
+    skip_ws();
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < text.size() && text[i] == '}') return true;
+    error = "expected ',' or '}' after value for key '" + key + "'";
+    return false;
+  }
+}
+
+bool apply_spec_file(Options& options, std::string& error) {
+  std::ifstream in(options.spec_file);
+  if (!in) {
+    error = "cannot open spec file '" + options.spec_file + "'";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::map<std::string, std::string> values;
+  if (!parse_flat_json(buffer.str(), values, error)) return false;
+  const auto number = [&](const char* key, auto& out) {
+    const auto it = values.find(key);
+    if (it == values.end()) return true;
+    unsigned long parsed = 0;
+    if (!parse_count(it->second, parsed)) {
+      error = std::string("bad number for '") + key +
+              "' in spec file (expected an unsigned integer)";
+      return false;
+    }
+    out = static_cast<std::remove_reference_t<decltype(out)>>(parsed);
+    return true;
+  };
+  if (values.count("spec") != 0) options.spec_text = values["spec"];
+  if (values.count("program") != 0) options.program = values["program"];
+  return number("seeds", options.seeds) && number("steps", options.steps) &&
+         number("threads", options.threads);
+}
+
+void json_escape(std::ostream& os, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+// ------------------------------------------------------------------ --list
+
+void print_catalogue(std::ostream& os) {
+  os << "topology families (key:params / routers; * = default router):\n";
+  for (const machine::TopologyInfo& info : machine::topology_families()) {
+    os << "  " << info.key << ":" << info.params_help << "\n      "
+       << info.description << "\n      routers:";
+    bool first = true;
+    for (const machine::RouterInfo& router : info.routers) {
+      os << (first ? " *" : " ") << router.key;
+      if (router.takes_param) os << "[:param]";
+      first = false;
+    }
+    os << "\n";
+  }
+  os << "\nprogram families (--program):\n";
+  for (const machine::ProgramInfo& info : machine::program_families()) {
+    os << "  " << info.key;
+    for (std::size_t pad = std::string(info.key).size(); pad < 16; ++pad) {
+      os << ' ';
+    }
+    os << info.description;
+    if (info.wants_combining) os << " [combining recommended]";
+    os << "\n";
+  }
+  os << "\nmodes:        erew | crew | crcw | crcw-combining\n"
+     << "disciplines:  fifo | furthest-first | nearest-first\n"
+     << "faults:       faults:links=F,nodes=F,modules=F,onsets=N,allow-cut=1\n"
+     << "knobs:        seed=N budget=N rehash=N hash-degree=N buffer=N\n"
+     << "\nexample:\n  levnet_run 'star:5/two-phase/crcw-combining/fifo/"
+        "faults:links=0.05' --program histogram --seeds 5\n";
+}
+
+// ------------------------------------------------------------------ report
+
+void write_report_json(std::ostream& os, const Options& options,
+                       const machine::MachineSpec& spec,
+                       const machine::Machine& machine,
+                       const analysis::TrialStats& stats,
+                       const std::vector<emulation::EmulationReport>& reports) {
+  os << "{\n  \"spec\": \"";
+  json_escape(os, options.spec_text);
+  os << "\",\n  \"canonical_spec\": \"";
+  json_escape(os, spec.to_string());
+  os << "\",\n  \"program\": \"";
+  json_escape(os, options.program);
+  os << "\",\n  \"machine\": {\"name\": \"";
+  json_escape(os, machine.name());
+  os << "\", \"nodes\": " << machine.graph().node_count()
+     << ", \"processors\": " << machine.processors()
+     << ", \"route_scale\": " << machine.route_scale() << "},\n"
+     << "  \"seeds\": " << options.seeds
+     << ",\n  \"threads\": " << options.threads
+     << ",\n  \"pram_steps_cap\": " << options.steps << ",\n"
+     << "  \"aggregate\": {\"steps_mean\": " << stats.steps.mean
+     << ", \"steps_max\": " << stats.steps.max
+     << ", \"worst_step_max\": " << stats.worst_step.max
+     << ", \"max_link_queue\": " << stats.max_link_queue.max
+     << ", \"max_node_queue\": " << stats.max_node_queue.max
+     << ", \"combined_mean\": " << stats.combined_mean
+     << ", \"rehashes_mean\": " << stats.rehashes_mean
+     << ", \"local_ops_mean\": " << stats.local_ops_mean
+     << ", \"detours_mean\": " << stats.detours_mean
+     << ", \"dropped_mean\": " << stats.dropped_mean
+     << ", \"fault_rehashes_mean\": " << stats.fault_rehashes_mean
+     << ", \"complete_runs\": " << stats.complete_runs
+     << ", \"runs\": " << stats.runs << "},\n  \"per_seed\": [";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const emulation::EmulationReport& r = reports[i];
+    std::uint64_t first_seed = 1;
+    os << (i == 0 ? "" : ",") << "\n    {\"trial\": " << i << ", \"seed\": "
+       << analysis::TrialRunner::trial_seed(first_seed,
+                                            static_cast<std::uint32_t>(i))
+       << ", \"pram_steps\": " << r.pram_steps
+       << ", \"network_steps\": " << r.network_steps
+       << ", \"max_step_network\": " << r.max_step_network
+       << ", \"mean_step_network\": " << r.mean_step_network
+       << ", \"max_link_queue\": " << r.max_link_queue
+       << ", \"max_node_queue\": " << r.max_node_queue
+       << ", \"request_packets\": " << r.request_packets
+       << ", \"reply_packets\": " << r.reply_packets
+       << ", \"combined_requests\": " << r.combined_requests
+       << ", \"local_ops\": " << r.local_ops
+       << ", \"rehashes\": " << r.rehashes
+       << ", \"detour_hops\": " << r.detour_hops
+       << ", \"dropped_packets\": " << r.dropped_packets
+       << ", \"fault_rehashes\": " << r.fault_rehashes
+       << ", \"dead_links\": " << r.dead_links
+       << ", \"dead_nodes\": " << r.dead_nodes
+       << ", \"dead_modules\": " << r.dead_modules
+       << ", \"complete\": " << (r.complete ? "true" : "false") << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+[[nodiscard]] std::string spec_slug(const std::string& spec,
+                                    const std::string& program) {
+  std::string slug;
+  for (const char c : spec) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '.') {
+      slug += c;
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug += '-';
+    }
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return "RUN_" + slug + "__" + program + ".json";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::string error;
+  if (!parse_args(argc, argv, options, error)) {
+    std::cerr << "levnet_run: " << error << "\n" << kUsage;
+    return 1;
+  }
+  if (options.help) {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (options.list) {
+    print_catalogue(std::cout);
+    return 0;
+  }
+  if (!options.spec_file.empty() && !apply_spec_file(options, error)) {
+    std::cerr << "levnet_run: " << error << "\n";
+    return 1;
+  }
+  if (options.spec_text.empty()) {
+    std::cerr << "levnet_run: no machine spec given\n" << kUsage;
+    return 1;
+  }
+  if (options.seeds == 0) {
+    std::cerr << "levnet_run: --seeds must be at least 1\n";
+    return 1;
+  }
+
+  machine::MachineSpec spec;
+  if (!machine::parse_spec(options.spec_text, spec, error)) {
+    std::cerr << "levnet_run: " << error << "\n";
+    return 1;
+  }
+  if (!machine::Machine::validate(spec, error)) {
+    std::cerr << "levnet_run: " << error << "\n";
+    return 1;
+  }
+  const machine::ProgramInfo* program = machine::find_program(options.program);
+  if (program == nullptr) {
+    std::cerr << "levnet_run: unknown program family '" << options.program
+              << "' (valid: " << machine::program_keys_joined() << ")\n";
+    return 1;
+  }
+  if (!machine::mode_allows(spec.mode, program->required_mode)) {
+    const char* const needs =
+        program->required_mode == pram::Mode::kCrcw   ? "crcw"
+        : program->required_mode == pram::Mode::kCrew ? "crew"
+                                                      : "erew";
+    std::cerr << "levnet_run: program '" << options.program << "' needs a "
+              << needs << " machine, but the spec's mode is '"
+              << machine::mode_key(spec.mode)
+              << "' (use /" << needs << " or /crcw-combining)\n";
+    return 1;
+  }
+
+  // A machine instance for the report header (the trials build their own
+  // when the spec carries faults).
+  machine::Machine machine = machine::Machine::build(spec);
+  std::vector<emulation::EmulationReport> reports;
+  const analysis::TrialStats stats = machine::run_trials(
+      spec, machine::program_factory(options.program, options.steps),
+      options.seeds, options.threads, &reports);
+
+  std::cout << "machine      : " << machine.name() << "  ("
+            << machine.graph().node_count() << " nodes, "
+            << machine.processors() << " processors, route scale "
+            << machine.route_scale() << ")\n"
+            << "spec         : " << spec.to_string() << "\n"
+            << "program      : " << options.program << " x " << options.seeds
+            << " seeds\n"
+            << "steps/pram   : mean " << stats.steps.mean << ", max "
+            << stats.steps.max << "\n"
+            << "worst step   : " << stats.worst_step.max << "\n"
+            << "link queue   : " << stats.max_link_queue.max << "\n"
+            << "rehashes     : " << stats.rehashes_mean << " (mean)\n"
+            << "complete     : " << stats.complete_runs << "/" << stats.runs
+            << "\n";
+
+  if (!options.json_path.empty()) {
+    if (options.json_path == "-") {
+      write_report_json(std::cout, options, spec, machine, stats, reports);
+    } else {
+      std::filesystem::path path(options.json_path);
+      std::error_code ec;
+      if (std::filesystem::is_directory(path, ec) ||
+          options.json_path.back() == '/') {
+        path /= spec_slug(options.spec_text, options.program);
+      }
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << "levnet_run: cannot open " << path << " for writing\n";
+        return 1;
+      }
+      write_report_json(out, options, spec, machine, stats, reports);
+      std::cout << "wrote " << path.string() << "\n";
+    }
+  }
+  return stats.all_complete ? 0 : 3;
+}
