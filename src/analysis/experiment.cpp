@@ -170,6 +170,8 @@ std::size_t Registry::run(const RunOptions& options, Report& report,
       }
     }
 
+    // levnet-lint: allow(nondeterministic-source): wall-clock is timing
+    // metadata (the informational wall_ms column), never a simulated value.
     const auto start = std::chrono::steady_clock::now();
     ScenarioContext context(*scenario, runner, report, seeds, options.smoke);
     for (const auto& point : *points) {
@@ -180,6 +182,8 @@ std::size_t Registry::run(const RunOptions& options, Report& report,
     if (scenario->finish) scenario->finish(context);
     const auto elapsed =
         std::chrono::duration_cast<std::chrono::milliseconds>(
+            // levnet-lint: allow(nondeterministic-source): end of the
+            // wall_ms timing window; see the allow at the start above.
             std::chrono::steady_clock::now() - start);
     report.set_wall_ms(scenario->name,
                        static_cast<double>(elapsed.count()));

@@ -11,6 +11,14 @@
 
 namespace levnet::machine {
 
+// Shared-state inventory for the const run_seeded() contract: spec, name,
+// topo, router and fabric are written once in build() and only ever read
+// afterwards — run_seeded() may touch them const-ly from any number of
+// threads at once (each call owns a fresh NetworkEmulator; all mutable
+// per-run state lives there). The two fault members are the exception:
+// the injector mutates the graph's liveness overlay, which is why
+// run_seeded() CHECK-rejects faulted machines and run_trials() builds one
+// Machine per seed when the spec carries faults.
 struct Machine::Impl {
   MachineSpec spec;
   std::string name;

@@ -88,6 +88,14 @@ class Machine {
   /// Restricted to fault-free machines (const — safe to call concurrently
   /// from trial threads); a faulted trial wants its own Machine with the
   /// trial seed in the spec, so plan and stream move together.
+  ///
+  /// Thread-safety: on a fault-free machine every member this reaches
+  /// (spec, fabric, graph, router) is written once in build() and read-only
+  /// afterwards; each call constructs its own NetworkEmulator, which owns
+  /// all mutable run state (engine, pools, per-step maps, RNG stream).
+  /// The 8-thread stress in tests/concurrency_test.cpp pins the resulting
+  /// reports bit-identical to sequential runs, and the TSan CI job watches
+  /// this path for races.
   emulation::EmulationReport run_seeded(std::uint64_t seed,
                                         pram::PramProgram& program,
                                         pram::SharedMemory& memory) const;

@@ -365,32 +365,37 @@ std::unique_ptr<routing::Router> ButterflyBox::make_router(
 
 }  // namespace
 
+// Catalogue access is thread-safe: both tables are function-local statics
+// (initialized once under the C++11 magic-static guarantee) and const ever
+// after, so any thread may read them without synchronization. Entries are
+// kept name-sorted — `levnet_lint` enforces it via the table markers, and
+// the sorted order is what --list and error listings print.
 const std::vector<TopologyInfo>& topology_families() {
+  // levnet-lint: sorted-table(topology-families)
   static const std::vector<TopologyInfo> kFamilies = {
-      {"star",
-       "n in 2..9 (N = n! nodes)",
-       "n-star graph (Definitions 2.4-2.5), diameter floor(3(n-1)/2)",
-       {{"two-phase", "Algorithm 2.2: random intermediate, greedy legs"},
-        {"greedy", "deterministic minimal star-transposition path"}},
-       5},
-      {"shuffle",
-       "digits n (radix 2) | dxn (radix d, n digits)",
-       "d-way shuffle network (Section 2.3.5), N = d^n nodes",
-       {{"two-phase", "Algorithm 2.3: random forward pass, unique-path leg"},
-        {"unique-path", "deterministic unique forward path"}},
-       6},
-      {"nshuffle",
-       "n in 2..7 (the paper's n-way shuffle, N = n^n)",
-       "n-way shuffle (d = n): diameter n, sub-logarithmic in N",
-       {{"two-phase", "Algorithm 2.3: random forward pass, unique-path leg"},
-        {"unique-path", "deterministic unique forward path"}},
-       3},
       {"butterfly",
        "levels l (radix 2) | dxl (radix d, l levels)",
        "wrapped radix-d butterfly, the canonical leveled network (Fig. 1)",
        {{"two-phase", "Algorithm 2.1: random row, then unique path"},
         {"unique-path", "deterministic digit-fixing forward path"}},
        2, 5},
+      {"ccc",
+       "k in 3..18 (N = k * 2^k)",
+       "cube-connected cycles: constant-degree leveled network",
+       {{"sweep", "deterministic cycle-walk dimension sweep"},
+        {"two-phase", "random intermediate + two sweep legs"}},
+       3},
+      {"hypercube",
+       "dim in 1..22 (N = 2^dim)",
+       "binary hypercube (Section 2.3.4's comparison network)",
+       {{"ecube", "deterministic dimension-order (e-cube)"},
+        {"valiant", "Valiant two-phase over random intermediates"}},
+       6},
+      {"linear",
+       "n >= 2 processors in a row",
+       "linear processor array (Section 3.4.1's 1-D substrate)",
+       {{"greedy", "one step toward the destination"}},
+       16},
       {"mesh",
        "n (n x n) | rxc (r rows, c columns)",
        "mesh-connected computer (Section 3.1), diameter r + c - 2",
@@ -399,30 +404,32 @@ const std::vector<TopologyInfo>& topology_families() {
         {"valiant", "Valiant-Brebner two-phase"},
         {"xy", "greedy dimension-order XY"}},
        8},
+      {"nshuffle",
+       "n in 2..7 (the paper's n-way shuffle, N = n^n)",
+       "n-way shuffle (d = n): diameter n, sub-logarithmic in N",
+       {{"two-phase", "Algorithm 2.3: random forward pass, unique-path leg"},
+        {"unique-path", "deterministic unique forward path"}},
+       3},
+      {"shuffle",
+       "digits n (radix 2) | dxn (radix d, n digits)",
+       "d-way shuffle network (Section 2.3.5), N = d^n nodes",
+       {{"two-phase", "Algorithm 2.3: random forward pass, unique-path leg"},
+        {"unique-path", "deterministic unique forward path"}},
+       6},
+      {"star",
+       "n in 2..9 (N = n! nodes)",
+       "n-star graph (Definitions 2.4-2.5), diameter floor(3(n-1)/2)",
+       {{"two-phase", "Algorithm 2.2: random intermediate, greedy legs"},
+        {"greedy", "deterministic minimal star-transposition path"}},
+       5},
       {"torus",
        "n (n x n) | rxc (r rows, c columns)",
        "2-D torus: the mesh with end-around links, diameter r/2 + c/2",
        {{"greedy", "shortest wrapped dimension-order walk"},
         {"valiant", "Valiant two-phase over random intermediates"}},
        8},
-      {"hypercube",
-       "dim in 1..22 (N = 2^dim)",
-       "binary hypercube (Section 2.3.4's comparison network)",
-       {{"ecube", "deterministic dimension-order (e-cube)"},
-        {"valiant", "Valiant two-phase over random intermediates"}},
-       6},
-      {"ccc",
-       "k in 3..18 (N = k * 2^k)",
-       "cube-connected cycles: constant-degree leveled network",
-       {{"sweep", "deterministic cycle-walk dimension sweep"},
-        {"two-phase", "random intermediate + two sweep legs"}},
-       3},
-      {"linear",
-       "n >= 2 processors in a row",
-       "linear processor array (Section 3.4.1's 1-D substrate)",
-       {{"greedy", "one step toward the destination"}},
-       16},
   };
+  // levnet-lint: end-table
   return kFamilies;
 }
 
@@ -536,38 +543,40 @@ namespace {
 }  // namespace
 
 const std::vector<ProgramInfo>& program_families() {
+  // levnet-lint: sorted-table(program-families)
   static const std::vector<ProgramInfo> kPrograms = {
-      {"permutation", "one random permutation of read requests per step",
-       pram::Mode::kErew},
-      {"random", "independent uniformly random reads per step",
-       pram::Mode::kCrew},
-      {"hotspot-read", "every processor reads cell 0 each step",
-       pram::Mode::kCrcw, true},
-      {"hotspot-write", "every processor adds 1 to cell 0 each step (SUM)",
-       pram::Mode::kCrcw, true},
       {"broadcast", "EREW binary-tree broadcast of one value",
        pram::Mode::kErew},
       {"broadcast-crew", "CREW broadcast (all read the root cell)",
        pram::Mode::kCrew},
-      {"prefix-sum", "inclusive parallel prefix sum (EREW)",
-       pram::Mode::kErew},
-      {"odd-even-sort", "odd-even transposition sort (EREW)",
-       pram::Mode::kErew},
       {"compaction", "stream compaction of marked values (EREW)",
        pram::Mode::kErew},
       {"histogram", "CRCW-SUM histogram of random keys", pram::Mode::kCrcw,
        true},
+      {"hotspot-read", "every processor reads cell 0 each step",
+       pram::Mode::kCrcw, true},
+      {"hotspot-write", "every processor adds 1 to cell 0 each step (SUM)",
+       pram::Mode::kCrcw, true},
       {"list-ranking", "pointer-jumping list ranking (CREW)",
        pram::Mode::kCrew},
+      {"logical-or", "2-step CRCW logical OR", pram::Mode::kCrcw, true},
       {"matmul", "CRCW-SUM n^3-processor matrix multiply",
        pram::Mode::kCrcw, true},
       {"matvec", "CREW n^2-processor matrix-vector product",
        pram::Mode::kCrew},
-      {"max-tournament", "EREW tournament maximum", pram::Mode::kErew},
       {"max-crcw", "O(1)-step CRCW maximum (n^2 processors)",
        pram::Mode::kCrcw, true},
-      {"logical-or", "2-step CRCW logical OR", pram::Mode::kCrcw, true},
+      {"max-tournament", "EREW tournament maximum", pram::Mode::kErew},
+      {"odd-even-sort", "odd-even transposition sort (EREW)",
+       pram::Mode::kErew},
+      {"permutation", "one random permutation of read requests per step",
+       pram::Mode::kErew},
+      {"prefix-sum", "inclusive parallel prefix sum (EREW)",
+       pram::Mode::kErew},
+      {"random", "independent uniformly random reads per step",
+       pram::Mode::kCrew},
   };
+  // levnet-lint: end-table
   return kPrograms;
 }
 

@@ -5,8 +5,11 @@
 // decides which *module* serves an address, not where the word lives in
 // the host process).
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "pram/types.hpp"
 
@@ -38,8 +41,22 @@ class SharedMemory {
     return cells_ == other.cells_;
   }
 
+  /// The raw cell map, for point lookups only. Its iteration order is
+  /// unspecified — anything that feeds a report, fingerprint, dump, or
+  /// JSON must go through sorted_cells() (`levnet_lint` flags iteration
+  /// over this accessor).
   [[nodiscard]] const std::unordered_map<Addr, Word>& cells() const noexcept {
     return cells_;
+  }
+
+  /// The nonzero cells in ascending address order: the deterministic
+  /// iteration surface for fingerprints, dumps, and report paths.
+  [[nodiscard]] std::vector<std::pair<Addr, Word>> sorted_cells() const {
+    // levnet-lint: allow(unordered-iteration): the copy is sorted on the
+    // next line, which erases the unordered traversal order.
+    std::vector<std::pair<Addr, Word>> sorted(cells_.begin(), cells_.end());
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
   }
 
  private:

@@ -68,6 +68,8 @@ ReferencePram::Result ReferencePram::run(PramProgram& program,
     }
 
     // Conflict audit (the EREW/CREW legality conditions of Section 1).
+    // levnet-lint: allow(unordered-iteration): sums and a max over the
+    // cells — every reduction here is iteration-order independent.
     for (const auto& [addr, cell] : activity) {
       (void)addr;
       if (cell.readers >= 2) ++result.read_conflicts;
@@ -81,6 +83,8 @@ ReferencePram::Result ReferencePram::run(PramProgram& program,
       program.receive(r.proc, step, memory.read(r.addr));
     }
     // Writes land at the end of the step under the machine policy.
+    // levnet-lint: allow(unordered-iteration): one merged claim per
+    // distinct address — the writes commute across iteration order.
     for (const auto& [addr, cell] : activity) {
       if (cell.writers > 0) memory.write(addr, cell.claim.value);
     }

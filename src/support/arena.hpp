@@ -12,17 +12,22 @@
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace levnet::support {
 
+/// Single-thread-only: step-scoped storage owned by one engine. Debug
+/// builds record the first pushing thread and abort on cross-thread
+/// mutation (reset() rebinds); Release builds compile the guard out.
 template <typename T>
-class Arena {
+class LEVNET_CAPABILITY("single-thread Arena") Arena {
  public:
   using Index = std::uint32_t;
   static constexpr Index kNullIndex = ~Index{0};
 
   /// Appends a value and returns its index.
   [[nodiscard]] Index push(T value) {
+    owner_.assert_mutation_thread();
     LEVNET_CHECK_MSG(used_ < kNullIndex, "arena exhausted");
     if (used_ < items_.size()) {
       items_[used_] = std::move(value);
@@ -42,7 +47,11 @@ class Arena {
   }
 
   /// Rewinds to empty without releasing storage.
-  void reset() noexcept { used_ = 0; }
+  void reset() noexcept {
+    owner_.assert_mutation_thread();
+    used_ = 0;
+    owner_.rebind();  // quiescent: the next mutating thread takes over
+  }
 
   void reserve(std::size_t capacity) { items_.reserve(capacity); }
 
@@ -52,6 +61,7 @@ class Arena {
  private:
   std::vector<T> items_;
   Index used_ = 0;
+  [[no_unique_address]] DebugThreadOwner owner_;
 };
 
 }  // namespace levnet::support

@@ -17,10 +17,15 @@
 #include <utility>
 #include <vector>
 
+#include "support/thread_annotations.hpp"
+
 namespace levnet::support {
 
+/// Single-thread-only: per-step emulator state, owned by one engine. Debug
+/// builds record the first inserting thread and abort on cross-thread
+/// mutation (clear() rebinds); Release builds compile the guard out.
 template <typename Key, typename Value, typename Hash>
-class FlatMap {
+class LEVNET_CAPABILITY("single-thread FlatMap") FlatMap {
  public:
   explicit FlatMap(std::size_t min_capacity = 16) {
     std::size_t capacity = 16;
@@ -33,6 +38,7 @@ class FlatMap {
   /// first sight. The reference is invalidated by the next *successful*
   /// insertion (a lookup that finds an existing key never rehashes).
   std::pair<Value*, bool> find_or_insert(const Key& key) {
+    owner_.assert_mutation_thread();
     std::size_t mask = slots_.size() - 1;
     std::size_t i = Hash{}(key) & mask;
     while (slots_[i].epoch == epoch_) {
@@ -70,6 +76,8 @@ class FlatMap {
   /// O(1): invalidates every slot by moving to a fresh epoch. Storage (and
   /// capacity) is retained.
   void clear() noexcept {
+    owner_.assert_mutation_thread();
+    owner_.rebind();  // quiescent: the next mutating thread takes over
     entries_.clear();
     if (++epoch_ == 0) {  // epoch wrapped: stamp 0 is in the slots again
       for (Slot& slot : slots_) slot.epoch = 0;
@@ -118,6 +126,7 @@ class FlatMap {
   std::vector<Slot> slots_;            // size is always a power of two
   std::vector<std::uint32_t> entries_; // live slot indices, insertion order
   std::uint32_t epoch_ = 1;
+  [[no_unique_address]] DebugThreadOwner owner_;
 };
 
 }  // namespace levnet::support

@@ -14,11 +14,16 @@
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace levnet::support {
 
+/// Single-thread-only: one engine owns one pool. Debug builds record the
+/// first mutating thread and abort on mutation from any other (clear()
+/// rebinds, so a pooled engine may migrate between trials at quiescent
+/// points); Release builds compile the guard out.
 template <typename T>
-class ObjectPool {
+class LEVNET_CAPABILITY("single-thread ObjectPool") ObjectPool {
  public:
   using Ref = std::uint32_t;
   static constexpr Ref kNullRef = ~Ref{0};
@@ -27,6 +32,7 @@ class ObjectPool {
   /// its previous value); the caller must assign before reading. The
   /// returned handle stays valid until release()/clear().
   [[nodiscard]] Ref allocate() {
+    owner_.assert_mutation_thread();
     ++live_;
     if (!free_.empty()) {
       const Ref ref = free_.back();
@@ -43,6 +49,7 @@ class ObjectPool {
   }
 
   void release(Ref ref) {
+    owner_.assert_mutation_thread();
     LEVNET_DCHECK(ref < fresh_);
     LEVNET_DCHECK(live_ > 0);
     --live_;
@@ -63,9 +70,11 @@ class ObjectPool {
   /// Forgets every live object but keeps the storage, so the next fill of
   /// the pool is allocation-free up to the previous high-water mark.
   void clear() noexcept {
+    owner_.assert_mutation_thread();
     free_.clear();
     fresh_ = 0;
     live_ = 0;
+    owner_.rebind();  // quiescent: the next mutating thread takes over
   }
 
   void reserve(std::size_t capacity) {
@@ -83,6 +92,7 @@ class ObjectPool {
   std::vector<Ref> free_;
   std::size_t fresh_ = 0;  // next never-yet-handed-out slot since clear()
   std::size_t live_ = 0;
+  [[no_unique_address]] DebugThreadOwner owner_;
 };
 
 }  // namespace levnet::support

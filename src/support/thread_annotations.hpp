@@ -1,0 +1,129 @@
+#pragma once
+// Portable Clang thread-safety annotations plus the debug owner-thread
+// guard for single-thread-only containers.
+//
+// The emulation stack's concurrency contract is narrow and static: the
+// only mutex-protected class is support::ThreadPool, Machine is shared
+// across trial threads strictly through const run_seeded(), and the hot
+// data-plane containers (ObjectPool, FlatMap, Arena, RingQueue) are
+// single-owner by design — one engine, one thread. These macros let Clang's
+// -Wthread-safety analysis (wired into CI as a -Werror build) prove the
+// first two contracts at compile time; DebugThreadOwner makes violations of
+// the third fail fast at runtime in Debug builds, even without TSan.
+//
+// On GCC and MSVC every LEVNET_* macro expands to nothing, so the
+// annotations are free outside the dedicated Clang CI job.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define LEVNET_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef LEVNET_THREAD_ANNOTATION
+#define LEVNET_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability (a lock, or a single-owner object
+/// whose "capability" is being on the owning thread).
+#define LEVNET_CAPABILITY(name) LEVNET_THREAD_ANNOTATION(capability(name))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define LEVNET_SCOPED_CAPABILITY LEVNET_THREAD_ANNOTATION(scoped_lockable)
+
+/// A member that may only be touched while `mutex` is held.
+#define LEVNET_GUARDED_BY(mutex) LEVNET_THREAD_ANNOTATION(guarded_by(mutex))
+
+/// A pointer member whose *pointee* is guarded by `mutex`.
+#define LEVNET_PT_GUARDED_BY(mutex) \
+  LEVNET_THREAD_ANNOTATION(pt_guarded_by(mutex))
+
+/// The function may only be called with the listed capabilities held.
+#define LEVNET_REQUIRES(...) \
+  LEVNET_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function may only be called with the listed capabilities NOT held.
+#define LEVNET_EXCLUDES(...) \
+  LEVNET_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define LEVNET_ACQUIRE(...) \
+  LEVNET_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability.
+#define LEVNET_RELEASE(...) \
+  LEVNET_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `value`.
+#define LEVNET_TRY_ACQUIRE(value, ...) \
+  LEVNET_THREAD_ANNOTATION(try_acquire_capability(value, __VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define LEVNET_RETURN_CAPABILITY(x) \
+  LEVNET_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions whose locking the analysis cannot follow;
+/// use only with a comment explaining why the code is in fact safe.
+#define LEVNET_NO_THREAD_SAFETY_ANALYSIS \
+  LEVNET_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#ifndef NDEBUG
+#include <atomic>
+#include <thread>
+
+#include "support/check.hpp"
+#endif
+
+namespace levnet::support {
+
+#ifndef NDEBUG
+
+/// Debug-build guard for single-thread-only containers: records the thread
+/// of the first mutation and aborts on a mutation from any other thread.
+/// clear()-style resets rebind ownership, so a pooled container may migrate
+/// between trial threads as long as every migration happens at a quiescent
+/// point. Compiled down to an empty type in Release builds.
+class DebugThreadOwner {
+ public:
+  DebugThreadOwner() = default;
+  // Copies and moves start unclaimed: the destination container is a fresh
+  // object whose owning thread is whoever mutates it first.
+  DebugThreadOwner(const DebugThreadOwner&) noexcept {}
+  DebugThreadOwner& operator=(const DebugThreadOwner&) noexcept {
+    return *this;
+  }
+
+  /// Call from every mutating member. First call claims ownership.
+  void assert_mutation_thread() const {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};  // "no thread": the unclaimed state
+    if (owner_.compare_exchange_strong(expected, self,
+                                       std::memory_order_relaxed)) {
+      return;  // first use: this thread now owns the container
+    }
+    LEVNET_CHECK_MSG(expected == self,
+                     "single-thread container mutated from a second thread "
+                     "(share per-thread instances, or quiesce + clear() "
+                     "before handing it over)");
+  }
+
+  /// Call from clear()/reset(): the next mutating thread becomes the owner.
+  void rebind() const {
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<std::thread::id> owner_{};
+};
+
+#else  // NDEBUG
+
+class DebugThreadOwner {
+ public:
+  void assert_mutation_thread() const noexcept {}
+  void rebind() const noexcept {}
+};
+
+#endif  // NDEBUG
+
+}  // namespace levnet::support

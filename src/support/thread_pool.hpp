@@ -7,15 +7,23 @@
 // out indices through an atomic counter: the assignment of index to thread
 // is scheduling-dependent, but every index runs exactly once and writes
 // only its own output slot, which is all determinism requires.
+//
+// Thread-safety contract (checked by Clang -Wthread-safety in CI): the
+// job/generation/stopping handshake state is guarded by mutex_; a Job's
+// first-error slot is guarded by its own error_mutex; next/workers_done are
+// lock-free atomics. parallel_for is NOT reentrant and must be driven from
+// one thread at a time per pool — concurrent fan-outs want one pool each.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace levnet::support {
 
@@ -38,7 +46,8 @@ class ThreadPool {
   /// exception thrown by any invocation is rethrown here (remaining
   /// indices may be skipped). Not reentrant: one parallel_for at a time.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn)
+      LEVNET_EXCLUDES(mutex_);
 
   /// std::thread::hardware_concurrency with a sane floor of 1.
   [[nodiscard]] static unsigned hardware_threads() noexcept;
@@ -49,22 +58,23 @@ class ThreadPool {
     std::size_t count = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<unsigned> workers_done{0};
-    std::exception_ptr error;  // first failure, guarded by error_mutex
-    std::mutex error_mutex;
+    Mutex error_mutex;
+    std::exception_ptr error LEVNET_GUARDED_BY(error_mutex);  // first failure
   };
 
-  void worker_loop();
+  void worker_loop() LEVNET_EXCLUDES(mutex_);
   void drain(Job& job);
 
   unsigned threads_ = 1;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  Job* job_ = nullptr;          // current job, null when idle
-  std::uint64_t generation_ = 0;  // bumped per job so workers wake once each
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar work_ready_;
+  CondVar work_done_;
+  Job* job_ LEVNET_GUARDED_BY(mutex_) = nullptr;  // current job, null if idle
+  // Bumped per job so workers wake exactly once per fan-out.
+  std::uint64_t generation_ LEVNET_GUARDED_BY(mutex_) = 0;
+  bool stopping_ LEVNET_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace levnet::support

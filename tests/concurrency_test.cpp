@@ -1,0 +1,230 @@
+// The multithreaded surface under contention — the tests the TSan CI job
+// and the Debug owner-thread assertions exist to watch.
+//
+//   * ThreadPool: fan-outs racing from several pools at once, the
+//     exception-during-drain path under contention, and pool reuse after a
+//     failed fan-out.
+//   * Machine: the const run_seeded() sharing contract — 8 threads
+//     hammering one fault-free Machine must produce reports and final
+//     memories bit-identical to the same seeds run sequentially.
+//   * DebugThreadOwner: the single-thread containers' debug guard rebinds
+//     across clear()/reset(), so pooled state may migrate between trial
+//     threads at quiescent points without tripping the assertion.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "emulation/emulator.hpp"
+#include "machine/machine.hpp"
+#include "pram/memory.hpp"
+#include "pram/program.hpp"
+#include "support/arena.hpp"
+#include "support/flat_hash.hpp"
+#include "support/object_pool.hpp"
+#include "support/thread_pool.hpp"
+
+namespace levnet {
+namespace {
+
+using emulation::EmulationReport;
+using pram::SharedMemory;
+using support::ThreadPool;
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ConcurrencyThreadPool, ConcurrentFanOutsFromSeparatePools) {
+  // One pool per driver thread (parallel_for is not reentrant per pool);
+  // the pools' workers all contend for the same cores at once.
+  constexpr int kPools = 4;
+  constexpr std::size_t kItems = 256;
+  std::vector<std::vector<int>> results(kPools,
+                                        std::vector<int>(kItems, 0));
+  std::vector<std::thread> drivers;
+  drivers.reserve(kPools);
+  for (int p = 0; p < kPools; ++p) {
+    drivers.emplace_back([p, &results] {
+      ThreadPool pool(4);
+      for (int round = 0; round < 8; ++round) {
+        pool.parallel_for(kItems, [&](std::size_t i) {
+          results[static_cast<std::size_t>(p)][i] += 1;
+        });
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  for (const auto& per_pool : results) {
+    for (const int count : per_pool) EXPECT_EQ(count, 8);
+  }
+}
+
+TEST(ConcurrencyThreadPool, ExceptionDuringDrainUnderContention) {
+  ThreadPool pool(8);
+  std::atomic<int> ran{0};
+  const auto boom = [&](std::size_t i) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    if (i == 63) throw std::runtime_error("boom at 63");
+  };
+  EXPECT_THROW(pool.parallel_for(256, boom), std::runtime_error);
+  // The throwing index ran; the counter was parked, so not every index did.
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 256);
+
+  // The pool survives a failed fan-out: the next job runs every index.
+  std::atomic<int> clean{0};
+  pool.parallel_for(128, [&](std::size_t) {
+    clean.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(clean.load(), 128);
+}
+
+TEST(ConcurrencyThreadPool, FirstExceptionWinsAcrossRepeatedFailures) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 16; ++round) {
+    try {
+      pool.parallel_for(64, [](std::size_t i) {
+        if (i % 2 == 0) {
+          throw std::runtime_error("even index " + std::to_string(i));
+        }
+      });
+      FAIL() << "parallel_for swallowed the exception";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find("even index"),
+                std::string::npos);
+    }
+  }
+}
+
+// ------------------------------------------------- Machine::run_seeded
+
+/// Full observable equality: every report counter (including the per-step
+/// cost vector) plus the address-ordered final memory.
+void expect_identical(const EmulationReport& a, const EmulationReport& b,
+                      const SharedMemory& ma, const SharedMemory& mb,
+                      const std::string& label) {
+  EXPECT_EQ(a.pram_steps, b.pram_steps) << label;
+  EXPECT_EQ(a.network_steps, b.network_steps) << label;
+  EXPECT_EQ(a.max_step_network, b.max_step_network) << label;
+  EXPECT_EQ(a.mean_step_network, b.mean_step_network) << label;
+  EXPECT_EQ(a.max_link_queue, b.max_link_queue) << label;
+  EXPECT_EQ(a.max_node_queue, b.max_node_queue) << label;
+  EXPECT_EQ(a.request_packets, b.request_packets) << label;
+  EXPECT_EQ(a.reply_packets, b.reply_packets) << label;
+  EXPECT_EQ(a.combined_requests, b.combined_requests) << label;
+  EXPECT_EQ(a.local_ops, b.local_ops) << label;
+  EXPECT_EQ(a.rehashes, b.rehashes) << label;
+  EXPECT_EQ(a.step_costs, b.step_costs) << label;
+  EXPECT_EQ(a.complete, b.complete) << label;
+  EXPECT_EQ(ma.sorted_cells(), mb.sorted_cells()) << label;
+}
+
+TEST(ConcurrencySharedMachine, RunSeededEightThreadsBitIdentical) {
+  const machine::Machine shared =
+      machine::Machine::build("star:5/two-phase/crcw-combining/fifo");
+  const machine::ProgramFactory factory =
+      machine::program_factory("histogram");
+
+  // Sequential truth: one report + final memory per seed.
+  constexpr std::uint64_t kSeeds = 16;
+  std::vector<EmulationReport> want_reports(kSeeds);
+  std::vector<SharedMemory> want_memories(kSeeds);
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const auto program = factory(shared.processors(), seed);
+    want_reports[seed] =
+        shared.run_seeded(seed, *program, want_memories[seed]);
+  }
+
+  // 8 threads share the const Machine, each claiming seeds round-robin so
+  // several threads emulate concurrently with interleaved start times.
+  constexpr unsigned kThreads = 8;
+  std::vector<EmulationReport> got_reports(kSeeds);
+  std::vector<SharedMemory> got_memories(kSeeds);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &shared, &factory, &got_reports,
+                          &got_memories] {
+      for (std::uint64_t seed = t; seed < kSeeds; seed += kThreads) {
+        const auto program = factory(shared.processors(), seed);
+        got_reports[seed] =
+            shared.run_seeded(seed, *program, got_memories[seed]);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    expect_identical(want_reports[seed], got_reports[seed],
+                     want_memories[seed], got_memories[seed],
+                     "seed " + std::to_string(seed));
+  }
+}
+
+TEST(ConcurrencySharedMachine, RunTrialsMatchesAcrossThreadCounts) {
+  const machine::MachineSpec spec =
+      machine::parse_spec("shuffle:5/two-phase/crcw-combining/furthest-first");
+  const machine::ProgramFactory factory =
+      machine::program_factory("permutation");
+  const auto one = machine::run_trials(spec, factory, 12, 1);
+  const auto eight = machine::run_trials(spec, factory, 12, 8);
+  EXPECT_EQ(one.steps.mean, eight.steps.mean);
+  EXPECT_EQ(one.steps.max, eight.steps.max);
+  EXPECT_EQ(one.worst_step.mean, eight.worst_step.mean);
+}
+
+// ------------------------------------------------- DebugThreadOwner
+
+TEST(ConcurrencyOwnerGuard, ContainersMigrateAcrossThreadsWhenQuiescent) {
+  // Mutate on this thread, clear()/reset(), then hand each container to
+  // another thread: the debug guard must rebind instead of aborting. (The
+  // cross-thread *violation* path aborts by design, so it is exercised as
+  // a death test below rather than inline.)
+  support::ObjectPool<int> pool;
+  support::Arena<int> arena;
+  struct IdentityHash {
+    std::size_t operator()(int key) const noexcept {
+      return static_cast<std::size_t>(key);
+    }
+  };
+  support::FlatMap<int, int, IdentityHash> map;
+
+  (void)pool.allocate();
+  (void)arena.push(7);
+  (void)map.find_or_insert(1);
+  pool.clear();
+  arena.reset();
+  map.clear();
+
+  std::thread other([&] {
+    const auto ref = pool.allocate();
+    pool.get(ref) = 5;
+    EXPECT_EQ(arena[arena.push(9)], 9);
+    EXPECT_TRUE(map.find_or_insert(2).second);
+  });
+  other.join();
+}
+
+#ifndef NDEBUG
+using ConcurrencyOwnerGuardDeathTest = ::testing::Test;
+
+TEST(ConcurrencyOwnerGuardDeathTest, CrossThreadMutationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        support::Arena<int> arena;
+        (void)arena.push(1);  // this thread owns the arena...
+        std::thread trespasser([&] { (void)arena.push(2); });
+        trespasser.join();
+      },
+      "single-thread container mutated from a second thread");
+}
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace levnet

@@ -61,9 +61,10 @@ std::vector<Word> random_words(std::size_t n, std::uint64_t seed,
 }
 
 /// Order-independent fingerprint of the final memory: FNV-1a over the
-/// (addr, value) pairs in ascending address order.
+/// (addr, value) pairs in ascending address order (the deterministic
+/// sorted_cells() surface, never raw unordered_map iteration).
 std::uint64_t memory_fingerprint(const SharedMemory& memory) {
-  std::map<Addr, Word> sorted(memory.cells().begin(), memory.cells().end());
+  const auto sorted = memory.sorted_cells();
   std::uint64_t hash = 0xcbf29ce484222325ULL;
   const auto mix = [&hash](std::uint64_t v) {
     for (int byte = 0; byte < 8; ++byte) {

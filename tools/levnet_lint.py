@@ -1,0 +1,621 @@
+#!/usr/bin/env python3
+"""levnet-lint: machine-checkable determinism invariants for this repo.
+
+The emulation's headline guarantee is bit-identical reports across thread
+counts, refactors, and spec-vs-hand-built machines. Most of what protects
+that guarantee is convention — conventions rot. This checker turns the
+prose invariants into CI-enforced rules:
+
+  unordered-iteration    no iteration over std::unordered_map/set (point
+                         lookups are fine; iteration order is unspecified
+                         and must never feed a report, fingerprint, dump,
+                         or JSON). Includes range-fors over the raw
+                         SharedMemory::cells() accessor — deterministic
+                         consumers use sorted_cells().
+  nondeterministic-source no rand()/srand()/std::random_device/time()/
+                         std::chrono::*_clock::now() inside src/ — every
+                         random draw must derive from the run seed.
+  pointer-key-order      no std::map/std::set keyed by a raw pointer:
+                         pointer values vary run to run, so their order is
+                         nondeterministic.
+  raw-new-delete         no raw new/delete in the src/sim + src/support
+                         hot paths (pools, arenas, and containers only —
+                         the steady-state step loop is allocation-free and
+                         perf_alloc_test proves it).
+  packet-layout-assert   src/sim/packet.hpp must keep its
+                         static_assert(sizeof(Packet) == 56) layout pin.
+  registry-sorted        tables bracketed by
+                         // levnet-lint: sorted-table(<name>) ...
+                         // levnet-lint: end-table
+                         must list their entries in ascending key order.
+  pragma-once            every .hpp must open with #pragma once.
+
+Any rule is suppressible per line with an audited escape hatch:
+
+    // levnet-lint: allow(<rule>): <reason>
+
+on the offending line or the comment line(s) immediately above it. The
+reason is mandatory; an allow() without one is itself a finding.
+
+Usage:
+    levnet_lint.py [--root DIR]     scan the tree (exit 1 on findings)
+    levnet_lint.py --self-test      prove every rule fires on a synthetic
+                                    violation and is silenced by allow()
+
+Run as a ctest entry (`levnet_lint`, `levnet_lint_selftest`) and a CI job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+from dataclasses import dataclass
+from typing import Callable
+
+RULES = (
+    "unordered-iteration",
+    "nondeterministic-source",
+    "pointer-key-order",
+    "raw-new-delete",
+    "packet-layout-assert",
+    "registry-sorted",
+    "pragma-once",
+)
+
+# Directories scanned relative to the root; build trees never qualify.
+SCAN_DIRS = ("src", "tools", "tests", "bench", "examples")
+
+# File-level allowlist: rule -> set of root-relative paths exempt from it.
+# PR 6 shrank the unordered-iteration list to empty by migrating the golden
+# final-memory fingerprint from raw cells() iteration onto the
+# address-ordered SharedMemory::sorted_cells(); keep it empty — prefer the
+# line-level `// levnet-lint: allow(...)` with a written reason.
+ALLOWLIST: dict[str, set[str]] = {rule: set() for rule in RULES}
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------- lexing
+
+_ALLOW_RE = re.compile(r"levnet-lint:\s*allow\(([a-z-]+)\)(\s*:\s*(\S.*))?")
+_DIRECTIVE_RE = re.compile(r"levnet-lint:\s*([a-z-]+(?:\([^)]*\))?)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Comment text is replaced with spaces so column/line numbers survive;
+    string contents become empty literals so patterns never match inside
+    quoted text.
+    """
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line-comment | block-comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line-comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append('"')
+            elif c == "\n":  # unterminated; bail to code to stay line-true
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append("'")
+            elif c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+class Suppressions:
+    """Line-level allow() directives, including multi-line comment blocks.
+
+    An allow on line K suppresses its rule on K itself and on the next
+    non-comment line after the comment block it sits in.
+    """
+
+    def __init__(self, raw_lines: list[str], path: str,
+                 findings: list[Finding]):
+        self.own: list[set[str]] = [set() for _ in raw_lines]
+        self.carried: list[set[str]] = [set() for _ in raw_lines]
+        pending: set[str] = set()
+        for idx, line in enumerate(raw_lines):
+            stripped = line.strip()
+            is_comment = stripped.startswith("//")
+            for match in _ALLOW_RE.finditer(line):
+                rule, reason = match.group(1), match.group(3)
+                if rule not in RULES:
+                    findings.append(Finding(
+                        path, idx + 1, "bad-suppression",
+                        f"allow() names unknown rule '{rule}' "
+                        f"(valid: {', '.join(RULES)})"))
+                    continue
+                if not reason:
+                    findings.append(Finding(
+                        path, idx + 1, "bad-suppression",
+                        f"allow({rule}) needs a reason: "
+                        f"`// levnet-lint: allow({rule}): <why>`"))
+                    continue
+                self.own[idx].add(rule)
+                if is_comment:
+                    pending.add(rule)
+            if is_comment or not stripped:
+                self.carried[idx] |= pending
+            else:
+                self.carried[idx] |= pending
+                pending = set()
+
+    def active(self, line_1based: int) -> set[str]:
+        idx = line_1based - 1
+        if 0 <= idx < len(self.own):
+            return self.own[idx] | self.carried[idx]
+        return set()
+
+
+# --------------------------------------------------------------- rules
+
+_UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set)\s*<[^;{}]*?>[&\s]*\b(\w+)\s*[;,=({)]")
+_RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;)]*?):([^;]*)\)")
+_NONDET_RE = re.compile(
+    r"\brand\s*\(|\bsrand\s*\(|std::random_device|\btime\s*\(|"
+    r"(?:steady_clock|system_clock|high_resolution_clock)::now\s*\(")
+_PTR_KEY_RE = re.compile(r"std::(?:map|set)\s*<\s*[^,>]*\*")
+_NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (place)` is still new: see below
+_RAW_NEW_RE = re.compile(r"\bnew\b")
+_RAW_DELETE_RE = re.compile(r"\bdelete\b(?!\s*;)")  # skips `= delete;`
+
+
+def rel(path: str, root: str) -> str:
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def check_unordered_iteration(path: str, code_lines: list[str],
+                              emit: Callable[[int, str, str], None]) -> None:
+    code = "\n".join(code_lines)
+    unordered_names = set(_UNORDERED_DECL_RE.findall(code))
+    for idx, line in enumerate(code_lines):
+        for match in _RANGE_FOR_RE.finditer(line):
+            range_expr = match.group(2)
+            for name in unordered_names:
+                if re.search(rf"\b{re.escape(name)}\b", range_expr):
+                    emit(idx + 1, "unordered-iteration",
+                         f"range-for over unordered container '{name}' — "
+                         "iteration order is unspecified; use an "
+                         "insertion-ordered FlatMap or sort first")
+            if re.search(r"\.\s*cells\s*\(\s*\)", range_expr):
+                emit(idx + 1, "unordered-iteration",
+                     "range-for over SharedMemory::cells() — use "
+                     "sorted_cells() for deterministic order")
+        for name in unordered_names:
+            # `.end()` alone is a find()-sentinel comparison, not a walk;
+            # every genuine iteration needs a begin().
+            if re.search(rf"\b{re.escape(name)}\s*\.\s*c?begin\s*\(", line):
+                emit(idx + 1, "unordered-iteration",
+                     f"iterator walk of unordered container '{name}' — "
+                     "iteration order is unspecified")
+        if re.search(r"\.\s*cells\s*\(\s*\)\s*\.\s*(?:begin|cbegin)\s*\(",
+                     line):
+            emit(idx + 1, "unordered-iteration",
+                 "iterator walk of SharedMemory::cells() — use "
+                 "sorted_cells() for deterministic order")
+
+
+def check_nondeterministic_source(path: str, code_lines: list[str],
+                                  emit: Callable[[int, str, str],
+                                                 None]) -> None:
+    for idx, line in enumerate(code_lines):
+        if _NONDET_RE.search(line):
+            emit(idx + 1, "nondeterministic-source",
+                 "nondeterministic source in src/ — derive every draw and "
+                 "timestamp from the run seed (support::Rng / SplitMix64)")
+
+
+def check_pointer_key_order(path: str, code_lines: list[str],
+                            emit: Callable[[int, str, str], None]) -> None:
+    for idx, line in enumerate(code_lines):
+        if _PTR_KEY_RE.search(line):
+            emit(idx + 1, "pointer-key-order",
+                 "ordered container keyed by raw pointer — pointer values "
+                 "(and thus iteration order) vary run to run; key by a "
+                 "stable id instead")
+
+
+def check_raw_new_delete(path: str, code_lines: list[str],
+                         emit: Callable[[int, str, str], None]) -> None:
+    for idx, line in enumerate(code_lines):
+        if _RAW_NEW_RE.search(line):
+            emit(idx + 1, "raw-new-delete",
+                 "raw `new` in a hot-path directory — allocate through "
+                 "ObjectPool/Arena or a container")
+        if _RAW_DELETE_RE.search(line):
+            emit(idx + 1, "raw-new-delete",
+                 "raw `delete` in a hot-path directory — pooled storage is "
+                 "recycled, never freed mid-run")
+
+
+def check_registry_sorted(path: str, raw_text: str, code_text: str,
+                          emit: Callable[[int, str, str], None]) -> None:
+    """Entries between sorted-table markers must be in ascending key order.
+
+    The key of an entry is the first string literal after the entry's
+    opening brace at nesting depth 1 relative to the table initializer.
+    """
+    raw_lines = raw_text.split("\n")
+    table_name = None
+    table_start = None
+    for idx, line in enumerate(raw_lines):
+        open_match = re.search(r"levnet-lint:\s*sorted-table\(([\w-]+)\)",
+                               line)
+        if open_match:
+            if table_name is not None:
+                emit(idx + 1, "registry-sorted",
+                     f"sorted-table({open_match.group(1)}) opened inside "
+                     f"unclosed table '{table_name}'")
+            table_name = open_match.group(1)
+            table_start = idx + 1
+            continue
+        if re.search(r"levnet-lint:\s*end-table", line):
+            if table_name is None:
+                emit(idx + 1, "registry-sorted",
+                     "end-table with no open sorted-table marker")
+                continue
+            _check_table_block(path, raw_lines, table_start, idx, table_name,
+                               emit)
+            table_name = None
+            table_start = None
+    if table_name is not None:
+        emit(len(raw_lines), "registry-sorted",
+             f"sorted-table({table_name}) never closed with "
+             "`// levnet-lint: end-table`")
+
+
+def _check_table_block(path: str, raw_lines: list[str], start: int, end: int,
+                       name: str,
+                       emit: Callable[[int, str, str], None]) -> None:
+    block = "\n".join(raw_lines[start:end])
+    clean = strip_comments_and_strings(block)
+    # Re-scan the *raw* block for string literals, but walk depth on the
+    # cleaned text so braces in comments/strings don't confuse nesting.
+    depth = 0
+    awaiting_key = False
+    keys: list[tuple[str, int]] = []  # (key, 1-based line in file)
+    line_no = start + 1
+    i = 0
+    raw_block = "\n".join(raw_lines[start:end])
+    while i < len(clean):
+        c = clean[i]
+        if c == "\n":
+            line_no += 1
+        elif c == "{":
+            depth += 1
+            if depth == 2:
+                awaiting_key = True
+        elif c == "}":
+            depth -= 1
+        elif c == '"' and awaiting_key:
+            # The cleaned text keeps only the quotes; read the literal's
+            # contents from the raw block at the same offset.
+            j = raw_block.index('"', i)
+            k = raw_block.index('"', j + 1)
+            keys.append((raw_block[j + 1:k], line_no))
+            awaiting_key = False
+            i = k + 1
+            continue
+        i += 1
+    if not keys:
+        emit(start, "registry-sorted",
+             f"sorted-table({name}) contains no keyed entries")
+        return
+    for (prev, _), (cur, cur_line) in zip(keys, keys[1:]):
+        if cur < prev:
+            emit(cur_line, "registry-sorted",
+                 f"table '{name}' not name-sorted: '{cur}' after '{prev}'")
+
+
+def check_pragma_once(path: str, raw_text: str,
+                      emit: Callable[[int, str, str], None]) -> None:
+    head = raw_text.split("\n")[:10]
+    if not any(re.match(r"\s*#\s*pragma\s+once\b", line) for line in head):
+        emit(1, "pragma-once",
+             "header missing #pragma once in its first 10 lines")
+
+
+# --------------------------------------------------------------- driver
+
+def in_dir(rel_path: str, *dirs: str) -> bool:
+    return any(rel_path == d or rel_path.startswith(d + "/") for d in dirs)
+
+
+def scan_file(path: str, root: str, findings: list[Finding]) -> None:
+    rel_path = rel(path, root)
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            raw_text = f.read()
+    except OSError as error:
+        findings.append(Finding(rel_path, 1, "io-error", str(error)))
+        return
+    raw_lines = raw_text.split("\n")
+    code_text = strip_comments_and_strings(raw_text)
+    code_lines = code_text.split("\n")
+
+    pre_existing = len(findings)
+    suppressions = Suppressions(raw_lines, rel_path, findings)
+    del pre_existing
+
+    staged: list[Finding] = []
+
+    def emit(line: int, rule: str, message: str) -> None:
+        if rel_path in ALLOWLIST.get(rule, set()):
+            return
+        if rule in suppressions.active(line):
+            return
+        staged.append(Finding(rel_path, line, rule, message))
+
+    if in_dir(rel_path, "src", "tools", "tests", "bench", "examples"):
+        check_unordered_iteration(rel_path, code_lines, emit)
+        check_pointer_key_order(rel_path, code_lines, emit)
+    if in_dir(rel_path, "src"):
+        check_nondeterministic_source(rel_path, code_lines, emit)
+    if in_dir(rel_path, "src/sim", "src/support"):
+        check_raw_new_delete(rel_path, code_lines, emit)
+    check_registry_sorted(rel_path, raw_text, code_text, emit)
+    if rel_path.endswith(".hpp"):
+        check_pragma_once(rel_path, raw_text, emit)
+    if rel_path == "src/sim/packet.hpp":
+        if not re.search(r"static_assert\s*\(\s*sizeof\s*\(\s*Packet\s*\)"
+                         r"\s*==\s*56", raw_text):
+            emit(1, "packet-layout-assert",
+                 "packet.hpp lost its static_assert(sizeof(Packet) == 56) "
+                 "layout pin")
+
+    findings.extend(staged)
+
+
+def scan_tree(root: str) -> list[Finding]:
+    findings: list[Finding] = []
+    paths: list[str] = []
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(root, scan_dir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if not d.startswith("build")
+                                 and d != "__pycache__")
+            for filename in sorted(filenames):
+                if filename.endswith((".hpp", ".cpp", ".h", ".cc")):
+                    paths.append(os.path.join(dirpath, filename))
+    for path in sorted(paths):
+        scan_file(path, root, findings)
+    return findings
+
+
+# ------------------------------------------------------------ self-test
+
+_SELFTEST_CASES: list[tuple[str, str, str, bool]] = [
+    # (relative path, source text, expected rule, suppressed?)
+    ("src/pram/viol_iter.cpp",
+     "#include <unordered_map>\n"
+     "void f() {\n"
+     "  std::unordered_map<int, int> table;\n"
+     "  for (const auto& [k, v] : table) { (void)k; (void)v; }\n"
+     "}\n",
+     "unordered-iteration", False),
+    ("src/pram/ok_iter.cpp",
+     "#include <unordered_map>\n"
+     "void f() {\n"
+     "  std::unordered_map<int, int> table;\n"
+     "  // levnet-lint: allow(unordered-iteration): self-test reason\n"
+     "  for (const auto& [k, v] : table) { (void)k; (void)v; }\n"
+     "}\n",
+     "unordered-iteration", True),
+    ("src/pram/viol_cells.cpp",
+     "void f(const levnet::pram::SharedMemory& m) {\n"
+     "  for (const auto& kv : m.cells()) { (void)kv; }\n"
+     "}\n",
+     "unordered-iteration", False),
+    ("src/sim/viol_rand.cpp",
+     "#include <cstdlib>\n"
+     "int f() { return rand(); }\n",
+     "nondeterministic-source", False),
+    ("src/sim/viol_clock.cpp",
+     "#include <chrono>\n"
+     "auto f() { return std::chrono::steady_clock::now(); }\n",
+     "nondeterministic-source", False),
+    ("src/sim/ok_clock.cpp",
+     "#include <chrono>\n"
+     "// levnet-lint: allow(nondeterministic-source): self-test reason\n"
+     "auto f() { return std::chrono::steady_clock::now(); }\n",
+     "nondeterministic-source", True),
+    ("src/routing/viol_ptrkey.cpp",
+     "#include <map>\n"
+     "struct Router;\n"
+     "std::map<Router*, int> g_ranks;\n",
+     "pointer-key-order", False),
+    ("src/support/viol_new.cpp",
+     "int* f() { return new int(7); }\n",
+     "raw-new-delete", False),
+    ("src/support/ok_deleted_fn.cpp",
+     "struct NoCopy { NoCopy(const NoCopy&) = delete; };\n",
+     "raw-new-delete", True),  # `= delete;` is not a deallocation
+    ("src/machine/viol_table.cpp",
+     "// levnet-lint: sorted-table(selftest)\n"
+     "static const char* kTable[][2] = {\n"
+     "    {\"zebra\", \"last\"},\n"
+     "    {\"aardvark\", \"first\"},\n"
+     "};\n"
+     "// levnet-lint: end-table\n",
+     "registry-sorted", False),
+    ("src/machine/ok_table.cpp",
+     "// levnet-lint: sorted-table(selftest-ok)\n"
+     "static const char* kTable[][2] = {\n"
+     "    {\"aardvark\", \"first\"},\n"
+     "    {\"zebra\", \"last\"},\n"
+     "};\n"
+     "// levnet-lint: end-table\n",
+     "registry-sorted", True),
+    ("src/support/viol_header.hpp",
+     "// a header without the pragma\n"
+     "namespace levnet {}\n",
+     "pragma-once", False),
+    ("src/sim/packet.hpp",
+     "#pragma once\n"
+     "struct Packet { int x; };\n"
+     "// static_assert intentionally absent\n",
+     "packet-layout-assert", False),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="levnet_lint_selftest_") as tmp:
+        for rel_path, source, rule, _ in _SELFTEST_CASES:
+            full = os.path.join(tmp, rel_path)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "w", encoding="utf-8") as f:
+                f.write(source)
+        findings = scan_tree(tmp)
+        by_file: dict[str, list[Finding]] = {}
+        for finding in findings:
+            by_file.setdefault(finding.path, []).append(finding)
+        for rel_path, _, rule, suppressed in _SELFTEST_CASES:
+            fired = [f for f in by_file.get(rel_path, [])
+                     if f.rule == rule]
+            if suppressed and fired:
+                print(f"SELF-TEST FAIL: {rel_path}: allow() did not "
+                      f"silence [{rule}]: {fired[0].render()}")
+                failures += 1
+            elif not suppressed and not fired:
+                print(f"SELF-TEST FAIL: {rel_path}: expected [{rule}] "
+                      "to fire, got "
+                      f"{[f.rule for f in by_file.get(rel_path, [])]}")
+                failures += 1
+        # A reasonless allow() must itself be reported.
+        reasonless = os.path.join(tmp, "src", "support", "reasonless.cpp")
+        with open(reasonless, "w", encoding="utf-8") as f:
+            f.write("// levnet-lint: allow(raw-new-delete)\n"
+                    "int* f() { return new int; }\n")
+        bad = [f for f in scan_tree(tmp) if f.path.endswith("reasonless.cpp")]
+        if not any(f.rule == "bad-suppression" for f in bad):
+            print("SELF-TEST FAIL: reasonless allow() was not reported")
+            failures += 1
+        if not any(f.rule == "raw-new-delete" for f in bad):
+            print("SELF-TEST FAIL: reasonless allow() suppressed the rule")
+            failures += 1
+    rules_covered = {rule for _, _, rule, _ in _SELFTEST_CASES}
+    missing = set(RULES) - rules_covered
+    if missing:
+        print(f"SELF-TEST FAIL: no case covers: {', '.join(sorted(missing))}")
+        failures += 1
+    if failures:
+        print(f"levnet-lint self-test: {failures} failure(s)")
+        return 1
+    print(f"levnet-lint self-test: all {len(RULES)} rules fire and "
+          "suppress correctly")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="levnet_lint",
+        description="determinism invariant checker for the levnet tree")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: the checkout containing "
+                             "this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on synthetic "
+                             "violations")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(rule)
+        return 0
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(root):
+        print(f"levnet-lint: no such root: {root}", file=sys.stderr)
+        return 2
+    findings = scan_tree(root)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"levnet-lint: {len(findings)} finding(s)")
+        return 1
+    print("levnet-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
