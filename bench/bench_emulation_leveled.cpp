@@ -129,6 +129,86 @@ void crcw_row(analysis::ScenarioContext& ctx, std::uint32_t n, bool write,
             },
     }};
 
+/// E6b: one scenario per step_threads value (the registry records wall_ms
+/// per scenario name, so each variant gets its own "E6/parallel-step@tN"
+/// timing key; bench/compare_bench.py groups the @t variants of a base
+/// name and prints the speedup ratios). One seed, so the engine's internal
+/// shard pool is the only parallelism in the timing window — the simulated
+/// columns must come out identical across variants (bit-identical sharding).
+void parallel_step_row(analysis::ScenarioContext& ctx,
+                       std::uint32_t step_threads) {
+  // Full sweep: star:9 = 362,880 processors; smoke: star:7 = 5,040.
+  constexpr std::uint32_t kParallelPramSteps = 2;
+  const machine::Machine m = machine::Machine::build(
+      "star:" + std::to_string(ctx.arg(0)) + "/two-phase/threads:" +
+      std::to_string(step_threads));
+  const analysis::TrialStats stats = ctx.trials([&](std::uint64_t seed) {
+    pram::PermutationTraffic program(m.processors(), kParallelPramSteps,
+                                    seed);
+    pram::SharedMemory memory;
+    return m.run_seeded(seed, program, memory);
+  });
+  auto& table = ctx.table(
+      "E6b: intra-trial parallel stepping (wall_ms per variant in JSON)",
+      {"network", "procs", "step-threads", "steps/pram-step", "worst step",
+       "per diam"});
+  table.row()
+      .cell(m.name())
+      .cell(std::uint64_t{m.processors()})
+      .cell(std::uint64_t{step_threads})
+      .cell(stats.steps.mean, 1)
+      .cell(stats.worst_step.max, 0)
+      .cell(stats.steps.mean / m.route_scale(), 2);
+}
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kParallelStepT1{
+    analysis::Scenario{
+        .name = "E6/parallel-step@t1",
+        .experiment = "E6b / serial baseline for the sharded engine",
+        .sweep = "(n); permutation reads, engine step_threads = 1",
+        .points = {{9}},
+        .smoke_points = {{7}},
+        .seeds = 1,
+        .run =
+            [](analysis::ScenarioContext& ctx) { parallel_step_row(ctx, 1); },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kParallelStepT2{
+    analysis::Scenario{
+        .name = "E6/parallel-step@t2",
+        .experiment = "E6b / sharded engine, 2 threads",
+        .sweep = "(n); permutation reads, engine step_threads = 2",
+        .points = {{9}},
+        .smoke_points = {{7}},
+        .seeds = 1,
+        .run =
+            [](analysis::ScenarioContext& ctx) { parallel_step_row(ctx, 2); },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kParallelStepT4{
+    analysis::Scenario{
+        .name = "E6/parallel-step@t4",
+        .experiment = "E6b / sharded engine, 4 threads",
+        .sweep = "(n); permutation reads, engine step_threads = 4",
+        .points = {{9}},
+        .smoke_points = {{7}},
+        .seeds = 1,
+        .run =
+            [](analysis::ScenarioContext& ctx) { parallel_step_row(ctx, 4); },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kParallelStepT8{
+    analysis::Scenario{
+        .name = "E6/parallel-step@t8",
+        .experiment = "E6b / sharded engine, 8 threads",
+        .sweep = "(n); permutation reads, engine step_threads = 8",
+        .points = {{9}},
+        .smoke_points = {{7}},
+        .seeds = 1,
+        .run =
+            [](analysis::ScenarioContext& ctx) { parallel_step_row(ctx, 8); },
+    }};
+
 [[maybe_unused]] const analysis::ScenarioRegistrar kCrcwRead{
     analysis::Scenario{
         .name = "E7/crcw-hotspot-read",

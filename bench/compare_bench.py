@@ -13,7 +13,9 @@ scenario, machine-dependent). Wall-clock changes above --wall-threshold
 are printed as [WALL-REGRESSION]/[wall-improvement] but never affect the
 exit code, even under --strict: timing is noisy across CI hosts, so the
 wall log is a tripwire for reading, not a gate. Baselines recorded before
-wall_ms existed simply skip the comparison.
+wall_ms existed simply skip the comparison. Scenarios registered once per
+engine thread count (names ending "@tN") additionally get [SPEEDUP] lines
+ratioing each variant's fresh wall_ms against its @t1 sibling.
 
 Usage:
   bench/compare_bench.py --baseline-dir bench/baselines --fresh-dir out
@@ -158,6 +160,41 @@ def compare_wall_ms(bench, baseline, fresh, threshold, floor_ms=20.0):
             )
 
 
+def report_speedups(bench, report):
+    """Prints wall-clock speedup ratios between @tN variants of a scenario.
+
+    Scenarios that sweep the engine's step_threads knob are registered once
+    per thread count under names like "E6/parallel-step@t4", so each variant
+    owns a wall_ms key. Variants are grouped by the base name before "@t"
+    and reported as serial-time / variant-time against the @t1 baseline of
+    the same run. Informational only — wall-clock never gates — and runs on
+    the fresh report alone, so the speedup is a same-host, same-binary A/B.
+    """
+    wall = report.get("wall_ms") or {}
+    groups = {}
+    for name, value in wall.items():
+        base, sep, suffix = name.partition("@t")
+        if not sep or not suffix.isdigit():
+            continue
+        groups.setdefault(base, {})[int(suffix)] = to_float(value)
+    for base in sorted(groups):
+        variants = groups[base]
+        serial = variants.get(1)
+        if serial is None or not serial > 0.0:
+            continue
+        for threads in sorted(variants):
+            if threads == 1 or variants[threads] is None:
+                continue
+            if not variants[threads] > 0.0:
+                continue
+            speedup = serial / variants[threads]
+            print(
+                f"  [SPEEDUP] {bench} '{base}' @t{threads}: "
+                f"{serial:.0f}ms / {variants[threads]:.0f}ms = "
+                f"{speedup:.2f}x vs @t1"
+            )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline-dir", required=True)
@@ -230,6 +267,8 @@ def main():
         compare_wall_ms(name, baseline, fresh[name], args.wall_threshold)
     for name in sorted(set(fresh) - set(baselines)):
         print(f"  [info] {name}: new bench without a baseline")
+    for name, report in sorted(fresh.items()):
+        report_speedups(name, report)
 
     regressions = sum(findings)
     if not findings:

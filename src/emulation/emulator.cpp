@@ -70,6 +70,7 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
   sim::EngineConfig engine_config;
   engine_config.discipline = config_.discipline;
   engine_config.node_buffer_bound = config_.node_buffer_bound;
+  engine_config.step_threads = config_.step_threads;
   const std::uint32_t base_budget =
       config_.step_budget_factor != 0
           ? config_.step_budget_factor * fabric_.route_scale()
@@ -135,10 +136,25 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
       requests_this_step = 0;
       replies_this_step = 0;
 
+      // Batched hashing: one coefficient-major sweep over every address
+      // this attempt issues (bit-identical to per-op module_of calls, but
+      // the modular Horner chains of independent addresses overlap instead
+      // of serializing one op at a time). Re-done per attempt — a rehash
+      // replaced the polynomial.
+      batch_addrs_.clear();
+      for (ProcId p = 0; p < procs; ++p) {
+        if (ops[p].kind != OpKind::kNone) batch_addrs_.push_back(ops[p].addr);
+      }
+      batch_modules_.resize(batch_addrs_.size());
+      hash_->evaluate_batch(batch_addrs_.data(), batch_addrs_.size(),
+                            batch_modules_.data());
+      std::size_t batch_cursor = 0;
+
       for (ProcId p = 0; p < procs; ++p) {
         const MemOp& op = ops[p];
         if (op.kind == OpKind::kNone) continue;
-        const std::uint32_t module = module_of(op.addr);
+        const std::uint32_t module =
+            remap_of(static_cast<std::uint32_t>(batch_modules_[batch_cursor++]));
         const NodeId module_node = fabric_.module_node(module);
         const NodeId proc_node = fabric_.proc_node(p);
         if (op.kind == OpKind::kRead) pending_read_[p] = 1;
@@ -262,12 +278,38 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
 }
 
 std::uint32_t NetworkEmulator::module_of(pram::Addr addr) const {
-  const auto module = static_cast<std::uint32_t>((*hash_)(addr));
   // remap . h: identity without faults (and bit-identical code path — the
   // injector pointer is the only branch), survivor-redirect under module
   // deaths, so no address can reach a dead module (hashing/exclusion.hpp).
-  return config_.faults == nullptr ? module
-                                   : config_.faults->remap_module(module);
+  return remap_of(static_cast<std::uint32_t>((*hash_)(addr)));
+}
+
+bool NetworkEmulator::route_concurrent_capable() const {
+  // Combining inspects and edits shared queues/trails at every landing —
+  // nothing to decide concurrently. Everything else forwards most landings
+  // with a pure next_hop.
+  return !config_.combining;
+}
+
+bool NetworkEmulator::route_concurrent(sim::Packet& p, NodeId at,
+                                       std::uint32_t step, support::Rng& rng,
+                                       sim::Forward& out) const {
+  (void)step;
+  if (config_.combining) return false;
+  // A landing on its destination is terminal for every router (requests
+  // serve at the module, replies deliver), and both branches touch shared
+  // per-run state — defer them untouched; the driving thread replays with
+  // an identical substream. Everything else is exactly the non-combining
+  // on_packet forward: one next_hop against the immutable router.
+  if (at == p.dst) return false;
+  const NodeId next = fabric_.router().next_hop(p, at, rng);
+  // Routers only report "arrived" at p.dst (terminal states are sticky),
+  // so this cannot fire; the guard keeps a misbehaving router on the
+  // serial diagnostic path instead of committing a half-made decision.
+  LEVNET_DCHECK(next != topology::kInvalidNode);
+  if (next == topology::kInvalidNode) return false;
+  out = sim::Forward{next, p.route_state};
+  return true;
 }
 
 NodeId NetworkEmulator::on_fault(sim::Packet& p, NodeId at, NodeId blocked,

@@ -68,6 +68,10 @@ struct EmulatorConfig {
   sim::QueueDiscipline discipline = sim::QueueDiscipline::kFifo;
   /// Bounded-buffer mode forwarded to the engine (0 = unbounded).
   std::uint32_t node_buffer_bound = 0;
+  /// Engine step parallelism (EngineConfig::step_threads): 1 = serial,
+  /// 0 = hardware concurrency. Reports and final memories are bit-identical
+  /// across values (golden-equivalence suite).
+  std::uint32_t step_threads = 1;
   std::uint64_t seed = 0x1991'06ULL;
   /// Degraded-mode emulation: an injector bound to the fabric's graph (the
   /// caller owns graph mutability; see faults/injector.hpp). The emulator
@@ -175,6 +179,15 @@ class NetworkEmulator final : public sim::TrafficHandler {
                  support::Rng& rng, std::vector<sim::Forward>& out) override;
   [[nodiscard]] std::uint32_t priority(const sim::Packet& p,
                                        NodeId at) const override;
+  /// Sharded landing phase: a mid-route hop (request or plain reply away
+  /// from its destination) is a pure next_hop call against the immutable
+  /// router, decided concurrently; terminal landings (serve/deliver touch
+  /// memory, claims and per-proc arrays) and all combining traffic defer
+  /// to on_packet on the driving thread.
+  [[nodiscard]] bool route_concurrent(sim::Packet& p, NodeId at,
+                                      std::uint32_t step, support::Rng& rng,
+                                      sim::Forward& out) const override;
+  [[nodiscard]] bool route_concurrent_capable() const override;
   /// Degraded-mode detour: picks a uniformly random surviving out-link of
   /// `at` and re-prepares the packet's route to resume from there
   /// (Router::reroute), so any oblivious router keeps making progress.
@@ -183,6 +196,12 @@ class NetworkEmulator final : public sim::TrafficHandler {
 
   /// h(addr) composed with the survivor remap when faults are active.
   [[nodiscard]] std::uint32_t module_of(pram::Addr addr) const;
+  /// The remap half of module_of, for addresses already hashed by the
+  /// batched evaluation pass.
+  [[nodiscard]] std::uint32_t remap_of(std::uint32_t hashed) const {
+    return config_.faults == nullptr ? hashed
+                                     : config_.faults->remap_module(hashed);
+  }
 
   void handle_request(sim::Packet& p, NodeId at, support::Rng& rng,
                       std::vector<sim::Forward>& out);
@@ -221,6 +240,11 @@ class NetworkEmulator final : public sim::TrafficHandler {
   std::vector<pram::Word> pending_value_;
   std::vector<std::uint8_t> pending_read_;
   std::vector<std::uint8_t> read_served_;
+  /// Scratch for the batched h(addr) pass at injection time (one
+  /// coefficient-major sweep per attempt instead of per-op Horner calls);
+  /// capacity persists across steps.
+  std::vector<std::uint64_t> batch_addrs_;
+  std::vector<std::uint64_t> batch_modules_;
   std::uint64_t combined_this_step_ = 0;
   std::uint64_t* replies_counter_ = nullptr;
 };

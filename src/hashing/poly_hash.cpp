@@ -40,6 +40,34 @@ std::uint64_t PolynomialHash::operator()(std::uint64_t x) const noexcept {
   return acc % buckets_;
 }
 
+void PolynomialHash::evaluate_batch(const std::uint64_t* keys,
+                                    std::size_t count,
+                                    std::uint64_t* out) const noexcept {
+  constexpr std::size_t kLanes = 8;
+  std::size_t k = 0;
+  for (; k + kLanes <= count; k += kLanes) {
+    std::uint64_t xm[kLanes];
+    std::uint64_t acc[kLanes] = {};
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      xm[lane] = keys[k + lane] % prime_;
+    }
+    // Coefficient-major Horner: one walk of the coefficient array advances
+    // all lanes in lockstep. Per lane this performs exactly operator()'s
+    // operation sequence, so results match it bit for bit.
+    for (std::size_t i = coefficients_.size(); i-- > 0;) {
+      const std::uint64_t a = coefficients_[i];
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        acc[lane] = support::add_mod(support::mul_mod(acc[lane], xm[lane], prime_),
+                                     a, prime_);
+      }
+    }
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      out[k + lane] = acc[lane] % buckets_;
+    }
+  }
+  for (; k < count; ++k) out[k] = (*this)(keys[k]);
+}
+
 std::uint64_t PolynomialHash::description_bits() const noexcept {
   std::uint64_t bits_per_coeff = 0;
   while ((std::uint64_t{1} << bits_per_coeff) < prime_) ++bits_per_coeff;

@@ -33,6 +33,15 @@ class PolynomialHash {
   /// h(x): Horner evaluation mod P, then mod N.
   [[nodiscard]] std::uint64_t operator()(std::uint64_t x) const noexcept;
 
+  /// Batched evaluation: out[i] = h(keys[i]) for i in [0, count).
+  /// Bit-identical to per-key operator() calls — keys never interact — but
+  /// the Horner recurrence runs coefficient-major over lanes of keys, so
+  /// the long multiply-mod dependency chains of independent keys overlap
+  /// instead of serializing one key at a time (the emulator hashes a whole
+  /// PRAM step's addresses in one call).
+  void evaluate_batch(const std::uint64_t* keys, std::size_t count,
+                      std::uint64_t* out) const noexcept;
+
   [[nodiscard]] std::uint32_t degree() const noexcept {
     return static_cast<std::uint32_t>(coefficients_.size());
   }

@@ -126,6 +126,7 @@ emulation::EmulatorConfig Machine::emulator_config(
   config.max_rehash_attempts = impl_->spec.max_rehash_attempts;
   config.discipline = impl_->spec.discipline;
   config.node_buffer_bound = impl_->spec.node_buffer_bound;
+  config.step_threads = impl_->spec.step_threads;
   config.seed = seed;
   config.faults = impl_->injector.get();
   return config;
@@ -135,6 +136,7 @@ sim::EngineConfig Machine::engine_config() const noexcept {
   sim::EngineConfig config;
   config.discipline = impl_->spec.discipline;
   config.node_buffer_bound = impl_->spec.node_buffer_bound;
+  config.step_threads = impl_->spec.step_threads;
   return config;
 }
 

@@ -217,6 +217,16 @@ void split_key_params(std::string_view segment, std::string_view& key,
   if (segment.rfind("faults:", 0) == 0) {
     return parse_faults_segment(segment.substr(7), out, error);
   }
+  if (segment.rfind("threads:", 0) == 0) {
+    const std::string_view value = segment.substr(8);
+    if (!parse_u32(value, out.step_threads)) {
+      error = "bad value '" + std::string(value) +
+              "' for 'threads:' (expected an unsigned integer; 0 = hardware "
+              "concurrency)";
+      return false;
+    }
+    return true;
+  }
   const std::size_t eq = segment.find('=');
   if (eq != std::string_view::npos) {
     const std::string_view knob = segment.substr(0, eq);
@@ -245,8 +255,8 @@ void split_key_params(std::string_view segment, std::string_view& key,
   }
   error = "unknown segment '" + std::string(segment) +
           "' (expected a mode [erew|crew|crcw|crcw-combining], a discipline "
-          "[fifo|furthest-first|nearest-first], 'faults:...', or a knob "
-          "[seed=|budget=|rehash=|hash-degree=|buffer=])";
+          "[fifo|furthest-first|nearest-first], 'threads:N', 'faults:...', "
+          "or a knob [seed=|budget=|rehash=|hash-degree=|buffer=])";
   return false;
 }
 
@@ -265,6 +275,7 @@ std::string MachineSpec::to_string() const {
   out += mode_key(mode);
   out += "/";
   out += discipline_key(discipline);
+  if (step_threads != 1) out += "/threads:" + std::to_string(step_threads);
   if (faults != FaultKnobs{}) {
     out += "/faults:";
     std::string kvs;

@@ -15,9 +15,12 @@
 //   spec       := topology '/' router { '/' segment }
 //   topology   := family ':' param [ 'x' param ]     e.g. star:5, mesh:8x16
 //   router     := key [ ':' param ]                  e.g. three-stage:10
-//   segment    := mode | discipline | faults | knob
+//   segment    := mode | discipline | threads | faults | knob
 //   mode       := erew | crew | crcw | crcw-combining
 //   discipline := fifo | furthest-first | nearest-first
+//   threads    := 'threads:' uint    engine step parallelism (1 = serial,
+//                 0 = hardware concurrency); results are bit-identical
+//                 across values, so the token names a speed, not a machine
 //   faults     := 'faults:' kv { ',' kv }   kv in links= nodes= modules=
 //                 (fractions in [0,1)), onsets= (epoch count),
 //                 allow-cut=0|1 (drop the connectivity guard)
@@ -92,6 +95,11 @@ struct MachineSpec {
   std::uint32_t max_rehash_attempts = 16;  // rehash=
   std::uint32_t hash_degree = 0;           // hash-degree=
   std::uint32_t node_buffer_bound = 0;     // buffer=
+  /// Engine step parallelism (`threads:` token): 1 = serial, 0 = hardware
+  /// concurrency, N = shard the step over N threads. Never changes results
+  /// — the sharded engine is pinned bit-identical — so two specs differing
+  /// only here emulate the same machine at different speeds.
+  std::uint32_t step_threads = 1;          // threads:
 
   bool operator==(const MachineSpec&) const = default;
 

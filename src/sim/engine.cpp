@@ -26,6 +26,17 @@ SyncEngine::SyncEngine(const topology::Graph& graph, TrafficHandler& handler,
   next_active_.reserve(edges);
   dirty_edges_.reserve(edges);
   scratch_forwards_.reserve(graph.max_out_degree() + 1);
+  if (config_.step_threads != 1) {
+    // levnet-lint: shard-ordered(shard_transmit/decide_landings merge per-shard results in shard order)
+    auto pool = std::make_unique<support::ThreadPool>(config_.step_threads);
+    if (pool->size() > 1) {
+      shard_next_active_.resize(pool->size());
+      step_pool_ = std::move(pool);
+    }
+    // A 1-wide pool (e.g. step_threads=0 on a 1-core host) is dropped: the
+    // serial path is the same computation without the phase scaffolding.
+  }
+  concurrent_capable_ = handler_.route_concurrent_capable();
 }
 
 void SyncEngine::reset() {
@@ -42,6 +53,14 @@ void SyncEngine::reset() {
   active_.clear();
   landings_.clear();
   redirects_.clear();
+  // Per-shard scratch can hold edges from an aborted mid-flight step (the
+  // run stopped between the shard fill and the barrier merge never happens
+  // in practice, but a defensive drain is cheap and keeps the invariant
+  // "reset() leaves no step residue" unconditional).
+  for (std::vector<EdgeId>& shard : shard_next_active_) shard.clear();
+  dec_kind_.clear();
+  dec_next_.clear();
+  dec_edge_.clear();
   pool_.clear();
   std::fill(node_load_.begin(), node_load_.end(), 0);
   metrics_.reset();
@@ -146,14 +165,14 @@ bool SyncEngine::resolve_faulted_forwards(PacketRef ref, NodeId at,
 }
 
 void SyncEngine::enqueue(PacketRef ref, NodeId at, NodeId next,
-                         EdgeId edge_hint) {
+                         EdgeId edge_hint, bool priority_cached) {
   const EdgeId e = edge_hint != topology::kInvalidEdge
                        ? edge_hint
                        : graph_.edge_between(at, next);
   LEVNET_DCHECK(e == graph_.edge_between(at, next));
   LEVNET_CHECK_MSG(e != topology::kInvalidEdge,
                    "handler forwarded along a non-existent link");
-  if (config_.discipline != QueueDiscipline::kFifo) {
+  if (config_.discipline != QueueDiscipline::kFifo && !priority_cached) {
     Packet& packet = pool_.get(ref);
     packet.priority = handler_.priority(packet, at);
   }
@@ -217,39 +236,140 @@ void SyncEngine::drain_dead_edge(EdgeId e, support::Rng& rng) {
   }
 }
 
+void SyncEngine::shard_transmit() {
+  const std::size_t n = active_.size();
+  landings_.resize(n);
+  const std::size_t shards = shard_next_active_.size();
+  // Fault-free + unbounded: every active link pops exactly one packet, so
+  // shard s owns active_[begin, end), the matching landings_ slice, and
+  // every queue/pool-slot/edge-flag it touches — disjoint across shards.
+  // levnet-lint: shard-ordered(per-shard next_active_ slices concatenated in shard order below)
+  step_pool_->parallel_for(shards, [&](std::size_t s) {
+    const std::size_t begin = n * s / shards;
+    const std::size_t end = n * (s + 1) / shards;
+    std::vector<EdgeId>& local_next = shard_next_active_[s];
+    for (std::size_t i = begin; i < end; ++i) {
+      const EdgeId e = active_[i];
+      auto& queue = queues_[e];
+      const PacketRef ref = pop_by_discipline(queue);
+      Packet& packet = pool_.get(ref);
+      packet.hops += 1;
+      LEVNET_DCHECK(packet.hops != 0);  // 16-bit hop counter must not wrap
+      packet.came_from = graph_.edge_tail(e);
+      landings_[i] = Landing{ref, graph_.edge_head(e)};
+      if (!queue.empty()) {
+        local_next.push_back(e);
+      } else {
+        edge_active_[e] = 0;
+      }
+    }
+  });
+  // node_load_ decrements are cross-shard (a node's out-links can straddle
+  // a shard boundary), so they run serially after the barrier; loads are
+  // only read at enqueue time, which is serial too, so by then the state
+  // matches the serial engine exactly.
+  for (const EdgeId e : active_) --node_load_[graph_.edge_tail(e)];
+  for (std::vector<EdgeId>& local_next : shard_next_active_) {
+    next_active_.insert(next_active_.end(), local_next.begin(),
+                        local_next.end());
+    local_next.clear();
+  }
+}
+
+void SyncEngine::decide_landings(std::uint64_t step_key) {
+  const std::size_t n = landings_.size();
+  dec_kind_.assign(n, 0);
+  dec_next_.resize(n);
+  dec_edge_.resize(n);
+  const std::size_t shards = shard_next_active_.size();
+  const bool keyed = config_.discipline != QueueDiscipline::kFifo;
+  // Pure decisions only: each worker writes its landings' packet bodies and
+  // dec_* slots, draws from landing-private substreams, and reads the
+  // immutable graph/handler. All queue pushes, activations and metric
+  // updates happen in commit_landings, in landing order.
+  // levnet-lint: shard-ordered(decisions committed in landing order by commit_landings)
+  step_pool_->parallel_for(shards, [&](std::size_t s) {
+    const std::size_t begin = n * s / shards;
+    const std::size_t end = n * (s + 1) / shards;
+    Forward forward{};
+    for (std::size_t i = begin; i < end; ++i) {
+      const Landing& landing = landings_[i];
+      Packet& packet = pool_.get(landing.ref);
+      support::Rng sub = landing_rng(step_key, i);
+      if (!handler_.route_concurrent(packet, landing.at, now_, sub, forward)) {
+        continue;  // deferred: phase C replays with an identical substream
+      }
+      packet.route_state = forward.route_state;
+      if (keyed) packet.priority = handler_.priority(packet, landing.at);
+      dec_kind_[i] = 1;
+      dec_next_[i] = forward.to;
+      // The adjacency scan is the commit loop's other hot lookup; resolving
+      // it here moves it off the serial path. kInvalidEdge simply falls
+      // through to enqueue's own lookup and its diagnostic CHECK.
+      dec_edge_[i] = graph_.edge_between(landing.at, forward.to);
+    }
+  });
+}
+
+void SyncEngine::commit_landings(std::uint64_t step_key) {
+  for (std::size_t i = 0; i < landings_.size(); ++i) {
+    const Landing& landing = landings_[i];
+    if (dec_kind_[i] != 0) {
+      // A kInvalidEdge slot (handler named a non-neighbor) passes through
+      // as "look it up here", reaching enqueue's diagnostic CHECK.
+      enqueue(landing.ref, landing.at, dec_next_[i], dec_edge_[i],
+              /*priority_cached=*/true);
+    } else {
+      support::Rng sub = landing_rng(step_key, i);
+      route_from(landing.ref, landing.at, sub);
+    }
+  }
+}
+
 std::size_t SyncEngine::step(support::Rng& rng) {
   ++now_;
   landings_.clear();
   redirects_.clear();
   next_active_.clear();
   const std::uint64_t dropped_before = metrics_.dropped;
+  const bool staged = config_.node_buffer_bound == 0;
+  // Sharding needs the one-pop-per-active-link invariant (staged) and a
+  // fault-free graph (dead-link drains negotiate detours through the
+  // handler, inherently serial). The predicate depends only on engine
+  // state, never on thread scheduling, and either branch produces the
+  // same state by the landing phase.
+  const bool sharded = staged && step_pool_ != nullptr && !graph_.has_faults();
   // Transmission phase: every active directed link moves one packet, unless
   // bounded-buffer mode blocks it.
-  for (const EdgeId e : active_) {
-    auto& queue = queues_[e];
-    const NodeId tail = graph_.edge_tail(e);
-    const NodeId head = graph_.edge_head(e);
-    if (graph_.has_faults() && !graph_.edge_live(e)) {
-      drain_dead_edge(e, rng);
-      edge_active_[e] = 0;  // queue is empty now; redirects re-activate
-      continue;
-    }
-    if (config_.node_buffer_bound != 0 &&
-        node_load_[head] >= config_.node_buffer_bound) {
-      next_active_.push_back(e);  // blocked; stays active
-      continue;
-    }
-    const PacketRef ref = pop_by_discipline(queue);
-    --node_load_[tail];
-    Packet& packet = pool_.get(ref);
-    packet.hops += 1;
-    LEVNET_DCHECK(packet.hops != 0);  // 16-bit hop counter must not wrap
-    packet.came_from = tail;
-    landings_.push_back(Landing{ref, head});
-    if (!queue.empty()) {
-      next_active_.push_back(e);
-    } else {
-      edge_active_[e] = 0;
+  if (sharded) {
+    shard_transmit();
+  } else {
+    for (const EdgeId e : active_) {
+      auto& queue = queues_[e];
+      const NodeId tail = graph_.edge_tail(e);
+      const NodeId head = graph_.edge_head(e);
+      if (graph_.has_faults() && !graph_.edge_live(e)) {
+        drain_dead_edge(e, rng);
+        edge_active_[e] = 0;  // queue is empty now; redirects re-activate
+        continue;
+      }
+      if (config_.node_buffer_bound != 0 &&
+          node_load_[head] >= config_.node_buffer_bound) {
+        next_active_.push_back(e);  // blocked; stays active
+        continue;
+      }
+      const PacketRef ref = pop_by_discipline(queue);
+      --node_load_[tail];
+      Packet& packet = pool_.get(ref);
+      packet.hops += 1;
+      LEVNET_DCHECK(packet.hops != 0);  // 16-bit hop counter must not wrap
+      packet.came_from = tail;
+      landings_.push_back(Landing{ref, head});
+      if (!queue.empty()) {
+        next_active_.push_back(e);
+      } else {
+        edge_active_[e] = 0;
+      }
     }
   }
   std::swap(active_, next_active_);
@@ -269,8 +389,32 @@ std::size_t SyncEngine::step(support::Rng& rng) {
   // Landing phase: consumed or forwarded; new enqueues become eligible for
   // transmission from the next step (they are appended to active_ now, but
   // this step's transmission loop has already finished).
-  for (const Landing& landing : landings_) {
-    route_from(landing.ref, landing.at, rng);
+  if (!staged) {
+    // Bounded-buffer mode keeps the legacy shared-stream landing loop (its
+    // fixtures and deadlock behaviour are pinned against it).
+    for (const Landing& landing : landings_) {
+      route_from(landing.ref, landing.at, rng);
+    }
+  } else {
+    // Staged landings draw from landing-private substreams derived off the
+    // main stream's position WITHOUT advancing it, so the landing order in
+    // which draws happen cannot matter — the precondition for sharding the
+    // decision phase, and the model in force at any step_threads so one
+    // spec means one result.
+    const std::uint64_t step_key = rng.stream_key(now_);
+    if (sharded && concurrent_capable_ && !landings_.empty()) {
+      decide_landings(step_key);
+      commit_landings(step_key);
+    } else {
+      // Serial staged path: route_from consumes exactly the draws phase B
+      // would have, in the same per-landing streams — bit-identical to
+      // decide+commit by construction, with zero phase scaffolding (the
+      // perf_alloc suite pins this path allocation-free).
+      for (std::size_t i = 0; i < landings_.size(); ++i) {
+        support::Rng sub = landing_rng(step_key, i);
+        route_from(landings_[i].ref, landings_[i].at, sub);
+      }
+    }
   }
   // Evacuated packets — redirected *or* dropped — count as movement: a
   // step that only cleared a dead link changed state and must not read as

@@ -22,6 +22,20 @@
 // vectors all sit at their high-water capacities and step() performs no
 // heap allocation (asserted by tests/perf_alloc_test.cpp).
 //
+// Parallel stepping (EngineConfig::step_threads > 1): with unbounded node
+// buffers a step is phase-structured so the two heavy loops shard across a
+// ThreadPool while every commit stays serial and ordered. Phase A partitions
+// active_ into contiguous shards (fault-free + unbounded means every active
+// link transmits exactly one packet, so landing slot i belongs to active_[i]
+// and shards write disjoint preallocated slices); phase B runs the handler's
+// pure route_concurrent decision per landing against a landing-private Rng
+// substream; phase C commits decisions — and replays deferred landings
+// through on_packet with an identical substream — in landing order on the
+// driving thread. Reports and final memories are bit-identical to
+// step_threads=1 by construction (same draws, same push order, same metric
+// updates), pinned by the golden-equivalence suite and the sharded-step
+// tests in tests/concurrency_test.cpp.
+//
 // Degraded mode (src/faults/): when the graph carries a fault overlay
 // (Graph::has_faults()), every forward is validated against the liveness
 // mask; blocked forwards go through TrafficHandler::on_fault, which either
@@ -33,6 +47,7 @@
 // bit-identical to the fault-free engine (pinned by the golden suite).
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/metrics.hpp"
@@ -41,6 +56,7 @@
 #include "support/object_pool.hpp"
 #include "support/ring_queue.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 #include "topology/graph.hpp"
 
 namespace levnet::sim {
@@ -59,6 +75,11 @@ struct EngineConfig {
   /// If nonzero, a node's outgoing queues may hold at most this many packets
   /// for a link to transmit into it (bounded-buffer mode).
   std::uint32_t node_buffer_bound = 0;
+  /// Total parallelism (including the caller) for the sharded step phases;
+  /// 1 = fully serial engine (default), 0 = hardware concurrency. Results
+  /// are bit-identical across values — sharding only engages fault-free
+  /// with unbounded buffers, and every commit is shard-ordered.
+  std::uint32_t step_threads = 1;
 };
 
 class SyncEngine {
@@ -136,8 +157,11 @@ class SyncEngine {
   /// `edge_hint` carries an already-resolved at->next edge id (degraded
   /// mode validates forwards before enqueueing and should not pay the
   /// adjacency scan twice); kInvalidEdge means "look it up here".
+  /// `priority_cached` skips the discipline-key recomputation when the
+  /// parallel decision phase already wrote Packet::priority.
   void enqueue(PacketRef ref, NodeId at, NodeId next,
-               EdgeId edge_hint = topology::kInvalidEdge);
+               EdgeId edge_hint = topology::kInvalidEdge,
+               bool priority_cached = false);
   [[nodiscard]] PacketRef pop_by_discipline(
       support::RingQueue<PacketRef>& queue);
 
@@ -162,6 +186,33 @@ class SyncEngine {
   /// can strand packets on a link that was live when they joined it).
   void drain_dead_edge(EdgeId e, support::Rng& rng);
 
+  /// The landing-private substream for landing `index` of the step whose
+  /// stream_key is `step_key`. The index is spread by an odd Weyl constant
+  /// before the splitmix64 finalizer: raw `key + i * gamma` seeds would
+  /// hand Rng::reseed inputs that differ by its own increment, producing
+  /// correlated (shifted) xoshiro state words between adjacent landings.
+  [[nodiscard]] static support::Rng landing_rng(std::uint64_t step_key,
+                                               std::size_t index) noexcept {
+    std::uint64_t t = step_key ^ (0xd1342543de82ef95ULL * (index + 1));
+    return support::Rng(support::splitmix64(t));
+  }
+
+  /// Phase A: shards the transmission loop over the pool. Fault-free +
+  /// unbounded only — every active link pops exactly one packet, so
+  /// landings_[i] is active_[i]'s slot and shards touch disjoint edges,
+  /// queues, pool slots and landing slices. node_load_ decrements (cross-
+  /// shard: a node's out-edges can straddle a boundary) and next_active_
+  /// concatenation (shard order == sequential order) run serially after
+  /// the barrier.
+  void shard_transmit();
+  /// Phase B: per-landing route_concurrent decisions into dec_* slots,
+  /// sharded over the pool; commits happen in phase C only.
+  void decide_landings(std::uint64_t step_key);
+  /// Phase C: serial, landing-ordered commit — decided landings enqueue
+  /// with their cached edge/priority, deferred landings replay through
+  /// route_from with an identical substream.
+  void commit_landings(std::uint64_t step_key);
+
   const topology::Graph& graph_;
   TrafficHandler& handler_;
   EngineConfig config_;
@@ -183,6 +234,23 @@ class SyncEngine {
   /// fault-free runs.
   std::vector<EdgeId> scratch_forward_edges_;
   std::vector<std::uint32_t> node_load_;
+
+  // Parallel stepping (config_.step_threads != 1). The pool exists only
+  // when it would have >1 thread; all result aggregation is shard-ordered
+  // (see shard_transmit / decide_landings / commit_landings).
+  // levnet-lint: shard-ordered(per-shard slices merged in shard order at the step barrier)
+  std::unique_ptr<support::ThreadPool> step_pool_;
+  /// Per-shard continuation lists, concatenated into next_active_ in shard
+  /// order at the barrier (== the serial engine's append order).
+  std::vector<std::vector<EdgeId>> shard_next_active_;
+  /// Phase B decision slots, one per landing: kind 1 = committed decision
+  /// (next/edge below are valid), 0 = deferred to phase C's replay.
+  std::vector<std::uint8_t> dec_kind_;
+  std::vector<NodeId> dec_next_;
+  std::vector<EdgeId> dec_edge_;
+  /// Cached handler.route_concurrent_capable(): skip phase B wholesale for
+  /// handlers that defer every landing.
+  bool concurrent_capable_ = false;
 
   RunMetrics metrics_;
   std::uint32_t now_ = 0;

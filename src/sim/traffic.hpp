@@ -43,6 +43,35 @@ class TrafficHandler {
     return 0;
   }
 
+  /// Pure-decision fast path for the engine's sharded landing phase
+  /// (EngineConfig::step_threads > 1). Called concurrently from pool
+  /// workers, one landing per call with a landing-private `rng` substream,
+  /// so an override must not touch any state outside `p` itself. If the
+  /// landing is a plain single-forward hop, fill `out` and return true; the
+  /// engine commits it (queue push, activation, metrics) in landing order
+  /// on the driving thread. Return false to defer — terminal landings,
+  /// fan-out, combining, anything impure — in which case `p` and `rng`
+  /// must be left untouched: the engine replays the landing through
+  /// on_packet with an identical substream. The default defers everything,
+  /// which keeps handlers written against on_packet correct (just serial)
+  /// under any step_threads.
+  [[nodiscard]] virtual bool route_concurrent(Packet& p, NodeId at,
+                                              std::uint32_t step,
+                                              support::Rng& rng,
+                                              Forward& out) const {
+    (void)p;
+    (void)at;
+    (void)step;
+    (void)rng;
+    (void)out;
+    return false;
+  }
+
+  /// True when route_concurrent can decide at least some landings; the
+  /// engine skips the parallel decision phase (and its barrier) entirely
+  /// for handlers that would defer every landing anyway.
+  [[nodiscard]] virtual bool route_concurrent_capable() const { return false; }
+
   /// Degraded-mode hook, called only when the graph carries a fault
   /// overlay (topology::Graph::has_faults()): a forward for `p` at `at`
   /// targets `blocked`, whose link (or the node itself) is dead. Return a

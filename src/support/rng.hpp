@@ -71,6 +71,17 @@ class Rng {
   /// Derives an independent child generator (for parallel substreams).
   [[nodiscard]] Rng split() noexcept { return Rng{(*this)()}; }
 
+  /// Mixes the generator's current position with `salt` into a 64-bit key
+  /// WITHOUT advancing the stream. This is the base for families of
+  /// per-item substreams (one Rng per landing in the engine's staged step):
+  /// distinct salts give independent keys, repeated calls with the same
+  /// salt give the same key, and the main stream is left untouched either
+  /// way — unlike split(), which consumes a draw.
+  [[nodiscard]] std::uint64_t stream_key(std::uint64_t salt) const noexcept {
+    std::uint64_t mix = state_[0] ^ rotl(state_[2], 29) ^ salt;
+    return splitmix64(mix);
+  }
+
  private:
   [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x,
                                                     int k) noexcept {

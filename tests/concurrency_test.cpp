@@ -7,6 +7,10 @@
 //   * Machine: the const run_seeded() sharing contract — 8 threads
 //     hammering one fault-free Machine must produce reports and final
 //     memories bit-identical to the same seeds run sequentially.
+//   * ShardedStep: the intra-trial parallel engine (step_threads > 1) must
+//     be bit-identical to the serial engine — including machines smaller
+//     than the shard count, active lists that collapse to one link
+//     mid-run, and handlers that defer every concurrent decision.
 //   * DebugThreadOwner: the single-thread containers' debug guard rebinds
 //     across clear()/reset(), so pooled state may migrate between trial
 //     threads at quiescent points without tripping the assertion.
@@ -25,10 +29,15 @@
 #include "machine/machine.hpp"
 #include "pram/memory.hpp"
 #include "pram/program.hpp"
+#include "sim/engine.hpp"
+#include "sim/packet.hpp"
+#include "sim/traffic.hpp"
 #include "support/arena.hpp"
 #include "support/flat_hash.hpp"
 #include "support/object_pool.hpp"
+#include "support/rng.hpp"
 #include "support/thread_pool.hpp"
+#include "topology/linear_array.hpp"
 
 namespace levnet {
 namespace {
@@ -176,6 +185,191 @@ TEST(ConcurrencySharedMachine, RunTrialsMatchesAcrossThreadCounts) {
   EXPECT_EQ(one.steps.mean, eight.steps.mean);
   EXPECT_EQ(one.steps.max, eight.steps.max);
   EXPECT_EQ(one.worst_step.mean, eight.worst_step.mean);
+}
+
+// ------------------------------------------------- Sharded stepping
+
+/// Engine-level handler with a concurrent fast path: packets walk rightward
+/// along a linear array, each hop drawing one value into route_state;
+/// deliveries fold the packet and one terminal draw into a digest (shared
+/// state, so the terminal branch must defer). route_concurrent mirrors the
+/// hop branch of on_packet draw-for-draw, which is exactly the contract the
+/// engine's phase B/C split relies on — any divergence shows up as a digest
+/// or metrics mismatch between step_threads=1 and step_threads=8.
+class RightwardConcurrent final : public sim::TrafficHandler {
+ public:
+  explicit RightwardConcurrent(bool capable) : capable_(capable) {}
+
+  void on_packet(sim::Packet& p, sim::NodeId at, std::uint32_t step,
+                 support::Rng& rng, std::vector<sim::Forward>& out) override {
+    if (at == p.dst) {
+      digest = digest * 1099511628211ULL ^ p.id ^ p.route_state ^
+               (std::uint64_t{step} << 32) ^ rng();
+      return;
+    }
+    out.push_back(
+        sim::Forward{at + 1, static_cast<std::uint32_t>(rng() >> 32)});
+  }
+
+  [[nodiscard]] std::uint32_t priority(const sim::Packet& p,
+                                       sim::NodeId at) const override {
+    return p.dst > at ? p.dst - at : 0;
+  }
+
+  [[nodiscard]] bool route_concurrent(sim::Packet& p, sim::NodeId at,
+                                      std::uint32_t step, support::Rng& rng,
+                                      sim::Forward& out) const override {
+    (void)step;
+    if (at == p.dst) return false;  // terminal: the digest is shared state
+    out = sim::Forward{at + 1, static_cast<std::uint32_t>(rng() >> 32)};
+    return true;
+  }
+
+  [[nodiscard]] bool route_concurrent_capable() const override {
+    return capable_;
+  }
+
+  std::uint64_t digest = 0;
+
+ private:
+  const bool capable_;
+};
+
+struct RightwardResult {
+  std::uint64_t digest;
+  sim::RunMetrics metrics;
+};
+
+/// One full rightward run: `packets` packets injected at node 0 with
+/// destinations spread over the array, run to drain.
+RightwardResult run_rightward(std::uint32_t nodes, std::uint32_t packets,
+                              std::uint32_t step_threads, bool capable,
+                              sim::QueueDiscipline discipline =
+                                  sim::QueueDiscipline::kFifo) {
+  const topology::LinearArray line(nodes);
+  RightwardConcurrent traffic(capable);
+  sim::EngineConfig config;
+  config.discipline = discipline;
+  config.step_threads = step_threads;
+  sim::SyncEngine engine(line.graph(), traffic, config);
+  support::Rng rng(0x5eedULL + nodes);
+  for (std::uint32_t i = 0; i < packets; ++i) {
+    sim::Packet p;
+    p.id = i;
+    p.src = 0;
+    p.dst = 1 + i % (nodes - 1);
+    engine.inject(p, 0, rng);
+  }
+  EXPECT_TRUE(engine.run(rng));
+  EXPECT_EQ(engine.in_flight(), 0U);
+  return RightwardResult{traffic.digest, engine.metrics()};
+}
+
+void expect_same_run(const RightwardResult& a, const RightwardResult& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.digest, b.digest) << label;
+  EXPECT_EQ(a.metrics.steps, b.metrics.steps) << label;
+  EXPECT_EQ(a.metrics.injected, b.metrics.injected) << label;
+  EXPECT_EQ(a.metrics.consumed, b.metrics.consumed) << label;
+  EXPECT_EQ(a.metrics.total_hops, b.metrics.total_hops) << label;
+  EXPECT_EQ(a.metrics.total_delay, b.metrics.total_delay) << label;
+  EXPECT_EQ(a.metrics.max_link_queue, b.metrics.max_link_queue) << label;
+  EXPECT_EQ(a.metrics.max_node_queue, b.metrics.max_node_queue) << label;
+}
+
+TEST(ConcurrencyShardedStep, MachineSmallerThanShardCount) {
+  // A 3-node array has at most two simultaneously active rightward links,
+  // so with 8 shards most shard ranges are empty every step.
+  const RightwardResult serial = run_rightward(3, 2, 1, true);
+  const RightwardResult sharded = run_rightward(3, 2, 8, true);
+  expect_same_run(serial, sharded, "3-node array, 8 shards");
+}
+
+TEST(ConcurrencyShardedStep, ActiveListCollapsesToOneLinkMidRun) {
+  // 64 packets fan out over a 48-node array; near-destination packets drain
+  // first, so the active list shrinks from dozens of links to the single
+  // link carrying the longest-haul packet while 8 shards keep fanning out.
+  const RightwardResult serial = run_rightward(48, 64, 1, true);
+  const RightwardResult sharded = run_rightward(48, 64, 8, true);
+  expect_same_run(serial, sharded, "collapsing active list");
+  // Under a priority discipline, phase B also caches Packet::priority;
+  // cover the keyed commit path with the same traffic.
+  const RightwardResult serial_keyed =
+      run_rightward(48, 64, 1, true, sim::QueueDiscipline::kFurthestFirst);
+  const RightwardResult sharded_keyed =
+      run_rightward(48, 64, 8, true, sim::QueueDiscipline::kFurthestFirst);
+  expect_same_run(serial_keyed, sharded_keyed, "collapsing, keyed");
+}
+
+TEST(ConcurrencyShardedStep, DeferEverythingHandlerMatchesSerial) {
+  // capable=false routes every landing through the serial staged loop even
+  // at step_threads=8 (only the transmit phase shards) — the slow path a
+  // handler written purely against on_packet gets.
+  const RightwardResult serial = run_rightward(32, 40, 1, false);
+  const RightwardResult sharded = run_rightward(32, 40, 8, false);
+  expect_same_run(serial, sharded, "defer-everything handler");
+}
+
+TEST(ConcurrencyShardedStep, ResetDrainsPerShardStateMidRun) {
+  // Abort a sharded run mid-flight (step budget), reset, and re-run: the
+  // per-shard continuation lists and decision slots must not leak packets
+  // or draws into the second run.
+  const topology::LinearArray line(32);
+  RightwardConcurrent traffic(true);
+  sim::EngineConfig config;
+  config.step_threads = 8;
+  sim::SyncEngine engine(line.graph(), traffic, config);
+  const auto fill = [&](support::Rng& rng) {
+    for (std::uint32_t i = 0; i < 40; ++i) {
+      sim::Packet p;
+      p.id = i;
+      p.src = 0;
+      p.dst = 1 + i % 31;
+      engine.inject(p, 0, rng);
+    }
+  };
+  support::Rng warm(0x5eedULL + 32);
+  engine.set_max_steps(3);
+  fill(warm);
+  EXPECT_FALSE(engine.run(warm));  // budget abort with packets in flight
+  EXPECT_TRUE(engine.metrics().aborted);
+  EXPECT_GT(engine.in_flight(), 0U);
+
+  engine.reset();
+  EXPECT_EQ(engine.in_flight(), 0U);
+  engine.set_max_steps(0);
+  traffic.digest = 0;
+
+  // The reused engine must reproduce an untouched engine's run exactly.
+  support::Rng rng(0x5eedULL + 32);
+  fill(rng);
+  EXPECT_TRUE(engine.run(rng));
+  EXPECT_EQ(engine.in_flight(), 0U);
+  const RightwardResult fresh = run_rightward(32, 40, 8, true);
+  EXPECT_EQ(traffic.digest, fresh.digest);
+  EXPECT_EQ(engine.metrics().steps, fresh.metrics.steps);
+  EXPECT_EQ(engine.metrics().consumed, fresh.metrics.consumed);
+}
+
+TEST(ConcurrencyShardedStep, MachineThreadsTokenBitIdentical) {
+  // Whole-machine equivalence under the spec token: crcw (non-combining,
+  // so the emulator's route_concurrent engages) with a keyed discipline.
+  const machine::Machine serial =
+      machine::Machine::build("star:5/two-phase/crcw/furthest-first");
+  const machine::Machine sharded =
+      machine::Machine::build("star:5/two-phase/crcw/furthest-first/threads:8");
+  const machine::ProgramFactory factory =
+      machine::program_factory("histogram");
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto program_a = factory(serial.processors(), seed);
+    const auto program_b = factory(sharded.processors(), seed);
+    SharedMemory memory_a;
+    SharedMemory memory_b;
+    const EmulationReport a = serial.run_seeded(seed, *program_a, memory_a);
+    const EmulationReport b = sharded.run_seeded(seed, *program_b, memory_b);
+    expect_identical(a, b, memory_a, memory_b,
+                     "threads:8 seed " + std::to_string(seed));
+  }
 }
 
 // ------------------------------------------------- DebugThreadOwner

@@ -281,7 +281,7 @@ std::string config_name(const GridPoint& point) {
          point.discipline + "/" + point.program;
 }
 
-GoldenRecord run_point(const GridPoint& point) {
+GoldenRecord run_point(const GridPoint& point, std::uint32_t step_threads = 1) {
   const auto fabric = make_fabric(point.topology);
   EXPECT_NE(fabric, nullptr);
   const auto program =
@@ -294,6 +294,7 @@ GoldenRecord run_point(const GridPoint& point) {
                           ? sim::QueueDiscipline::kFurthestFirst
                           : sim::QueueDiscipline::kFifo;
   config.seed = 0x901de2ULL;
+  config.step_threads = step_threads;
   NetworkEmulator emulator(fabric->fabric(), config);
   SharedMemory memory;
   const EmulationReport report = emulator.run(*program, memory);
@@ -338,6 +339,22 @@ TEST(GoldenEmulation, BitIdenticalToRecordedFixtures) {
     }
     const GoldenRecord& got = it->second;
     EXPECT_EQ(want, got) << "service order drifted for " << config;
+  }
+}
+
+// The intra-trial sharding contract: step_threads must be a pure speed
+// knob. Every grid point (3 topologies x {EREW, CRCW-combining} x {FIFO,
+// furthest-first} x read/write-heavy programs) is run serial and sharded
+// over 8 threads, and every observable — report counters, per-step costs,
+// the sorted_cells() memory fingerprint — must match bit for bit. The
+// suite name matches the TSan CI job's test filter, so the sharded runs
+// also execute under the race detector.
+TEST(GoldenEmulationSharded, BitIdenticalAcrossStepThreads) {
+  for (const GridPoint& point : grid()) {
+    const GoldenRecord serial = run_point(point);
+    const GoldenRecord sharded = run_point(point, 8);
+    EXPECT_EQ(serial, sharded)
+        << "step_threads=8 drifted for " << config_name(point);
   }
 }
 

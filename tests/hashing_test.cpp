@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "hashing/poly_hash.hpp"
 #include "support/bits.hpp"
@@ -57,6 +58,24 @@ TEST(PolyHash, DescriptionBitsMatchSectionTwoOne) {
   std::uint64_t bits_per_coeff = 0;
   while ((std::uint64_t{1} << bits_per_coeff) < h.prime()) ++bits_per_coeff;
   EXPECT_EQ(h.description_bits(), degree * bits_per_coeff);
+}
+
+TEST(PolyHash, BatchEvaluationMatchesScalarExactly) {
+  // evaluate_batch is a lane-parallel restatement of operator(), used by the
+  // emulator's injection loop; it must agree per key for every count,
+  // including the scalar tail (count % 8) and the empty batch.
+  support::Rng rng(6);
+  const PolynomialHash h = PolynomialHash::sample(8, 1 << 20, 997, rng);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t x = 0; x < 100; ++x) keys.push_back(x * 0x9e3779b9ULL);
+  std::vector<std::uint64_t> out(keys.size());
+  for (std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{8}, std::size_t{9}, keys.size()}) {
+    h.evaluate_batch(keys.data(), count, out.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(out[i], h(keys[i])) << "count " << count << " key " << i;
+    }
+  }
 }
 
 TEST(PolyHash, DifferentDrawsDiffer) {

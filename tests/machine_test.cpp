@@ -122,6 +122,27 @@ TEST(MachineSpec, DefaultKnobsAreOmittedFromTheCanonicalForm) {
   EXPECT_EQ(spec.to_string(), "star:5/two-phase/erew/fifo");
 }
 
+TEST(MachineSpec, ThreadsTokenRoundTripsAndCanonicalizes) {
+  // threads:1 is the default and canonically omitted; any other value
+  // (including 0 = hardware concurrency) prints right after the discipline.
+  const MachineSpec sharded = parse_spec("star:5/two-phase/threads:8");
+  EXPECT_EQ(sharded.step_threads, 8U);
+  EXPECT_EQ(sharded.to_string(), "star:5/two-phase/erew/fifo/threads:8");
+  EXPECT_EQ(parse_spec(sharded.to_string()), sharded);
+
+  const MachineSpec hardware = parse_spec("star:5/two-phase/threads:0");
+  EXPECT_EQ(hardware.step_threads, 0U);
+  EXPECT_EQ(hardware.to_string(), "star:5/two-phase/erew/fifo/threads:0");
+
+  EXPECT_EQ(parse_spec("star:5/two-phase/threads:1").to_string(),
+            "star:5/two-phase/erew/fifo");
+
+  MachineSpec spec;
+  std::string error;
+  EXPECT_FALSE(parse_spec("star:5/two-phase/threads:many", spec, error));
+  EXPECT_NE(error.find("'many'"), std::string::npos) << error;
+}
+
 TEST(MachineSpec, UnknownTopologyNamesTheTokenAndListsValidOnes) {
   MachineSpec spec;
   std::string error;

@@ -258,6 +258,36 @@ TEST(EngineReset, DrainsQueuesAfterStepBudgetAbort) {
   EXPECT_EQ(engine.metrics().consumed, 4U);
 }
 
+TEST(EngineReset, DrainsShardedEngineAfterStepBudgetAbort) {
+  // The sharded engine keeps per-shard continuation lists and decision
+  // slots between phases; an abort mid-run leaves packets spread over them
+  // and the queues. reset() must drain all of it, exactly like the serial
+  // engine's PR-3 contract above.
+  const LinearArray line(10);
+  CountingTraffic traffic;
+  EngineConfig config;
+  config.max_steps = 3;
+  config.step_threads = 8;
+  SyncEngine engine(line.graph(), traffic, config);
+  support::Rng rng(14);
+
+  inject_batch(engine, 4, 9, rng);
+  EXPECT_FALSE(engine.run(rng));
+  EXPECT_TRUE(engine.metrics().aborted);
+  EXPECT_GT(engine.in_flight(), 0U);
+
+  engine.reset();
+  EXPECT_EQ(engine.in_flight(), 0U);
+  EXPECT_TRUE(engine.idle());
+
+  engine.set_max_steps(0);
+  traffic.delivered = 0;
+  inject_batch(engine, 4, 9, rng);
+  EXPECT_TRUE(engine.run(rng));
+  EXPECT_EQ(traffic.delivered, 4);
+  EXPECT_EQ(engine.metrics().consumed, 4U);
+}
+
 TEST(PacketLayout, SizeIsLockedByStaticAssert) {
   // The static_assert in sim/packet.hpp is the real guard; this test just
   // keeps the number visible in test output.

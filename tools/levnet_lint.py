@@ -22,6 +22,14 @@ prose invariants into CI-enforced rules:
                          hot paths (pools, arenas, and containers only —
                          the steady-state step loop is allocation-free and
                          perf_alloc_test proves it).
+  threadpool-shard-ordered
+                         ThreadPool / parallel_for inside src/sim/ only on
+                         lines covered by a
+                         // levnet-lint: shard-ordered(<how results stay
+                         ordered>) marker — the engine promises bit-
+                         identical results across thread counts, so any
+                         parallelism in the step path must document its
+                         deterministic (shard-ordered) aggregation.
   packet-layout-assert   src/sim/packet.hpp must keep its
                          static_assert(sizeof(Packet) == 56) layout pin.
   registry-sorted        tables bracketed by
@@ -60,6 +68,7 @@ RULES = (
     "nondeterministic-source",
     "pointer-key-order",
     "raw-new-delete",
+    "threadpool-shard-ordered",
     "packet-layout-assert",
     "registry-sorted",
     "pragma-once",
@@ -217,6 +226,31 @@ class Suppressions:
         return set()
 
 
+_SHARD_MARKER_RE = re.compile(r"levnet-lint:\s*shard-ordered\(([^)]+)\)")
+
+
+class ShardMarkers:
+    """shard-ordered(<desc>) markers, with the same carry semantics as
+    allow(): a marker on line K covers K itself and the first non-comment
+    line after the comment block it sits in."""
+
+    def __init__(self, raw_lines: list[str]):
+        self.covered = [False] * len(raw_lines)
+        pending = False
+        for idx, line in enumerate(raw_lines):
+            stripped = line.strip()
+            is_comment = stripped.startswith("//")
+            if _SHARD_MARKER_RE.search(line):
+                self.covered[idx] = True
+                if is_comment:
+                    pending = True
+            if is_comment or not stripped:
+                self.covered[idx] = self.covered[idx] or pending
+            else:
+                self.covered[idx] = self.covered[idx] or pending
+                pending = False
+
+
 # --------------------------------------------------------------- rules
 
 _UNORDERED_DECL_RE = re.compile(
@@ -297,6 +331,32 @@ def check_raw_new_delete(path: str, code_lines: list[str],
             emit(idx + 1, "raw-new-delete",
                  "raw `delete` in a hot-path directory — pooled storage is "
                  "recycled, never freed mid-run")
+
+
+_THREADPOOL_USE_RE = re.compile(r"\bThreadPool\b|\bparallel_for\s*\(")
+
+
+def check_threadpool_shard_ordered(path: str, raw_lines: list[str],
+                                   code_lines: list[str],
+                                   emit: Callable[[int, str, str],
+                                                  None]) -> None:
+    """ThreadPool inside the engine only under a shard-ordered marker.
+
+    src/sim promises bit-identical results across step_threads values, so
+    every pooled fan-out (and every member holding a pool) must carry a
+    // levnet-lint: shard-ordered(<how the results stay deterministic>)
+    marker naming its ordered-aggregation strategy. The include line does
+    not trigger (thread_pool.hpp never matches \\bThreadPool\\b); comments
+    are stripped before matching, so prose mentions are free too.
+    """
+    markers = ShardMarkers(raw_lines)
+    for idx, line in enumerate(code_lines):
+        if _THREADPOOL_USE_RE.search(line) and not markers.covered[idx]:
+            emit(idx + 1, "threadpool-shard-ordered",
+                 "ThreadPool/parallel_for in src/sim without a "
+                 "shard-ordered marker — document the deterministic "
+                 "aggregation with `// levnet-lint: shard-ordered(<how>)` "
+                 "on or above this line")
 
 
 def check_registry_sorted(path: str, raw_text: str, code_text: str,
@@ -424,6 +484,8 @@ def scan_file(path: str, root: str, findings: list[Finding]) -> None:
         check_nondeterministic_source(rel_path, code_lines, emit)
     if in_dir(rel_path, "src/sim", "src/support"):
         check_raw_new_delete(rel_path, code_lines, emit)
+    if in_dir(rel_path, "src/sim"):
+        check_threadpool_shard_ordered(rel_path, raw_lines, code_lines, emit)
     check_registry_sorted(rel_path, raw_text, code_text, emit)
     if rel_path.endswith(".hpp"):
         check_pragma_once(rel_path, raw_text, emit)
@@ -504,6 +566,25 @@ _SELFTEST_CASES: list[tuple[str, str, str, bool]] = [
     ("src/support/ok_deleted_fn.cpp",
      "struct NoCopy { NoCopy(const NoCopy&) = delete; };\n",
      "raw-new-delete", True),  # `= delete;` is not a deallocation
+    ("src/sim/viol_pool.cpp",
+     "#include \"support/thread_pool.hpp\"\n"
+     "void f(levnet::support::ThreadPool& pool) {\n"
+     "  pool.parallel_for(4, [](std::size_t) {});\n"
+     "}\n",
+     "threadpool-shard-ordered", False),
+    ("src/sim/ok_pool_marker.cpp",
+     "#include \"support/thread_pool.hpp\"\n"
+     "// levnet-lint: shard-ordered(self-test: results merged in shard order)\n"
+     "void f(levnet::support::ThreadPool& pool) {\n"
+     "  // levnet-lint: shard-ordered(self-test: worker writes are disjoint)\n"
+     "  pool.parallel_for(4, [](std::size_t) {});\n"
+     "}\n",
+     "threadpool-shard-ordered", True),
+    ("src/sim/ok_pool_allow.cpp",
+     "#include \"support/thread_pool.hpp\"\n"
+     "// levnet-lint: allow(threadpool-shard-ordered): self-test reason\n"
+     "void f(levnet::support::ThreadPool&) {}\n",
+     "threadpool-shard-ordered", True),
     ("src/machine/viol_table.cpp",
      "// levnet-lint: sorted-table(selftest)\n"
      "static const char* kTable[][2] = {\n"

@@ -12,7 +12,7 @@
 // report JSON (aggregate stats + per-seed EmulationReports).
 //
 // A --spec-file is a flat JSON object; string values for "spec"/"program",
-// numbers for "seeds"/"threads"/"steps":
+// numbers for "seeds"/"threads"/"steps"/"step-threads":
 //
 //   {"spec": "shuffle:9/two-phase/crcw-combining/furthest-first",
 //    "program": "histogram", "seeds": 5, "threads": 8}
@@ -58,6 +58,10 @@ struct Options {
   std::uint32_t seeds = 5;
   std::uint32_t steps = 4;  // PRAM steps for the synthetic-traffic programs
   unsigned threads = 0;
+  /// Engine step parallelism override (spec `threads:` token); the
+  /// sentinel leaves whatever the spec says untouched.
+  static constexpr std::uint32_t kKeepSpec = ~std::uint32_t{0};
+  std::uint32_t step_threads = kKeepSpec;
   bool list = false;
   bool help = false;
 };
@@ -72,12 +76,18 @@ constexpr const char kUsage[] =
     "  --program KEY        PRAM program family (default: permutation)\n"
     "  --steps N            PRAM steps for the traffic programs (default 4)\n"
     "  --seeds N            independent trials (default 5)\n"
-    "  --threads N          pool size, 0 = hardware concurrency (default)\n"
+    "  --threads N          pool size for fanning seeds, 0 = hardware\n"
+    "                       concurrency (default)\n"
+    "  --step-threads N     intra-trial parallelism: shard each engine step\n"
+    "                       over N threads (spec token 'threads:N'; results\n"
+    "                       are bit-identical for any N; 0 = hardware\n"
+    "                       concurrency, default: whatever the spec says)\n"
     "  --json PATH          write the report JSON to PATH (a directory gets\n"
     "                       an auto-named RUN_<spec>__<program>.json; '-'\n"
     "                       writes to stdout)\n"
-    "  --spec-file FILE     read spec/program/seeds/threads/steps from a\n"
-    "                       flat JSON object instead of the command line\n"
+    "  --spec-file FILE     read spec/program/seeds/threads/steps/\n"
+    "                       step-threads from a flat JSON object instead of\n"
+    "                       the command line\n"
     "  --list               print every registered topology, router,\n"
     "                       program family, mode, discipline and knob\n";
 
@@ -103,7 +113,8 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
       if (!next(options.json_path)) return false;
     } else if (arg == "--spec-file") {
       if (!next(options.spec_file)) return false;
-    } else if (arg == "--seeds" || arg == "--steps" || arg == "--threads") {
+    } else if (arg == "--seeds" || arg == "--steps" || arg == "--threads" ||
+               arg == "--step-threads") {
       if (!next(value)) return false;
       unsigned long parsed = 0;
       if (!parse_count(value, parsed)) {
@@ -115,6 +126,8 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
         options.seeds = static_cast<std::uint32_t>(parsed);
       } else if (arg == "--steps") {
         options.steps = static_cast<std::uint32_t>(parsed);
+      } else if (arg == "--step-threads") {
+        options.step_threads = static_cast<std::uint32_t>(parsed);
       } else {
         options.threads = static_cast<unsigned>(parsed);
       }
@@ -229,7 +242,8 @@ bool apply_spec_file(Options& options, std::string& error) {
   if (values.count("spec") != 0) options.spec_text = values["spec"];
   if (values.count("program") != 0) options.program = values["program"];
   return number("seeds", options.seeds) && number("steps", options.steps) &&
-         number("threads", options.threads);
+         number("threads", options.threads) &&
+         number("step-threads", options.step_threads);
 }
 
 void json_escape(std::ostream& os, const std::string& text) {
@@ -266,6 +280,8 @@ void print_catalogue(std::ostream& os) {
   }
   os << "\nmodes:        erew | crew | crcw | crcw-combining\n"
      << "disciplines:  fifo | furthest-first | nearest-first\n"
+     << "threads:      threads:N  sharded stepping (1 = serial, 0 = hardware\n"
+     << "              concurrency; results identical across values)\n"
      << "faults:       faults:links=F,nodes=F,modules=F,onsets=N,allow-cut=1\n"
      << "knobs:        seed=N budget=N rehash=N hash-degree=N buffer=N\n"
      << "\nexample:\n  levnet_run 'star:5/two-phase/crcw-combining/fifo/"
@@ -382,6 +398,9 @@ int main(int argc, char** argv) {
   if (!machine::parse_spec(options.spec_text, spec, error)) {
     std::cerr << "levnet_run: " << error << "\n";
     return 1;
+  }
+  if (options.step_threads != Options::kKeepSpec) {
+    spec.step_threads = options.step_threads;
   }
   if (!machine::Machine::validate(spec, error)) {
     std::cerr << "levnet_run: " << error << "\n";
