@@ -4,7 +4,9 @@
 // exactly what a degraded network stresses; these scenarios measure how
 // gracefully it bends: completion rate, slowdown versus the fault-free run
 // of the same seed, detour hops per request, and the extra rehashes that
-// module deaths force.
+// module deaths force. The F6+ processor-fault sweeps add the recovery
+// cost of work reassignment: adopted program slots and the share of
+// slot-work the survivors absorbed.
 //
 // Every trial owns its Machine (a faulted graph carries a mutable liveness
 // mask and must not be shared across concurrent trials): the base
@@ -35,7 +37,7 @@ constexpr std::uint32_t kPramSteps = 4;
 machine::MachineSpec fault_spec(const std::string& topology, double links,
                                 double nodes, double modules,
                                 sim::QueueDiscipline discipline,
-                                bool combining) {
+                                bool combining, double procs = 0.0) {
   machine::MachineSpec spec =
       machine::parse_spec(topology + "/two-phase/budget=64/rehash=10");
   spec.mode = combining ? machine::Mode::kCrcwCombining : machine::Mode::kErew;
@@ -43,6 +45,7 @@ machine::MachineSpec fault_spec(const std::string& topology, double links,
   spec.faults.links = links;
   spec.faults.nodes = nodes;
   spec.faults.modules = modules;
+  spec.faults.procs = procs;
   return spec;
 }
 
@@ -52,6 +55,11 @@ struct FaultOutcome {
   double slowdown = 1.0;       // faulty / fault-free network steps
   double detours_per_req = 0.0;
   double extra_rehashes = 0.0;  // budget + fault rehashes beyond baseline
+  double adopted_slots = 0.0;  // program slots executing at a survivor
+  /// Recovery overhead: % of all slot-steps that ran on an adopting
+  /// survivor instead of the slot's own processor — the work inflation
+  /// survivors absorb to keep the full program registry answering.
+  double recovery_overhead = 0.0;
   bool complete = false;
 };
 
@@ -83,6 +91,12 @@ FaultOutcome fault_trial(const machine::MachineSpec& base, std::uint64_t seed,
   outcome.extra_rehashes =
       static_cast<double>(faulty.rehashes + faulty.fault_rehashes) -
       static_cast<double>(clean.rehashes);
+  outcome.adopted_slots = static_cast<double>(faulty.dead_procs);
+  const double slot_steps =
+      static_cast<double>(degraded.processors()) *
+      static_cast<double>(std::max<std::uint32_t>(faulty.pram_steps, 1));
+  outcome.recovery_overhead =
+      100.0 * static_cast<double>(faulty.adopted_slot_steps) / slot_steps;
   return outcome;
 }
 
@@ -115,6 +129,37 @@ void fault_row(analysis::ScenarioContext& ctx, const std::string& title,
       .cell(slowdown / done, 2)
       .cell(detours / done, 2)
       .cell(rehashes / done, 1);
+}
+
+/// Row writer for the processor-fault sweeps (F6+): instead of the
+/// detour/rehash columns, the degraded cost surfaces as work reassignment —
+/// how many slots were adopted and what share of the slot-work the
+/// survivors absorbed. Same completed-seeds-only averaging as fault_row.
+void proc_fault_row(analysis::ScenarioContext& ctx, const std::string& title,
+                    const std::vector<std::string>& config_cells,
+                    const std::vector<FaultOutcome>& outcomes) {
+  double complete = 0, steps = 0, slowdown = 0, adopted = 0, overhead = 0;
+  for (const FaultOutcome& o : outcomes) {
+    if (!o.complete) continue;
+    complete += 1.0;
+    steps += o.steps;
+    slowdown += o.slowdown;
+    adopted += o.adopted_slots;
+    overhead += o.recovery_overhead;
+  }
+  const auto n = static_cast<double>(outcomes.size());
+  const double done = complete > 0.0 ? complete : 1.0;  // all-defeated: 0s
+  auto& table = ctx.table(
+      title, {"network", "fault config", "complete%", "steps/pram-step",
+              "slowdown", "adopted slots", "recovery ovh%"});
+  table.row()
+      .cell(config_cells.at(0))
+      .cell(config_cells.at(1))
+      .cell(100.0 * complete / n, 0)
+      .cell(steps / done, 1)
+      .cell(slowdown / done, 2)
+      .cell(adopted / done, 1)
+      .cell(overhead / done, 1);
 }
 
 std::unique_ptr<pram::PramProgram> permutation_program(std::uint32_t procs,
@@ -286,6 +331,126 @@ constexpr char kLinksTitle[] =
                         {"star(n=" + std::to_string(n) + ")",
                          "links " + std::to_string(ctx.arg(1)) + "%"},
                         outcomes);
+            },
+    }};
+
+constexpr char kProcsTitle[] =
+    "F6: EREW permutation emulation under dead processors";
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kProcsStar{
+    analysis::Scenario{
+        .name = "F6/degraded-procs-star",
+        .experiment =
+            "F6 / processor faults with survivor work reassignment "
+            "(Chlebus-Gasieniec-Pelc setting)",
+        .sweep = "(n, proc%); dead processor endpoints, survivors adopt the "
+                 "dead program slots",
+        .points = {{5, 5}, {5, 10}, {5, 20}, {6, 10}},
+        .smoke_points = {{5, 10}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              const machine::MachineSpec base = fault_spec(
+                  "star:" + std::to_string(n), 0.0, 0.0, 0.0,
+                  sim::QueueDiscipline::kFifo, false,
+                  static_cast<double>(ctx.arg(1)) / 100.0);
+              const auto outcomes = ctx.collect([&](std::uint64_t seed) {
+                return fault_trial(base, seed, permutation_program);
+              });
+              proc_fault_row(ctx, kProcsTitle,
+                             {"star(n=" + std::to_string(n) + ")",
+                              "procs " + std::to_string(ctx.arg(1)) + "%"},
+                             outcomes);
+            },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kProcsShuffle{
+    analysis::Scenario{
+        .name = "F6/degraded-procs-shuffle",
+        .experiment =
+            "F6 / processor faults with survivor work reassignment "
+            "(Chlebus-Gasieniec-Pelc setting)",
+        .sweep = "(n, proc%); n-way shuffle, dead processor endpoints",
+        .points = {{3, 10}, {4, 10}},
+        .smoke_points = {{3, 10}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              const machine::MachineSpec base = fault_spec(
+                  "nshuffle:" + std::to_string(n), 0.0, 0.0, 0.0,
+                  sim::QueueDiscipline::kFifo, false,
+                  static_cast<double>(ctx.arg(1)) / 100.0);
+              const auto outcomes = ctx.collect([&](std::uint64_t seed) {
+                return fault_trial(base, seed, permutation_program);
+              });
+              proc_fault_row(ctx, kProcsTitle,
+                             {"shuffle(n=" + std::to_string(n) + ")",
+                              "procs " + std::to_string(ctx.arg(1)) + "%"},
+                             outcomes);
+            },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kProcsButterfly{
+    analysis::Scenario{
+        .name = "F7/degraded-procs-butterfly",
+        .experiment =
+            "F7 / processor faults on the leveled network, compounded with "
+            "dead links",
+        .sweep = "(levels l, proc%); radix-2 butterfly, dead endpoint rows "
+                 "plus links 5%",
+        .points = {{4, 10}, {5, 10}},
+        .smoke_points = {{4, 10}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto levels = u32(ctx.arg(0));
+              const machine::MachineSpec base = fault_spec(
+                  "butterfly:" + std::to_string(levels), 0.05, 0.0, 0.0,
+                  sim::QueueDiscipline::kFifo, false,
+                  static_cast<double>(ctx.arg(1)) / 100.0);
+              const auto outcomes = ctx.collect([&](std::uint64_t seed) {
+                return fault_trial(base, seed, permutation_program);
+              });
+              proc_fault_row(ctx,
+                             "F7: processor faults on the butterfly "
+                             "(plus dead links)",
+                             {"butterfly(d=2,l=" + std::to_string(levels) + ")",
+                              "procs " + std::to_string(ctx.arg(1)) +
+                                  "% links 5%"},
+                             outcomes);
+            },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kProcsOnset{
+    analysis::Scenario{
+        .name = "F8/procs-onset-star",
+        .experiment =
+            "F8 / epoch-onset processor deaths (mid-run work reassignment)",
+        .sweep = "(n, proc%); faults spread over the run's epochs instead of "
+                 "all-static",
+        .points = {{5, 10}, {5, 20}},
+        .smoke_points = {{5, 10}},
+        .seeds = 5,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto n = u32(ctx.arg(0));
+              machine::MachineSpec base = fault_spec(
+                  "star:" + std::to_string(n), 0.0, 0.0, 0.0,
+                  sim::QueueDiscipline::kFifo, false,
+                  static_cast<double>(ctx.arg(1)) / 100.0);
+              base.faults.onset_epochs = kPramSteps;
+              const auto outcomes = ctx.collect([&](std::uint64_t seed) {
+                return fault_trial(base, seed, permutation_program);
+              });
+              proc_fault_row(ctx,
+                             "F8: mid-run processor deaths "
+                             "(onset epochs spread over the run)",
+                             {"star(n=" + std::to_string(n) + ")",
+                              "procs " + std::to_string(ctx.arg(1)) +
+                                  "% onsets " + std::to_string(kPramSteps)},
+                             outcomes);
             },
     }};
 

@@ -22,7 +22,10 @@ Usage:
   bench/compare_bench.py ... --threshold 0.2 --strict
 
 Exit code is 0 unless --strict is given and a steps regression was found
-(the CI smoke job runs it as a non-blocking report).
+(the CI smoke job runs it as a non-blocking report) — with one exception:
+a `complete%` column dropping below its baseline exits non-zero even
+without --strict. Degraded-mode completion is a correctness signal, not a
+perf signal, and a drop must never hide under the drift threshold.
 """
 
 import argparse
@@ -38,7 +41,13 @@ import sys
 # complete% here keeps it out of the configuration row key.
 COST_COLUMN_MARKERS = ("steps", "maxload", "windowload", "request(", "reply(",
                        "roundtrip", "complete%", "slowdown", "detour",
-                       "rehash")
+                       "rehash", "adopted", "recovery")
+
+# A completion-rate drop is a correctness signal, not a perf drift: any
+# fresh complete% below its baseline gates the exit code even without
+# --strict, and even when the relative change sits under --threshold
+# (100% -> 90% is a -10% ratio the threshold would wave through).
+COMPLETENESS_MARKER = "complete%"
 
 
 def load_reports(directory):
@@ -89,7 +98,8 @@ def keyed_rows(rows, first_cost_column):
     return keyed
 
 
-def compare_tables(bench, base_table, fresh_table, threshold, findings):
+def compare_tables(bench, base_table, fresh_table, threshold, findings,
+                   hard_failures):
     header = base_table.get("header", [])
     columns = cost_columns(header)
     title = base_table.get("title", "?")
@@ -111,6 +121,23 @@ def compare_tables(bench, base_table, fresh_table, threshold, findings):
             base_value = to_float(base_row[col])
             fresh_value = to_float(fresh_row[col])
             if base_value is None or fresh_value is None:
+                continue
+            if COMPLETENESS_MARKER in header[col].lower():
+                # Any drop gates, regardless of --strict or --threshold.
+                if fresh_value < base_value:
+                    hard_failures.append(
+                        f"{bench} / '{title}' row {key[:-1]}")
+                    print(
+                        f"  [COMPLETENESS-REGRESSION] {bench} / '{title}' "
+                        f"row {key[:-1]} ({header[col]}): {base_value} -> "
+                        f"{fresh_value} (gates regardless of --strict)"
+                    )
+                elif fresh_value > base_value:
+                    print(
+                        f"  [completeness-improvement] {bench} / '{title}' "
+                        f"row {key[:-1]} ({header[col]}): {base_value} -> "
+                        f"{fresh_value}"
+                    )
                 continue
             if base_value == 0.0:
                 continue
@@ -245,6 +272,7 @@ def main():
         return 2
 
     findings = []
+    hard_failures = []
     print(
         f"comparing {len(fresh)} fresh report(s) against "
         f"{len(baselines)} baseline(s), threshold {args.threshold:.0%}"
@@ -262,7 +290,8 @@ def main():
                 print(f"  [info] {name}: table '{title}' gone from fresh run")
                 continue
             compare_tables(
-                name, base_table, fresh_tables[title], args.threshold, findings
+                name, base_table, fresh_tables[title], args.threshold,
+                findings, hard_failures
             )
         compare_wall_ms(name, baseline, fresh[name], args.wall_threshold)
     for name in sorted(set(fresh) - set(baselines)):
@@ -278,6 +307,12 @@ def main():
             f"{regressions} regression(s), "
             f"{len(findings) - regressions} improvement(s)"
         )
+    if hard_failures:
+        print(
+            f"{len(hard_failures)} completeness regression(s) — "
+            "degraded-mode completion dropped below baseline"
+        )
+        return 1
     return 1 if (args.strict and regressions) else 0
 
 

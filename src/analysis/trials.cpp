@@ -25,6 +25,7 @@ TrialMeasurement::TrialMeasurement(const emulation::EmulationReport& report) {
   detours = static_cast<double>(report.detour_hops);
   dropped = static_cast<double>(report.dropped_packets);
   fault_rehashes = static_cast<double>(report.fault_rehashes);
+  adopted_slot_steps = static_cast<double>(report.adopted_slot_steps);
   // Fault-free the emulator CHECK-fails rather than losing requests, so
   // this is always true there; degraded runs report what happened.
   complete = report.complete;
@@ -57,6 +58,7 @@ TrialStats aggregate(const std::vector<TrialMeasurement>& runs) {
     stats.detours_mean += m.detours;
     stats.dropped_mean += m.dropped;
     stats.fault_rehashes_mean += m.fault_rehashes;
+    stats.adopted_slot_steps_mean += m.adopted_slot_steps;
     ++stats.runs;
   }
   if (stats.runs != 0) {
@@ -67,6 +69,7 @@ TrialStats aggregate(const std::vector<TrialMeasurement>& runs) {
     stats.detours_mean /= n;
     stats.dropped_mean /= n;
     stats.fault_rehashes_mean /= n;
+    stats.adopted_slot_steps_mean /= n;
   }
   stats.steps = support::summarize(steps);
   stats.worst_step = support::summarize(worst);

@@ -39,6 +39,7 @@ struct TrialMeasurement {
   double detours = 0.0;         // fault-detour hops (degraded mode)
   double dropped = 0.0;         // packets lost to faults
   double fault_rehashes = 0.0;  // rehashes forced by module deaths
+  double adopted_slot_steps = 0.0;  // dead slots executed by survivors
   bool complete = true;
 
   TrialMeasurement() = default;
@@ -59,6 +60,7 @@ struct TrialStats {
   double detours_mean = 0.0;
   double dropped_mean = 0.0;
   double fault_rehashes_mean = 0.0;
+  double adopted_slot_steps_mean = 0.0;
   bool all_complete = true;  // every run delivered everything
   /// Runs that completed (== runs unless faults defeated some seeds).
   std::size_t complete_runs = 0;

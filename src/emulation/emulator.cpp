@@ -44,13 +44,17 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
   faults::FaultInjector* injector = config_.faults;
   if (injector != nullptr) {
     for (const faults::FaultEvent& event : injector->plan().events()) {
-      // A dead processor cannot be emulated around (that needs the
-      // Chlebus-style processor-simulation layer); FaultPlan::sample
-      // protects [0, endpoints) when given the right endpoint count, and
-      // this guards against hand-built plans.
+      // Killing a processor-hosting node is the explicit kProc axis (with
+      // its slot-adoption semantics); a plain kNode event there would die
+      // without reassigning the slot. FaultPlan::sample keeps the kinds
+      // apart when given the right endpoint count; this guards hand-built
+      // plans.
       LEVNET_CHECK_MSG(event.kind != faults::FaultKind::kNode ||
                            event.id >= fabric_.processors(),
                        "node faults must not hit processor-hosting nodes");
+      LEVNET_CHECK_MSG(event.kind != faults::FaultKind::kProc ||
+                           event.id < fabric_.processors(),
+                       "proc faults must name a processor endpoint");
     }
     injector->reset();
     // Static faults (epoch 0) are active before anything runs, so the
@@ -95,6 +99,10 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
       // remap just concentrated onto survivors.
       const faults::FaultInjector::Applied applied =
           injector->advance_to(step);
+      // Processor deaths need no extra action here: the compound kill
+      // already took the co-located module with it (so applied.modules
+      // carries the rehash below), and host_node() starts resolving the
+      // dead slots to their adopting survivors from this step on.
       if (applied.modules != 0) {
         ++report.fault_rehashes;
         hash_ = std::make_unique<hashing::PolynomialHash>(
@@ -155,8 +163,10 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
         if (op.kind == OpKind::kNone) continue;
         const std::uint32_t module =
             remap_of(static_cast<std::uint32_t>(batch_modules_[batch_cursor++]));
+        // levnet-lint: endpoint-liveness(remap_of output is live by construction)
         const NodeId module_node = fabric_.module_node(module);
-        const NodeId proc_node = fabric_.proc_node(p);
+        // Work reassignment: dead slots issue from their adopting survivor.
+        const NodeId proc_node = host_node(p);
         if (op.kind == OpKind::kRead) pending_read_[p] = 1;
 
         if (module_node == proc_node) {
@@ -257,6 +267,11 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
     report.local_ops += local_this_step;
     report.detour_hops += metrics.detours;
     report.dropped_packets += metrics.dropped;
+    if (injector != nullptr) {
+      // Recovery overhead, slot side: every dead slot this step was extra
+      // work some survivor executed on top of its own.
+      report.adopted_slot_steps += injector->dead_procs();
+    }
     if (metrics.dropped != 0) {
       // A dropped write is silently absent from memory; the run keeps
       // going (degraded completion) but can no longer claim correctness.
@@ -272,6 +287,7 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
     report.dead_links = injector->dead_links();
     report.dead_nodes = injector->dead_nodes();
     report.dead_modules = injector->dead_modules();
+    report.dead_procs = injector->dead_procs();
   }
   memory_ = nullptr;
   return report;
@@ -386,7 +402,9 @@ void NetworkEmulator::serve_at_module(Packet& p, NodeId at, support::Rng& rng,
     return;
   }
   p.src = at;
-  p.dst = fabric_.proc_node(p.proc);
+  // The reply targets the slot's executor — the adopting survivor when the
+  // issuing processor is dead (it sent the request from there too).
+  p.dst = host_node(p.proc);
   fabric_.router().prepare(p, rng);
   const NodeId next = fabric_.router().next_hop(p, at, rng);
   if (next == topology::kInvalidNode) {

@@ -30,11 +30,16 @@
 // detouring through surviving neighbors (Router::reroute keeps any
 // oblivious router progressing after a detour); dead memory modules are
 // remapped through a survivor remap composed with the hash, and module
-// deaths additionally trigger the rehash path. The same final memory is
-// still produced whenever the plan preserves endpoint connectivity — the
-// theorems' w.h.p. machinery degrades gracefully instead of failing — and
-// the report gains detour/drop/fault-rehash observables plus a `complete`
-// flag for runs the plan defeated.
+// deaths additionally trigger the rehash path. Dead *processors*
+// (Chlebus-Gasieniec-Pelc's static processor faults) are handled by work
+// reassignment: every program slot keeps issuing and receiving, but a dead
+// slot executes at its seed-derived adopting survivor (host_node), so the
+// full registry's memory image stays bit-equal to ReferencePram on the
+// survivor-visible state. The same final memory is still produced whenever
+// the plan keeps the survivor endpoints connected — the theorems' w.h.p.
+// machinery degrades gracefully instead of failing — and the report gains
+// detour/drop/fault-rehash/adoption observables plus a `complete` flag for
+// runs the plan defeated.
 
 #include <cstdint>
 #include <memory>
@@ -76,11 +81,13 @@ struct EmulatorConfig {
   /// Degraded-mode emulation: an injector bound to the fabric's graph (the
   /// caller owns graph mutability; see faults/injector.hpp). The emulator
   /// advances the fault plan one epoch per PRAM step, routes around dead
-  /// links/nodes via detours, and remaps dead memory modules through the
+  /// links/nodes via detours, remaps dead memory modules through the
   /// survivor remap (composed with the hash, so the existing rehash path
-  /// still applies). Node faults must not touch processor-hosting nodes.
-  /// nullptr (or an injector with an empty plan) is guaranteed inert:
-  /// behaviour is bit-identical to the fault-free emulator.
+  /// still applies), and executes dead processors' program slots at their
+  /// adopting survivors (FaultInjector::adopt_proc). Node faults must not
+  /// touch processor-hosting nodes — killing a processor is the explicit
+  /// kProc axis. nullptr (or an injector with an empty plan) is guaranteed
+  /// inert: behaviour is bit-identical to the fault-free emulator.
   faults::FaultInjector* faults = nullptr;
 };
 
@@ -113,10 +120,17 @@ struct EmulationReport {
   /// Rehashes forced by memory-module deaths (survivor remap rebuilds),
   /// not counted in `rehashes` (which stays budget-triggered only).
   std::uint32_t fault_rehashes = 0;
+  /// Rehashes forced by processor deaths are part of fault_rehashes too:
+  /// a dead processor kills its co-located module, and that module death
+  /// carries the rehash. This counts the recovery overhead on the slot
+  /// side: the sum over completed PRAM steps of dead (adopted) program
+  /// slots each step — survivor work inflation in slot-steps.
+  std::uint64_t adopted_slot_steps = 0;
   /// Final degraded-state snapshot.
   std::uint32_t dead_links = 0;
   std::uint32_t dead_nodes = 0;
   std::uint32_t dead_modules = 0;
+  std::uint32_t dead_procs = 0;
   /// False when faults defeated the run: a read went unanswered, packets
   /// dropped, or the rehash budget ran out. Fault-free runs CHECK-fail
   /// instead (a lost request there is a bug, not a scenario).
@@ -201,6 +215,18 @@ class NetworkEmulator final : public sim::TrafficHandler {
   [[nodiscard]] std::uint32_t remap_of(std::uint32_t hashed) const {
     return config_.faults == nullptr ? hashed
                                      : config_.faults->remap_module(hashed);
+  }
+  /// Network node that executes processor p's program slot: p's own
+  /// endpoint while p is alive, its seed-derived adopting survivor once p
+  /// is dead (work reassignment). Identity without faults — the injector
+  /// pointer is the only branch, so fault-free runs are bit-inert.
+  [[nodiscard]] NodeId host_node(pram::ProcId p) const {
+    const std::uint32_t executor =
+        config_.faults == nullptr
+            ? p
+            : config_.faults->adopt_proc(static_cast<std::uint32_t>(p));
+    // levnet-lint: endpoint-liveness(adopt_proc output is live by construction)
+    return fabric_.proc_node(executor);
   }
 
   void handle_request(sim::Packet& p, NodeId at, support::Rng& rng,

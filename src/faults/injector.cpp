@@ -6,7 +6,12 @@ namespace levnet::faults {
 
 FaultInjector::FaultInjector(topology::Graph& graph, std::uint32_t modules,
                              const FaultPlan& plan)
-    : graph_(&graph), plan_(&plan), module_live_(modules, 1) {
+    : graph_(&graph),
+      plan_(&plan),
+      module_live_(modules, 1),
+      // Processors and modules are co-located one per endpoint fabric-wide,
+      // so the module count bounds the processor id space too.
+      proc_live_(modules, 1) {
   for (const FaultEvent& event : plan.events()) {
     switch (event.kind) {
       case FaultKind::kLink:
@@ -21,6 +26,10 @@ FaultInjector::FaultInjector(topology::Graph& graph, std::uint32_t modules,
         LEVNET_CHECK_MSG(event.id < modules,
                          "fault plan names a module outside the fabric");
         break;
+      case FaultKind::kProc:
+        LEVNET_CHECK_MSG(event.id < modules,
+                         "fault plan names a processor outside the fabric");
+        break;
     }
   }
 }
@@ -28,7 +37,9 @@ FaultInjector::FaultInjector(topology::Graph& graph, std::uint32_t modules,
 void FaultInjector::reset() {
   graph_->revive_all();
   module_live_.assign(module_live_.size(), 1);
+  proc_live_.assign(proc_live_.size(), 1);
   remap_ = hashing::ExclusionRemap{};
+  proc_remap_ = hashing::ExclusionRemap{};
   cursor_ = 0;
   dead_links_ = 0;
   dead_nodes_ = 0;
@@ -63,6 +74,22 @@ FaultInjector::Applied FaultInjector::advance_to(std::uint32_t epoch) {
           ++applied.modules;
         }
         break;
+      case FaultKind::kProc:
+        // The compound fault: the processor's endpoint node (and every
+        // incident link) dies, its co-located memory module dies, and its
+        // program slot will be adopted by a survivor via proc_remap_.
+        // The node kill is not counted in dead_nodes_ — the snapshot
+        // reports distinct disabled components by their primary kind.
+        if (proc_live_[event.id] != 0) {
+          proc_live_[event.id] = 0;
+          ++applied.procs;
+          if (graph_->node_live(event.id)) graph_->kill_node(event.id);
+          if (module_live_[event.id] != 0) {
+            module_live_[event.id] = 0;
+            ++applied.modules;
+          }
+        }
+        break;
     }
   }
   if (applied.modules != 0) {
@@ -71,6 +98,12 @@ FaultInjector::Applied FaultInjector::advance_to(std::uint32_t epoch) {
     // assignment, so a replay (reset + advance) is bit-identical.
     remap_ = hashing::ExclusionRemap::build(
         module_live_, plan_->seed() ^ 0x5EED'0F'DEADULL);
+  }
+  if (applied.procs != 0) {
+    // Same replayability argument, distinct salt: slot adoption and module
+    // remap are independent survivor assignments over the same id space.
+    proc_remap_ = hashing::ExclusionRemap::build(
+        proc_live_, plan_->seed() ^ 0xAD09'7000'5EEDULL);
   }
   return applied;
 }

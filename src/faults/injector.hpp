@@ -2,9 +2,13 @@
 // FaultInjector: applies a FaultPlan onto a live topology, epoch by epoch.
 //
 // The injector owns the mutable view of degradation: it flips the graph's
-// liveness mask for link/node events, tracks memory-module liveness, and
-// keeps the survivor remap (hashing::ExclusionRemap) current so that
-// remap(h(addr)) never lands on a dead module. One injector serves one
+// liveness mask for link/node events, tracks memory-module and processor
+// liveness, and keeps the survivor remaps (hashing::ExclusionRemap)
+// current so that remap(h(addr)) never lands on a dead module and
+// adopt_proc(p) never names a dead processor. A processor event is the
+// compound fault: its endpoint node dies (all incident links), its
+// co-located memory module dies, and its program slot is adopted by a
+// seed-derived survivor. One injector serves one
 // run on one graph instance — it mutates the graph, so a faulted graph
 // must not be shared across concurrent trials (construct topology + plan +
 // injector per seed inside the trial body; see analysis/trials.hpp).
@@ -30,13 +34,15 @@ class FaultInjector {
   FaultInjector(topology::Graph& graph, std::uint32_t modules,
                 const FaultPlan& plan);
 
-  /// What advance_to just changed; module changes require a remap/rehash.
+  /// What advance_to just changed; module changes require a remap/rehash,
+  /// proc changes additionally require a slot-adoption remap.
   struct Applied {
     std::uint32_t links = 0;
     std::uint32_t nodes = 0;
     std::uint32_t modules = 0;
+    std::uint32_t procs = 0;
     [[nodiscard]] bool any() const noexcept {
-      return links + nodes + modules != 0;
+      return links + nodes + modules + procs != 0;
     }
   };
 
@@ -55,6 +61,16 @@ class FaultInjector {
     return remap_(m);
   }
 
+  [[nodiscard]] bool proc_live(std::uint32_t p) const noexcept {
+    return proc_live_[p] != 0;
+  }
+  /// Survivor processor that executes processor p's program slot
+  /// (identity while p is live). Seed-salted like the module remap, so the
+  /// adoption assignment is replayable from the plan alone.
+  [[nodiscard]] std::uint32_t adopt_proc(std::uint32_t p) const noexcept {
+    return proc_remap_(p);
+  }
+
   [[nodiscard]] std::uint32_t dead_links() const noexcept {
     return dead_links_;
   }
@@ -64,6 +80,9 @@ class FaultInjector {
   [[nodiscard]] std::uint32_t dead_modules() const noexcept {
     return remap_.excluded();
   }
+  [[nodiscard]] std::uint32_t dead_procs() const noexcept {
+    return proc_remap_.excluded();
+  }
 
   [[nodiscard]] const FaultPlan& plan() const noexcept { return *plan_; }
   [[nodiscard]] topology::Graph& graph() noexcept { return *graph_; }
@@ -72,7 +91,9 @@ class FaultInjector {
   topology::Graph* graph_;
   const FaultPlan* plan_;
   std::vector<std::uint8_t> module_live_;
+  std::vector<std::uint8_t> proc_live_;
   hashing::ExclusionRemap remap_;
+  hashing::ExclusionRemap proc_remap_;
   std::size_t cursor_ = 0;  // first unapplied plan event
   std::uint32_t dead_links_ = 0;
   std::uint32_t dead_nodes_ = 0;

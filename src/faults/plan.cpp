@@ -16,7 +16,8 @@ struct Scratch {
   explicit Scratch(const topology::Graph& g)
       : graph(&g),
         edge_live(g.edge_count(), 1),
-        node_live(g.node_count(), 1) {
+        node_live(g.node_count(), 1),
+        bfs_seen(g.node_count(), 0) {
     // Symmetric graphs (every edge paired with its reverse, which
     // kill_link/kill_node preserve) only need one forward BFS: reach-from
     // implies reach-to. With unpaired one-way edges that implication
@@ -65,24 +66,32 @@ struct Scratch {
     for (const EdgeId e : killed_edges) edge_live[e] = 1;
   }
 
-  /// BFS from endpoint 0 over live edges and nodes; `backward` walks the
-  /// transpose. Returns true iff every endpoint was reached.
+  /// BFS from `root` over live edges and nodes; `backward` walks the
+  /// transpose. Returns true iff every *live* endpoint was reached.
+  /// The visited set is a stamped array reused across every screening
+  /// retry — rejection-heavy samples on large graphs no longer pay an
+  /// O(node_count) clear per attempt.
   [[nodiscard]] bool endpoints_reachable(std::uint32_t endpoints,
-                                         bool backward,
-                                         std::vector<NodeId>& queue,
-                                         std::vector<std::uint8_t>& seen) const {
-    queue.clear();
-    seen.assign(graph->node_count(), 0);
-    queue.push_back(0);
-    seen[0] = 1;
+                                         std::uint32_t live_endpoints,
+                                         NodeId root, bool backward) {
+    bfs_queue.clear();
+    if (++bfs_stamp == 0) {  // stamp wrapped: one real clear, then restart
+      std::fill(bfs_seen.begin(), bfs_seen.end(), 0);
+      bfs_stamp = 1;
+    }
+    bfs_queue.push_back(root);
+    bfs_seen[root] = bfs_stamp;
     std::size_t head = 0;
     std::uint32_t endpoints_seen = 1;
-    while (head < queue.size()) {
-      const NodeId u = queue[head++];
+    while (head < bfs_queue.size()) {
+      const NodeId u = bfs_queue[head++];
       const auto visit = [&](EdgeId e, NodeId v) {
-        if (edge_live[e] == 0 || node_live[v] == 0 || seen[v] != 0) return;
-        seen[v] = 1;
-        queue.push_back(v);
+        if (edge_live[e] == 0 || node_live[v] == 0 ||
+            bfs_seen[v] == bfs_stamp) {
+          return;
+        }
+        bfs_seen[v] = bfs_stamp;
+        bfs_queue.push_back(v);
         if (v < endpoints) ++endpoints_seen;
       };
       if (backward) {
@@ -93,22 +102,29 @@ struct Scratch {
           visit(e, graph->edge_head(e));
         }
       }
-      if (endpoints_seen == endpoints) return true;
+      if (endpoints_seen == live_endpoints) return true;
     }
-    return endpoints_seen == endpoints;
+    return endpoints_seen == live_endpoints;
   }
 
-  /// True iff every live endpoint can both reach and be reached by
-  /// endpoint 0 over live edges/nodes — with endpoints never killed, the
-  /// "every processor can still talk to every module, both ways"
-  /// requirement. Symmetric graphs need only the forward pass.
-  [[nodiscard]] bool endpoints_connected(std::uint32_t endpoints,
-                                         std::vector<NodeId>& queue,
-                                         std::vector<std::uint8_t>& seen) const {
-    if (endpoints <= 1) return true;
-    if (!endpoints_reachable(endpoints, false, queue, seen)) return false;
-    return !asymmetric ||
-           endpoints_reachable(endpoints, true, queue, seen);
+  /// True iff every live endpoint can both reach and be reached by the
+  /// first live endpoint over live edges/nodes — the "every surviving
+  /// processor can still talk to every surviving module, both ways"
+  /// requirement. Dead endpoints (proc faults) are out of the quantifier:
+  /// nothing is owed to a processor that no longer computes. Symmetric
+  /// graphs need only the forward pass.
+  [[nodiscard]] bool endpoints_connected(std::uint32_t endpoints) {
+    NodeId root = topology::kInvalidNode;
+    std::uint32_t live = 0;
+    for (NodeId v = 0; v < endpoints; ++v) {
+      if (node_live[v] != 0) {
+        if (root == topology::kInvalidNode) root = v;
+        ++live;
+      }
+    }
+    if (live <= 1) return true;
+    if (!endpoints_reachable(endpoints, live, root, false)) return false;
+    return !asymmetric || endpoints_reachable(endpoints, live, root, true);
   }
 
   const topology::Graph* graph;
@@ -116,6 +132,9 @@ struct Scratch {
   std::vector<std::uint8_t> node_live;
   bool asymmetric = false;
   std::vector<std::vector<EdgeId>> in_edges;  // built only when asymmetric
+  std::vector<NodeId> bfs_queue;
+  std::vector<std::uint32_t> bfs_seen;  // stamp-visited, reused per retry
+  std::uint32_t bfs_stamp = 0;
 };
 
 std::uint32_t target_count(double fraction, std::size_t candidates) {
@@ -133,7 +152,7 @@ FaultPlan FaultPlan::sample(const topology::Graph& graph,
   FaultPlan plan;
   plan.seed_ = seed;
   if (spec.link_fraction == 0.0 && spec.node_fraction == 0.0 &&
-      spec.module_fraction == 0.0) {
+      spec.module_fraction == 0.0 && spec.proc_fraction == 0.0) {
     // Nothing to sample: skip the candidate shuffles and scratch arrays
     // entirely (fault-free twins in A/B benches take this path per seed).
     return plan;
@@ -144,16 +163,55 @@ FaultPlan FaultPlan::sample(const topology::Graph& graph,
   support::Rng rng(support::splitmix64(mix));
 
   Scratch scratch(graph);
-  std::vector<NodeId> bfs_queue;
-  std::vector<std::uint8_t> bfs_seen;
   const auto draw_epoch = [&]() -> std::uint32_t {
     return spec.onset_epochs <= 1
                ? 0
                : static_cast<std::uint32_t>(rng.below(spec.onset_epochs));
   };
 
+  // Processors first: a dead processor takes its endpoint node (and every
+  // incident link) with it, so the later link/node phases must see those
+  // kills in the scratch graph. When the fraction is zero the phase is
+  // skipped entirely — zero RNG draws — so proc-free plans keep the exact
+  // draw sequence (and therefore the exact events) of every plan sampled
+  // before this axis existed.
+  std::uint32_t proc_dead = 0;
+  if (spec.proc_fraction > 0.0) {
+    std::vector<NodeId> procs;
+    for (NodeId p = 0; p < endpoints; ++p) procs.push_back(p);
+    support::shuffle(procs, rng);
+    std::uint32_t proc_target = target_count(spec.proc_fraction,
+                                             procs.size());
+    if (endpoints != 0) {
+      // At least one processor must survive to adopt the dead ones' slots.
+      proc_target = std::min(proc_target, endpoints - 1);
+    }
+    std::vector<EdgeId> proc_edges;
+    for (const NodeId p : procs) {
+      if (proc_dead == proc_target) break;
+      scratch.kill_node(p, proc_edges);
+      if (spec.preserve_connectivity &&
+          !scratch.endpoints_connected(endpoints)) {
+        scratch.revive_node(p, proc_edges);
+        ++plan.skipped_;
+        continue;
+      }
+      plan.events_.push_back({FaultKind::kProc, p, draw_epoch()});
+      ++proc_dead;
+    }
+    LEVNET_CHECK_MSG(
+        proc_dead == proc_target,
+        "FaultPlan::sample: procs= fraction unsatisfiable — every remaining "
+        "processor kill would disconnect the survivor endpoints (lower "
+        "procs= or set allow-cut=1)");
+  }
+
   // Links: one candidate per physical link (the lower-id directed edge of
-  // each reverse pair; one-way edges stand alone).
+  // each reverse pair; one-way edges stand alone). Candidates already dead
+  // in the scratch graph (killed alongside a dead processor) are passed
+  // over without consuming quota: their death is implied by the kProc
+  // event, and "killing" them again would corrupt the revive-on-reject
+  // bookkeeping.
   std::vector<EdgeId> links;
   for (EdgeId e = 0; e < graph.edge_count(); ++e) {
     const EdgeId rev = graph.reverse_edge(e);
@@ -165,9 +223,10 @@ FaultPlan FaultPlan::sample(const topology::Graph& graph,
   std::uint32_t accepted = 0;
   for (const EdgeId e : links) {
     if (accepted == link_target) break;
+    if (scratch.edge_live[e] == 0) continue;
     scratch.kill_link(e);
     if (spec.preserve_connectivity &&
-        !scratch.endpoints_connected(endpoints, bfs_queue, bfs_seen)) {
+        !scratch.endpoints_connected(endpoints)) {
       scratch.revive_link(e);
       ++plan.skipped_;
       continue;
@@ -175,8 +234,17 @@ FaultPlan FaultPlan::sample(const topology::Graph& graph,
     plan.events_.push_back({FaultKind::kLink, e, draw_epoch()});
     ++accepted;
   }
+  // Link-only plans have always under-filled silently when the guard
+  // rejects everything (pinned behavior); under procs= the combination is
+  // a configuration error, named instead of silently shrunk.
+  LEVNET_CHECK_MSG(
+      spec.proc_fraction == 0.0 || accepted == link_target,
+      "FaultPlan::sample: procs= and links= jointly unsatisfiable — after "
+      "the processor kills, the connectivity guard rejected every remaining "
+      "link candidate (lower links=/procs= or set allow-cut=1)");
 
-  // Nodes: endpoints host processors and are protected.
+  // Nodes: endpoints host processors; *node* faults never touch them
+  // (processor kills are the explicit procs= axis above).
   std::vector<NodeId> nodes;
   for (NodeId v = endpoints; v < graph.node_count(); ++v) nodes.push_back(v);
   support::shuffle(nodes, rng);
@@ -188,7 +256,7 @@ FaultPlan FaultPlan::sample(const topology::Graph& graph,
     if (accepted == node_target) break;
     scratch.kill_node(v, killed_edges);
     if (spec.preserve_connectivity &&
-        !scratch.endpoints_connected(endpoints, bfs_queue, bfs_seen)) {
+        !scratch.endpoints_connected(endpoints)) {
       scratch.revive_node(v, killed_edges);
       ++plan.skipped_;
       continue;
@@ -196,24 +264,51 @@ FaultPlan FaultPlan::sample(const topology::Graph& graph,
     plan.events_.push_back({FaultKind::kNode, v, draw_epoch()});
     ++accepted;
   }
+  LEVNET_CHECK_MSG(
+      spec.proc_fraction == 0.0 || accepted == node_target,
+      "FaultPlan::sample: procs= and nodes= jointly unsatisfiable — after "
+      "the processor kills, the connectivity guard rejected every remaining "
+      "node candidate (lower nodes=/procs= or set allow-cut=1)");
 
   // Modules: no connectivity interplay, but at least one must survive.
+  // Modules co-located with a dead processor die with it (the injector
+  // applies that implication), so they are skipped here and the survivor
+  // floor is counted over the live ones.
   std::vector<std::uint32_t> mods;
   for (std::uint32_t m = 0; m < modules; ++m) mods.push_back(m);
   support::shuffle(mods, rng);
   std::uint32_t module_target = target_count(spec.module_fraction,
                                              mods.size());
-  if (modules != 0) {
-    module_target = std::min(module_target, modules - 1);
+  const std::uint32_t live_modules = modules - proc_dead;
+  if (live_modules != 0) {
+    module_target = std::min(module_target, live_modules - 1);
+  } else {
+    module_target = 0;
   }
-  for (std::uint32_t i = 0; i < module_target; ++i) {
-    plan.events_.push_back({FaultKind::kModule, mods[i], draw_epoch()});
+  accepted = 0;
+  for (const std::uint32_t m : mods) {
+    if (accepted == module_target) break;
+    if (m < endpoints && scratch.node_live[m] == 0) continue;
+    plan.events_.push_back({FaultKind::kModule, m, draw_epoch()});
+    ++accepted;
   }
 
+  // Apply order within an epoch: processor kills first (they imply node
+  // and module deaths the later kinds must observe), then the pre-existing
+  // link < node < module order so proc-free plans sort exactly as before.
+  const auto kind_rank = [](FaultKind k) -> int {
+    switch (k) {
+      case FaultKind::kProc: return 0;
+      case FaultKind::kLink: return 1;
+      case FaultKind::kNode: return 2;
+      case FaultKind::kModule: return 3;
+    }
+    return 4;
+  };
   std::sort(plan.events_.begin(), plan.events_.end(),
-            [](const FaultEvent& a, const FaultEvent& b) {
+            [&](const FaultEvent& a, const FaultEvent& b) {
               if (a.epoch != b.epoch) return a.epoch < b.epoch;
-              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.kind != b.kind) return kind_rank(a.kind) < kind_rank(b.kind);
               return a.id < b.id;
             });
   return plan;

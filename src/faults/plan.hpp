@@ -33,6 +33,8 @@ enum class FaultKind : std::uint8_t {
   kLink = 0,    // a physical link: the directed edge and its reverse
   kNode = 1,    // a switch/node: all incident edges die with it
   kModule = 2,  // a memory module: addresses remap to survivors
+  kProc = 3,    // a processor endpoint: its node, co-located module, and
+                // program slots all fail; survivors adopt the slots
 };
 
 struct FaultEvent {
@@ -47,14 +49,21 @@ struct FaultSpec {
   /// Fraction of physical links to kill, in [0, 1).
   double link_fraction = 0.0;
   /// Fraction of non-endpoint nodes to kill, in [0, 1). Endpoint nodes
-  /// (ids below `endpoints` at sample time) host PRAM processors and are
-  /// never killed: a dead processor cannot be emulated around without the
-  /// Chlebus-style processor-simulation layer this subsystem does not
-  /// implement.
+  /// (ids below `endpoints` at sample time) are never hit by *node*
+  /// faults; killing a processor endpoint is the separate, deliberate
+  /// `proc_fraction` axis below.
   double node_fraction = 0.0;
   /// Fraction of memory modules to kill, in [0, 1). At least one module
   /// always survives.
   double module_fraction = 0.0;
+  /// Fraction of processor endpoints to kill, in [0, 1) — the
+  /// Chlebus-Gasieniec-Pelc static-processor-fault axis. A dead processor
+  /// takes its endpoint node (all incident links) and its co-located
+  /// memory module down with it; the emulation layer reassigns its
+  /// program slots to a seed-derived survivor. Sampling guarantees at
+  /// least one live processor and (under `preserve_connectivity`) that
+  /// the survivor endpoints stay mutually connected.
+  double proc_fraction = 0.0;
   /// Fault epochs are drawn uniformly from [0, onset_epochs); 1 (or 0)
   /// makes every fault static.
   std::uint32_t onset_epochs = 1;
@@ -70,9 +79,12 @@ class FaultPlan {
   FaultPlan() = default;
 
   /// Samples a plan against `graph`. Nodes [0, endpoints) are protected
-  /// from node faults and anchor the connectivity requirement; `modules`
-  /// is the memory-module count (fabric endpoints). Deterministic in all
-  /// arguments.
+  /// from node faults (processor kills are the explicit `proc_fraction`
+  /// axis) and the live ones anchor the connectivity requirement;
+  /// `modules` is the memory-module count (fabric endpoints).
+  /// Deterministic in all arguments. CHECK-fails with a named error when
+  /// `proc_fraction > 0` and the requested fractions cannot be satisfied
+  /// under the connectivity/survivor guards (jointly unsatisfiable).
   [[nodiscard]] static FaultPlan sample(const topology::Graph& graph,
                                         std::uint32_t endpoints,
                                         std::uint32_t modules,

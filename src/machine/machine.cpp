@@ -52,6 +52,7 @@ Machine Machine::build(const MachineSpec& spec) {
     fault_spec.link_fraction = spec.faults.links;
     fault_spec.node_fraction = spec.faults.nodes;
     fault_spec.module_fraction = spec.faults.modules;
+    fault_spec.proc_fraction = spec.faults.procs;
     fault_spec.onset_epochs = spec.faults.onset_epochs;
     fault_spec.preserve_connectivity = spec.faults.preserve_connectivity;
     const std::uint32_t endpoints = impl->topo->endpoints();

@@ -177,6 +177,8 @@ void split_key_params(std::string_view segment, std::string_view& key,
       ok = parse_fraction(value, out.faults.links);
     } else if (knob == "nodes") {
       ok = parse_fraction(value, out.faults.nodes);
+    } else if (knob == "procs") {
+      ok = parse_fraction(value, out.faults.procs);
     } else if (knob == "modules") {
       ok = parse_fraction(value, out.faults.modules);
     } else if (knob == "onsets") {
@@ -187,7 +189,7 @@ void split_key_params(std::string_view segment, std::string_view& key,
       if (ok) out.faults.preserve_connectivity = flag == 0;
     } else {
       error = "unknown fault knob '" + std::string(knob) +
-              "' (valid: links, nodes, modules, onsets, allow-cut)";
+              "' (valid: links, nodes, procs, modules, onsets, allow-cut)";
       return false;
     }
     if (!ok) {
@@ -291,6 +293,10 @@ std::string MachineSpec::to_string() const {
     if (faults.nodes > 0.0) {
       add("nodes");
       append_fraction(kvs, faults.nodes);
+    }
+    if (faults.procs > 0.0) {
+      add("procs");
+      append_fraction(kvs, faults.procs);
     }
     if (faults.modules > 0.0) {
       add("modules");

@@ -21,9 +21,10 @@
 //   threads    := 'threads:' uint    engine step parallelism (1 = serial,
 //                 0 = hardware concurrency); results are bit-identical
 //                 across values, so the token names a speed, not a machine
-//   faults     := 'faults:' kv { ',' kv }   kv in links= nodes= modules=
-//                 (fractions in [0,1)), onsets= (epoch count),
-//                 allow-cut=0|1 (drop the connectivity guard)
+//   faults     := 'faults:' kv { ',' kv }   kv in links= nodes= procs=
+//                 modules= (fractions in [0,1)), onsets= (epoch count),
+//                 allow-cut=0|1 (drop the connectivity guard); procs=
+//                 kills processor endpoints, survivors adopt their slots
 //   knob       := ('seed'|'budget'|'rehash'|'hash-degree'|'buffer') '=' uint
 //
 // Segments after the router may appear in any order; the canonical form
@@ -60,11 +61,13 @@ struct FaultKnobs {
   double links = 0.0;    // fraction of physical links to kill
   double nodes = 0.0;    // fraction of non-endpoint nodes to kill
   double modules = 0.0;  // fraction of memory modules to kill
+  double procs = 0.0;    // fraction of processor endpoints to kill
+                         // (survivors adopt the dead slots)
   std::uint32_t onset_epochs = 1;      // 1 = all faults static
   bool preserve_connectivity = true;   // allow-cut=1 disables the guard
 
   [[nodiscard]] bool any() const noexcept {
-    return links > 0.0 || nodes > 0.0 || modules > 0.0;
+    return links > 0.0 || nodes > 0.0 || modules > 0.0 || procs > 0.0;
   }
   bool operator==(const FaultKnobs&) const = default;
 };

@@ -10,7 +10,9 @@
 //   * ShardedStep: the intra-trial parallel engine (step_threads > 1) must
 //     be bit-identical to the serial engine — including machines smaller
 //     than the shard count, active lists that collapse to one link
-//     mid-run, and handlers that defer every concurrent decision.
+//     mid-run, handlers that defer every concurrent decision, and
+//     proc-faulted machines whose survivor adoption must not vary with
+//     the thread count.
 //   * DebugThreadOwner: the single-thread containers' debug guard rebinds
 //     across clear()/reset(), so pooled state may migrate between trial
 //     threads at quiescent points without tripping the assertion.
@@ -129,6 +131,11 @@ void expect_identical(const EmulationReport& a, const EmulationReport& b,
   EXPECT_EQ(a.local_ops, b.local_ops) << label;
   EXPECT_EQ(a.rehashes, b.rehashes) << label;
   EXPECT_EQ(a.step_costs, b.step_costs) << label;
+  EXPECT_EQ(a.detour_hops, b.detour_hops) << label;
+  EXPECT_EQ(a.dropped_packets, b.dropped_packets) << label;
+  EXPECT_EQ(a.fault_rehashes, b.fault_rehashes) << label;
+  EXPECT_EQ(a.dead_procs, b.dead_procs) << label;
+  EXPECT_EQ(a.adopted_slot_steps, b.adopted_slot_steps) << label;
   EXPECT_EQ(a.complete, b.complete) << label;
   EXPECT_EQ(ma.sorted_cells(), mb.sorted_cells()) << label;
 }
@@ -369,6 +376,39 @@ TEST(ConcurrencyShardedStep, MachineThreadsTokenBitIdentical) {
     const EmulationReport b = sharded.run_seeded(seed, *program_b, memory_b);
     expect_identical(a, b, memory_a, memory_b,
                      "threads:8 seed " + std::to_string(seed));
+  }
+}
+
+TEST(ConcurrencyShardedStep, ProcFaultedThreadsTokenBitIdentical) {
+  // Degraded machines cannot share run_seeded (the liveness overlay is
+  // mutable), so each (seed, threads) pair builds its own machine with the
+  // seed stamped into the spec — fault plan, survivor adoption and the
+  // emulator stream all derive from it. threads:8 must reproduce the
+  // serial run bit for bit: under faults the transmit phase takes the
+  // serial path by design, and the sharded landing phases must not disturb
+  // the adoption order or the per-step recovery accounting.
+  const machine::ProgramFactory factory =
+      machine::program_factory("permutation", 2);
+  const auto run = [&factory](bool sharded, std::uint64_t seed,
+                              SharedMemory& memory) {
+    machine::MachineSpec spec = machine::parse_spec(
+        std::string(
+            "star:5/two-phase/budget=64/faults:procs=0.1,links=0.05") +
+        (sharded ? "/threads:8" : ""));
+    spec.seed = seed;
+    machine::Machine m = machine::Machine::build(spec);
+    const auto program = factory(m.processors(), seed);
+    return m.run(*program, memory);
+  };
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    SharedMemory memory_serial;
+    SharedMemory memory_sharded;
+    const EmulationReport a = run(false, seed, memory_serial);
+    const EmulationReport b = run(true, seed, memory_sharded);
+    expect_identical(a, b, memory_serial, memory_sharded,
+                     "procs threads:8 seed " + std::to_string(seed));
+    EXPECT_GT(a.dead_procs, 0U);
+    EXPECT_GT(a.adopted_slot_steps, 0U);
   }
 }
 

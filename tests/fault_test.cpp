@@ -9,9 +9,11 @@
 //     counted, and a zero-fault overlay is perfectly inert;
 //   * end-to-end degraded emulation — PRAM programs (prefix sum,
 //     histogram, odd-even sort) still produce reference-identical final
-//     memory under <=10% dead links/modules on multiple topologies, EREW
-//     and CRCW-combining, with fault trials bit-identical across thread
-//     counts. Degraded machines are assembled from MachineSpecs
+//     memory under <=10% dead links/modules/processors on multiple
+//     topologies, EREW and CRCW-combining, with fault trials bit-identical
+//     across thread counts. Processor faults are compound (endpoint node +
+//     co-located module + program slot) and survivors adopt the dead slots
+//     through a seed-derived remap. Degraded machines are assembled from MachineSpecs
 //     (machine/machine.hpp): the spec seed derives plan and emulator
 //     stream together, and machine::run_trials owns the per-seed
 //     construction that a mutable liveness overlay demands.
@@ -154,6 +156,127 @@ TEST(FaultPlan, ConnectivityGuardRejectsEveryCutOfALine) {
   EXPECT_EQ(plan.skipped_for_connectivity(), 15U);  // every physical link
 }
 
+TEST(FaultPlan, ProcSamplingIsDeterministicAndKillsOnlyProcessors) {
+  const topology::StarGraph star(5);
+  FaultSpec spec;
+  spec.proc_fraction = 0.25;
+  spec.module_fraction = 0.10;
+  const FaultPlan a = FaultPlan::sample(star.graph(), star.node_count(),
+                                        star.node_count(), spec, 42);
+  const FaultPlan b = FaultPlan::sample(star.graph(), star.node_count(),
+                                        star.node_count(), spec, 42);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].id, b.events()[i].id);
+    EXPECT_EQ(a.events()[i].epoch, b.events()[i].epoch);
+  }
+  // 25% of the 120 processors, met exactly (the guard found enough
+  // acceptable kills on the richly-connected star), every victim an
+  // endpoint id, and proc kills sorted ahead of everything else so the
+  // injector sees the implied node/module deaths before later kinds land.
+  EXPECT_EQ(count_kind(a, FaultKind::kProc), 30U);
+  EXPECT_EQ(a.events().front().kind, FaultKind::kProc);
+  std::vector<std::uint8_t> proc_dead(star.node_count(), 0);
+  for (const FaultEvent& e : a.events()) {
+    if (e.kind == FaultKind::kProc) {
+      EXPECT_LT(e.id, star.node_count());
+      proc_dead[e.id] = 1;
+    }
+  }
+  // The module quota is still ~10% of all modules, but never names a
+  // module that already died with its co-located processor.
+  EXPECT_EQ(count_kind(a, FaultKind::kModule), 12U);
+  for (const FaultEvent& e : a.events()) {
+    if (e.kind == FaultKind::kModule) {
+      EXPECT_EQ(proc_dead[e.id], 0);
+    }
+  }
+}
+
+TEST(FaultPlan, ProcFaultsLeaveSurvivorEndpointsConnected) {
+  topology::WrappedButterfly bf(2, 4);
+  const std::uint32_t endpoints = bf.row_count();
+  FaultSpec spec;
+  spec.proc_fraction = 0.25;
+  spec.link_fraction = 0.05;
+  const FaultPlan plan =
+      FaultPlan::sample(bf.graph(), endpoints, endpoints, spec, 9);
+  EXPECT_GT(count_kind(plan, FaultKind::kProc), 0U);
+
+  FaultInjector injector(bf.graph_mut(), endpoints, plan);
+  injector.advance_to(~0U);
+  const topology::Graph& g = bf.graph();
+  // BFS from the first live endpoint over the degraded graph: every
+  // surviving endpoint must still be reachable; dead ones owe nothing and
+  // must have taken all their incident links down with them.
+  NodeId root = topology::kInvalidNode;
+  for (NodeId v = 0; v < endpoints; ++v) {
+    if (g.node_live(v)) {
+      root = v;
+      break;
+    }
+  }
+  ASSERT_NE(root, topology::kInvalidNode);
+  std::vector<std::uint8_t> seen(g.node_count(), 0);
+  std::vector<NodeId> queue{root};
+  seen[root] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (std::uint32_t k = 0; k < g.out_degree(u); ++k) {
+      const EdgeId e = g.out_edge(u, k);
+      if (!g.edge_live(e)) continue;
+      const NodeId v = g.edge_head(e);
+      if (!seen[v]) {
+        seen[v] = 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  for (NodeId v = 0; v < endpoints; ++v) {
+    if (g.node_live(v)) {
+      EXPECT_TRUE(seen[v]) << "survivor endpoint " << v << " cut off";
+    } else {
+      EXPECT_EQ(g.live_out_degree(v), 0U)
+          << "dead proc " << v << " kept a live link";
+    }
+  }
+}
+
+TEST(FaultPlanDeathTest, ImpossibleProcQuotaDiesWithANamedError) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // On a line only the two current end processors are ever killable and a
+  // rejected interior candidate is never retried, so a 90% quota is out of
+  // reach. Under procs= that under-fill is a configuration error with a
+  // named message, not a silently smaller plan.
+  const topology::LinearArray line(16);
+  FaultSpec spec;
+  spec.proc_fraction = 0.9;
+  EXPECT_DEATH(
+      {
+        (void)FaultPlan::sample(line.graph(), line.node_count(),
+                                line.node_count(), spec, 3);
+      },
+      "procs= fraction unsatisfiable");
+}
+
+TEST(FaultPlanDeathTest, ProcAndLinkQuotasJointlyUnsatisfiableDieNamed) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Every surviving link of a line is a bridge, so after the processor
+  // kill the guard rejects every link candidate. Link-only plans under-fill
+  // silently (pinned above); with procs= in play the conflict is named.
+  const topology::LinearArray line(8);
+  FaultSpec spec;
+  spec.proc_fraction = 0.2;  // one endpoint dies
+  spec.link_fraction = 0.5;
+  EXPECT_DEATH(
+      {
+        (void)FaultPlan::sample(line.graph(), line.node_count(),
+                                line.node_count(), spec, 3);
+      },
+      "jointly unsatisfiable");
+}
+
 TEST(GraphLiveness, MaskSemantics) {
   topology::StarGraph star(4);
   topology::Graph& g = star.graph_mut();
@@ -245,6 +368,47 @@ TEST(FaultInjector, EpochAdvanceAndReplay) {
   EXPECT_EQ(injector.dead_modules(), modules_first);
 }
 
+TEST(FaultInjector, ProcDeathIsCompoundAndSurvivorsAdoptDeterministically) {
+  topology::StarGraph star(4);
+  FaultSpec spec;
+  spec.proc_fraction = 0.3;
+  const FaultPlan plan = FaultPlan::sample(
+      star.graph(), star.node_count(), star.node_count(), spec, 17);
+  const std::size_t dead = count_kind(plan, FaultKind::kProc);
+  ASSERT_GT(dead, 0U);
+
+  FaultInjector injector(star.graph_mut(), star.node_count(), plan);
+  injector.advance_to(~0U);
+  EXPECT_EQ(injector.dead_procs(), dead);
+  std::vector<std::uint32_t> adoption(star.node_count());
+  for (std::uint32_t p = 0; p < star.node_count(); ++p) {
+    const std::uint32_t host = injector.adopt_proc(p);
+    adoption[p] = host;
+    EXPECT_TRUE(injector.proc_live(host))
+        << "slot " << p << " adopted by dead " << host;
+    if (injector.proc_live(p)) {
+      EXPECT_EQ(host, p);  // live processors keep their own slot
+    } else {
+      EXPECT_NE(host, p);
+      // The compound fault: the endpoint node and the co-located module
+      // died with the processor.
+      EXPECT_FALSE(star.graph().node_live(p));
+      EXPECT_FALSE(injector.module_live(p));
+    }
+  }
+
+  injector.reset();
+  EXPECT_EQ(injector.dead_procs(), 0U);
+  for (std::uint32_t p = 0; p < star.node_count(); ++p) {
+    EXPECT_TRUE(injector.proc_live(p));
+    EXPECT_EQ(injector.adopt_proc(p), p);
+  }
+  injector.advance_to(~0U);
+  for (std::uint32_t p = 0; p < star.node_count(); ++p) {
+    EXPECT_EQ(injector.adopt_proc(p), adoption[p]) << "replay diverged";
+  }
+}
+
 // ----------------------------------------------------- engine fault hook
 
 /// Three-node clique handler: data packets walk 0 -> 1 -> 2 unless a fault
@@ -329,6 +493,30 @@ TEST(EngineFaults, FreshForwardsDetourAroundADeadLink) {
   EXPECT_EQ(engine.metrics().consumed, 1U);
 }
 
+TEST(EngineFaults, ProcessorNodeDeathWithPacketsInFlightStaysConsistent) {
+  // A processor endpoint dies while a packet sits queued on its outgoing
+  // link. The handler offers detours, but every edge incident to the dead
+  // node is gone, so try_detour can never negotiate an escape: the packet
+  // is dropped (and counted), its slot released, and the engine runs to
+  // quiescence instead of wedging on a dead queue.
+  topology::Graph g = clique3();
+  DetourHandler handler;
+  handler.offer_detour = true;
+  sim::SyncEngine engine(g, handler, {});
+  support::Rng rng(1);
+
+  sim::Packet p;
+  p.src = 0;
+  p.dst = 2;
+  engine.inject(p, 0, rng);
+  ASSERT_EQ(engine.step(rng), 1U);  // crossed 0->1; now queued on 1->2
+  g.kill_node(1);                   // the node hosting the queue dies
+  EXPECT_TRUE(engine.run(rng));
+  EXPECT_EQ(engine.metrics().dropped, 1U);
+  EXPECT_EQ(engine.metrics().consumed, 0U);
+  EXPECT_EQ(engine.in_flight(), 0U);
+}
+
 // ----------------------------------------------- degraded-mode emulation
 
 /// Spec for a degraded machine: the fault fractions ride the spec, the
@@ -337,13 +525,15 @@ TEST(EngineFaults, FreshForwardsDetourAroundADeadLink) {
 /// budget, and a fresh hash plus a doubled budget is the paper's way out).
 machine::MachineSpec degraded_spec(const std::string& topology, double links,
                                    double nodes, double modules,
-                                   bool combining, std::uint64_t seed) {
+                                   bool combining, std::uint64_t seed,
+                                   double procs = 0.0) {
   machine::MachineSpec spec =
       machine::parse_spec(topology + "/two-phase/budget=64");
   if (combining) spec.mode = machine::Mode::kCrcwCombining;
   spec.faults.links = links;
   spec.faults.nodes = nodes;
   spec.faults.modules = modules;
+  spec.faults.procs = procs;
   spec.seed = seed;
   return spec;
 }
@@ -352,6 +542,11 @@ machine::MachineSpec ten_percent_links_and_modules(const std::string& topology,
                                                    bool combining,
                                                    std::uint64_t seed) {
   return degraded_spec(topology, 0.10, 0.0, 0.10, combining, seed);
+}
+
+machine::MachineSpec ten_percent_procs(const std::string& topology,
+                                       bool combining, std::uint64_t seed) {
+  return degraded_spec(topology, 0.0, 0.0, 0.0, combining, seed, 0.10);
 }
 
 /// Reference run, then a degraded emulation of the same program on the
@@ -420,6 +615,51 @@ TEST(DegradedEmulation, ButterflySurvivesInteriorNodeFaults) {
   expect_degraded_matches(program, spec);
 }
 
+TEST(DegradedEmulation, PrefixSumOnStarUnderProcFaults) {
+  pram::PrefixSumErew program(random_words(24, 45));
+  expect_degraded_matches(program, ten_percent_procs("star:5", false, 0xFA10));
+}
+
+TEST(DegradedEmulation, OddEvenSortOnShuffleUnderProcFaults) {
+  pram::OddEvenSortErew program(random_words(16, 97));
+  expect_degraded_matches(program,
+                          ten_percent_procs("nshuffle:3", false, 0xFA11));
+}
+
+TEST(DegradedEmulation, HistogramCrcwOnButterflyUnderProcFaults) {
+  // 16 values: butterfly:4 has 16 processor rows.
+  pram::HistogramCrcwSum program(random_words(16, 44, 4), 4);
+  expect_degraded_matches(program,
+                          ten_percent_procs("butterfly:4", true, 0xFA12));
+}
+
+TEST(DegradedEmulation, ProcLinkAndModuleFaultsComposeOnStar) {
+  const machine::MachineSpec spec =
+      degraded_spec("star:5", 0.05, 0.0, 0.10, false, 0xFA13, 0.10);
+  machine::Machine m = machine::Machine::build(spec);
+  ASSERT_NE(m.injector(), nullptr);
+  EXPECT_GT(count_kind(m.injector()->plan(), FaultKind::kProc), 0U);
+  EXPECT_GT(count_kind(m.injector()->plan(), FaultKind::kLink), 0U);
+  EXPECT_GT(count_kind(m.injector()->plan(), FaultKind::kModule), 0U);
+  pram::PrefixSumErew program(random_words(24, 46));
+  expect_degraded_matches(program, spec);
+}
+
+TEST(DegradedEmulation, SurvivorsAdoptDeadSlotsAndReportTheOverhead) {
+  const machine::MachineSpec spec = ten_percent_procs("star:4", false, 0xFA14);
+  pram::PrefixSumErew program(random_words(24, 47));
+  expect_degraded_matches(program, spec);
+
+  machine::Machine m = machine::Machine::build(spec);
+  pram::PrefixSumErew replay(random_words(24, 47));
+  const emulation::EmulationReport report = m.run(replay);
+  EXPECT_GT(report.dead_procs, 0U);
+  // Static faults are live from the first PRAM step, so the adopted-slot
+  // integral is exactly dead slots x steps.
+  EXPECT_EQ(report.adopted_slot_steps,
+            std::uint64_t{report.dead_procs} * report.pram_steps);
+}
+
 TEST(DegradedEmulation, TimeTriggeredFaultsLandAcrossEpochs) {
   machine::MachineSpec spec =
       ten_percent_links_and_modules("star:5", false, 0xFA08);
@@ -435,6 +675,29 @@ TEST(DegradedEmulation, TimeTriggeredFaultsLandAcrossEpochs) {
   EXPECT_EQ(m.injector()->dead_links() + m.injector()->dead_modules() +
                 m.injector()->dead_nodes(),
             injector->plan().events().size());
+}
+
+TEST(DegradedEmulation, OnsetProcDeathsLandMidProgram) {
+  machine::MachineSpec spec = ten_percent_procs("star:5", false, 0xFA15);
+  spec.faults.onset_epochs = 4;  // processors die while the program runs
+  pram::PrefixSumErew program(random_words(24, 48));
+  expect_degraded_matches(program, spec);
+
+  machine::Machine m = machine::Machine::build(spec);
+  ASSERT_NE(m.injector(), nullptr);
+  bool staggered = false;
+  for (const FaultEvent& e : m.injector()->plan().events()) {
+    staggered = staggered || (e.kind == FaultKind::kProc && e.epoch > 0);
+  }
+  ASSERT_TRUE(staggered) << "every proc death drew epoch 0";
+  pram::PrefixSumErew replay(random_words(24, 48));
+  const emulation::EmulationReport report = m.run(replay);
+  EXPECT_GT(report.dead_procs, 0U);
+  EXPECT_GT(report.adopted_slot_steps, 0U);
+  // At least one death landed after the first epoch, so the adoption
+  // integral is strictly below every-slot-dead-from-step-one.
+  EXPECT_LT(report.adopted_slot_steps,
+            std::uint64_t{report.dead_procs} * report.pram_steps);
 }
 
 // The faults-lifetime footgun, closed: an injector bound to any graph
@@ -514,6 +777,7 @@ bool stats_identical(const analysis::TrialStats& a,
          a.detours_mean == b.detours_mean &&
          a.dropped_mean == b.dropped_mean &&
          a.fault_rehashes_mean == b.fault_rehashes_mean &&
+         a.adopted_slot_steps_mean == b.adopted_slot_steps_mean &&
          a.all_complete == b.all_complete &&
          a.complete_runs == b.complete_runs && a.runs == b.runs;
 }
@@ -534,6 +798,22 @@ TEST(DegradedEmulation, FaultTrialsAreBitIdenticalAcrossThreadCounts) {
   EXPECT_TRUE(stats_identical(one, eight));
   EXPECT_TRUE(one.all_complete);
   EXPECT_GT(one.detours_mean, 0.0) << "10% link faults caused no detours?";
+}
+
+analysis::TrialStats proc_fault_trials(unsigned threads) {
+  machine::MachineSpec spec = ten_percent_procs("star:5", false, /*seed=*/0);
+  spec.faults.links = 0.05;  // adoption composed with link detours
+  return machine::run_trials(spec, machine::program_factory("permutation", 2),
+                             /*seeds=*/8, threads);
+}
+
+TEST(DegradedEmulation, ProcFaultTrialsAreBitIdenticalAcrossThreadCounts) {
+  const analysis::TrialStats one = proc_fault_trials(1);
+  const analysis::TrialStats eight = proc_fault_trials(8);
+  EXPECT_TRUE(stats_identical(one, eight));
+  EXPECT_TRUE(one.all_complete);
+  EXPECT_GT(one.adopted_slot_steps_mean, 0.0)
+      << "10% proc faults adopted no slots?";
 }
 
 }  // namespace

@@ -100,6 +100,7 @@ TEST(MachineSpec, RoundTripsEveryModeDisciplineAndKnob) {
       spec.discipline = discipline;
       spec.faults.links = 0.05;
       spec.faults.nodes = 0.01;
+      spec.faults.procs = 0.10;
       spec.faults.modules = 0.125;
       spec.faults.onset_epochs = 4;
       spec.faults.preserve_connectivity = false;
@@ -115,6 +116,19 @@ TEST(MachineSpec, RoundTripsEveryModeDisciplineAndKnob) {
       EXPECT_EQ(spec, reparsed) << text;
     }
   }
+}
+
+TEST(MachineSpec, ProcsFaultKnobRoundTripsAndCanonicalizes) {
+  const MachineSpec spec =
+      parse_spec("star:5/two-phase/faults:procs=0.1,links=0.05");
+  EXPECT_DOUBLE_EQ(spec.faults.procs, 0.1);
+  EXPECT_TRUE(spec.faults.any());
+  // Canonical knob order puts links before procs regardless of input order.
+  EXPECT_EQ(spec.to_string(),
+            "star:5/two-phase/erew/fifo/faults:links=0.05,procs=0.1");
+  EXPECT_EQ(parse_spec(spec.to_string()), spec);
+  // procs alone arms the fault machinery too.
+  EXPECT_TRUE(parse_spec("star:5/two-phase/faults:procs=0.1").faults.any());
 }
 
 TEST(MachineSpec, DefaultKnobsAreOmittedFromTheCanonicalForm) {

@@ -30,6 +30,15 @@ prose invariants into CI-enforced rules:
                          identical results across thread counts, so any
                          parallelism in the step path must document its
                          deterministic (shard-ordered) aggregation.
+  endpoint-liveness      calls that turn a processor/module index into a
+                         network node (.proc_node(...) / .module_node(...))
+                         inside src/ only on lines covered by a
+                         // levnet-lint: endpoint-liveness(<why the index
+                         is live>) marker — processor endpoints can be
+                         dead under faults:procs=, so every such indexing
+                         must document why it cannot name a dead endpoint
+                         (e.g. the index came through adopt_proc or the
+                         module survivor remap).
   packet-layout-assert   src/sim/packet.hpp must keep its
                          static_assert(sizeof(Packet) == 56) layout pin.
   registry-sorted        tables bracketed by
@@ -69,6 +78,7 @@ RULES = (
     "pointer-key-order",
     "raw-new-delete",
     "threadpool-shard-ordered",
+    "endpoint-liveness",
     "packet-layout-assert",
     "registry-sorted",
     "pragma-once",
@@ -227,20 +237,23 @@ class Suppressions:
 
 
 _SHARD_MARKER_RE = re.compile(r"levnet-lint:\s*shard-ordered\(([^)]+)\)")
+_ENDPOINT_MARKER_RE = re.compile(
+    r"levnet-lint:\s*endpoint-liveness\(([^)]+)\)")
 
 
-class ShardMarkers:
-    """shard-ordered(<desc>) markers, with the same carry semantics as
-    allow(): a marker on line K covers K itself and the first non-comment
-    line after the comment block it sits in."""
+class MarkerCoverage:
+    """<marker>(<desc>) coverage, with the same carry semantics as allow():
+    a marker on line K covers K itself and the first non-comment line after
+    the comment block it sits in. Shared by the shard-ordered and
+    endpoint-liveness rules."""
 
-    def __init__(self, raw_lines: list[str]):
+    def __init__(self, raw_lines: list[str], marker_re: re.Pattern):
         self.covered = [False] * len(raw_lines)
         pending = False
         for idx, line in enumerate(raw_lines):
             stripped = line.strip()
             is_comment = stripped.startswith("//")
-            if _SHARD_MARKER_RE.search(line):
+            if marker_re.search(line):
                 self.covered[idx] = True
                 if is_comment:
                     pending = True
@@ -349,7 +362,7 @@ def check_threadpool_shard_ordered(path: str, raw_lines: list[str],
     not trigger (thread_pool.hpp never matches \\bThreadPool\\b); comments
     are stripped before matching, so prose mentions are free too.
     """
-    markers = ShardMarkers(raw_lines)
+    markers = MarkerCoverage(raw_lines, _SHARD_MARKER_RE)
     for idx, line in enumerate(code_lines):
         if _THREADPOOL_USE_RE.search(line) and not markers.covered[idx]:
             emit(idx + 1, "threadpool-shard-ordered",
@@ -357,6 +370,34 @@ def check_threadpool_shard_ordered(path: str, raw_lines: list[str],
                  "shard-ordered marker — document the deterministic "
                  "aggregation with `// levnet-lint: shard-ordered(<how>)` "
                  "on or above this line")
+
+
+# Member calls that turn a processor/module index into a network node. The
+# [.>] prefix keeps declarations/definitions (`NodeId proc_node(...)`)
+# out of scope — only call sites index endpoints.
+_ENDPOINT_INDEX_RE = re.compile(r"[.>]\s*(?:proc_node|module_node)\s*\(")
+
+
+def check_endpoint_liveness(path: str, raw_lines: list[str],
+                            code_lines: list[str],
+                            emit: Callable[[int, str, str], None]) -> None:
+    """Endpoint indexing in src/ only under an endpoint-liveness marker.
+
+    faults:procs= can kill processor endpoints, so a bare proc_node(p) /
+    module_node(m) call may aim packets at a dead node. Every call site
+    must state why its index is live (adopt_proc output, survivor remap
+    output, fault-free context, ...) in a
+    // levnet-lint: endpoint-liveness(<why>) marker.
+    """
+    markers = MarkerCoverage(raw_lines, _ENDPOINT_MARKER_RE)
+    for idx, line in enumerate(code_lines):
+        if _ENDPOINT_INDEX_RE.search(line) and not markers.covered[idx]:
+            emit(idx + 1, "endpoint-liveness",
+                 "endpoint indexed without a liveness argument — processor "
+                 "endpoints can be dead under faults:procs=; document why "
+                 "this index cannot name a dead endpoint with "
+                 "`// levnet-lint: endpoint-liveness(<why>)` on or above "
+                 "this line")
 
 
 def check_registry_sorted(path: str, raw_text: str, code_text: str,
@@ -486,6 +527,8 @@ def scan_file(path: str, root: str, findings: list[Finding]) -> None:
         check_raw_new_delete(rel_path, code_lines, emit)
     if in_dir(rel_path, "src/sim"):
         check_threadpool_shard_ordered(rel_path, raw_lines, code_lines, emit)
+    if in_dir(rel_path, "src"):
+        check_endpoint_liveness(rel_path, raw_lines, code_lines, emit)
     check_registry_sorted(rel_path, raw_text, code_text, emit)
     if rel_path.endswith(".hpp"):
         check_pragma_once(rel_path, raw_text, emit)
@@ -585,6 +628,24 @@ _SELFTEST_CASES: list[tuple[str, str, str, bool]] = [
      "// levnet-lint: allow(threadpool-shard-ordered): self-test reason\n"
      "void f(levnet::support::ThreadPool&) {}\n",
      "threadpool-shard-ordered", True),
+    ("src/emulation/viol_endpoint.cpp",
+     "void f(const Fabric& fabric, unsigned p, Engine& engine) {\n"
+     "  engine.inject(fabric.proc_node(p));\n"
+     "}\n",
+     "endpoint-liveness", False),
+    ("src/emulation/ok_endpoint_marker.cpp",
+     "void f(const Fabric& fabric, unsigned p, Engine& engine) {\n"
+     "  // levnet-lint: endpoint-liveness(self-test: p is adopt_proc output)\n"
+     "  engine.inject(fabric.proc_node(p));\n"
+     "}\n",
+     "endpoint-liveness", True),
+    ("src/emulation/ok_endpoint_decl.hpp",
+     "#pragma once\n"
+     "struct Fabric {\n"
+     "  unsigned proc_node(unsigned p) const noexcept;\n"
+     "  unsigned module_node(unsigned m) const noexcept;\n"
+     "};\n",
+     "endpoint-liveness", True),  # declarations are not call sites
     ("src/machine/viol_table.cpp",
      "// levnet-lint: sorted-table(selftest)\n"
      "static const char* kTable[][2] = {\n"

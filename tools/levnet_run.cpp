@@ -282,7 +282,9 @@ void print_catalogue(std::ostream& os) {
      << "disciplines:  fifo | furthest-first | nearest-first\n"
      << "threads:      threads:N  sharded stepping (1 = serial, 0 = hardware\n"
      << "              concurrency; results identical across values)\n"
-     << "faults:       faults:links=F,nodes=F,modules=F,onsets=N,allow-cut=1\n"
+     << "faults:       faults:links=F,nodes=F,procs=F,modules=F,onsets=N,\n"
+     << "              allow-cut=1 (procs= kills processor endpoints;\n"
+     << "              survivors adopt the dead program slots)\n"
      << "knobs:        seed=N budget=N rehash=N hash-degree=N buffer=N\n"
      << "\nexample:\n  levnet_run 'star:5/two-phase/crcw-combining/fifo/"
         "faults:links=0.05' --program histogram --seeds 5\n";
@@ -320,6 +322,7 @@ void write_report_json(std::ostream& os, const Options& options,
      << ", \"detours_mean\": " << stats.detours_mean
      << ", \"dropped_mean\": " << stats.dropped_mean
      << ", \"fault_rehashes_mean\": " << stats.fault_rehashes_mean
+     << ", \"adopted_slot_steps_mean\": " << stats.adopted_slot_steps_mean
      << ", \"complete_runs\": " << stats.complete_runs
      << ", \"runs\": " << stats.runs << "},\n  \"per_seed\": [";
   for (std::size_t i = 0; i < reports.size(); ++i) {
@@ -345,6 +348,8 @@ void write_report_json(std::ostream& os, const Options& options,
        << ", \"dead_links\": " << r.dead_links
        << ", \"dead_nodes\": " << r.dead_nodes
        << ", \"dead_modules\": " << r.dead_modules
+       << ", \"dead_procs\": " << r.dead_procs
+       << ", \"adopted_slot_steps\": " << r.adopted_slot_steps
        << ", \"complete\": " << (r.complete ? "true" : "false") << "}";
   }
   os << "\n  ]\n}\n";
