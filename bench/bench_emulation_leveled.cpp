@@ -14,6 +14,7 @@
 
 #include "bench_common.hpp"
 #include "machine/machine.hpp"
+#include "obs/recorder.hpp"
 #include "pram/algorithms/access_patterns.hpp"
 
 namespace {
@@ -31,7 +32,10 @@ analysis::TrialStats erew_trials(analysis::ScenarioContext& ctx,
   return ctx.trials([&](std::uint64_t seed) {
     pram::PermutationTraffic program(m.processors(), kPramSteps, seed);
     pram::SharedMemory memory;
-    return m.run_seeded(seed, program, memory);
+    // Histogram-only recorder (cadence 0, no trace): read-only hooks feed
+    // the latency quantile columns without perturbing the measured run.
+    obs::Recorder recorder{obs::RecorderConfig{}};
+    return m.run_seeded(seed, program, memory, &recorder);
   });
 }
 
@@ -41,7 +45,7 @@ void erew_row(analysis::ScenarioContext& ctx, const machine::Machine& m,
   auto& table = ctx.table(
       "E6 / Theorem 2.5 + Cor 2.3-2.4: EREW emulation cost per PRAM step",
       {"network", "procs", "diam", "steps/pram-step", "worst step",
-       "per diam", "linkQ", "rehash"});
+       "per diam", "linkQ", "rehash", "p50(lat)", "p95(lat)", "p99(lat)"});
   table.row()
       .cell(m.name())
       .cell(std::uint64_t{m.processors()})
@@ -50,7 +54,10 @@ void erew_row(analysis::ScenarioContext& ctx, const machine::Machine& m,
       .cell(stats.worst_step.max, 0)
       .cell(stats.steps.mean / diameter, 2)
       .cell(stats.max_link_queue.max, 0)
-      .cell(stats.rehashes_mean, 1);
+      .cell(stats.rehashes_mean, 1)
+      .cell(stats.latency_p50.mean, 1)
+      .cell(stats.latency_p95.mean, 1)
+      .cell(stats.latency_p99.mean, 1);
 }
 
 void crcw_row(analysis::ScenarioContext& ctx, std::uint32_t n, bool write,
@@ -60,18 +67,20 @@ void crcw_row(analysis::ScenarioContext& ctx, std::uint32_t n, bool write,
       (combining ? "/crcw-combining" : "/crcw"));
   const analysis::TrialStats stats = ctx.trials([&](std::uint64_t seed) {
     pram::SharedMemory memory;
+    obs::Recorder recorder{obs::RecorderConfig{}};
     if (write) {
       pram::HotSpotWriteTraffic program(m.processors(), kPramSteps);
-      return m.run_seeded(seed, program, memory);
+      return m.run_seeded(seed, program, memory, &recorder);
     }
     pram::HotSpotReadTraffic program(m.processors(), kPramSteps, 99);
-    return m.run_seeded(seed, program, memory);
+    return m.run_seeded(seed, program, memory, &recorder);
   });
 
   auto& table = ctx.table(
       "E7 / Theorem 2.6 + Cor 2.5-2.6: CRCW hot-spot emulation on the star",
       {"n", "procs", "diam", "op", "combining", "steps/pram-step",
-       "worst step", "combined reqs", "per diam"});
+       "worst step", "combined reqs", "per diam", "p50(lat)", "p95(lat)",
+       "p99(lat)"});
   table.row()
       .cell(std::uint64_t{n})
       .cell(std::uint64_t{m.processors()})
@@ -81,7 +90,10 @@ void crcw_row(analysis::ScenarioContext& ctx, std::uint32_t n, bool write,
       .cell(stats.steps.mean, 1)
       .cell(stats.worst_step.max, 0)
       .cell(stats.combined_mean, 1)
-      .cell(stats.steps.mean / m.route_scale(), 2);
+      .cell(stats.steps.mean / m.route_scale(), 2)
+      .cell(stats.latency_p50.mean, 1)
+      .cell(stats.latency_p95.mean, 1)
+      .cell(stats.latency_p99.mean, 1);
 }
 
 [[maybe_unused]] const analysis::ScenarioRegistrar kErewStar{

@@ -13,6 +13,7 @@
 
 #include "bench_common.hpp"
 #include "machine/machine.hpp"
+#include "obs/recorder.hpp"
 #include "pram/algorithms/access_patterns.hpp"
 #include "routing/driver.hpp"
 #include "sim/workload.hpp"
@@ -57,22 +58,30 @@ const char* discipline_name(std::int64_t d) {
                     support::Rng rng(seed);
                     const sim::Workload w =
                         sim::permutation_workload(m.processors(), rng);
+                    // Histogram-only recorder: feeds the latency columns
+                    // without touching the routed packets.
+                    obs::Recorder recorder{obs::RecorderConfig{}};
+                    sim::EngineConfig config = m.engine_config();
+                    config.recorder = &recorder;
                     return routing::run_workload(m.graph(), m.router(), w,
-                                                 m.engine_config(), rng);
+                                                 config, rng);
                   });
 
               auto& table = ctx.table(
                   "E13a / ablation: queue discipline on the mesh 3-stage "
                   "router",
                   {"n", "discipline", "steps(mean)", "steps(max)", "steps/n",
-                   "nodeQ(max)"});
+                   "nodeQ(max)", "p50(lat)", "p95(lat)", "p99(lat)"});
               table.row()
                   .cell(std::uint64_t{n})
                   .cell(std::string(discipline_name(ctx.arg(1))))
                   .cell(stats.steps.mean, 1)
                   .cell(stats.steps.max, 0)
                   .cell(stats.steps.mean / n, 2)
-                  .cell(stats.max_node_queue.max, 0);
+                  .cell(stats.max_node_queue.max, 0)
+                  .cell(stats.latency_p50.mean, 1)
+                  .cell(stats.latency_p95.mean, 1)
+                  .cell(stats.latency_p99.mean, 1);
             },
     }};
 
@@ -139,20 +148,24 @@ const char* discipline_name(std::int64_t d) {
                   ctx.trials([&](std::uint64_t seed) {
                     pram::PermutationTraffic program(m.processors(), 4, seed);
                     pram::SharedMemory memory;
-                    return m.run_seeded(seed, program, memory);
+                    obs::Recorder recorder{obs::RecorderConfig{}};
+                    return m.run_seeded(seed, program, memory, &recorder);
                   });
 
               auto& table = ctx.table(
                   "E13c / ablation: hash polynomial degree S (Lemma 2.2 "
                   "wants S = cL)",
                   {"star n", "degree S", "steps/pram-step", "worst step",
-                   "linkQ"});
+                   "linkQ", "p50(lat)", "p95(lat)", "p99(lat)"});
               table.row()
                   .cell(std::uint64_t{n})
                   .cell(std::uint64_t{degree})
                   .cell(stats.steps.mean, 1)
                   .cell(stats.worst_step.max, 0)
-                  .cell(stats.max_link_queue.max, 0);
+                  .cell(stats.max_link_queue.max, 0)
+                  .cell(stats.latency_p50.mean, 1)
+                  .cell(stats.latency_p95.mean, 1)
+                  .cell(stats.latency_p99.mean, 1);
             },
     }};
 

@@ -7,6 +7,8 @@ set, so baseline and fresh rows should normally agree exactly; this
 script flags relative changes above a threshold in the cost columns
 (any header containing "steps") as regressions/improvements, and
 reports structural drift (new/missing tables or rows) informationally.
+Delivery-latency quantile columns (headers containing "(lat)") are
+compared too, but only as [latency-drift] lines that never gate.
 
 Reports also carry a per-scenario "wall_ms" object (wall-clock per
 scenario, machine-dependent). Wall-clock changes above --wall-threshold
@@ -49,6 +51,13 @@ COST_COLUMN_MARKERS = ("steps", "maxload", "windowload", "request(", "reply(",
 # (100% -> 90% is a -10% ratio the threshold would wave through).
 COMPLETENESS_MARKER = "complete%"
 
+# Delivery-latency quantile columns ("p50(lat)", "p95(lat)", ...) are
+# deterministic like the steps columns but describe tail shape, not cost;
+# drift there is reported informationally and never gates, even under
+# --strict. The marker must not collide with COST_COLUMN_MARKERS so the
+# quantile columns stay out of both the cost gate and the row key.
+LATENCY_MARKER = "(lat)"
+
 
 def load_reports(directory):
     reports = {}
@@ -70,6 +79,11 @@ def cost_columns(header):
         for i, title in enumerate(header)
         if any(marker in title.lower() for marker in COST_COLUMN_MARKERS)
     ]
+
+
+def latency_columns(header):
+    return [i for i, title in enumerate(header)
+            if LATENCY_MARKER in title.lower()]
 
 
 def to_float(cell):
@@ -149,6 +163,24 @@ def compare_tables(bench, base_table, fresh_table, threshold, findings,
                     f"  [{kind}] {bench} / '{title}' row {key[:-1]} "
                     f"({header[col]}): {base_value} -> {fresh_value} "
                     f"({ratio:+.1%})"
+                )
+        for col in latency_columns(header):
+            # Informational only: latency quantiles never gate, so a tail
+            # shift is visible in the log without failing the build.
+            if col >= len(base_row) or col >= len(fresh_row):
+                continue
+            base_value = to_float(base_row[col])
+            fresh_value = to_float(fresh_row[col])
+            if base_value is None or fresh_value is None:
+                continue
+            if base_value == 0.0 or fresh_value == base_value:
+                continue
+            ratio = fresh_value / base_value - 1.0
+            if abs(ratio) > threshold:
+                print(
+                    f"  [latency-drift] {bench} / '{title}' row {key[:-1]} "
+                    f"({header[col]}): {base_value} -> {fresh_value} "
+                    f"({ratio:+.1%}; informational, never gates)"
                 )
 
 

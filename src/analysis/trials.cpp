@@ -11,6 +11,13 @@ TrialMeasurement::TrialMeasurement(const routing::RoutingOutcome& outcome) {
                               ? 1.0
                               : static_cast<double>(outcome.metrics.consumed);
   mean_delay = static_cast<double>(outcome.metrics.total_delay) / consumed;
+  peak_in_flight = static_cast<double>(outcome.metrics.peak_in_flight);
+  latency_p50 = static_cast<double>(outcome.latency_p50);
+  latency_p95 = static_cast<double>(outcome.latency_p95);
+  latency_p99 = static_cast<double>(outcome.latency_p99);
+  queue_delay_p50 = static_cast<double>(outcome.queue_delay_p50);
+  queue_delay_p95 = static_cast<double>(outcome.queue_delay_p95);
+  queue_delay_p99 = static_cast<double>(outcome.queue_delay_p99);
   complete = outcome.complete;
 }
 
@@ -26,6 +33,13 @@ TrialMeasurement::TrialMeasurement(const emulation::EmulationReport& report) {
   dropped = static_cast<double>(report.dropped_packets);
   fault_rehashes = static_cast<double>(report.fault_rehashes);
   adopted_slot_steps = static_cast<double>(report.adopted_slot_steps);
+  peak_in_flight = static_cast<double>(report.peak_in_flight);
+  latency_p50 = static_cast<double>(report.latency_p50);
+  latency_p95 = static_cast<double>(report.latency_p95);
+  latency_p99 = static_cast<double>(report.latency_p99);
+  queue_delay_p50 = static_cast<double>(report.queue_delay_p50);
+  queue_delay_p95 = static_cast<double>(report.queue_delay_p95);
+  queue_delay_p99 = static_cast<double>(report.queue_delay_p99);
   // Fault-free the emulator CHECK-fails rather than losing requests, so
   // this is always true there; degraded runs report what happened.
   complete = report.complete;
@@ -37,11 +51,25 @@ TrialStats aggregate(const std::vector<TrialMeasurement>& runs) {
   std::vector<double> link_queue;
   std::vector<double> node_queue;
   std::vector<double> delay;
+  std::vector<double> peak;
+  std::vector<double> lat50;
+  std::vector<double> lat95;
+  std::vector<double> lat99;
+  std::vector<double> qd50;
+  std::vector<double> qd95;
+  std::vector<double> qd99;
   steps.reserve(runs.size());
   worst.reserve(runs.size());
   link_queue.reserve(runs.size());
   node_queue.reserve(runs.size());
   delay.reserve(runs.size());
+  peak.reserve(runs.size());
+  lat50.reserve(runs.size());
+  lat95.reserve(runs.size());
+  lat99.reserve(runs.size());
+  qd50.reserve(runs.size());
+  qd95.reserve(runs.size());
+  qd99.reserve(runs.size());
 
   TrialStats stats;
   for (const TrialMeasurement& m : runs) {
@@ -52,6 +80,13 @@ TrialStats aggregate(const std::vector<TrialMeasurement>& runs) {
     link_queue.push_back(m.max_link_queue);
     node_queue.push_back(m.max_node_queue);
     delay.push_back(m.mean_delay);
+    peak.push_back(m.peak_in_flight);
+    lat50.push_back(m.latency_p50);
+    lat95.push_back(m.latency_p95);
+    lat99.push_back(m.latency_p99);
+    qd50.push_back(m.queue_delay_p50);
+    qd95.push_back(m.queue_delay_p95);
+    qd99.push_back(m.queue_delay_p99);
     stats.combined_mean += m.combined;
     stats.rehashes_mean += m.rehashes;
     stats.local_ops_mean += m.local_ops;
@@ -76,6 +111,13 @@ TrialStats aggregate(const std::vector<TrialMeasurement>& runs) {
   stats.max_link_queue = support::summarize(link_queue);
   stats.max_node_queue = support::summarize(node_queue);
   stats.mean_delay = support::summarize(delay);
+  stats.peak_in_flight = support::summarize(peak);
+  stats.latency_p50 = support::summarize(lat50);
+  stats.latency_p95 = support::summarize(lat95);
+  stats.latency_p99 = support::summarize(lat99);
+  stats.queue_delay_p50 = support::summarize(qd50);
+  stats.queue_delay_p95 = support::summarize(qd95);
+  stats.queue_delay_p99 = support::summarize(qd99);
   return stats;
 }
 

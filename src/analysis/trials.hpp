@@ -40,6 +40,16 @@ struct TrialMeasurement {
   double dropped = 0.0;         // packets lost to faults
   double fault_rehashes = 0.0;  // rehashes forced by module deaths
   double adopted_slot_steps = 0.0;  // dead slots executed by survivors
+  /// Peak packets simultaneously in flight (phase-A live count).
+  double peak_in_flight = 0.0;
+  /// Delivery-latency / queue-delay quantiles in steps, from the
+  /// obs::Recorder attached to the run; zero when no recorder was attached.
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  double queue_delay_p50 = 0.0;
+  double queue_delay_p95 = 0.0;
+  double queue_delay_p99 = 0.0;
   bool complete = true;
 
   TrialMeasurement() = default;
@@ -54,6 +64,14 @@ struct TrialStats {
   support::Summary max_link_queue;  // paper's "queue size"
   support::Summary max_node_queue;
   support::Summary mean_delay;
+  support::Summary peak_in_flight;
+  /// Latency-quantile summaries over seeds (all zero without a recorder).
+  support::Summary latency_p50;
+  support::Summary latency_p95;
+  support::Summary latency_p99;
+  support::Summary queue_delay_p50;
+  support::Summary queue_delay_p95;
+  support::Summary queue_delay_p99;
   double combined_mean = 0.0;
   double rehashes_mean = 0.0;
   double local_ops_mean = 0.0;

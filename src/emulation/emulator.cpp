@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.hpp"
 #include "support/check.hpp"
 
 namespace levnet::emulation {
@@ -75,6 +76,7 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
   engine_config.discipline = config_.discipline;
   engine_config.node_buffer_bound = config_.node_buffer_bound;
   engine_config.step_threads = config_.step_threads;
+  engine_config.recorder = config_.recorder;
   const std::uint32_t base_budget =
       config_.step_budget_factor != 0
           ? config_.step_budget_factor * fabric_.route_scale()
@@ -105,6 +107,9 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
       // dead slots to their adopting survivors from this step on.
       if (applied.modules != 0) {
         ++report.fault_rehashes;
+        if (config_.recorder != nullptr) {
+          config_.recorder->count_rehash_attempt();
+        }
         hash_ = std::make_unique<hashing::PolynomialHash>(
             hashing::PolynomialHash::sample(degree, address_space,
                                             fabric_.modules(), rng_));
@@ -200,6 +205,14 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
       replies_counter_ = &replies_this_step;
       const bool drained = engine_->run(rng_);
       replies_counter_ = nullptr;
+      // The engine's peak and the recorder's virtual clock both cover
+      // aborted attempts: the work happened, so the high-water mark counts
+      // and traced steps must stay monotone across the retry.
+      report.peak_in_flight =
+          std::max(report.peak_in_flight, engine_->metrics().peak_in_flight);
+      if (config_.recorder != nullptr) {
+        config_.recorder->advance_time(engine_->now());
+      }
       if (drained) break;
       const sim::RunMetrics& metrics = engine_->metrics();
       if (metrics.deadlocked) {
@@ -218,6 +231,9 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
       // (Section 2.1's rehashing rule). Memory is untouched mid-step, so
       // the retry is exact.
       ++report.rehashes;
+      if (config_.recorder != nullptr) {
+        config_.recorder->count_rehash_attempt();
+      }
       hash_ = std::make_unique<hashing::PolynomialHash>(
           hashing::PolynomialHash::sample(degree, address_space,
                                           fabric_.modules(), rng_));
@@ -288,6 +304,15 @@ EmulationReport NetworkEmulator::run(pram::PramProgram& program,
     report.dead_nodes = injector->dead_nodes();
     report.dead_modules = injector->dead_modules();
     report.dead_procs = injector->dead_procs();
+  }
+  if (config_.recorder != nullptr) {
+    const obs::Recorder& rec = *config_.recorder;
+    report.latency_p50 = rec.journey().quantile(0.50);
+    report.latency_p95 = rec.journey().quantile(0.95);
+    report.latency_p99 = rec.journey().quantile(0.99);
+    report.queue_delay_p50 = rec.queue_delay().quantile(0.50);
+    report.queue_delay_p95 = rec.queue_delay().quantile(0.95);
+    report.queue_delay_p99 = rec.queue_delay().quantile(0.99);
   }
   memory_ = nullptr;
   return report;
@@ -372,6 +397,11 @@ void NetworkEmulator::handle_request(Packet& p, NodeId at, support::Rng& rng,
     if (p.op == sim::MemOpKind::kRead) record_trail(p, at);
     if (try_merge_in_queue(p, at)) {
       ++combined_this_step_;
+      // Combining runs on the serial landing path only
+      // (route_concurrent_capable() is false), so this hook is serial too.
+      if (config_.recorder != nullptr) {
+        config_.recorder->count_combining_merge();
+      }
       return;  // absorbed into a queued same-address request
     }
   }

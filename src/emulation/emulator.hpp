@@ -89,6 +89,12 @@ struct EmulatorConfig {
   /// kProc axis. nullptr (or an injector with an empty plan) is guaranteed
   /// inert: behaviour is bit-identical to the fault-free emulator.
   faults::FaultInjector* faults = nullptr;
+  /// Optional observability recorder (src/obs/), forwarded to the engine.
+  /// The emulator additionally counts rehashes and combining merges into
+  /// it, keeps its virtual clock monotone across rehash attempts, and
+  /// folds its latency quantiles into the report. Null (the default) is
+  /// byte-inert: reports and memories are bit-identical with or without.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct EmulationReport {
@@ -109,6 +115,20 @@ struct EmulationReport {
   std::uint32_t rehashes = 0;
   /// Per-PRAM-step network cost (for distribution plots).
   std::vector<std::uint32_t> step_costs;
+  /// High-water mark of packets alive in the engine at a step boundary,
+  /// across every attempt (maintained unconditionally; no recorder needed).
+  std::uint32_t peak_in_flight = 0;
+  /// Delivery-latency quantiles in network steps (journey = consumption
+  /// step - injection step) and queue-delay quantiles (journey - hops),
+  /// filled from the attached obs::Recorder; all zero without one. The
+  /// quantile is the inclusive upper bound of its histogram bucket, so
+  /// the values are bit-stable across platforms and thread counts.
+  std::uint64_t latency_p50 = 0;
+  std::uint64_t latency_p95 = 0;
+  std::uint64_t latency_p99 = 0;
+  std::uint64_t queue_delay_p50 = 0;
+  std::uint64_t queue_delay_p95 = 0;
+  std::uint64_t queue_delay_p99 = 0;
 
   // Degraded-mode observables; all zero / true when no faults are
   // configured (the fields exist unconditionally so reports stay uniform).

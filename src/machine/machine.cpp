@@ -142,9 +142,11 @@ sim::EngineConfig Machine::engine_config() const noexcept {
 }
 
 emulation::EmulationReport Machine::run(pram::PramProgram& program,
-                                        pram::SharedMemory& memory) {
-  emulation::NetworkEmulator emulator(*impl_->fabric,
-                                      emulator_config(impl_->spec.seed));
+                                        pram::SharedMemory& memory,
+                                        obs::Recorder* recorder) {
+  emulation::EmulatorConfig config = emulator_config(impl_->spec.seed);
+  config.recorder = recorder;
+  emulation::NetworkEmulator emulator(*impl_->fabric, config);
   return emulator.run(program, memory);
 }
 
@@ -154,13 +156,15 @@ emulation::EmulationReport Machine::run(pram::PramProgram& program) {
 }
 
 emulation::EmulationReport Machine::run_seeded(
-    std::uint64_t seed, pram::PramProgram& program,
-    pram::SharedMemory& memory) const {
+    std::uint64_t seed, pram::PramProgram& program, pram::SharedMemory& memory,
+    obs::Recorder* recorder) const {
   LEVNET_CHECK_MSG(impl_->injector == nullptr,
                    "run_seeded is for fault-free machines; a faulted trial "
                    "must own its Machine (build one with the trial seed in "
                    "the spec)");
-  emulation::NetworkEmulator emulator(*impl_->fabric, emulator_config(seed));
+  emulation::EmulatorConfig config = emulator_config(seed);
+  config.recorder = recorder;
+  emulation::NetworkEmulator emulator(*impl_->fabric, config);
   return emulator.run(program, memory);
 }
 
@@ -184,31 +188,63 @@ ProgramFactory program_factory(std::string_view key,
 analysis::TrialStats run_trials(
     const MachineSpec& spec, const ProgramFactory& factory,
     std::uint32_t seeds, unsigned threads,
-    std::vector<emulation::EmulationReport>* reports) {
+    std::vector<emulation::EmulationReport>* reports,
+    std::vector<std::unique_ptr<obs::Recorder>>* recorders) {
   LEVNET_CHECK_MSG(seeds > 0, "run_trials needs at least one seed");
   support::ThreadPool pool(threads);
-  const analysis::TrialRunner runner(pool);
-  std::vector<emulation::EmulationReport> per_seed;
+  // Recorders are attached when the spec asks for observability or the
+  // caller wants the recorders back; either way each seed owns its own
+  // (recorders are not thread-safe), indexed like the report slots so the
+  // output order is seed order at any thread count.
+  const bool want_obs =
+      recorders != nullptr || spec.obs_cadence != 0 || spec.obs_trace;
+  std::vector<std::unique_ptr<obs::Recorder>> obs_per_seed;
+  if (want_obs) {
+    const obs::RecorderConfig obs_config{spec.obs_cadence, spec.obs_trace};
+    obs_per_seed.reserve(seeds);
+    for (std::uint32_t i = 0; i < seeds; ++i) {
+      obs_per_seed.push_back(std::make_unique<obs::Recorder>(obs_config));
+    }
+  }
+  const auto recorder_for = [&](std::size_t i) -> obs::Recorder* {
+    return want_obs ? obs_per_seed[i].get() : nullptr;
+  };
+  // Seed fan-out matches analysis::TrialRunner::collect (SplitMix64 of
+  // 1 + index) — results land in seed-indexed slots, so stats are
+  // bit-identical for 1 and N threads.
+  std::vector<emulation::EmulationReport> per_seed(seeds);
   if (spec.faults == FaultKnobs{}) {
     // Fault-free: one shared machine, per-trial emulator streams — the
     // same sharing the hand-written benches used (routers are immutable).
     const Machine machine = Machine::build(spec);
-    per_seed = runner.collect(seeds, 1, [&](std::uint64_t seed) {
+    if (want_obs) {
+      for (auto& recorder : obs_per_seed) {
+        recorder->bind_topology(machine.graph());
+      }
+    }
+    pool.parallel_for(seeds, [&](std::size_t i) {
+      const std::uint64_t seed = analysis::TrialRunner::trial_seed(
+          1, static_cast<std::uint32_t>(i));
       const auto program = factory(machine.processors(), seed);
       pram::SharedMemory memory;
-      return machine.run_seeded(seed, *program, memory);
+      per_seed[i] = machine.run_seeded(seed, *program, memory,
+                                       recorder_for(i));
     });
   } else {
     // Faulted: the liveness overlay is mutable state, so every trial owns
     // its machine; the trial seed drives plan sampling and the emulator
     // stream together (one seed == one exact degraded history).
-    per_seed = runner.collect(seeds, 1, [&](std::uint64_t seed) {
+    pool.parallel_for(seeds, [&](std::size_t i) {
+      const std::uint64_t seed = analysis::TrialRunner::trial_seed(
+          1, static_cast<std::uint32_t>(i));
       MachineSpec trial_spec = spec;
       trial_spec.seed = seed;
       Machine machine = Machine::build(trial_spec);
+      obs::Recorder* const recorder = recorder_for(i);
+      if (recorder != nullptr) recorder->bind_topology(machine.graph());
       const auto program = factory(machine.processors(), seed);
       pram::SharedMemory memory;
-      return machine.run(*program, memory);
+      per_seed[i] = machine.run(*program, memory, recorder);
     });
   }
   const std::vector<analysis::TrialMeasurement> measurements(
@@ -217,6 +253,11 @@ analysis::TrialStats run_trials(
     reports->insert(reports->end(),
                     std::make_move_iterator(per_seed.begin()),
                     std::make_move_iterator(per_seed.end()));
+  }
+  if (recorders != nullptr) {
+    recorders->insert(recorders->end(),
+                      std::make_move_iterator(obs_per_seed.begin()),
+                      std::make_move_iterator(obs_per_seed.end()));
   }
   return analysis::aggregate(measurements);
 }

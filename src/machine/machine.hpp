@@ -33,6 +33,7 @@
 #include "faults/injector.hpp"
 #include "machine/registry.hpp"
 #include "machine/spec.hpp"
+#include "obs/recorder.hpp"
 #include "pram/memory.hpp"
 #include "pram/program.hpp"
 #include "sim/engine.hpp"
@@ -78,9 +79,12 @@ class Machine {
   [[nodiscard]] sim::EngineConfig engine_config() const noexcept;
 
   /// Runs `program` to completion against `memory` with the spec's seed.
-  /// Replays the fault plan from epoch 0 on every call.
+  /// Replays the fault plan from epoch 0 on every call. A non-null
+  /// `recorder` observes the run (counters, latency histograms, optional
+  /// samples/trace) without perturbing it; null is byte-inert.
   emulation::EmulationReport run(pram::PramProgram& program,
-                                 pram::SharedMemory& memory);
+                                 pram::SharedMemory& memory,
+                                 obs::Recorder* recorder = nullptr);
   /// run() into a scratch memory (reports only).
   emulation::EmulationReport run(pram::PramProgram& program);
 
@@ -96,9 +100,14 @@ class Machine {
   /// The 8-thread stress in tests/concurrency_test.cpp pins the resulting
   /// reports bit-identical to sequential runs, and the TSan CI job watches
   /// this path for races.
+  /// A non-null `recorder` observes the run without perturbing it; the
+  /// recorder is not thread-safe, so concurrent run_seeded() calls must
+  /// each bring their own.
   emulation::EmulationReport run_seeded(std::uint64_t seed,
                                         pram::PramProgram& program,
-                                        pram::SharedMemory& memory) const;
+                                        pram::SharedMemory& memory,
+                                        obs::Recorder* recorder
+                                        = nullptr) const;
 
  private:
   struct Impl;
@@ -124,9 +133,16 @@ using ProgramFactory = std::function<std::unique_ptr<pram::PramProgram>(
 /// one per seed (plan + stream derived from the trial seed). When
 /// `reports` is non-null the per-seed EmulationReports are appended in
 /// seed order.
+///
+/// Observability: when the spec carries obs:/trace tokens, or `recorders`
+/// is non-null, one obs::Recorder per seed (configured from the spec) is
+/// attached — stats then carry latency quantiles. A non-null `recorders`
+/// receives the per-seed recorders in seed order for metrics/trace export.
+/// Recorders never perturb the emulation; reports stay bit-identical.
 [[nodiscard]] analysis::TrialStats run_trials(
     const MachineSpec& spec, const ProgramFactory& factory,
     std::uint32_t seeds, unsigned threads,
-    std::vector<emulation::EmulationReport>* reports = nullptr);
+    std::vector<emulation::EmulationReport>* reports = nullptr,
+    std::vector<std::unique_ptr<obs::Recorder>>* recorders = nullptr);
 
 }  // namespace levnet::machine

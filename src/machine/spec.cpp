@@ -229,6 +229,20 @@ void split_key_params(std::string_view segment, std::string_view& key,
     }
     return true;
   }
+  if (segment.rfind("obs:", 0) == 0) {
+    const std::string_view value = segment.substr(4);
+    if (!parse_u32(value, out.obs_cadence)) {
+      error = "bad value '" + std::string(value) +
+              "' for 'obs:' (expected an unsigned integer sampling cadence; "
+              "0 = off)";
+      return false;
+    }
+    return true;
+  }
+  if (segment == "trace") {
+    out.obs_trace = true;
+    return true;
+  }
   const std::size_t eq = segment.find('=');
   if (eq != std::string_view::npos) {
     const std::string_view knob = segment.substr(0, eq);
@@ -257,8 +271,9 @@ void split_key_params(std::string_view segment, std::string_view& key,
   }
   error = "unknown segment '" + std::string(segment) +
           "' (expected a mode [erew|crew|crcw|crcw-combining], a discipline "
-          "[fifo|furthest-first|nearest-first], 'threads:N', 'faults:...', "
-          "or a knob [seed=|budget=|rehash=|hash-degree=|buffer=])";
+          "[fifo|furthest-first|nearest-first], 'threads:N', 'obs:N', "
+          "'trace', 'faults:...', or a knob "
+          "[seed=|budget=|rehash=|hash-degree=|buffer=])";
   return false;
 }
 
@@ -269,15 +284,34 @@ std::string_view mode_key(Mode mode) noexcept {
 }
 
 std::string MachineSpec::to_string() const {
-  std::string out = topology + ":" + std::to_string(param0);
-  if (param1 != 0) out += "x" + std::to_string(param1);
-  out += "/" + router;
-  if (router_param != 0) out += ":" + std::to_string(router_param);
+  // Plain appends throughout: `"lit" + std::to_string(...)` trips a GCC 12
+  // -Wrestrict false positive once inlining gets deep enough.
+  std::string out = topology;
+  out += ":";
+  out += std::to_string(param0);
+  if (param1 != 0) {
+    out += "x";
+    out += std::to_string(param1);
+  }
+  out += "/";
+  out += router;
+  if (router_param != 0) {
+    out += ":";
+    out += std::to_string(router_param);
+  }
   out += "/";
   out += mode_key(mode);
   out += "/";
   out += discipline_key(discipline);
-  if (step_threads != 1) out += "/threads:" + std::to_string(step_threads);
+  if (step_threads != 1) {
+    out += "/threads:";
+    out += std::to_string(step_threads);
+  }
+  if (obs_cadence != 0) {
+    out += "/obs:";
+    out += std::to_string(obs_cadence);
+  }
+  if (obs_trace) out += "/trace";
   if (faults != FaultKnobs{}) {
     out += "/faults:";
     std::string kvs;
@@ -313,18 +347,25 @@ std::string MachineSpec::to_string() const {
     out += kvs;
   }
   const MachineSpec defaults;
-  if (seed != defaults.seed) out += "/seed=" + std::to_string(seed);
+  if (seed != defaults.seed) {
+    out += "/seed=";
+    out += std::to_string(seed);
+  }
   if (step_budget_factor != defaults.step_budget_factor) {
-    out += "/budget=" + std::to_string(step_budget_factor);
+    out += "/budget=";
+    out += std::to_string(step_budget_factor);
   }
   if (max_rehash_attempts != defaults.max_rehash_attempts) {
-    out += "/rehash=" + std::to_string(max_rehash_attempts);
+    out += "/rehash=";
+    out += std::to_string(max_rehash_attempts);
   }
   if (hash_degree != defaults.hash_degree) {
-    out += "/hash-degree=" + std::to_string(hash_degree);
+    out += "/hash-degree=";
+    out += std::to_string(hash_degree);
   }
   if (node_buffer_bound != defaults.node_buffer_bound) {
-    out += "/buffer=" + std::to_string(node_buffer_bound);
+    out += "/buffer=";
+    out += std::to_string(node_buffer_bound);
   }
   return out;
 }

@@ -15,12 +15,18 @@
 //   spec       := topology '/' router { '/' segment }
 //   topology   := family ':' param [ 'x' param ]     e.g. star:5, mesh:8x16
 //   router     := key [ ':' param ]                  e.g. three-stage:10
-//   segment    := mode | discipline | threads | faults | knob
+//   segment    := mode | discipline | threads | obs | trace | faults | knob
 //   mode       := erew | crew | crcw | crcw-combining
 //   discipline := fifo | furthest-first | nearest-first
 //   threads    := 'threads:' uint    engine step parallelism (1 = serial,
 //                 0 = hardware concurrency); results are bit-identical
 //                 across values, so the token names a speed, not a machine
+//   obs        := 'obs:' uint   per-step observability sampling cadence
+//                 (0 = off, the default; N = sample every Nth step); like
+//                 threads:, never changes emulation results
+//   trace      := 'trace'   also record virtual-time packet/phase spans
+//                 for Chrome/Perfetto export (implies nothing about obs:
+//                 cadence; trace alone records spans without step samples)
 //   faults     := 'faults:' kv { ',' kv }   kv in links= nodes= procs=
 //                 modules= (fractions in [0,1)), onsets= (epoch count),
 //                 allow-cut=0|1 (drop the connectivity guard); procs=
@@ -103,6 +109,13 @@ struct MachineSpec {
   /// — the sharded engine is pinned bit-identical — so two specs differing
   /// only here emulate the same machine at different speeds.
   std::uint32_t step_threads = 1;          // threads:
+  /// Observability sampling cadence (`obs:` token): 0 = off, N = record a
+  /// per-step probe sample every Nth step. Like threads:, purely a lens —
+  /// the emulation's results are bit-identical with it on or off.
+  std::uint32_t obs_cadence = 0;           // obs:
+  /// Virtual-time trace spans (`trace` token): record packet-lifecycle and
+  /// engine-phase spans for Chrome/Perfetto export. Result-inert like obs:.
+  bool obs_trace = false;                  // trace
 
   bool operator==(const MachineSpec&) const = default;
 

@@ -1,0 +1,24 @@
+#include "obs/histogram.hpp"
+
+namespace levnet::obs {
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the quantile sample, 1-based. The multiply is exact enough:
+  // both operands are small integers-in-doubles, and every platform
+  // rounds the same IEEE way, so the rank (and thus the answer) is
+  // bit-stable.
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  if (rank < 1) rank = 1;
+  if (rank > total_) rank = total_;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBucketCount; ++b) {
+    seen += counts_[b];
+    if (seen >= rank) return bucket_upper(b);
+  }
+  return bucket_upper(kBucketCount - 1);
+}
+
+}  // namespace levnet::obs

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace levnet::obs {
+
+/// Fixed-bucket histogram for nonnegative integer samples (latencies in
+/// steps, queue delays, ...). The bucket layout is compiled in, so merging
+/// and quantile extraction are deterministic: values 0..31 get exact
+/// (identity) buckets, larger values share one bucket per power of two.
+/// Quantiles report the inclusive upper bound of the quantile's bucket —
+/// an integer, never an interpolation — so they are bit-stable across
+/// platforms and thread counts.
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 64;
+  static constexpr std::uint64_t kLinearLimit = 32;  // buckets 0..31 exact
+
+  /// Bucket index for a sample value.
+  [[nodiscard]] static constexpr std::size_t bucket_of(
+      std::uint64_t value) noexcept {
+    if (value < kLinearLimit) return static_cast<std::size_t>(value);
+    const auto width = static_cast<std::size_t>(std::bit_width(value));
+    const std::size_t bucket = kLinearLimit - 6 + width;
+    return bucket < kBucketCount ? bucket : kBucketCount - 1;
+  }
+
+  /// Inclusive upper bound of a bucket (the value a quantile reports).
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(
+      std::size_t bucket) noexcept {
+    if (bucket < kLinearLimit) return bucket;
+    if (bucket >= kBucketCount - 1) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    return (std::uint64_t{1} << (bucket - (kLinearLimit - 6))) - 1;
+  }
+
+  void record(std::uint64_t value) noexcept {
+    ++counts_[bucket_of(value)];
+    ++total_;
+    sum_ += value;
+  }
+
+  void merge(const Histogram& other) noexcept {
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      counts_[b] += other.counts_[b];
+    }
+    total_ += other.total_;
+    sum_ += other.sum_;
+  }
+
+  void reset() noexcept {
+    counts_.fill(0);
+    total_ = 0;
+    sum_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] const std::array<std::uint64_t, kBucketCount>& counts()
+      const noexcept {
+    return counts_;
+  }
+
+  /// Upper bound of the bucket holding the q-quantile sample (0 when
+  /// empty). q is clamped to [0, 1].
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+ private:
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace levnet::obs

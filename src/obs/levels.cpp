@@ -1,0 +1,56 @@
+#include "obs/levels.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+
+#include "obs/probes.hpp"
+#include "topology/graph.hpp"
+
+namespace levnet::obs {
+
+std::vector<std::uint8_t> edge_levels(const topology::Graph& graph) {
+  constexpr std::uint32_t kUnvisited =
+      std::numeric_limits<std::uint32_t>::max();
+  const std::size_t nodes = graph.node_count();
+  std::vector<std::uint32_t> depth(nodes, kUnvisited);
+  std::vector<std::uint32_t> frontier;
+  if (nodes != 0) {
+    depth[0] = 0;
+    frontier.push_back(0);
+  }
+  std::vector<std::uint32_t> next;
+  std::uint32_t d = 0;
+  while (!frontier.empty()) {
+    ++d;
+    next.clear();
+    for (const std::uint32_t u : frontier) {
+      for (const std::uint32_t v : graph.out_neighbors(u)) {
+        if (depth[v] == kUnvisited) {
+          depth[v] = d;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  std::vector<std::uint8_t> levels(graph.edge_count(), 0);
+  for (std::size_t e = 0; e < levels.size(); ++e) {
+    const std::uint32_t tail = graph.edge_tail(static_cast<std::uint32_t>(e));
+    std::uint32_t level = depth[tail] == kUnvisited ? 0 : depth[tail];
+    level = std::min<std::uint32_t>(
+        level, static_cast<std::uint32_t>(kMaxTrackedLevels) - 1);
+    levels[e] = static_cast<std::uint8_t>(level);
+  }
+  return levels;
+}
+
+std::uint32_t level_count(const std::vector<std::uint8_t>& levels) {
+  std::uint8_t max_level = 0;
+  for (const std::uint8_t level : levels) {
+    max_level = std::max(max_level, level);
+  }
+  return levels.empty() ? 0 : static_cast<std::uint32_t>(max_level) + 1;
+}
+
+}  // namespace levnet::obs

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace levnet::topology {
+class Graph;
+}
+
+namespace levnet::obs {
+
+/// Per-edge level labels for the occupancy time series: the level of a
+/// directed edge is the BFS depth of its tail from node 0, clamped to
+/// kMaxTrackedLevels - 1. On the leveled networks of the paper this
+/// matches the stage the link feeds; on arbitrary graphs it is still a
+/// deterministic, topology-only labelling. Unreachable tails land on
+/// level 0.
+[[nodiscard]] std::vector<std::uint8_t> edge_levels(
+    const topology::Graph& graph);
+
+/// Number of distinct levels present in a labelling (max label + 1; 0 for
+/// an empty edge set).
+[[nodiscard]] std::uint32_t level_count(
+    const std::vector<std::uint8_t>& levels);
+
+}  // namespace levnet::obs

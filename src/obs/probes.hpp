@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace levnet::obs {
+
+/// Cumulative event counters the recorder maintains. The enumerator order
+/// is the index into Recorder's counter array and into kProbeInfo below,
+/// so the two must stay in lockstep (and therefore in name-sorted order).
+enum class Probe : std::uint8_t {
+  kCombiningMerges = 0,
+  kConsumptions = 1,
+  kDetours = 2,
+  kInjections = 3,
+  kRehashAttempts = 4,
+  kTransmissions = 5,
+};
+
+inline constexpr std::size_t kProbeCount = 6;
+
+[[nodiscard]] constexpr std::size_t probe_index(Probe p) noexcept {
+  return static_cast<std::size_t>(p);
+}
+
+struct ProbeInfo {
+  const char* name;  // JSON key; stable across releases
+  const char* what;
+};
+
+/// Probe name registry. Export order in the metrics JSONL is this table's
+/// order, which is pinned (and lint-checked) to ascending name order.
+// levnet-lint: sorted-table(obs-probe-registry)
+inline constexpr ProbeInfo kProbeInfo[kProbeCount] = {
+    {"combining_merges", "requests absorbed into an in-queue twin"},
+    {"consumptions", "packets delivered to their destination handler"},
+    {"detours", "fault detours taken around a dead link"},
+    {"injections", "packets injected into the network"},
+    {"rehash_attempts", "emulation rehashes after a blown step budget"},
+    {"transmissions", "link traversals (one per active edge per step)"},
+};
+// levnet-lint: end-table
+
+/// Per-level queue-occupancy samples are clamped to this many levels; the
+/// deepest tracked level absorbs everything below it.
+inline constexpr std::size_t kMaxTrackedLevels = 8;
+
+}  // namespace levnet::obs

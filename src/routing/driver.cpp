@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.hpp"
 #include "support/check.hpp"
 
 namespace levnet::routing {
@@ -50,6 +51,15 @@ RoutingOutcome run_workload(const topology::Graph& graph, const Router& router,
     }
   }
   outcome.slowest_packet = slowest;
+  if (config.recorder != nullptr) {
+    const obs::Recorder& rec = *config.recorder;
+    outcome.latency_p50 = rec.journey().quantile(0.50);
+    outcome.latency_p95 = rec.journey().quantile(0.95);
+    outcome.latency_p99 = rec.journey().quantile(0.99);
+    outcome.queue_delay_p50 = rec.queue_delay().quantile(0.50);
+    outcome.queue_delay_p95 = rec.queue_delay().quantile(0.95);
+    outcome.queue_delay_p99 = rec.queue_delay().quantile(0.99);
+  }
   return outcome;
 }
 

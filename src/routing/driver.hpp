@@ -55,6 +55,14 @@ struct RoutingOutcome {
   /// Max over packets of (arrival - injection): the paper's "number of
   /// steps taken by a packet" for the slowest packet == routing time.
   std::uint32_t slowest_packet = 0;
+  /// Delivery-latency and queue-delay quantiles (steps), filled from the
+  /// obs::Recorder attached via EngineConfig::recorder; zero without one.
+  std::uint64_t latency_p50 = 0;
+  std::uint64_t latency_p95 = 0;
+  std::uint64_t latency_p99 = 0;
+  std::uint64_t queue_delay_p50 = 0;
+  std::uint64_t queue_delay_p95 = 0;
+  std::uint64_t queue_delay_p99 = 0;
 };
 
 /// Maps workload endpoint indices to physical nodes (identity by default;

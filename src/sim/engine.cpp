@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/recorder.hpp"
 #include "support/check.hpp"
 
 namespace levnet::sim {
@@ -37,6 +38,10 @@ SyncEngine::SyncEngine(const topology::Graph& graph, TrafficHandler& handler,
     // serial path is the same computation without the phase scaffolding.
   }
   concurrent_capable_ = handler_.route_concurrent_capable();
+  obs_ = config_.recorder;
+  if (obs_ != nullptr) {
+    obs_->ensure_lanes(step_pool_ != nullptr ? step_pool_->size() : 1);
+  }
 }
 
 void SyncEngine::reset() {
@@ -71,6 +76,7 @@ void SyncEngine::inject(Packet packet, NodeId at, support::Rng& rng) {
   packet.inject_step = now_;
   packet.came_from = topology::kInvalidNode;
   ++metrics_.injected;
+  if (obs_ != nullptr) obs_->count_injection();
   const PacketRef ref = pool_.allocate();
   pool_.get(ref) = packet;
   route_from(ref, at, rng);
@@ -95,6 +101,13 @@ void SyncEngine::route_from(PacketRef ref, NodeId at, support::Rng& rng) {
     const std::uint32_t journey = now_ - packet.inject_step;
     metrics_.total_delay +=
         journey - std::min<std::uint32_t>(journey, packet.hops);
+    if (obs_ != nullptr) {
+      // Consumption runs in serial contexts only (inject, the serial
+      // landing loops, phase C's replay), so the recorder sees deliveries
+      // in landing order at every step_threads value.
+      obs_->on_consume(static_cast<std::uint8_t>(packet.kind), packet.src,
+                       packet.inject_step, packet.hops, now_);
+    }
     pool_.release(ref);
     return;
   }
@@ -123,6 +136,7 @@ bool SyncEngine::try_detour(PacketRef ref, NodeId at, NodeId blocked,
     const EdgeId e = graph_.edge_between(at, detour);
     if (e != topology::kInvalidEdge && graph_.edge_live(e)) {
       ++metrics_.detours;
+      if (obs_ != nullptr) obs_->count_detour();
       next = detour;
       edge = e;
       return true;
@@ -263,6 +277,11 @@ void SyncEngine::shard_transmit() {
         edge_active_[e] = 0;
       }
     }
+    if (obs_ != nullptr) {
+      // Per-shard probe lane: folded back into the cumulative counters in
+      // shard order by merge_lanes() at the step barrier.
+      obs_->lane(s).transmissions += end - begin;
+    }
   });
   // node_load_ decrements are cross-shard (a node's out-links can straddle
   // a shard boundary), so they run serially after the barrier; loads are
@@ -328,6 +347,9 @@ void SyncEngine::commit_landings(std::uint64_t step_key) {
 
 std::size_t SyncEngine::step(support::Rng& rng) {
   ++now_;
+  metrics_.peak_in_flight =
+      std::max(metrics_.peak_in_flight,
+               static_cast<std::uint32_t>(pool_.live()));
   landings_.clear();
   redirects_.clear();
   next_active_.clear();
@@ -371,6 +393,10 @@ std::size_t SyncEngine::step(support::Rng& rng) {
         edge_active_[e] = 0;
       }
     }
+    if (obs_ != nullptr) {
+      // Lane 0 is the serial engine's shard; one pop per landing.
+      obs_->lane(0).transmissions += landings_.size();
+    }
   }
   std::swap(active_, next_active_);
   // Evacuation accounting must happen before the landing phase: drops
@@ -413,6 +439,20 @@ std::size_t SyncEngine::step(support::Rng& rng) {
       for (std::size_t i = 0; i < landings_.size(); ++i) {
         support::Rng sub = landing_rng(step_key, i);
         route_from(landings_[i].ref, landings_[i].at, sub);
+      }
+    }
+  }
+  if (obs_ != nullptr) {
+    // Step barrier: fold the per-shard lanes in shard order, then emit the
+    // trace/timeline points. Everything here depends only on committed
+    // engine state, and `staged` is thread-count-independent, so the
+    // recorder's output is bit-identical across step_threads values.
+    obs_->merge_lanes();
+    if (obs_->trace_enabled()) obs_->trace_step(now_, staged);
+    if (obs_->sample_due(now_)) {
+      obs_->begin_sample(now_, pool_.live());
+      for (const EdgeId e : active_) {
+        obs_->sample_edge(e, queues_[e].size());
       }
     }
   }

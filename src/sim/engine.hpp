@@ -59,6 +59,10 @@
 #include "support/thread_pool.hpp"
 #include "topology/graph.hpp"
 
+namespace levnet::obs {
+class Recorder;
+}
+
 namespace levnet::sim {
 
 enum class QueueDiscipline : std::uint8_t {
@@ -80,6 +84,11 @@ struct EngineConfig {
   /// are bit-identical across values — sharding only engages fault-free
   /// with unbounded buffers, and every commit is shard-ordered.
   std::uint32_t step_threads = 1;
+  /// Optional observability recorder (src/obs/). Null (the default) keeps
+  /// every instrumented path a single pointer test: no allocation, no
+  /// behaviour change, byte-identical reports. The recorder never feeds
+  /// back into routing, so attaching one is equally byte-inert.
+  obs::Recorder* recorder = nullptr;
 };
 
 class SyncEngine {
@@ -251,6 +260,9 @@ class SyncEngine {
   /// Cached handler.route_concurrent_capable(): skip phase B wholesale for
   /// handlers that defer every landing.
   bool concurrent_capable_ = false;
+
+  /// Cached config_.recorder: the hot loops test one pointer.
+  obs::Recorder* obs_ = nullptr;
 
   RunMetrics metrics_;
   std::uint32_t now_ = 0;

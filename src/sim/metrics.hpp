@@ -20,6 +20,10 @@ struct RunMetrics {
   std::uint32_t max_link_queue = 0;
   /// Maximum total occupancy across one node's outgoing-link queues.
   std::uint32_t max_node_queue = 0;
+  /// Maximum number of packets alive in the engine at any step boundary
+  /// (captured from the pool's live count as each step begins — the
+  /// existing phase-A accounting, no extra pass).
+  std::uint32_t peak_in_flight = 0;
   /// Detour hops taken around dead links/nodes (degraded mode only; the
   /// handler's on_fault supplied a surviving replacement hop).
   std::uint64_t detours = 0;

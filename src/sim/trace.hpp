@@ -12,6 +12,7 @@
 // theorems lean on.
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "sim/packet.hpp"
@@ -39,8 +40,7 @@ class TracingTraffic final : public TrafficHandler {
 
   void on_packet(Packet& p, NodeId at, std::uint32_t step, support::Rng& rng,
                  std::vector<Forward>& out) override {
-    if (p.id >= traces_.size()) traces_.resize(p.id + 1);
-    traces_[p.id].nodes.push_back(at);
+    record(p.id, at);
     inner_.on_packet(p, at, step, rng, out);
   }
 
@@ -49,12 +49,46 @@ class TracingTraffic final : public TrafficHandler {
     return inner_.priority(p, at);
   }
 
+  /// Forwarded so wrapping a concurrent-capable handler keeps the sharded
+  /// phase-B path (and its engine state trajectory) instead of silently
+  /// degrading to defer-everything. Decided landings are recorded here —
+  /// the serial path records them via on_packet — so traces match the
+  /// serial engine's node sequences exactly; deferred landings replay
+  /// through on_packet and are recorded there. Called from pool workers,
+  /// hence the lock around the trace store.
+  [[nodiscard]] bool route_concurrent(Packet& p, NodeId at, std::uint32_t step,
+                                      support::Rng& rng,
+                                      Forward& out) const override {
+    if (!inner_.route_concurrent(p, at, step, rng, out)) return false;
+    const_cast<TracingTraffic*>(this)->record(p.id, at);
+    return true;
+  }
+
+  [[nodiscard]] bool route_concurrent_capable() const override {
+    return inner_.route_concurrent_capable();
+  }
+
+  [[nodiscard]] NodeId on_fault(Packet& p, NodeId at, NodeId blocked,
+                                support::Rng& rng) override {
+    return inner_.on_fault(p, at, blocked, rng);
+  }
+
   [[nodiscard]] const std::vector<PacketTrace>& traces() const noexcept {
     return traces_;
   }
 
  private:
+  void record(std::uint32_t id, NodeId at) {
+    // One landing per packet per step, so a packet's appends are ordered
+    // by the step barrier at any thread count; the lock only protects the
+    // store's structure (resize) against concurrent phase-B workers.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (id >= traces_.size()) traces_.resize(id + 1);
+    traces_[id].nodes.push_back(at);
+  }
+
   TrafficHandler& inner_;
+  mutable std::mutex mutex_;
   std::vector<PacketTrace> traces_;
 };
 

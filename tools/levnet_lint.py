@@ -39,6 +39,12 @@ prose invariants into CI-enforced rules:
                          must document why it cannot name a dead endpoint
                          (e.g. the index came through adopt_proc or the
                          module survivor remap).
+  wall-clock-confined    std::chrono::*_clock::now() anywhere outside
+                         src/analysis/ — wall-clock is timing metadata and
+                         lives in the analysis layer only; observability
+                         timestamps are virtual (simulation steps), so a
+                         clock read in src/obs, tools, tests or bench is a
+                         determinism leak.
   packet-layout-assert   src/sim/packet.hpp must keep its
                          static_assert(sizeof(Packet) == 56) layout pin.
   registry-sorted        tables bracketed by
@@ -79,6 +85,7 @@ RULES = (
     "raw-new-delete",
     "threadpool-shard-ordered",
     "endpoint-liveness",
+    "wall-clock-confined",
     "packet-layout-assert",
     "registry-sorted",
     "pragma-once",
@@ -273,6 +280,8 @@ _NONDET_RE = re.compile(
     r"\brand\s*\(|\bsrand\s*\(|std::random_device|\btime\s*\(|"
     r"(?:steady_clock|system_clock|high_resolution_clock)::now\s*\(")
 _PTR_KEY_RE = re.compile(r"std::(?:map|set)\s*<\s*[^,>]*\*")
+_WALLCLOCK_RE = re.compile(
+    r"(?:steady_clock|system_clock|high_resolution_clock)::now\s*\(")
 _NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (place)` is still new: see below
 _RAW_NEW_RE = re.compile(r"\bnew\b")
 _RAW_DELETE_RE = re.compile(r"\bdelete\b(?!\s*;)")  # skips `= delete;`
@@ -398,6 +407,24 @@ def check_endpoint_liveness(path: str, raw_lines: list[str],
                  "this index cannot name a dead endpoint with "
                  "`// levnet-lint: endpoint-liveness(<why>)` on or above "
                  "this line")
+
+
+def check_wall_clock_confined(path: str, code_lines: list[str],
+                              emit: Callable[[int, str, str], None]) -> None:
+    """Wall-clock reads only in the analysis layer.
+
+    The observability subsystem timestamps everything in virtual steps;
+    src/analysis owns the one sanctioned wall-clock use (the informational
+    wall_ms column). A clock read anywhere else — recorder, trace export,
+    tools, tests, benches — would smuggle host time into artifacts that
+    are pinned byte-identical across machines and thread counts.
+    """
+    for idx, line in enumerate(code_lines):
+        if _WALLCLOCK_RE.search(line):
+            emit(idx + 1, "wall-clock-confined",
+                 "wall-clock read outside src/analysis — observability "
+                 "timestamps are virtual (simulation steps); keep host "
+                 "time in the analysis layer's wall_ms column")
 
 
 def check_registry_sorted(path: str, raw_text: str, code_text: str,
@@ -529,6 +556,8 @@ def scan_file(path: str, root: str, findings: list[Finding]) -> None:
         check_threadpool_shard_ordered(rel_path, raw_lines, code_lines, emit)
     if in_dir(rel_path, "src"):
         check_endpoint_liveness(rel_path, raw_lines, code_lines, emit)
+    if not in_dir(rel_path, "src/analysis"):
+        check_wall_clock_confined(rel_path, code_lines, emit)
     check_registry_sorted(rel_path, raw_text, code_text, emit)
     if rel_path.endswith(".hpp"):
         check_pragma_once(rel_path, raw_text, emit)
@@ -646,6 +675,20 @@ _SELFTEST_CASES: list[tuple[str, str, str, bool]] = [
      "  unsigned module_node(unsigned m) const noexcept;\n"
      "};\n",
      "endpoint-liveness", True),  # declarations are not call sites
+    ("tools/viol_wallclock.cpp",
+     "#include <chrono>\n"
+     "auto f() { return std::chrono::steady_clock::now(); }\n",
+     "wall-clock-confined", False),
+    ("bench/ok_wallclock_allow.cpp",
+     "#include <chrono>\n"
+     "// levnet-lint: allow(wall-clock-confined): self-test reason\n"
+     "auto f() { return std::chrono::high_resolution_clock::now(); }\n",
+     "wall-clock-confined", True),
+    ("src/analysis/ok_wallclock_dir.cpp",
+     "#include <chrono>\n"
+     "// levnet-lint: allow(nondeterministic-source): self-test reason\n"
+     "auto f() { return std::chrono::steady_clock::now(); }\n",
+     "wall-clock-confined", True),  # the analysis layer owns wall_ms
     ("src/machine/viol_table.cpp",
      "// levnet-lint: sorted-table(selftest)\n"
      "static const char* kTable[][2] = {\n"

@@ -24,6 +24,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <type_traits>
@@ -33,6 +34,7 @@
 #include "machine/machine.hpp"
 #include "machine/registry.hpp"
 #include "machine/spec.hpp"
+#include "obs/recorder.hpp"
 
 namespace {
 
@@ -55,6 +57,8 @@ struct Options {
   std::string spec_file;
   std::string program = "permutation";
   std::string json_path;
+  std::string metrics_path;  // --metrics: per-seed probe JSONL
+  std::string trace_path;    // --trace: Chrome/Perfetto trace JSON
   std::uint32_t seeds = 5;
   std::uint32_t steps = 4;  // PRAM steps for the synthetic-traffic programs
   unsigned threads = 0;
@@ -85,6 +89,12 @@ constexpr const char kUsage[] =
     "  --json PATH          write the report JSON to PATH (a directory gets\n"
     "                       an auto-named RUN_<spec>__<program>.json; '-'\n"
     "                       writes to stdout)\n"
+    "  --metrics FILE       write per-seed probe metrics (counters, latency\n"
+    "                       quantiles, step samples) as JSON Lines; implies\n"
+    "                       spec token obs:1 unless the spec sets a cadence\n"
+    "  --trace FILE         write a Chrome/Perfetto trace (virtual-time\n"
+    "                       packet and engine-phase spans; spec token\n"
+    "                       'trace'); open via ui.perfetto.dev\n"
     "  --spec-file FILE     read spec/program/seeds/threads/steps/\n"
     "                       step-threads from a flat JSON object instead of\n"
     "                       the command line\n"
@@ -111,6 +121,10 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
       if (!next(options.program)) return false;
     } else if (arg == "--json") {
       if (!next(options.json_path)) return false;
+    } else if (arg == "--metrics") {
+      if (!next(options.metrics_path)) return false;
+    } else if (arg == "--trace") {
+      if (!next(options.trace_path)) return false;
     } else if (arg == "--spec-file") {
       if (!next(options.spec_file)) return false;
     } else if (arg == "--seeds" || arg == "--steps" || arg == "--threads" ||
@@ -282,6 +296,9 @@ void print_catalogue(std::ostream& os) {
      << "disciplines:  fifo | furthest-first | nearest-first\n"
      << "threads:      threads:N  sharded stepping (1 = serial, 0 = hardware\n"
      << "              concurrency; results identical across values)\n"
+     << "obs:          obs:N sample probes every Nth step; 'trace' records\n"
+     << "              virtual-time spans (both result-inert; see --metrics\n"
+     << "              and --trace)\n"
      << "faults:       faults:links=F,nodes=F,procs=F,modules=F,onsets=N,\n"
      << "              allow-cut=1 (procs= kills processor endpoints;\n"
      << "              survivors adopt the dead program slots)\n"
@@ -323,6 +340,13 @@ void write_report_json(std::ostream& os, const Options& options,
      << ", \"dropped_mean\": " << stats.dropped_mean
      << ", \"fault_rehashes_mean\": " << stats.fault_rehashes_mean
      << ", \"adopted_slot_steps_mean\": " << stats.adopted_slot_steps_mean
+     << ", \"peak_in_flight_max\": " << stats.peak_in_flight.max
+     << ", \"latency_p50_mean\": " << stats.latency_p50.mean
+     << ", \"latency_p95_mean\": " << stats.latency_p95.mean
+     << ", \"latency_p99_mean\": " << stats.latency_p99.mean
+     << ", \"queue_delay_p50_mean\": " << stats.queue_delay_p50.mean
+     << ", \"queue_delay_p95_mean\": " << stats.queue_delay_p95.mean
+     << ", \"queue_delay_p99_mean\": " << stats.queue_delay_p99.mean
      << ", \"complete_runs\": " << stats.complete_runs
      << ", \"runs\": " << stats.runs << "},\n  \"per_seed\": [";
   for (std::size_t i = 0; i < reports.size(); ++i) {
@@ -350,6 +374,13 @@ void write_report_json(std::ostream& os, const Options& options,
        << ", \"dead_modules\": " << r.dead_modules
        << ", \"dead_procs\": " << r.dead_procs
        << ", \"adopted_slot_steps\": " << r.adopted_slot_steps
+       << ", \"peak_in_flight\": " << r.peak_in_flight
+       << ", \"latency_p50\": " << r.latency_p50
+       << ", \"latency_p95\": " << r.latency_p95
+       << ", \"latency_p99\": " << r.latency_p99
+       << ", \"queue_delay_p50\": " << r.queue_delay_p50
+       << ", \"queue_delay_p95\": " << r.queue_delay_p95
+       << ", \"queue_delay_p99\": " << r.queue_delay_p99
        << ", \"complete\": " << (r.complete ? "true" : "false") << "}";
   }
   os << "\n  ]\n}\n";
@@ -407,6 +438,12 @@ int main(int argc, char** argv) {
   if (options.step_threads != Options::kKeepSpec) {
     spec.step_threads = options.step_threads;
   }
+  // The export flags imply the matching spec tokens (a spec-set cadence
+  // wins over the implied obs:1). Both are result-inert.
+  if (!options.metrics_path.empty() && spec.obs_cadence == 0) {
+    spec.obs_cadence = 1;
+  }
+  if (!options.trace_path.empty()) spec.obs_trace = true;
   if (!machine::Machine::validate(spec, error)) {
     std::cerr << "levnet_run: " << error << "\n";
     return 1;
@@ -433,9 +470,13 @@ int main(int argc, char** argv) {
   // when the spec carries faults).
   machine::Machine machine = machine::Machine::build(spec);
   std::vector<emulation::EmulationReport> reports;
+  const bool want_recorders =
+      !options.metrics_path.empty() || !options.trace_path.empty();
+  std::vector<std::unique_ptr<obs::Recorder>> recorders;
   const analysis::TrialStats stats = machine::run_trials(
       spec, machine::program_factory(options.program, options.steps),
-      options.seeds, options.threads, &reports);
+      options.seeds, options.threads, &reports,
+      want_recorders ? &recorders : nullptr);
 
   std::cout << "machine      : " << machine.name() << "  ("
             << machine.graph().node_count() << " nodes, "
@@ -451,6 +492,38 @@ int main(int argc, char** argv) {
             << "rehashes     : " << stats.rehashes_mean << " (mean)\n"
             << "complete     : " << stats.complete_runs << "/" << stats.runs
             << "\n";
+  if (spec.obs_cadence != 0 || spec.obs_trace) {
+    std::cout << "latency      : p50 " << stats.latency_p50.mean << ", p95 "
+              << stats.latency_p95.mean << ", p99 " << stats.latency_p99.mean
+              << " (mean over seeds, steps)\n"
+              << "peak inflight: " << stats.peak_in_flight.max << "\n";
+  }
+
+  if (!options.metrics_path.empty()) {
+    std::ofstream out(options.metrics_path);
+    if (!out) {
+      std::cerr << "levnet_run: cannot open " << options.metrics_path
+                << " for writing\n";
+      return 1;
+    }
+    for (std::size_t i = 0; i < recorders.size(); ++i) {
+      recorders[i]->write_metrics_jsonl(out, static_cast<std::uint32_t>(i));
+    }
+    std::cout << "wrote " << options.metrics_path << "\n";
+  }
+  if (!options.trace_path.empty()) {
+    std::ofstream out(options.trace_path);
+    if (!out) {
+      std::cerr << "levnet_run: cannot open " << options.trace_path
+                << " for writing\n";
+      return 1;
+    }
+    std::vector<const obs::Recorder*> views;
+    views.reserve(recorders.size());
+    for (const auto& recorder : recorders) views.push_back(recorder.get());
+    obs::write_trace_json(out, views);
+    std::cout << "wrote " << options.trace_path << "\n";
+  }
 
   if (!options.json_path.empty()) {
     if (options.json_path == "-") {
