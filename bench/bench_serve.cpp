@@ -1,0 +1,217 @@
+// SV-series (beyond the paper): throughput of the levnet_serve front end
+// (src/serve/) — the JSONL request loop, the warm-machine LRU farm, and
+// the batch fan-out — measured as specs/sec. Unlike the E/F-series these
+// ARE wall-clock benches: the measurement is the serving overhead around
+// the (deterministic) emulations, so the numbers are machine-dependent
+// and compare_bench treats "/sec" columns as informational direction
+// flags ([THROUGHPUT-REGRESSION]), never hard gates.
+//
+// The cache counter columns, by contrast, are exact: every scenario
+// resolves its requests from a single dispatcher in request order, so
+// hits/misses/evictions are a pure function of the request stream and a
+// baseline mismatch there is a logic change, not noise.
+//
+//   SV1: clients x distinct-specs grid against a pre-warmed farm (every
+//        request hits; the knee shows the serve-loop scaling).
+//   SV2: cold (cache off) vs warm (pre-warmed) vs thrash (capacity 1,
+//        alternating specs) on one client — the value of the farm.
+//   SV3: fault-free (cacheable) vs faulted (uncacheable per-request
+//        builds) — what fault injection costs the serving layer.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/stopwatch.hpp"
+#include "bench_common.hpp"
+#include "serve/farm.hpp"
+#include "serve/session.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace levnet;
+
+/// N distinct cache keys with identical build cost: the same machine text
+/// with a varying seed knob (the seed is part of the canonical spec).
+std::vector<std::string> distinct_specs(const std::string& base,
+                                        std::size_t count) {
+  std::vector<std::string> specs;
+  specs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    specs.push_back(base + "/seed=" + std::to_string(101 + i));
+  }
+  return specs;
+}
+
+/// One client's JSONL payload: `requests` lines cycling the spec list.
+std::string make_payload(const std::vector<std::string>& specs,
+                         std::size_t requests, std::uint32_t steps) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < requests; ++i) {
+    os << "{\"spec\": \"" << specs[i % specs.size()]
+       << "\", \"program\": \"permutation\", \"seed\": " << 7 + i % 3
+       << ", \"steps\": " << steps << "}\n";
+  }
+  return os.str();
+}
+
+void prewarm(serve::Farm& farm, const std::vector<std::string>& specs) {
+  for (const std::string& text : specs) {
+    (void)farm.resolve(machine::parse_spec(text));
+  }
+}
+
+/// Drives `clients` concurrent sessions (each with an inline worker, so
+/// the parallelism under test is the client fan-in) over a shared farm;
+/// returns wall seconds. Responses are rendered and discarded.
+double drive_clients(serve::Farm& farm, unsigned clients,
+                     const std::string& payload, std::uint64_t& ok_total) {
+  std::vector<serve::SessionStats> stats(clients);
+  support::ThreadPool pool(clients);
+  const analysis::Stopwatch watch;
+  pool.parallel_for(clients, [&](std::size_t i) {
+    std::istringstream in(payload);
+    std::ostringstream out;
+    serve::SessionConfig config;
+    config.queue_depth = 64;
+    config.workers = 1;  // per-session pool inline; clients are the axis
+    serve::Session session(farm, config);
+    stats[i] = session.serve(in, out);
+  });
+  const double seconds = watch.seconds();
+  ok_total = 0;
+  for (const serve::SessionStats& s : stats) ok_total += s.ok;
+  return seconds;
+}
+
+constexpr char kBaseSpec[] = "star:5/two-phase/crcw/fifo";
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kThroughput{
+    analysis::Scenario{
+        .name = "SV1/throughput",
+        .experiment = "SV1 / serve farm (beyond the paper)",
+        .sweep = "(clients, distinct specs); warm cache, requests/client "
+                 "fixed",
+        .points = {{1, 1}, {1, 8}, {4, 1}, {4, 8}, {8, 1}, {8, 8}},
+        .smoke_points = {{1, 1}, {4, 8}},
+        .seeds = 1,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const auto clients = static_cast<unsigned>(ctx.arg(0));
+              const auto nspecs = static_cast<std::size_t>(ctx.arg(1));
+              const std::size_t requests = ctx.smoke() ? 6 : 32;
+              const std::vector<std::string> specs =
+                  distinct_specs(kBaseSpec, nspecs);
+              serve::Farm farm(serve::FarmConfig{8});
+              prewarm(farm, specs);
+              const std::string payload = make_payload(specs, requests, 2);
+              std::uint64_t ok = 0;
+              const double seconds = drive_clients(farm, clients, payload, ok);
+              const serve::Farm::Counters counters = farm.counters();
+              auto& table = ctx.table(
+                  "SV1: serve throughput, warm farm (8-entry LRU)",
+                  {"clients", "specs", "requests", "cache hits",
+                   "specs/sec"});
+              table.row()
+                  .cell(static_cast<std::uint64_t>(clients))
+                  .cell(static_cast<std::uint64_t>(nspecs))
+                  .cell(ok)
+                  .cell(counters.hits)
+                  .cell(seconds > 0.0 ? static_cast<double>(ok) / seconds
+                                      : 0.0,
+                        0);
+            },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kCacheWarmup{
+    analysis::Scenario{
+        .name = "SV2/cache-warmup",
+        .experiment = "SV2 / serve farm (beyond the paper)",
+        .sweep = "cold (cache off) vs warm (pre-warmed) vs thrash "
+                 "(capacity 1); one client, 2 specs",
+        .seeds = 1,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const std::size_t requests = ctx.smoke() ? 8 : 48;
+              // Two distinct machines, short runs, and a big-enough
+              // topology that construction (graph + router tables + hash
+              // setup) dominates a 1-step run: the spread between the rows
+              // is the build cost the cache amortises.
+              const std::vector<std::string> specs =
+                  distinct_specs("star:6/two-phase/crcw/fifo", 2);
+              const std::string payload = make_payload(specs, requests, 1);
+              auto& table = ctx.table(
+                  "SV2: cache value, one client alternating 2 specs",
+                  {"farm", "requests", "hits", "misses", "evictions",
+                   "specs/sec"});
+              const auto row = [&](const char* label, std::size_t capacity,
+                                   bool warm) {
+                serve::Farm farm(serve::FarmConfig{capacity});
+                if (warm) prewarm(farm, specs);
+                std::uint64_t ok = 0;
+                const double seconds = drive_clients(farm, 1, payload, ok);
+                const serve::Farm::Counters counters = farm.counters();
+                table.row()
+                    .cell(label)
+                    .cell(ok)
+                    .cell(counters.hits)
+                    .cell(counters.misses)
+                    .cell(counters.evictions)
+                    .cell(seconds > 0.0
+                              ? static_cast<double>(ok) / seconds
+                              : 0.0,
+                          0);
+              };
+              row("cold", 0, false);
+              row("warm", 8, true);
+              row("thrash", 1, false);
+            },
+    }};
+
+[[maybe_unused]] const analysis::ScenarioRegistrar kFaulted{
+    analysis::Scenario{
+        .name = "SV3/faulted",
+        .experiment = "SV3 / serve farm (beyond the paper)",
+        .sweep = "fault-free (warm cache) vs faulted (uncacheable "
+                 "per-request builds); one client",
+        .seeds = 1,
+        .run =
+            [](analysis::ScenarioContext& ctx) {
+              const std::size_t requests = ctx.smoke() ? 8 : 32;
+              auto& table = ctx.table(
+                  "SV3: fault injection cost at the serving layer",
+                  {"machine", "requests", "hits", "uncacheable",
+                   "specs/sec"});
+              const auto row = [&](const char* label, const std::string& spec,
+                                   bool warm) {
+                const std::vector<std::string> specs{spec};
+                serve::Farm farm(serve::FarmConfig{8});
+                if (warm) prewarm(farm, specs);
+                const std::string payload = make_payload(specs, requests, 1);
+                std::uint64_t ok = 0;
+                const double seconds = drive_clients(farm, 1, payload, ok);
+                const serve::Farm::Counters counters = farm.counters();
+                table.row()
+                    .cell(label)
+                    .cell(ok)
+                    .cell(counters.hits)
+                    .cell(counters.uncacheable)
+                    .cell(seconds > 0.0
+                              ? static_cast<double>(ok) / seconds
+                              : 0.0,
+                          0);
+              };
+              row("fault-free", std::string(kBaseSpec) + "/budget=64/rehash=10",
+                  true);
+              row("faulted",
+                  std::string(kBaseSpec) +
+                      "/budget=64/rehash=10/faults:links=0.05",
+                  false);
+            },
+    }};
+
+}  // namespace
+
+LEVNET_BENCH_MAIN()

@@ -9,6 +9,11 @@ script flags relative changes above a threshold in the cost columns
 reports structural drift (new/missing tables or rows) informationally.
 Delivery-latency quantile columns (headers containing "(lat)") are
 compared too, but only as [latency-drift] lines that never gate.
+Throughput columns (headers containing "/sec", e.g. the serve bench's
+specs/sec) are higher-is-better: a drop prints [THROUGHPUT-REGRESSION]
+and a rise [throughput-improvement], informationally — wall-clock
+derived rates never gate. `--self-test` proves the direction
+conventions on synthetic tables.
 
 Reports also carry a per-scenario "wall_ms" object (wall-clock per
 scenario, machine-dependent). Wall-clock changes above --wall-threshold
@@ -58,6 +63,14 @@ COMPLETENESS_MARKER = "complete%"
 # quantile columns stay out of both the cost gate and the row key.
 LATENCY_MARKER = "(lat)"
 
+# Throughput columns ("specs/sec") are higher-is-better: a DROP is the
+# regression, so the cost-column comparison would flag them backwards.
+# They are wall-clock derived (the serve bench measures real serving
+# overhead), hence machine-dependent noise like wall_ms: changes print as
+# [THROUGHPUT-REGRESSION]/[throughput-improvement] but never gate, even
+# under --strict. Must not collide with COST_COLUMN_MARKERS either.
+THROUGHPUT_MARKER = "/sec"
+
 
 def load_reports(directory):
     reports = {}
@@ -84,6 +97,11 @@ def cost_columns(header):
 def latency_columns(header):
     return [i for i, title in enumerate(header)
             if LATENCY_MARKER in title.lower()]
+
+
+def throughput_columns(header):
+    return [i for i, title in enumerate(header)
+            if THROUGHPUT_MARKER in title.lower()]
 
 
 def to_float(cell):
@@ -117,12 +135,17 @@ def compare_tables(bench, base_table, fresh_table, threshold, findings,
     header = base_table.get("header", [])
     columns = cost_columns(header)
     title = base_table.get("title", "?")
-    if not columns:
+    # The row key is the configuration cells before the FIRST monitored
+    # column of any class — a table whose only measurements are latency or
+    # throughput columns (the serve bench) still needs keyed rows.
+    monitored = sorted(set(columns) | set(latency_columns(header))
+                       | set(throughput_columns(header)))
+    if not monitored:
         # Make the coverage gap visible rather than reading as "clean".
         print(f"  [info] {bench} / '{title}': no monitored cost columns")
         return
-    base_rows = keyed_rows(base_table.get("rows", []), columns[0])
-    fresh_rows = keyed_rows(fresh_table.get("rows", []), columns[0])
+    base_rows = keyed_rows(base_table.get("rows", []), monitored[0])
+    fresh_rows = keyed_rows(fresh_table.get("rows", []), monitored[0])
     for key in sorted(set(base_rows) ^ set(fresh_rows), key=str):
         which = "gone from fresh run" if key in base_rows else "new (no baseline)"
         print(f"  [info] {bench} / '{title}' row {key[:-1]}: {which}")
@@ -179,6 +202,26 @@ def compare_tables(bench, base_table, fresh_table, threshold, findings,
             if abs(ratio) > threshold:
                 print(
                     f"  [latency-drift] {bench} / '{title}' row {key[:-1]} "
+                    f"({header[col]}): {base_value} -> {fresh_value} "
+                    f"({ratio:+.1%}; informational, never gates)"
+                )
+        for col in throughput_columns(header):
+            # Higher is better: a drop is the regression. Wall-clock
+            # derived, so like wall_ms it is reported but never gates.
+            if col >= len(base_row) or col >= len(fresh_row):
+                continue
+            base_value = to_float(base_row[col])
+            fresh_value = to_float(fresh_row[col])
+            if base_value is None or fresh_value is None:
+                continue
+            if base_value == 0.0:
+                continue
+            ratio = fresh_value / base_value - 1.0
+            if abs(ratio) > threshold:
+                kind = ("THROUGHPUT-REGRESSION" if ratio < 0
+                        else "throughput-improvement")
+                print(
+                    f"  [{kind}] {bench} / '{title}' row {key[:-1]} "
                     f"({header[col]}): {base_value} -> {fresh_value} "
                     f"({ratio:+.1%}; informational, never gates)"
                 )
@@ -254,10 +297,86 @@ def report_speedups(bench, report):
             )
 
 
+def self_test():
+    """Unit check of the column-class logic against synthetic tables.
+
+    Proves the direction conventions: a cost (steps) rise is a REGRESSION,
+    a throughput (/sec) DROP is a THROUGHPUT-REGRESSION that never lands
+    in `findings`, a latency shift is [latency-drift], and a complete%
+    drop is a hard failure. Run as a ctest entry so the conventions cannot
+    silently invert.
+    """
+    import contextlib
+    import io
+
+    failures = []
+
+    def check(name, condition):
+        if not condition:
+            failures.append(name)
+
+    def run_case(base_rows, fresh_rows, header, title="T"):
+        base = {"title": title, "header": header, "rows": base_rows}
+        fresh = {"title": title, "header": header, "rows": fresh_rows}
+        findings, hard = [], []
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            compare_tables("selftest", base, fresh, 0.1, findings, hard)
+        return out.getvalue(), findings, hard
+
+    # Cost column: higher is worse, gates under --strict.
+    out, findings, hard = run_case(
+        [["n=5", "100"]], [["n=5", "150"]], ["config", "steps"])
+    check("cost rise is REGRESSION", "[REGRESSION]" in out)
+    check("cost rise lands in findings", findings == [True])
+    check("cost rise is not a hard failure", not hard)
+
+    # Throughput column: LOWER is worse, reported but never a finding.
+    out, findings, hard = run_case(
+        [["c=4", "1000"]], [["c=4", "500"]], ["config", "specs/sec"])
+    check("throughput drop flags THROUGHPUT-REGRESSION",
+          "[THROUGHPUT-REGRESSION]" in out)
+    check("throughput drop never gates", not findings and not hard)
+    out, findings, hard = run_case(
+        [["c=4", "1000"]], [["c=4", "2000"]], ["config", "specs/sec"])
+    check("throughput rise flags improvement",
+          "[throughput-improvement]" in out)
+    check("throughput rise never gates", not findings and not hard)
+
+    # A throughput-only table still keys rows on the config cells: same
+    # config twice must diff positionally, not collapse or mismatch.
+    out, findings, hard = run_case(
+        [["a", "100"], ["a", "200"]], [["a", "100"], ["a", "50"]],
+        ["config", "specs/sec"])
+    check("duplicate config rows stay distinct",
+          out.count("[THROUGHPUT-REGRESSION]") == 1)
+
+    # Latency column: informational drift only.
+    out, findings, hard = run_case(
+        [["n=5", "100", "10"]], [["n=5", "100", "20"]],
+        ["config", "steps", "p95(lat)"])
+    check("latency shift is latency-drift", "[latency-drift]" in out)
+    check("latency shift never gates", not findings and not hard)
+
+    # Completeness: any drop is a hard failure regardless of threshold.
+    out, findings, hard = run_case(
+        [["n=5", "100"]], [["n=5", "99"]], ["config", "complete%"])
+    check("complete% drop is a hard failure", len(hard) == 1)
+
+    if failures:
+        for name in failures:
+            print(f"SELF-TEST FAIL: {name}")
+        return 1
+    print("compare_bench self-test: all cases passed")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline-dir", required=True)
-    parser.add_argument("--fresh-dir", required=True)
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the column-class unit checks and exit")
+    parser.add_argument("--baseline-dir")
+    parser.add_argument("--fresh-dir")
     parser.add_argument(
         "--threshold",
         type=float,
@@ -277,6 +396,11 @@ def main():
         help="exit 1 when a steps regression is found (default: report only)",
     )
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline_dir or not args.fresh_dir:
+        parser.error("--baseline-dir and --fresh-dir are required")
 
     # A missing or empty baseline directory is a caller error (wrong path,
     # forgotten checkout), not a clean diff: exit nonzero so CI cannot

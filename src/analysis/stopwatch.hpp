@@ -1,0 +1,35 @@
+#pragma once
+// Stopwatch: the sanctioned wall-clock timing window.
+//
+// The `wall-clock-confined` lint rule keeps std::chrono clock reads inside
+// src/analysis/ — wall time is timing metadata, never a simulated value.
+// Benches that need a throughput denominator (levnet_serve's specs/sec)
+// use this handle instead of reading the clock themselves, so the
+// determinism story stays auditable from one directory.
+
+#include <chrono>
+
+namespace levnet::analysis {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(read()) {}
+
+  void reset() { start_ = read(); }
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(read() - start_).count();
+  }
+
+ private:
+  static std::chrono::steady_clock::time_point read() {
+    // levnet-lint: allow(nondeterministic-source): wall-clock is timing
+    // metadata (throughput denominators), never a simulated value.
+    return std::chrono::steady_clock::now();
+  }
+
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace levnet::analysis

@@ -1,0 +1,158 @@
+#include "machine/run_io.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+
+namespace levnet::machine {
+
+bool parse_count(const std::string& value, unsigned long& out) {
+  if (value.empty() || value.size() > 9) return false;
+  for (const char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  out = std::strtoul(value.c_str(), nullptr, 10);
+  return true;
+}
+
+bool parse_count_u64(const std::string& value, std::uint64_t& out) {
+  if (value.empty() || value.size() > 20) return false;
+  std::uint64_t parsed = 0;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  for (const char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (parsed > kMax / 10 || parsed * 10 > kMax - digit) return false;
+    parsed = parsed * 10 + digit;
+  }
+  out = parsed;
+  return true;
+}
+
+bool parse_flat_json(const std::string& text,
+                     std::map<std::string, std::string>& out,
+                     std::string& error, const char* where) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+  };
+  const auto parse_string = [&](std::string& value) {
+    if (i >= text.size() || text[i] != '"') return false;
+    ++i;
+    value.clear();
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) ++i;
+      value += text[i++];
+    }
+    if (i >= text.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') {
+    error = std::string(where) + " must be a JSON object";
+    return false;
+  }
+  ++i;
+  skip_ws();
+  if (i < text.size() && text[i] == '}') return true;  // empty object
+  while (true) {
+    skip_ws();
+    std::string key;
+    if (!parse_string(key)) {
+      error = std::string("expected a string key in the ") + where;
+      return false;
+    }
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') {
+      error = "expected ':' after key '" + key + "'";
+      return false;
+    }
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < text.size() && text[i] == '"') {
+      if (!parse_string(value)) {
+        error = "unterminated string value for key '" + key + "'";
+        return false;
+      }
+    } else {
+      while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+             !std::isspace(static_cast<unsigned char>(text[i]))) {
+        value += text[i++];
+      }
+      if (value.empty()) {
+        error = "missing value for key '" + key + "'";
+        return false;
+      }
+    }
+    out[key] = value;
+    skip_ws();
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < text.size() && text[i] == '}') return true;
+    error = "expected ',' or '}' after value for key '" + key + "'";
+    return false;
+  }
+}
+
+bool read_count_field(const std::map<std::string, std::string>& values,
+                      const char* key, const char* where, unsigned long& out,
+                      std::string& error) {
+  const auto it = values.find(key);
+  if (it == values.end()) return true;
+  unsigned long parsed = 0;
+  if (!parse_count(it->second, parsed)) {
+    error = std::string("bad number for '") + key + "' in " + where +
+            " (expected an unsigned integer)";
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
+void json_escape(std::ostream& os, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+void write_report_fields(std::ostream& os,
+                         const emulation::EmulationReport& r) {
+  os << "\"pram_steps\": " << r.pram_steps
+     << ", \"network_steps\": " << r.network_steps
+     << ", \"max_step_network\": " << r.max_step_network
+     << ", \"mean_step_network\": " << r.mean_step_network
+     << ", \"max_link_queue\": " << r.max_link_queue
+     << ", \"max_node_queue\": " << r.max_node_queue
+     << ", \"request_packets\": " << r.request_packets
+     << ", \"reply_packets\": " << r.reply_packets
+     << ", \"combined_requests\": " << r.combined_requests
+     << ", \"local_ops\": " << r.local_ops
+     << ", \"rehashes\": " << r.rehashes
+     << ", \"detour_hops\": " << r.detour_hops
+     << ", \"dropped_packets\": " << r.dropped_packets
+     << ", \"fault_rehashes\": " << r.fault_rehashes
+     << ", \"dead_links\": " << r.dead_links
+     << ", \"dead_nodes\": " << r.dead_nodes
+     << ", \"dead_modules\": " << r.dead_modules
+     << ", \"dead_procs\": " << r.dead_procs
+     << ", \"adopted_slot_steps\": " << r.adopted_slot_steps
+     << ", \"peak_in_flight\": " << r.peak_in_flight
+     << ", \"latency_p50\": " << r.latency_p50
+     << ", \"latency_p95\": " << r.latency_p95
+     << ", \"latency_p99\": " << r.latency_p99
+     << ", \"queue_delay_p50\": " << r.queue_delay_p50
+     << ", \"queue_delay_p95\": " << r.queue_delay_p95
+     << ", \"queue_delay_p99\": " << r.queue_delay_p99
+     << ", \"complete\": " << (r.complete ? "true" : "false");
+}
+
+}  // namespace levnet::machine

@@ -1,0 +1,66 @@
+#pragma once
+// Shared request/report I/O for the run front ends.
+//
+// `levnet_run --spec-file` and the `levnet_serve` request decoder accept
+// the same flat-JSON shape (string values for "spec"/"program", strict
+// unsigned numbers for the counts) and emit the same per-run report
+// fields. One implementation here keeps the two front ends byte-compatible:
+// a serve response's "report" object is written by the same function as a
+// levnet_run per-seed entry, so identical (spec, program, seed) runs
+// produce identical payload bytes through either door.
+//
+// Everything in this header is pure string/stream work — no stdin, no
+// sockets, no files. The blocking reads live in src/serve/ and tools/
+// (enforced by the `blocking-io-confined` lint rule); src/machine stays
+// side-effect free.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "emulation/emulator.hpp"
+
+namespace levnet::machine {
+
+/// Strict unsigned decimal parse: digits only (no sign, no trailing junk),
+/// range-checked — `--seeds -1` must be a usage error, not a 4-billion-
+/// trial allocation. At most 9 digits, so the result fits uint32 comfortably.
+[[nodiscard]] bool parse_count(const std::string& value, unsigned long& out);
+
+/// Strict unsigned 64-bit decimal parse (for request seeds, which use the
+/// full seed space). Digits only, up to 19 of them, overflow-checked.
+[[nodiscard]] bool parse_count_u64(const std::string& value,
+                                   std::uint64_t& out);
+
+/// Parses a flat JSON object of string/number values — exactly the
+/// --spec-file / serve-request shape. Not a general JSON parser by design:
+/// no nesting, no arrays; numbers are captured as their literal text.
+/// On failure sets `error` and returns false; `where` names the container
+/// in the message ("spec file" for levnet_run, "request" for serve) so the
+/// one implementation serves both front ends' diagnostics.
+[[nodiscard]] bool parse_flat_json(const std::string& text,
+                                   std::map<std::string, std::string>& out,
+                                   std::string& error,
+                                   const char* where = "spec file");
+
+/// Fetches values[key] as a strict unsigned count. Absent key: returns
+/// true and leaves `out` untouched. Present but malformed: returns false
+/// with the shared error text, `where` naming the container ("spec file",
+/// "request") so both front ends report identically.
+[[nodiscard]] bool read_count_field(
+    const std::map<std::string, std::string>& values, const char* key,
+    const char* where, unsigned long& out, std::string& error);
+
+/// JSON string escaping for the report writers (quotes and backslashes).
+void json_escape(std::ostream& os, const std::string& text);
+
+/// Writes one run's report fields as a JSON object *body* (no surrounding
+/// braces): `"pram_steps": 3, ..., "complete": true`. This is the shared
+/// payload of a levnet_run per-seed entry and a levnet_serve response's
+/// "report" object — one writer, so the two are byte-identical for
+/// identical runs.
+void write_report_fields(std::ostream& os,
+                         const emulation::EmulationReport& report);
+
+}  // namespace levnet::machine

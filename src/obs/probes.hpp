@@ -9,15 +9,18 @@ namespace levnet::obs {
 /// is the index into Recorder's counter array and into kProbeInfo below,
 /// so the two must stay in lockstep (and therefore in name-sorted order).
 enum class Probe : std::uint8_t {
-  kCombiningMerges = 0,
-  kConsumptions = 1,
-  kDetours = 2,
-  kInjections = 3,
-  kRehashAttempts = 4,
-  kTransmissions = 5,
+  kCacheEvictions = 0,
+  kCacheHits = 1,
+  kCacheMisses = 2,
+  kCombiningMerges = 3,
+  kConsumptions = 4,
+  kDetours = 5,
+  kInjections = 6,
+  kRehashAttempts = 7,
+  kTransmissions = 8,
 };
 
-inline constexpr std::size_t kProbeCount = 6;
+inline constexpr std::size_t kProbeCount = 9;
 
 [[nodiscard]] constexpr std::size_t probe_index(Probe p) noexcept {
   return static_cast<std::size_t>(p);
@@ -32,6 +35,9 @@ struct ProbeInfo {
 /// order, which is pinned (and lint-checked) to ascending name order.
 // levnet-lint: sorted-table(obs-probe-registry)
 inline constexpr ProbeInfo kProbeInfo[kProbeCount] = {
+    {"cache_evictions", "warm machines dropped from the serve LRU cache"},
+    {"cache_hits", "serve requests resolved to a cached warm machine"},
+    {"cache_misses", "serve requests that had to build their machine"},
     {"combining_merges", "requests absorbed into an in-queue twin"},
     {"consumptions", "packets delivered to their destination handler"},
     {"detours", "fault detours taken around a dead link"},

@@ -1,0 +1,91 @@
+#pragma once
+// Serve protocol: JSONL request decode and response encode.
+//
+// One request is one line — a flat JSON object in the same shape as
+// `levnet_run --spec-file` (shared decoder: machine/run_io.*):
+//
+//   {"spec": "star:5/two-phase/crcw-combining/fifo",
+//    "program": "histogram", "seed": 7, "steps": 4, "id": "client-tag"}
+//
+//   spec     (required) canonical MachineSpec text; may carry obs:/trace
+//            tokens, in which case the response gains probe counters and
+//            the report carries latency quantiles
+//   program  PRAM program family key (default: permutation, like the CLI)
+//   seed     emulator seed for this run (default: the spec's seed knob);
+//            full 64-bit range
+//   steps    PRAM steps for the synthetic-traffic programs (default 4)
+//   id       opaque client tag echoed back verbatim
+//
+// One response is one line, in request order:
+//
+//   {"seq": N, "id": "...", "status": "ok", "spec": "<canonical>",
+//    "program": "...", "seed": S, "cache": "hit|miss|uncacheable",
+//    "report": {...}}
+//
+// The "report" object body is written by machine::write_report_fields —
+// the same function behind a levnet_run per-seed entry — so identical
+// (spec, program, seed) runs produce byte-identical report payloads
+// through either front end. A request that fails validation yields
+//
+//   {"seq": N, "id": "...", "status": "error", "error": "<message>"}
+//
+// instead of killing the stream; the error messages are the CLI's own
+// (bad token listings from parse_spec, unknown-program listings, mode
+// mismatches), so a serve client debugs with the same vocabulary.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "emulation/emulator.hpp"
+#include "machine/spec.hpp"
+#include "obs/recorder.hpp"
+
+namespace levnet::serve {
+
+/// How the farm resolved a request's machine.
+enum class CacheOutcome : std::uint8_t {
+  kHit = 0,          // warm Machine found in the LRU cache
+  kMiss = 1,         // built and inserted (possibly evicting)
+  kUncacheable = 2,  // faulted spec: built per request, never cached
+};
+
+[[nodiscard]] const char* cache_outcome_key(CacheOutcome outcome) noexcept;
+
+/// One decoded run request. `seq` is the server-assigned request index
+/// (responses are delivered in `seq` order regardless of completion
+/// order); `tag` echoes the client's "id" field when present.
+struct ServeRequest {
+  std::uint64_t seq = 0;
+  std::string tag;
+  std::string spec_text;
+  machine::MachineSpec spec;
+  std::string program = "permutation";
+  std::uint64_t seed = 0;
+  bool seed_given = false;
+  std::uint32_t steps = 4;
+};
+
+/// Decodes and fully validates one request line: flat-JSON shape, known
+/// keys only, required "spec", spec parse + Machine::validate, program
+/// lookup, and the program/mode compatibility check the CLI enforces.
+/// On failure sets `error` (already human-readable, listing alternatives)
+/// and returns false; the caller turns it into a structured error line.
+[[nodiscard]] bool decode_request(const std::string& line,
+                                  std::uint64_t seq,
+                                  std::uint32_t default_steps,
+                                  ServeRequest& out, std::string& error);
+
+/// Writes the ok-response line (no trailing newline). `recorder` non-null
+/// adds a "counters" object with the full probe catalogue (requests whose
+/// spec carries obs:/trace tokens).
+void write_ok_response(std::ostream& os, const ServeRequest& request,
+                       CacheOutcome outcome,
+                       const emulation::EmulationReport& report,
+                       const obs::Recorder* recorder);
+
+/// Writes the error-response line (no trailing newline).
+void write_error_response(std::ostream& os, std::uint64_t seq,
+                          const std::string& tag, const std::string& error);
+
+}  // namespace levnet::serve

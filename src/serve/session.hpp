@@ -1,0 +1,75 @@
+#pragma once
+// Session: the serve loop — read JSONL requests, run them through a Farm,
+// write JSONL responses in request order.
+//
+// Requests are gathered into batches: the dispatcher blocks for the first
+// line, then keeps appending lines while more input is already buffered
+// (in_avail) and the batch is below `queue_depth`. That bound is the
+// backpressure knob — the session never holds more than queue_depth
+// requests in flight, so a firehosing client backs up in the OS pipe
+// buffer rather than in server memory, while an interactive client gets
+// batch-of-1 latency.
+//
+// Within a batch the dispatcher decodes and resolves every request in
+// request order (so the farm's hit/miss/eviction counters are a pure
+// function of the request sequence, independent of worker count), then
+// fans the runs out across the owned ThreadPool. Each slot renders its
+// full response line into its own buffer; the dispatcher emits the buffers
+// in request order and flushes once per batch. Responses are therefore
+// byte-identical for 1 and N workers — pinned by the ServeConcurrency
+// tests under TSan.
+//
+// EOF or a should_stop() signal drains the current batch, writes one final
+// "stats" line (request totals + the farm's cache counters, named after
+// the obs probe catalogue) and returns.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+
+#include "serve/farm.hpp"
+#include "support/thread_pool.hpp"
+
+namespace levnet::serve {
+
+struct SessionConfig {
+  /// Max requests in flight per batch (>= 1); the backpressure bound.
+  std::size_t queue_depth = 64;
+  /// Worker parallelism including the dispatcher (ThreadPool semantics:
+  /// 0 = hardware concurrency, 1 = run everything inline).
+  unsigned workers = 0;
+  /// Default PRAM steps for requests that omit "steps".
+  std::uint32_t default_steps = 4;
+  /// Polled between batches; true = drain and return (SIGTERM hook).
+  std::function<bool()> should_stop;
+};
+
+struct SessionStats {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t batches = 0;
+  std::size_t peak_batch = 0;
+};
+
+class Session {
+ public:
+  Session(Farm& farm, SessionConfig config);
+
+  /// Serves `in` to exhaustion (EOF or should_stop), one response line per
+  /// request line in request order, then a final stats line. Blank input
+  /// lines are ignored. Returns the totals it reported.
+  SessionStats serve(std::istream& in, std::ostream& out);
+
+ private:
+  Farm& farm_;
+  SessionConfig config_;
+  support::ThreadPool pool_;
+};
+
+/// Writes the final stats line (no trailing newline): session totals plus
+/// the farm's cache counters under their kProbeInfo names.
+void write_stats_line(std::ostream& os, const SessionStats& stats,
+                      const Farm& farm);
+
+}  // namespace levnet::serve

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Load generator + response validator for levnet_serve.
+
+Drives a levnet_serve process with N interleaved client streams over M
+distinct machine specs (mixing in malformed requests), then validates the
+response stream:
+
+  * exactly one response line per request, in request order (seq 0..n-1),
+  * each response echoes the id of the request with that seq,
+  * valid requests come back status=ok, malformed ones status=error
+    (and the process survives them),
+  * responses for identical (spec, program, seed, steps) requests are
+    byte-identical past the seq/id prefix (the determinism contract),
+  * the final stats line accounts for every request, and its cache
+    counters satisfy hits + misses + uncacheable == ok.
+
+Transports: by default the server is spawned and driven over stdin/stdout;
+with --socket PATH the server is spawned with --socket and driven over the
+Unix socket. Exits nonzero with a diagnostic on any validation failure.
+
+Used by the CI bench-smoke and TSan jobs; also handy interactively:
+
+  python3 tools/levnet_client.py --server build/tools/levnet_serve \
+      --clients 4 --requests 32
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+DEFAULT_SPECS = [
+    "star:5/two-phase/crcw-combining/fifo",
+    "shuffle:3/two-phase/crcw/fifo",
+]
+
+PROGRAMS = ["permutation", "histogram", "prefix-sum"]
+
+INVALID_LINES = [
+    '{"spec": "nope:3/greedy"}',
+    '{"bad json',
+    '{"spec": "star:5/two-phase/crcw/fifo", "frobnicate": 1}',
+    '{"program": "histogram"}',
+]
+
+
+def build_requests(args):
+    """Returns the interleaved request list: (line, id_tag, expect_ok, key).
+
+    `key` identifies runs that must be byte-identical: (spec, program,
+    seed, steps) for valid requests, None for invalid ones.
+    """
+    requests = []
+    invalid_used = 0
+    for j in range(args.requests):
+        client = j % args.clients
+        tag = "c%d-r%d" % (client, j // args.clients)
+        if args.invalid_every > 0 and j % args.invalid_every == args.invalid_every - 1:
+            line = INVALID_LINES[invalid_used % len(INVALID_LINES)]
+            invalid_used += 1
+            requests.append((line, None, False, None))
+            continue
+        # Cycle specs by request index, not (client + j): client is
+        # j % clients, so for even client counts their sum is always
+        # even and a 2-spec list would never rotate.
+        spec = args.specs[j % len(args.specs)]
+        program = PROGRAMS[j % len(PROGRAMS)]
+        seed = 100 + (j % 3)  # deliberate repeats: exercises byte-identity
+        body = {"spec": spec, "program": program, "seed": seed, "id": tag}
+        requests.append((json.dumps(body), tag, True, (spec, program, seed)))
+    return requests
+
+
+def run_stdio(server_cmd, payload):
+    proc = subprocess.run(
+        server_cmd, input=payload, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, timeout=600)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr.decode(errors="replace"))
+        raise SystemExit("FAIL: server exited %d" % proc.returncode)
+    return proc.stdout.decode()
+
+
+def run_socket(server_cmd, payload, socket_path):
+    proc = subprocess.Popen(server_cmd + ["--socket", socket_path],
+                            stderr=subprocess.PIPE)
+    try:
+        deadline = time.time() + 30
+        while not os.path.exists(socket_path):
+            if time.time() > deadline or proc.poll() is not None:
+                raise SystemExit("FAIL: server never opened %s" % socket_path)
+            time.sleep(0.05)
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
+            conn.connect(socket_path)
+            conn.sendall(payload)
+            conn.shutdown(socket.SHUT_WR)
+            chunks = []
+            while True:
+                chunk = conn.recv(1 << 16)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        return b"".join(chunks).decode()
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+
+def validate(requests, output):
+    lines = [line for line in output.splitlines() if line]
+    if len(lines) != len(requests) + 1:
+        raise SystemExit("FAIL: %d requests but %d response lines (want +1 "
+                         "stats line)" % (len(requests), len(lines)))
+    stats = json.loads(lines[-1])
+    if stats.get("status") != "stats":
+        raise SystemExit("FAIL: last line is not the stats line: %s"
+                         % lines[-1])
+
+    ok = errors = 0
+    by_key = {}
+    for seq, ((_, tag, expect_ok, key), line) in enumerate(
+            zip(requests, lines[:-1])):
+        response = json.loads(line)
+        if response.get("seq") != seq:
+            raise SystemExit("FAIL: response %d carries seq %r (out of "
+                             "order?)" % (seq, response.get("seq")))
+        if tag is not None and response.get("id") != tag:
+            raise SystemExit("FAIL: seq %d echoes id %r, want %r"
+                             % (seq, response.get("id"), tag))
+        status = response.get("status")
+        if expect_ok and status != "ok":
+            raise SystemExit("FAIL: seq %d should be ok, got: %s"
+                             % (seq, line))
+        if not expect_ok and status != "error":
+            raise SystemExit("FAIL: seq %d should be an error line, got: %s"
+                             % (seq, line))
+        if status == "ok":
+            ok += 1
+            # The run payload ("report" onward) must be byte-identical for
+            # identical requests; seq/id/cache legitimately differ.
+            body = line[line.index('"report"'):]
+            previous = by_key.setdefault(key, (seq, body))
+            if previous[1] != body:
+                raise SystemExit(
+                    "FAIL: seq %d and seq %d ran identical requests but "
+                    "differ:\n  %s\n  %s" % (previous[0], seq, previous[1],
+                                             body))
+        else:
+            errors += 1
+
+    for field, want in [("requests", len(requests)), ("ok", ok),
+                        ("errors", errors)]:
+        if stats.get(field) != want:
+            raise SystemExit("FAIL: stats %s = %r, want %d"
+                             % (field, stats.get(field), want))
+    resolved = (stats.get("cache_hits", 0) + stats.get("cache_misses", 0)
+                + stats.get("uncacheable", 0))
+    if resolved != ok:
+        raise SystemExit("FAIL: cache counters account for %d resolves but "
+                         "%d requests ran" % (resolved, ok))
+    return stats
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--server", required=True,
+                        help="path to the levnet_serve binary")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=24)
+    parser.add_argument("--specs", nargs="+", default=DEFAULT_SPECS,
+                        help="distinct machine specs to cycle (>= 2 for the "
+                             "cache to matter)")
+    parser.add_argument("--invalid-every", type=int, default=5,
+                        help="make every Kth request malformed (0 = none)")
+    parser.add_argument("--cache", type=int, default=8)
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--socket", action="store_true",
+                        help="drive the server over a Unix socket instead "
+                             "of stdin/stdout")
+    args = parser.parse_args()
+
+    requests = build_requests(args)
+    payload = "".join(line + "\n" for line, _, _, _ in requests).encode()
+    server_cmd = [args.server, "--cache", str(args.cache),
+                  "--queue-depth", str(args.queue_depth),
+                  "--workers", str(args.workers)]
+
+    if args.socket:
+        with tempfile.TemporaryDirectory() as tmp:
+            output = run_socket(server_cmd, payload,
+                                os.path.join(tmp, "serve.sock"))
+    else:
+        output = run_stdio(server_cmd, payload)
+
+    stats = validate(requests, output)
+    print("OK: %d requests (%d ok, %d errors), %d batches (peak %d), "
+          "cache %d hit / %d miss / %d evicted"
+          % (stats["requests"], stats["ok"], stats["errors"],
+             stats["batches"], stats["peak_batch"], stats["cache_hits"],
+             stats["cache_misses"], stats["cache_evictions"]))
+
+
+if __name__ == "__main__":
+    main()

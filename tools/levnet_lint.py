@@ -45,6 +45,13 @@ prose invariants into CI-enforced rules:
                          timestamps are virtual (simulation steps), so a
                          clock read in src/obs, tools, tests or bench is a
                          determinism leak.
+  blocking-io-confined   blocking I/O primitives (std::cin, std::getline,
+                         fgets/fread/scanf, POSIX ::read, socket calls)
+                         inside src/ outside src/serve/ — the serving
+                         layer and the tools/ front ends own all blocking
+                         reads; src/sim, src/emulation and src/machine
+                         stay pure string/stream transformations so every
+                         library call is replayable.
   packet-layout-assert   src/sim/packet.hpp must keep its
                          static_assert(sizeof(Packet) == 56) layout pin.
   registry-sorted        tables bracketed by
@@ -86,6 +93,7 @@ RULES = (
     "threadpool-shard-ordered",
     "endpoint-liveness",
     "wall-clock-confined",
+    "blocking-io-confined",
     "packet-layout-assert",
     "registry-sorted",
     "pragma-once",
@@ -427,6 +435,38 @@ def check_wall_clock_confined(path: str, code_lines: list[str],
                  "time in the analysis layer's wall_ms column")
 
 
+# Blocking read primitives: C++ stdin handles, C stdio reads, and the
+# POSIX file/socket calls. `(?<![\w)])::read` keeps member/static calls
+# like MemOp::read() out of scope — only the global-namespace POSIX read
+# qualifies. std::getline is blocking on any istream whose source is a
+# pipe/socket, so it is confined wholesale; pure string splitting in the
+# library uses find()/substr (see machine/run_io.cpp).
+_BLOCKING_IO_RE = re.compile(
+    r"std::cin\b|std::getline\s*\(|"
+    r"\b(?:fgets|fread|fscanf|scanf|getchar|getc|fgetc)\s*\(|"
+    r"(?<![\w)])::read\s*\(|"
+    r"\b(?:recv|recvfrom|recvmsg|accept|socket|connect|listen|poll|select)"
+    r"\s*\(")
+
+
+def check_blocking_io_confined(path: str, code_lines: list[str],
+                               emit: Callable[[int, str, str], None]) -> None:
+    """Blocking I/O stays in src/serve/ (and tools/, which is not scanned).
+
+    The library below the serving layer is a pure function of its inputs:
+    src/machine parses strings it is handed, src/sim and src/emulation
+    never touch the outside world. A blocking read in those layers would
+    make library behavior depend on process context (tty vs pipe, socket
+    state), which is both untestable and a determinism leak.
+    """
+    for idx, line in enumerate(code_lines):
+        if _BLOCKING_IO_RE.search(line):
+            emit(idx + 1, "blocking-io-confined",
+                 "blocking I/O primitive in the library outside src/serve — "
+                 "keep stdin/socket reads in the serving layer or tools/; "
+                 "the library transforms strings it is handed")
+
+
 def check_registry_sorted(path: str, raw_text: str, code_text: str,
                           emit: Callable[[int, str, str], None]) -> None:
     """Entries between sorted-table markers must be in ascending key order.
@@ -558,6 +598,8 @@ def scan_file(path: str, root: str, findings: list[Finding]) -> None:
         check_endpoint_liveness(rel_path, raw_lines, code_lines, emit)
     if not in_dir(rel_path, "src/analysis"):
         check_wall_clock_confined(rel_path, code_lines, emit)
+    if in_dir(rel_path, "src") and not in_dir(rel_path, "src/serve"):
+        check_blocking_io_confined(rel_path, code_lines, emit)
     check_registry_sorted(rel_path, raw_text, code_text, emit)
     if rel_path.endswith(".hpp"):
         check_pragma_once(rel_path, raw_text, emit)
@@ -689,6 +731,29 @@ _SELFTEST_CASES: list[tuple[str, str, str, bool]] = [
      "// levnet-lint: allow(nondeterministic-source): self-test reason\n"
      "auto f() { return std::chrono::steady_clock::now(); }\n",
      "wall-clock-confined", True),  # the analysis layer owns wall_ms
+    ("src/machine/viol_stdin.cpp",
+     "#include <iostream>\n"
+     "#include <string>\n"
+     "void f(std::string& line) { std::getline(std::cin, line); }\n",
+     "blocking-io-confined", False),
+    ("src/emulation/viol_socket.cpp",
+     "#include <sys/socket.h>\n"
+     "int f() { return socket(1, 1, 0); }\n",
+     "blocking-io-confined", False),
+    ("src/machine/ok_blocking_allow.cpp",
+     "#include <unistd.h>\n"
+     "// levnet-lint: allow(blocking-io-confined): self-test reason\n"
+     "long f(int fd, char* buf) { return ::read(fd, buf, 1); }\n",
+     "blocking-io-confined", True),
+    ("src/serve/ok_serve_dir.cpp",
+     "#include <iostream>\n"
+     "#include <string>\n"
+     "void f(std::string& line) { std::getline(std::cin, line); }\n",
+     "blocking-io-confined", True),  # the serving layer owns blocking reads
+    ("src/pram/ok_memop_read.cpp",
+     "struct MemOp { static MemOp read(unsigned); };\n"
+     "MemOp f(unsigned c) { return MemOp::read(c); }\n",
+     "blocking-io-confined", True),  # member/static read() is not POSIX read
     ("src/machine/viol_table.cpp",
      "// levnet-lint: sorted-table(selftest)\n"
      "static const char* kTable[][2] = {\n"

@@ -33,6 +33,7 @@
 #include "analysis/trials.hpp"
 #include "machine/machine.hpp"
 #include "machine/registry.hpp"
+#include "machine/run_io.hpp"
 #include "machine/spec.hpp"
 #include "obs/recorder.hpp"
 
@@ -40,17 +41,12 @@ namespace {
 
 using namespace levnet;
 
-/// Strict unsigned decimal parse: digits only (no sign, no trailing
-/// junk), range-checked — `--seeds -1` must be a usage error, not a
-/// 4-billion-trial allocation.
-bool parse_count(const std::string& value, unsigned long& out) {
-  if (value.empty() || value.size() > 9) return false;
-  for (const char c : value) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
-  }
-  out = std::strtoul(value.c_str(), nullptr, 10);
-  return true;
-}
+// Strict count parsing, the flat-JSON spec-file decoder and the per-seed
+// report-field writer live in machine/run_io.* — shared with the
+// levnet_serve request decoder so both front ends accept the same shape,
+// emit the same error messages, and write byte-identical report payloads.
+using machine::json_escape;
+using machine::parse_count;
 
 struct Options {
   std::string spec_text;
@@ -160,77 +156,6 @@ bool parse_args(int argc, char** argv, Options& options, std::string& error) {
 
 // ------------------------------------------------------------ JSON helpers
 
-/// Parses a flat JSON object of string/number values — exactly the
-/// --spec-file shape. Not a general JSON parser by design.
-bool parse_flat_json(const std::string& text,
-                     std::map<std::string, std::string>& out,
-                     std::string& error) {
-  std::size_t i = 0;
-  const auto skip_ws = [&] {
-    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
-  };
-  const auto parse_string = [&](std::string& value) {
-    if (i >= text.size() || text[i] != '"') return false;
-    ++i;
-    value.clear();
-    while (i < text.size() && text[i] != '"') {
-      if (text[i] == '\\' && i + 1 < text.size()) ++i;
-      value += text[i++];
-    }
-    if (i >= text.size()) return false;
-    ++i;  // closing quote
-    return true;
-  };
-  skip_ws();
-  if (i >= text.size() || text[i] != '{') {
-    error = "spec file must be a JSON object";
-    return false;
-  }
-  ++i;
-  skip_ws();
-  if (i < text.size() && text[i] == '}') return true;  // empty object
-  while (true) {
-    skip_ws();
-    std::string key;
-    if (!parse_string(key)) {
-      error = "expected a string key in the spec file";
-      return false;
-    }
-    skip_ws();
-    if (i >= text.size() || text[i] != ':') {
-      error = "expected ':' after key '" + key + "'";
-      return false;
-    }
-    ++i;
-    skip_ws();
-    std::string value;
-    if (i < text.size() && text[i] == '"') {
-      if (!parse_string(value)) {
-        error = "unterminated string value for key '" + key + "'";
-        return false;
-      }
-    } else {
-      while (i < text.size() && text[i] != ',' && text[i] != '}' &&
-             !std::isspace(static_cast<unsigned char>(text[i]))) {
-        value += text[i++];
-      }
-      if (value.empty()) {
-        error = "missing value for key '" + key + "'";
-        return false;
-      }
-    }
-    out[key] = value;
-    skip_ws();
-    if (i < text.size() && text[i] == ',') {
-      ++i;
-      continue;
-    }
-    if (i < text.size() && text[i] == '}') return true;
-    error = "expected ',' or '}' after value for key '" + key + "'";
-    return false;
-  }
-}
-
 bool apply_spec_file(Options& options, std::string& error) {
   std::ifstream in(options.spec_file);
   if (!in) {
@@ -240,17 +165,16 @@ bool apply_spec_file(Options& options, std::string& error) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   std::map<std::string, std::string> values;
-  if (!parse_flat_json(buffer.str(), values, error)) return false;
+  if (!machine::parse_flat_json(buffer.str(), values, error)) return false;
   const auto number = [&](const char* key, auto& out) {
-    const auto it = values.find(key);
-    if (it == values.end()) return true;
     unsigned long parsed = 0;
-    if (!parse_count(it->second, parsed)) {
-      error = std::string("bad number for '") + key +
-              "' in spec file (expected an unsigned integer)";
+    bool present = values.count(key) != 0;
+    if (!machine::read_count_field(values, key, "spec file", parsed, error)) {
       return false;
     }
-    out = static_cast<std::remove_reference_t<decltype(out)>>(parsed);
+    if (present) {
+      out = static_cast<std::remove_reference_t<decltype(out)>>(parsed);
+    }
     return true;
   };
   if (values.count("spec") != 0) options.spec_text = values["spec"];
@@ -258,13 +182,6 @@ bool apply_spec_file(Options& options, std::string& error) {
   return number("seeds", options.seeds) && number("steps", options.steps) &&
          number("threads", options.threads) &&
          number("step-threads", options.step_threads);
-}
-
-void json_escape(std::ostream& os, const std::string& text) {
-  for (const char c : text) {
-    if (c == '"' || c == '\\') os << '\\';
-    os << c;
-  }
 }
 
 // ------------------------------------------------------------------ --list
@@ -355,33 +272,9 @@ void write_report_json(std::ostream& os, const Options& options,
     os << (i == 0 ? "" : ",") << "\n    {\"trial\": " << i << ", \"seed\": "
        << analysis::TrialRunner::trial_seed(first_seed,
                                             static_cast<std::uint32_t>(i))
-       << ", \"pram_steps\": " << r.pram_steps
-       << ", \"network_steps\": " << r.network_steps
-       << ", \"max_step_network\": " << r.max_step_network
-       << ", \"mean_step_network\": " << r.mean_step_network
-       << ", \"max_link_queue\": " << r.max_link_queue
-       << ", \"max_node_queue\": " << r.max_node_queue
-       << ", \"request_packets\": " << r.request_packets
-       << ", \"reply_packets\": " << r.reply_packets
-       << ", \"combined_requests\": " << r.combined_requests
-       << ", \"local_ops\": " << r.local_ops
-       << ", \"rehashes\": " << r.rehashes
-       << ", \"detour_hops\": " << r.detour_hops
-       << ", \"dropped_packets\": " << r.dropped_packets
-       << ", \"fault_rehashes\": " << r.fault_rehashes
-       << ", \"dead_links\": " << r.dead_links
-       << ", \"dead_nodes\": " << r.dead_nodes
-       << ", \"dead_modules\": " << r.dead_modules
-       << ", \"dead_procs\": " << r.dead_procs
-       << ", \"adopted_slot_steps\": " << r.adopted_slot_steps
-       << ", \"peak_in_flight\": " << r.peak_in_flight
-       << ", \"latency_p50\": " << r.latency_p50
-       << ", \"latency_p95\": " << r.latency_p95
-       << ", \"latency_p99\": " << r.latency_p99
-       << ", \"queue_delay_p50\": " << r.queue_delay_p50
-       << ", \"queue_delay_p95\": " << r.queue_delay_p95
-       << ", \"queue_delay_p99\": " << r.queue_delay_p99
-       << ", \"complete\": " << (r.complete ? "true" : "false") << "}";
+       << ", ";
+    machine::write_report_fields(os, r);
+    os << "}";
   }
   os << "\n  ]\n}\n";
 }

@@ -1,0 +1,246 @@
+// levnet_serve — a resident run service over the Machine API.
+//
+// Reads JSONL run requests (see src/serve/request.hpp for the grammar),
+// resolves each against an LRU cache of warm Machine instances, fans
+// batches out across a thread pool, and streams one JSON response line
+// per request in request order. By default the transport is stdin/stdout:
+//
+//   printf '{"spec": "star:5/two-phase/crcw/fifo", "seed": 7}\n' |
+//     levnet_serve
+//
+// With --socket PATH the server listens on a local (AF_UNIX) stream
+// socket instead, serving one connection at a time; the machine cache is
+// shared across connections, so a reconnecting client keeps its warm
+// machines. SIGTERM/SIGINT drain the in-flight batch, emit the final
+// stats line, and exit 0.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "machine/run_io.hpp"
+#include "serve/farm.hpp"
+#include "serve/session.hpp"
+
+// POSIX fd streambufs: the session reads std::istream, the socket hands us
+// fds. A minimal unbuffered-write / block-buffered-read pair is all the
+// JSONL protocol needs.
+#include <cstring>
+#include <streambuf>
+#include <vector>
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: levnet_serve [options]\n"
+    "  --socket PATH      listen on a local stream socket instead of stdin\n"
+    "  --cache N          warm-machine LRU capacity (default 8; 0 = off)\n"
+    "  --queue-depth N    max requests per batch / in flight (default 64)\n"
+    "  --workers N        run parallelism (default 0 = hardware threads)\n"
+    "  --help             this text\n"
+    "\n"
+    "protocol: one JSON object per input line, e.g.\n"
+    "  {\"spec\": \"star:5/two-phase/crcw/fifo\", \"program\": "
+    "\"histogram\", \"seed\": 7}\n"
+    "one response line per request, in request order, then a final stats\n"
+    "line on EOF/SIGTERM.\n";
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int) { g_stop = 1; }
+
+/// Installs the handler WITHOUT SA_RESTART so a signal interrupts the
+/// blocking read and the session drains instead of blocking forever.
+void install_signal_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+struct Options {
+  std::string socket_path;
+  unsigned long cache = 8;
+  unsigned long queue_depth = 64;
+  unsigned long workers = 0;
+};
+
+bool parse_args(int argc, char** argv, Options& options, std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](std::string& out) {
+      if (i + 1 >= argc) {
+        error = arg + " needs a value";
+        return false;
+      }
+      out = argv[++i];
+      return true;
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else if (arg == "--socket") {
+      if (!value(options.socket_path)) return false;
+    } else if (arg == "--cache" || arg == "--queue-depth" ||
+               arg == "--workers") {
+      std::string text;
+      if (!value(text)) return false;
+      unsigned long parsed = 0;
+      if (!levnet::machine::parse_count(text, parsed)) {
+        error = "bad number '" + text + "' for " + arg +
+                " (expected an unsigned integer)";
+        return false;
+      }
+      if (arg == "--cache") options.cache = parsed;
+      if (arg == "--queue-depth") options.queue_depth = parsed;
+      if (arg == "--workers") options.workers = parsed;
+    } else {
+      error = "unknown flag '" + arg + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Read-side streambuf over a connected socket fd; EINTR (the stop
+/// signal) reads as EOF so the session drains.
+class FdInBuf : public std::streambuf {
+ public:
+  explicit FdInBuf(int fd) : fd_(fd), buffer_(1 << 16) {}
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t n = ::read(fd_, buffer_.data(), buffer_.size());
+    if (n <= 0) return traits_type::eof();
+    setg(buffer_.data(), buffer_.data(), buffer_.data() + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  /// The session's batch bound peeks at in_avail(); report only what is
+  /// already in our buffer (showmanyc's default of 0), never block.
+
+ private:
+  int fd_;
+  std::vector<char> buffer_;
+};
+
+/// Write-side streambuf over a connected socket fd.
+class FdOutBuf : public std::streambuf {
+ public:
+  explicit FdOutBuf(int fd) : fd_(fd) {}
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) return ch;
+    const char byte = traits_type::to_char_type(ch);
+    return write_all(&byte, 1) ? ch : traits_type::eof();
+  }
+  std::streamsize xsputn(const char* data, std::streamsize count) override {
+    return write_all(data, static_cast<std::size_t>(count))
+               ? count
+               : std::streamsize{0};
+  }
+
+ private:
+  bool write_all(const char* data, std::size_t count) {
+    while (count > 0) {
+      const ssize_t n = ::write(fd_, data, count);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      data += n;
+      count -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  int fd_;
+};
+
+int serve_stdio(levnet::serve::Farm& farm,
+                const levnet::serve::SessionConfig& config) {
+  levnet::serve::Session session(farm, config);
+  session.serve(std::cin, std::cout);
+  return 0;
+}
+
+int serve_socket(levnet::serve::Farm& farm,
+                 const levnet::serve::SessionConfig& config,
+                 const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "levnet_serve: cannot create socket\n";
+    return 1;
+  }
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "levnet_serve: socket path too long '" << path << "'\n";
+    ::close(listener);
+    return 1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 8) != 0) {
+    std::cerr << "levnet_serve: cannot listen on '" << path << "'\n";
+    ::close(listener);
+    return 1;
+  }
+  std::cerr << "levnet_serve: listening on " << path << "\n";
+
+  // One connection at a time; the shared farm keeps the cache warm across
+  // connections. A stop signal interrupts accept() and we exit cleanly.
+  while (g_stop == 0) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    FdInBuf in_buf(conn);
+    FdOutBuf out_buf(conn);
+    std::istream in(&in_buf);
+    std::ostream out(&out_buf);
+    levnet::serve::Session session(farm, config);
+    session.serve(in, out);
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::string error;
+  if (!parse_args(argc, argv, options, error)) {
+    std::cerr << "levnet_serve: " << error << "\n" << kUsage;
+    return 2;
+  }
+  install_signal_handlers();
+
+  levnet::serve::Farm farm(
+      levnet::serve::FarmConfig{static_cast<std::size_t>(options.cache)});
+  levnet::serve::SessionConfig config;
+  config.queue_depth = static_cast<std::size_t>(options.queue_depth);
+  config.workers = static_cast<unsigned>(options.workers);
+  config.should_stop = [] { return g_stop != 0; };
+
+  if (!options.socket_path.empty()) {
+    return serve_socket(farm, config, options.socket_path);
+  }
+  return serve_stdio(farm, config);
+}

@@ -33,6 +33,9 @@ from typing import List, Optional
 
 # Mirrors src/obs/probes.hpp (kProbeInfo); keep sorted and in sync.
 PROBE_NAMES = (
+    "cache_evictions",
+    "cache_hits",
+    "cache_misses",
     "combining_merges",
     "consumptions",
     "detours",
